@@ -1,0 +1,62 @@
+// Figure 8 — Neighbor grouping enhances load balance on the last GCN
+// layer's graph operation. For the baseline (whole-row tasks, as in DGL)
+// and the neighbor-grouped schedule, prints the perfectly-balanced
+// execution time (total block time / concurrent capacity) and the actual
+// makespan, normalized to the baseline's actual time.
+//
+// Expected shape: the balanced/actual gap collapses under NG on the skewed
+// graphs; NG's balanced time is slightly higher (extra global traffic);
+// protein — low degree variance — is the exception where NG's overhead
+// outweighs the benefit (paper: 8% slower).
+#include "bench_util.hpp"
+#include "core/balance/neighbor_grouping.hpp"
+#include "kernels/spmm.hpp"
+
+using namespace gnnbridge;
+
+namespace {
+sim::KernelStats run_agg(const graph::Dataset& d, std::span<const kernels::Task> tasks,
+                         bool atomic, tensor::Index feat) {
+  sim::SimContext ctx(sim::v100());
+  const auto gdev = kernels::device_graph(ctx, d.csr, "csr");
+  auto src = kernels::device_mat_shape(ctx, d.csr.num_nodes, feat, "src");
+  auto out = kernels::device_mat_shape(ctx, d.csr.num_nodes, feat, "out");
+  auto norm = kernels::device_mat_shape(ctx, d.csr.num_edges(), 1, "norm");
+  kernels::SpmmArgs args{.graph = &gdev,
+                         .tasks = tasks,
+                         .src = &src,
+                         .edge_weight = &norm,
+                         .out = &out,
+                         .atomic_merge = atomic,
+                         .mode = kernels::ExecMode::kSimulateOnly};
+  return kernels::spmm_node(ctx, args);
+}
+}  // namespace
+
+int main() {
+  bench::banner("Figure 8", "balanced vs actual time, baseline vs neighbor grouping");
+  constexpr tensor::Index kFeat = 32;
+
+  std::printf("%-10s %14s %14s %14s %14s %10s\n", "dataset", "base balanced", "base actual",
+              "NG balanced", "NG actual", "NG speedup");
+  bench::DatasetCache cache;
+  for (graph::DatasetId id : graph::kAllDatasets) {
+    const graph::Dataset& d = cache.get(id);
+    const auto whole = kernels::natural_tasks(d.csr);
+    const sim::KernelStats base = run_agg(d, whole, false, kFeat);
+
+    const graph::EdgeId bound =
+        std::max<graph::EdgeId>(16, (static_cast<graph::EdgeId>(d.stats.avg_degree) + 15) /
+                                        16 * 16);
+    const core::GroupedTasks grouped = core::neighbor_group_tasks(d.csr, bound);
+    const sim::KernelStats ng = run_agg(d, grouped.tasks, grouped.any_split, kFeat);
+
+    const double norm = base.makespan;
+    std::printf("%-10s %14.3f %14.3f %14.3f %14.3f %9.2fx\n", d.name.c_str(),
+                base.balanced / norm, base.makespan / norm, ng.balanced / norm,
+                ng.makespan / norm, base.makespan / ng.makespan);
+  }
+  std::printf("\npaper (Fig 8): NG closes most of the balanced/actual gap; protein is ~8%% "
+              "slower under NG\n");
+  return 0;
+}

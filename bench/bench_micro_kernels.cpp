@@ -1,0 +1,80 @@
+// Kernel-library microbenchmarks (google-benchmark harness).
+//
+// These measure the *host cost of the simulation itself* — how fast the
+// trace replay and scheduling run — so contributors can see what a
+// simulated kernel launch costs them in wall-clock time and spot
+// regressions in the simulator hot paths.
+#include <benchmark/benchmark.h>
+
+#include "core/balance/neighbor_grouping.hpp"
+#include "core/locality/schedule.hpp"
+#include "graph/datasets.hpp"
+#include "kernels/dense.hpp"
+#include "kernels/spmm.hpp"
+
+using namespace gnnbridge;
+
+namespace {
+
+const graph::Dataset& collab() {
+  static const graph::Dataset* d =
+      new graph::Dataset(graph::make_dataset(graph::DatasetId::kCollab, 0.1));
+  return *d;
+}
+
+void BM_SpmmReplay(benchmark::State& state) {
+  const graph::Dataset& d = collab();
+  const auto tasks = kernels::natural_tasks(d.csr);
+  const tensor::Index feat = state.range(0);
+  for (auto _ : state) {
+    sim::SimContext ctx(sim::v100());
+    const auto gdev = kernels::device_graph(ctx, d.csr, "csr");
+    auto src = kernels::device_mat_shape(ctx, d.csr.num_nodes, feat, "src");
+    auto out = kernels::device_mat_shape(ctx, d.csr.num_nodes, feat, "out");
+    kernels::SpmmArgs args{.graph = &gdev,
+                           .tasks = tasks,
+                           .src = &src,
+                           .out = &out,
+                           .mode = kernels::ExecMode::kSimulateOnly};
+    benchmark::DoNotOptimize(kernels::spmm_node(ctx, args).cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * d.csr.num_edges());
+}
+BENCHMARK(BM_SpmmReplay)->Arg(32)->Arg(128);
+
+void BM_GemmReplay(benchmark::State& state) {
+  const tensor::Index n = state.range(0);
+  for (auto _ : state) {
+    sim::SimContext ctx(sim::v100());
+    auto a = kernels::device_mat_shape(ctx, n, 128, "a");
+    auto b = kernels::device_mat_shape(ctx, 128, 64, "b");
+    auto c = kernels::device_mat_shape(ctx, n, 64, "c");
+    benchmark::DoNotOptimize(
+        kernels::dense_gemm(ctx, {.a = &a, .b = &b, .c = &c,
+                                  .mode = kernels::ExecMode::kSimulateOnly})
+            .cycles);
+  }
+}
+BENCHMARK(BM_GemmReplay)->Arg(4096)->Arg(16384);
+
+void BM_LasOfflinePass(benchmark::State& state) {
+  const graph::Dataset& d = collab();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::locality_aware_schedule(d.csr).order.size());
+  }
+  state.SetItemsProcessed(state.iterations() * d.csr.num_edges());
+}
+BENCHMARK(BM_LasOfflinePass);
+
+void BM_NeighborGroupingOnlinePass(benchmark::State& state) {
+  const graph::Dataset& d = collab();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::neighbor_group_tasks(d.csr, 16).tasks.size());
+  }
+  state.SetItemsProcessed(state.iterations() * d.csr.num_nodes);
+}
+BENCHMARK(BM_NeighborGroupingOnlinePass);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Table 5 — The percentage of GraphSAGE-LSTM execution time spent in the
+// expansion (gathering the t-th neighbor features into a dense matrix) and
+// in the transformation (the per-step input GEMM on the expanded matrix),
+// for the DGL-style baseline.
+//
+// Expected shape: expansion ~8-10%, transformation ~19-26% — together over
+// a quarter of the runtime redone every step, the redundancy sparse
+// fetching + redundancy bypassing then remove (Figure 11).
+#include "baselines/dgl.hpp"
+#include "bench_util.hpp"
+
+using namespace gnnbridge;
+
+int main() {
+  bench::banner("Table 5", "expansion/transformation share of DGL GraphSAGE-LSTM time");
+  const models::SageLstmConfig cfg = bench::paper_sage();
+  const models::SageLstmParams params = models::init_sage_lstm(cfg, 11);
+
+  std::printf("%-10s %14s %18s %12s\n", "dataset", "expansion %", "transformation %",
+              "total ms");
+  bench::DatasetCache cache;
+  baselines::DglBackend dgl;
+  for (graph::DatasetId id : graph::kAllDatasets) {
+    const graph::Dataset& d = cache.get(id);
+    const models::Matrix x = models::init_features(d.csr.num_nodes, cfg.in_feat, 3);
+    const baselines::SageLstmRun run{&cfg, &params, &x};
+    const auto r = dgl.run_sage_lstm(d, run, kernels::ExecMode::kSimulateOnly, sim::v100());
+    const double total = r.stats.total_cycles;
+    std::printf("%-10s %14.2f %18.2f %12.3f\n", d.name.c_str(),
+                100.0 * r.stats.cycles_in_phase("expansion") / total,
+                100.0 * r.stats.cycles_in_phase("transformation") / total, r.ms);
+  }
+  std::printf("\npaper (Table 5): expansion 7.3-10.0%%, transformation 18.8-25.6%%\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared benchmark-harness plumbing.
+//
+// Every bench binary regenerates one table or figure of the paper. The
+// graphs are the synthetic analogues at GNNBRIDGE_SCALE of their default
+// reduced size (default 0.25 — minutes on one core; raise toward 1.0 for
+// the full reduced-scale graphs). Runs are trace-only: counters and
+// simulated times are identical to full-math runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "baselines/backend.hpp"
+#include "graph/datasets.hpp"
+#include "sim/device.hpp"
+
+namespace gnnbridge::bench {
+
+/// Scale factor for dataset generation (env GNNBRIDGE_SCALE, default 0.25).
+inline double dataset_scale() {
+  if (const char* env = std::getenv("GNNBRIDGE_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0.0 && s <= 1.0) return s;
+  }
+  return 0.25;
+}
+
+/// Lazily-generated dataset cache for one bench process.
+class DatasetCache {
+ public:
+  const graph::Dataset& get(graph::DatasetId id) {
+    auto it = cache_.find(id);
+    if (it == cache_.end()) {
+      it = cache_.emplace(id, graph::make_dataset(id, dataset_scale())).first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<graph::DatasetId, graph::Dataset> cache_;
+};
+
+/// Header banner with the experiment id and the generation scale.
+inline void banner(const char* experiment, const char* description) {
+  std::printf("==================================================================\n");
+  std::printf("%s — %s\n", experiment, description);
+  std::printf("datasets at scale %.2f of reduced size (GNNBRIDGE_SCALE to change)\n",
+              dataset_scale());
+  std::printf("==================================================================\n");
+}
+
+/// The paper's model configurations (§5.1).
+inline models::GcnConfig paper_gcn() { return {}; }        // {512,128,64,32}
+inline models::GatConfig paper_gat() { return {}; }        // {512,128,64,32}
+inline models::SageLstmConfig paper_sage() { return {}; }  // 32/32, 16 steps
+
+}  // namespace gnnbridge::bench

@@ -1,0 +1,50 @@
+// Sequence aggregation over biology data: GraphSAGE-LSTM on the protein
+// analogue, comparing the three execution strategies of §4.3 — expansion,
+// sparse fetching, and sparse fetching + redundancy bypassing — with both
+// the performance counters and a numerical equivalence check.
+#include <cstdio>
+
+#include "engine/engine.hpp"
+#include "graph/datasets.hpp"
+#include "models/reference.hpp"
+
+using namespace gnnbridge;
+
+int main() {
+  const graph::Dataset data = graph::make_dataset(graph::DatasetId::kProtein, 0.1);
+  std::printf("protein analogue: %d nodes, %lld edges\n", data.stats.num_nodes,
+              static_cast<long long>(data.stats.num_edges));
+
+  models::SageLstmConfig cfg;  // 32 features, 16 sampled neighbors
+  const models::SageLstmParams params = models::init_sage_lstm(cfg, 55);
+  const models::Matrix x = models::init_features(data.csr.num_nodes, cfg.in_feat, 55);
+  const baselines::SageLstmRun run{&cfg, &params, &x};
+  const models::Matrix expect = models::sage_lstm_forward_ref(data.csr, x, cfg, params);
+
+  struct Level {
+    const char* label;
+    engine::SageOptLevel level;
+  };
+  const Level levels[] = {
+      {"base: expand + transform every step", engine::SageOptLevel::kBase},
+      {"sparse fetching", engine::SageOptLevel::kSparseFetch},
+      {"sparse fetching + redundancy bypassing", engine::SageOptLevel::kSparseFetchBypass},
+  };
+
+  std::printf("\n%-42s %9s %9s %14s %14s %8s\n", "strategy", "sim ms", "launches",
+              "expansion ms", "transform ms", "correct");
+  double base_ms = 0.0;
+  for (const Level& l : levels) {
+    engine::EngineConfig ecfg;
+    ecfg.sage_level = l.level;
+    engine::OptimizedEngine e(ecfg);
+    const auto r = e.run_sage_lstm(data, run, kernels::ExecMode::kFull, sim::v100());
+    if (base_ms == 0.0) base_ms = r.ms;
+    const sim::DeviceSpec spec = sim::v100();
+    std::printf("%-42s %9.3f %9d %14.3f %14.3f %8s\n", l.label, r.ms,
+                r.stats.num_launches(), spec.millis(r.stats.cycles_in_phase("expansion")),
+                spec.millis(r.stats.cycles_in_phase("transformation")),
+                tensor::allclose(r.output, expect, 1e-3f, 1e-4f) ? "yes" : "NO");
+  }
+  return 0;
+}

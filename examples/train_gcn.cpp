@@ -1,0 +1,43 @@
+// Training a GCN end to end on the simulated GPU: forward, MSE loss,
+// backward (the same optimized aggregation kernels — the symmetric GCN
+// normalization is self-adjoint), and SGD. Prints the loss curve and the
+// per-step simulated cost split into forward/backward phases.
+#include <cstdio>
+
+#include "engine/engine.hpp"
+#include "graph/datasets.hpp"
+#include "models/gcn_grad.hpp"
+
+using namespace gnnbridge;
+
+int main() {
+  const graph::Dataset data = graph::make_dataset(graph::DatasetId::kCollab, 0.02);
+  std::printf("collab analogue: %d nodes, %lld edges\n", data.stats.num_nodes,
+              static_cast<long long>(data.stats.num_edges));
+
+  models::GcnConfig cfg;
+  cfg.dims = {32, 16, 8};
+  models::GcnParams params = models::init_gcn(cfg, 77);
+  const models::Matrix x = models::init_features(data.csr.num_nodes, 32, 77);
+
+  // A learnable target: the output of a differently-seeded "teacher" GCN.
+  const models::GcnParams teacher = models::init_gcn(cfg, 99);
+  const models::GcnForwardCache teacher_fwd =
+      models::gcn_forward_cached(data.csr, x, cfg, teacher);
+  const models::Matrix& target = teacher_fwd.inputs.back();
+
+  engine::OptimizedEngine e;
+  std::printf("\n%-6s %12s %14s %14s %14s\n", "step", "loss", "sim ms/step", "fwd graph ms",
+              "backward ms");
+  const sim::DeviceSpec spec = sim::v100();
+  for (int step = 0; step < 12; ++step) {
+    const auto r = e.train_gcn_step(data, cfg, params, x, target, /*lr=*/1.0f,
+                                    kernels::ExecMode::kFull, spec);
+    std::printf("%-6d %12.6f %14.3f %14.3f %14.3f\n", step, static_cast<double>(r.loss),
+                r.run.ms, spec.millis(r.run.stats.cycles_in_phase("graph_op")),
+                spec.millis(r.run.stats.cycles_in_phase("backward")));
+  }
+  std::printf("\nThe loss falls toward the teacher; every step runs %d simulated kernels.\n",
+              12);
+  return 0;
+}

@@ -1,0 +1,63 @@
+#include "baselines/footprint.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gnnbridge::baselines {
+
+namespace {
+std::uint64_t feats_bytes(const graph::DegreeStats& paper, const std::vector<models::Index>& dims) {
+  std::uint64_t total_cols = 0;
+  for (auto d : dims) total_cols += static_cast<std::uint64_t>(d);
+  return static_cast<std::uint64_t>(paper.num_nodes) * total_cols * 4;
+}
+
+std::uint64_t csr_bytes(const graph::DegreeStats& paper) {
+  return static_cast<std::uint64_t>(paper.num_nodes) * 8 +
+         static_cast<std::uint64_t>(paper.num_edges) * 4;
+}
+
+std::uint64_t max_hidden(const std::vector<models::Index>& dims) {
+  std::uint64_t mx = 0;
+  for (std::size_t l = 1; l < dims.size(); ++l) {
+    mx = std::max(mx, static_cast<std::uint64_t>(dims[l]));
+  }
+  return mx;
+}
+}  // namespace
+
+std::uint64_t dgl_footprint(const graph::DegreeStats& paper, const models::GcnConfig& cfg) {
+  return csr_bytes(paper) + feats_bytes(paper, cfg.dims) +
+         static_cast<std::uint64_t>(paper.num_edges) * 4;  // edge norm
+}
+
+std::uint64_t dgl_footprint_gat(const graph::DegreeStats& paper, const models::GatConfig& cfg) {
+  // Four live [E] scalars at peak (scores, exp, acc-broadcast, normalized).
+  return csr_bytes(paper) + feats_bytes(paper, cfg.dims) +
+         static_cast<std::uint64_t>(paper.num_edges) * 4 * 4;
+}
+
+std::uint64_t pyg_footprint_gcn(const graph::DegreeStats& paper, const models::GcnConfig& cfg) {
+  const std::uint64_t edge_index = static_cast<std::uint64_t>(paper.num_edges) * 16;  // int64 x2
+  const std::uint64_t expansion =
+      static_cast<std::uint64_t>(paper.num_edges) * max_hidden(cfg.dims) * 4;
+  return edge_index + feats_bytes(paper, cfg.dims) + expansion;
+}
+
+std::uint64_t pyg_footprint_gat(const graph::DegreeStats& paper, const models::GatConfig& cfg) {
+  const std::uint64_t edge_index = static_cast<std::uint64_t>(paper.num_edges) * 16;
+  const std::uint64_t expansion =
+      2 * static_cast<std::uint64_t>(paper.num_edges) * max_hidden(cfg.dims) * 4;
+  const std::uint64_t edge_scalars = static_cast<std::uint64_t>(paper.num_edges) * 8 * 4;
+  return edge_index + feats_bytes(paper, cfg.dims) + expansion + edge_scalars;
+}
+
+std::uint64_t roc_footprint_gcn(const graph::DegreeStats& paper, const models::GcnConfig& cfg) {
+  // Partition-replicated activations (~4x) plus an [E, F_mid] message
+  // buffer (F_mid = the middle hidden width).
+  const models::Index f_mid = cfg.dims.size() > 2 ? cfg.dims[2] : cfg.dims.back();
+  return csr_bytes(paper) + 4 * feats_bytes(paper, cfg.dims) +
+         static_cast<std::uint64_t>(paper.num_edges) * static_cast<std::uint64_t>(f_mid) * 4;
+}
+
+}  // namespace gnnbridge::baselines

@@ -1,0 +1,83 @@
+#include "core/fusion/fusion_pass.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gnnbridge::core {
+
+bool apply_linear_property(OpGraph& g) {
+  // Pattern: aggregate <- edge_div(score, broadcast(segment_sum(score))).
+  for (int id : g.live_ops()) {
+    if (g.op(id).kind != OpKind::kAggregate) continue;
+    OpNode& agg = g.op(id);
+    for (std::size_t slot = 0; slot < agg.inputs.size(); ++slot) {
+      const int div_id = agg.inputs[slot];
+      if (g.op(div_id).kind != OpKind::kEdgeDiv || !g.op(div_id).alive) continue;
+      const OpNode& div = g.op(div_id);
+      if (div.inputs.size() != 2) continue;
+      const int score_id = div.inputs[0];
+      const int bcast_id = div.inputs[1];
+      if (g.op(bcast_id).kind != OpKind::kBroadcast) continue;
+      const int sum_id = g.op(bcast_id).inputs.at(0);
+      if (g.op(sum_id).kind != OpKind::kSegmentSum) continue;
+      // Division by a per-center constant commutes with the sum reduction:
+      // postpone it into the aggregate epilogue.
+      agg.inputs[slot] = score_id;
+      agg.postponed_scale = sum_id;
+      g.op(div_id).alive = false;
+      g.op(bcast_id).alive = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+FusionPlan fuse(OpGraph& g, Partitioning part, bool use_linear_property) {
+  FusionPlan plan;
+  if (use_linear_property) plan.postponed_scale = apply_linear_property(g);
+
+  std::vector<int> group_of(static_cast<std::size_t>(g.size()), -1);
+  for (int id : g.live_ops()) {
+    const OpNode& node = g.op(id);
+    // Dependences on the open (last) group must all be adapter-compatible;
+    // dependences on closed groups are satisfied by the kernel boundary.
+    bool can_join = !plan.groups.empty();
+    int adapters = 0;
+    const int open = static_cast<int>(plan.groups.size()) - 1;
+    if (can_join) {
+      for (int in : node.inputs) {
+        if (!g.op(in).alive || group_of[static_cast<std::size_t>(in)] != open) continue;
+        const VisibleRange r = dep_range(g.op(in).kind, node.kind, part);
+        if (r == VisibleRange::kGlobal) {
+          can_join = false;
+          break;
+        }
+        if (r == VisibleRange::kWarp || r == VisibleRange::kBlock) ++adapters;
+      }
+      // The postponed scale input also crosses into the epilogue: if the
+      // producing segment_sum sits in the open group, it must be
+      // block-visible there.
+      if (can_join && node.postponed_scale >= 0 &&
+          group_of[static_cast<std::size_t>(node.postponed_scale)] == open) {
+        const VisibleRange r = dep_range(OpKind::kSegmentSum, node.kind, part);
+        if (r == VisibleRange::kGlobal) {
+          can_join = false;
+        } else {
+          ++adapters;
+        }
+      }
+    }
+    if (!can_join) {
+      plan.groups.emplace_back();
+      adapters = 0;
+      // Recount adapters for deps that now land inside the fresh group
+      // (none — the op is alone), so adapters stays 0.
+    }
+    plan.groups.back().ops.push_back(id);
+    group_of[static_cast<std::size_t>(id)] = static_cast<int>(plan.groups.size()) - 1;
+    plan.num_adapters += adapters;
+  }
+  return plan;
+}
+
+}  // namespace gnnbridge::core

@@ -1,0 +1,43 @@
+// Kernel fusion pass + linear-property rewrite (paper §4.2).
+//
+// Greedily groups ops in topological order: an op joins the open group when
+// every dependence it has on ops inside the group needs at most block
+// visibility (a shared-memory adapter reconciles the mismatch); a global
+// dependence forces a kernel boundary. Before grouping, the optional
+// linear-property rewrite recognizes the softmax-normalization pattern
+// (segment_sum -> broadcast -> divide -> aggregate) and postpones the
+// division into the aggregation's epilogue, deleting the broadcast and
+// divide ops and with them one global barrier's worth of traffic.
+#pragma once
+
+#include "core/fusion/visible_range.hpp"
+
+namespace gnnbridge::core {
+
+/// One fused kernel: the live op ids it executes, in topological order.
+struct FusionGroup {
+  std::vector<int> ops;
+};
+
+/// The fusion decision for a layer graph.
+struct FusionPlan {
+  std::vector<FusionGroup> groups;
+  /// Number of shared-memory/shuffle adapters inserted (intra-group deps
+  /// at warp/block range).
+  int num_adapters = 0;
+  /// True when the linear-property rewrite fired.
+  bool postponed_scale = false;
+};
+
+/// Applies the linear-property rewrite in place. Returns true when the
+/// pattern was found and rewritten.
+bool apply_linear_property(OpGraph& g);
+
+/// Runs the fusion pass. When `use_linear_property`, the rewrite runs
+/// first (on a copy of the behavior — `g` is modified in place).
+FusionPlan fuse(OpGraph& g, Partitioning part, bool use_linear_property);
+
+/// Number of kernel launches the plan implies.
+inline int num_kernels(const FusionPlan& p) { return static_cast<int>(p.groups.size()); }
+
+}  // namespace gnnbridge::core

@@ -1,0 +1,105 @@
+#include "core/fusion/opgraph.hpp"
+
+#include <cassert>
+
+namespace gnnbridge::core {
+
+Domain op_domain(OpKind kind) {
+  switch (kind) {
+    case OpKind::kGemm:
+      return Domain::kDense;
+    case OpKind::kRowDot:
+    case OpKind::kSegmentSum:
+      return Domain::kNodeScalar;
+    case OpKind::kAggregate:
+    case OpKind::kBiasAct:
+      return Domain::kNodeFeat;
+    case OpKind::kUAddV:
+    case OpKind::kLeakyRelu:
+    case OpKind::kExp:
+    case OpKind::kBroadcast:
+    case OpKind::kEdgeDiv:
+      return Domain::kEdge;
+  }
+  assert(false);
+  return Domain::kEdge;
+}
+
+std::string_view op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kGemm: return "gemm";
+    case OpKind::kRowDot: return "row_dot";
+    case OpKind::kUAddV: return "u_add_v";
+    case OpKind::kLeakyRelu: return "leaky_relu";
+    case OpKind::kExp: return "exp";
+    case OpKind::kSegmentSum: return "segment_sum";
+    case OpKind::kBroadcast: return "broadcast";
+    case OpKind::kEdgeDiv: return "edge_div";
+    case OpKind::kAggregate: return "aggregate";
+    case OpKind::kBiasAct: return "bias_act";
+  }
+  assert(false);
+  return "?";
+}
+
+int OpGraph::add(OpKind kind, std::vector<int> inputs) {
+  for (int in : inputs) {
+    assert(in >= 0 && in < size() && "inputs must precede the op (topological insertion)");
+  }
+  ops_.push_back({kind, std::move(inputs), true, -1});
+  return size() - 1;
+}
+
+std::vector<int> OpGraph::live_ops() const {
+  std::vector<int> out;
+  out.reserve(ops_.size());
+  for (int i = 0; i < size(); ++i) {
+    if (ops_[static_cast<std::size_t>(i)].alive) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> OpGraph::consumers(int id) const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    const OpNode& n = ops_[static_cast<std::size_t>(i)];
+    if (!n.alive) continue;
+    for (int in : n.inputs) {
+      if (in == id) {
+        out.push_back(i);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+OpGraph build_gat_layer(GatGraphIds* ids) {
+  OpGraph g;
+  GatGraphIds x{};
+  x.gemm = g.add(OpKind::kGemm);
+  x.att_src = g.add(OpKind::kRowDot, {x.gemm});
+  x.att_dst = g.add(OpKind::kRowDot, {x.gemm});
+  // Listing 1, steps 1-7.
+  x.u_add_v = g.add(OpKind::kUAddV, {x.att_src, x.att_dst});
+  x.leaky = g.add(OpKind::kLeakyRelu, {x.u_add_v});
+  x.exp = g.add(OpKind::kExp, {x.leaky});
+  x.seg_sum = g.add(OpKind::kSegmentSum, {x.exp});
+  x.broadcast = g.add(OpKind::kBroadcast, {x.seg_sum});
+  x.div = g.add(OpKind::kEdgeDiv, {x.exp, x.broadcast});
+  x.aggregate = g.add(OpKind::kAggregate, {x.div, x.gemm});
+  if (ids) *ids = x;
+  return g;
+}
+
+OpGraph build_gcn_layer(GcnGraphIds* ids) {
+  OpGraph g;
+  GcnGraphIds x{};
+  x.gemm = g.add(OpKind::kGemm);
+  x.aggregate = g.add(OpKind::kAggregate, {x.gemm});
+  x.bias_act = g.add(OpKind::kBiasAct, {x.aggregate});
+  if (ids) *ids = x;
+  return g;
+}
+
+}  // namespace gnnbridge::core

@@ -1,0 +1,78 @@
+#include "core/fusion/visible_range.hpp"
+
+#include <cassert>
+
+namespace gnnbridge::core {
+
+std::string_view range_name(VisibleRange r) {
+  switch (r) {
+    case VisibleRange::kThread: return "thread";
+    case VisibleRange::kWarp: return "warp";
+    case VisibleRange::kBlock: return "block";
+    case VisibleRange::kGlobal: return "global";
+  }
+  assert(false);
+  return "?";
+}
+
+VisibleRange dep_range(OpKind p, OpKind c, Partitioning part) {
+  const Domain pd = op_domain(p);
+  const bool split = part == Partitioning::kSplitRows;
+
+  // Dense producers (GEMM tiles, row-dots over the whole matrix) are
+  // computed by blocks unrelated to the graph tasks that consume them:
+  // always a kernel boundary.
+  if (pd == Domain::kDense) return VisibleRange::kGlobal;
+  if (p == OpKind::kRowDot) return VisibleRange::kGlobal;
+
+  // The softmax normalization's output is materialized: frameworks keep
+  // the normalized attention weights as a tensor (reused by autograd), so
+  // the aggregation primitive consumes them through global memory. Only
+  // the linear-property rewrite — which deletes the division outright and
+  // folds the scale into the aggregation epilogue — removes this barrier.
+  if (p == OpKind::kEdgeDiv && c == OpKind::kAggregate) return VisibleRange::kGlobal;
+
+  // Per-center reductions: complete only within a block when the whole row
+  // is one task; with split rows the full value exists only after a global
+  // synchronization (partial sums land from other SMs).
+  if (p == OpKind::kSegmentSum || p == OpKind::kAggregate) {
+    return split ? VisibleRange::kGlobal : VisibleRange::kBlock;
+  }
+
+  // Edge-domain producers feeding edge-wise elementwise consumers: the
+  // very same lane holds the value.
+  if (pd == Domain::kEdge) {
+    switch (c) {
+      case OpKind::kLeakyRelu:
+      case OpKind::kExp:
+      case OpKind::kEdgeDiv:
+        return VisibleRange::kThread;
+      case OpKind::kSegmentSum:
+      case OpKind::kAggregate:
+        // A per-center reduction over the task's lanes: block-level tree
+        // through the shared-memory adapter.
+        return VisibleRange::kBlock;
+      default:
+        return VisibleRange::kGlobal;
+    }
+  }
+
+  // Node-scalar producers (broadcast source) read by the same task: the
+  // adapter stages the scalar in shared memory.
+  if (pd == Domain::kNodeScalar) return VisibleRange::kBlock;
+
+  return VisibleRange::kGlobal;
+}
+
+std::vector<DepRange> analyze_ranges(const OpGraph& g, Partitioning part) {
+  std::vector<DepRange> out;
+  for (int id : g.live_ops()) {
+    for (int in : g.op(id).inputs) {
+      if (!g.op(in).alive) continue;
+      out.push_back({in, id, dep_range(g.op(in).kind, g.op(id).kind, part)});
+    }
+  }
+  return out;
+}
+
+}  // namespace gnnbridge::core

@@ -1,0 +1,42 @@
+// Data-visible-range analysis (paper §4.2).
+//
+// For every producer->consumer dependence, determines the smallest thread
+// scope at which the produced value must be visible for the consumer to
+// run in the *same kernel*: thread (the same lane already holds it), warp
+// (shuffle), block (shared-memory adapter), or global (a kernel boundary —
+// only a launch provides device-wide synchronization). The fusion pass
+// fuses across anything up to block scope by inserting adapters, and must
+// cut the kernel at every global dependence.
+#pragma once
+
+#include "core/fusion/opgraph.hpp"
+
+namespace gnnbridge::core {
+
+/// Thread scopes, ordered: a value visible at scope s is visible at any
+/// larger scope.
+enum class VisibleRange { kThread, kWarp, kBlock, kGlobal };
+
+std::string_view range_name(VisibleRange r);
+
+/// How the graph-operation tasks are partitioned. With neighbor grouping a
+/// center node's edges may span several blocks, which promotes per-center
+/// reductions (segment sums, feature aggregation epilogues) from block to
+/// global visibility — the interaction §4.2 discusses.
+enum class Partitioning { kWholeRow, kSplitRows };
+
+/// Minimum visible range required for consumer `c` to read producer `p`'s
+/// output inside one kernel, given the task partitioning.
+VisibleRange dep_range(OpKind p, OpKind c, Partitioning part);
+
+/// Per-dependence analysis result.
+struct DepRange {
+  int producer = -1;
+  int consumer = -1;
+  VisibleRange range = VisibleRange::kGlobal;
+};
+
+/// Analyzes all live dependences of `g`.
+std::vector<DepRange> analyze_ranges(const OpGraph& g, Partitioning part);
+
+}  // namespace gnnbridge::core

@@ -1,0 +1,87 @@
+#include "core/locality/cluster.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <queue>
+
+namespace gnnbridge::core {
+
+namespace {
+struct QueuedPair {
+  double similarity;
+  NodeId a, b;
+  bool operator<(const QueuedPair& o) const {
+    if (similarity != o.similarity) return similarity < o.similarity;
+    // Deterministic tie-break.
+    if (a != o.a) return a > o.a;
+    return b > o.b;
+  }
+};
+}  // namespace
+
+Clustering merge_pairs(NodeId num_nodes, std::vector<CandidatePair> pairs,
+                       const MinHashSignatures& sigs, const ClusterConfig& cfg) {
+  assert(cfg.max_cluster_size >= 1);
+  // Union-find with explicit representative tracking. parent[] follows the
+  // cluster structure; rep[] is the *representative node* of the root,
+  // which is what re-posed pairs are formed between.
+  std::vector<NodeId> parent(static_cast<std::size_t>(num_nodes));
+  std::iota(parent.begin(), parent.end(), NodeId{0});
+  std::vector<int> size(static_cast<std::size_t>(num_nodes), 1);
+
+  auto find = [&](NodeId x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  std::priority_queue<QueuedPair> queue;
+  for (const CandidatePair& p : pairs) queue.push({p.similarity, p.a, p.b});
+
+  while (!queue.empty()) {
+    const QueuedPair p = queue.top();
+    queue.pop();
+    const NodeId ra = find(p.a);
+    const NodeId rb = find(p.b);
+    if (ra == rb) continue;
+    const bool both_reps = (ra == p.a && rb == p.b);
+    if (!both_reps) {
+      // Re-pose between the current representatives with their similarity.
+      const double sim = estimate_jaccard(sigs, ra, rb);
+      if (sim > 0.0) queue.push({sim, ra, rb});
+      continue;
+    }
+    const int merged = size[static_cast<std::size_t>(ra)] + size[static_cast<std::size_t>(rb)];
+    if (merged > cfg.max_cluster_size) continue;  // cap: drop the pair
+    // Representative of the larger cluster wins; ties go to the smaller id.
+    NodeId winner = ra, loser = rb;
+    if (size[static_cast<std::size_t>(rb)] > size[static_cast<std::size_t>(ra)] ||
+        (size[static_cast<std::size_t>(rb)] == size[static_cast<std::size_t>(ra)] && rb < ra)) {
+      winner = rb;
+      loser = ra;
+    }
+    parent[static_cast<std::size_t>(loser)] = winner;
+    size[static_cast<std::size_t>(winner)] = merged;
+  }
+
+  Clustering out;
+  out.cluster_of.assign(static_cast<std::size_t>(num_nodes), 0);
+  std::vector<NodeId> root_to_cluster(static_cast<std::size_t>(num_nodes), -1);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    const NodeId r = find(v);
+    if (root_to_cluster[static_cast<std::size_t>(r)] < 0) {
+      root_to_cluster[static_cast<std::size_t>(r)] = static_cast<NodeId>(out.clusters.size());
+      out.clusters.emplace_back();
+    }
+    const NodeId c = root_to_cluster[static_cast<std::size_t>(r)];
+    out.cluster_of[static_cast<std::size_t>(v)] = c;
+    out.clusters[static_cast<std::size_t>(c)].push_back(v);
+  }
+  return out;
+}
+
+}  // namespace gnnbridge::core

@@ -1,0 +1,47 @@
+// Pair merging: candidate pairs -> bounded clusters.
+//
+// Step 2 of locality-aware task scheduling (paper §4.1.1). Every node
+// starts as a singleton cluster and is its own representative. Pairs are
+// consumed from a priority queue ordered by similarity:
+//   * if both nodes are representatives, their clusters merge (unless the
+//     merged size would exceed the cap — 32 in the paper); the
+//     representative of the larger cluster represents the union;
+//   * otherwise the pair is re-posed between the two current
+//     representatives and re-enqueued with their similarity.
+// The cap keeps clusters small enough that their combined working set fits
+// in cache, and keeps low-similarity stragglers from riding into a cluster
+// through a chain of merges.
+#pragma once
+
+#include <vector>
+
+#include "core/locality/lsh.hpp"
+
+namespace gnnbridge::core {
+
+/// Clustering parameters.
+struct ClusterConfig {
+  /// Maximum nodes per cluster (the paper uses 32).
+  int max_cluster_size = 32;
+};
+
+/// The clustering result: `cluster_of[v]` is v's cluster id; `clusters[c]`
+/// lists the members of cluster c (singletons included).
+struct Clustering {
+  std::vector<NodeId> cluster_of;
+  std::vector<std::vector<NodeId>> clusters;
+
+  /// Number of clusters with at least two members.
+  int num_nontrivial() const {
+    int n = 0;
+    for (const auto& c : clusters) n += c.size() > 1 ? 1 : 0;
+    return n;
+  }
+};
+
+/// Merges candidate pairs into clusters. `sigs` provides similarity
+/// estimates for re-posed representative pairs.
+Clustering merge_pairs(NodeId num_nodes, std::vector<CandidatePair> pairs,
+                       const MinHashSignatures& sigs, const ClusterConfig& cfg);
+
+}  // namespace gnnbridge::core

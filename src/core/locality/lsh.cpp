@@ -1,0 +1,55 @@
+#include "core/locality/lsh.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace gnnbridge::core {
+
+std::vector<CandidatePair> lsh_candidate_pairs(const MinHashSignatures& sigs,
+                                               const LshConfig& cfg) {
+  assert(sigs.rows == cfg.bands * cfg.rows_per_band);
+  const NodeId n = static_cast<NodeId>(
+      sigs.sig.size() / static_cast<std::size_t>(std::max(sigs.rows, 1)));
+
+  // Bucket table per band: band-hash -> node list.
+  std::vector<CandidatePair> pairs;
+  std::vector<std::uint64_t> seen;  // packed (a,b) keys for dedup
+  for (int band = 0; band < cfg.bands; ++band) {
+    std::unordered_map<std::uint64_t, std::vector<NodeId>> buckets;
+    buckets.reserve(static_cast<std::size_t>(n));
+    for (NodeId v = 0; v < n; ++v) {
+      // FNV-style combine of the band's signature slots.
+      std::uint64_t h = 0xcbf29ce484222325ull;
+      for (int r = 0; r < cfg.rows_per_band; ++r) {
+        h ^= sigs.at(v, band * cfg.rows_per_band + r);
+        h *= 0x100000001b3ull;
+      }
+      buckets[h].push_back(v);
+    }
+    for (const auto& [h, nodes] : buckets) {
+      if (nodes.size() < 2 || static_cast<int>(nodes.size()) > cfg.max_bucket) continue;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+          const NodeId a = std::min(nodes[i], nodes[j]);
+          const NodeId b = std::max(nodes[i], nodes[j]);
+          seen.push_back((static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint32_t>(b));
+        }
+      }
+    }
+  }
+
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+
+  pairs.reserve(seen.size());
+  for (std::uint64_t key : seen) {
+    const NodeId a = static_cast<NodeId>(key >> 32);
+    const NodeId b = static_cast<NodeId>(key & 0xffffffffull);
+    const double sim = estimate_jaccard(sigs, a, b);
+    if (sim >= cfg.min_similarity) pairs.push_back({a, b, sim});
+  }
+  return pairs;
+}
+
+}  // namespace gnnbridge::core

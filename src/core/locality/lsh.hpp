@@ -1,0 +1,43 @@
+// Locality-Sensitive Hashing over MinHash signatures.
+//
+// Step 1b of locality-aware task scheduling: signatures are cut into bands
+// of `rows_per_band` slots; each band hashes into a bucket table, and nodes
+// sharing any bucket become a candidate pair. With b bands of r rows, a
+// pair of Jaccard similarity s collides with probability 1-(1-s^r)^b — the
+// classic S-curve that passes similar pairs and filters dissimilar ones
+// without the O(N^2) comparison the paper's large graphs cannot afford.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/locality/minhash.hpp"
+
+namespace gnnbridge::core {
+
+/// A candidate pair of center nodes with its (estimated) similarity.
+struct CandidatePair {
+  NodeId a = 0;
+  NodeId b = 0;
+  /// Signature-estimated Jaccard similarity (the merge priority).
+  double similarity = 0.0;
+};
+
+/// LSH parameters.
+struct LshConfig {
+  int bands = 8;
+  int rows_per_band = 2;
+  /// Pairs whose estimated similarity falls below this are discarded.
+  double min_similarity = 0.2;
+  /// Buckets larger than this are skipped (hash-degenerate buckets would
+  /// emit quadratically many pairs).
+  int max_bucket = 64;
+};
+
+/// Runs LSH banding over `sigs` (whose rows must equal
+/// bands * rows_per_band) and returns deduplicated candidate pairs with
+/// estimated similarity >= min_similarity.
+std::vector<CandidatePair> lsh_candidate_pairs(const MinHashSignatures& sigs,
+                                               const LshConfig& cfg);
+
+}  // namespace gnnbridge::core

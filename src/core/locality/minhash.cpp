@@ -1,0 +1,52 @@
+#include "core/locality/minhash.hpp"
+
+#include <limits>
+
+#include "tensor/rng.hpp"
+
+namespace gnnbridge::core {
+
+MinHashSignatures minhash_signatures(const Csr& g, int rows, std::uint64_t seed) {
+  MinHashSignatures out;
+  out.rows = rows;
+  out.sig.assign(static_cast<std::size_t>(g.num_nodes) * static_cast<std::size_t>(rows),
+                 std::numeric_limits<std::uint64_t>::max());
+
+  // Multiply-shift hash parameters, one odd multiplier per row.
+  std::vector<std::uint64_t> mult(static_cast<std::size_t>(rows));
+  std::vector<std::uint64_t> add(static_cast<std::size_t>(rows));
+  std::uint64_t sm = seed;
+  for (int r = 0; r < rows; ++r) {
+    mult[static_cast<std::size_t>(r)] = tensor::splitmix64(sm) | 1ull;
+    add[static_cast<std::size_t>(r)] = tensor::splitmix64(sm);
+  }
+
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    auto* sig = &out.sig[static_cast<std::size_t>(v) * static_cast<std::size_t>(rows)];
+    for (NodeId u : g.neighbors(v)) {
+      const std::uint64_t x = static_cast<std::uint64_t>(u) + 1;
+      for (int r = 0; r < rows; ++r) {
+        const std::uint64_t h = mult[static_cast<std::size_t>(r)] * x + add[static_cast<std::size_t>(r)];
+        if (h < sig[r]) sig[r] = h;
+      }
+    }
+    if (g.degree(v) == 0) {
+      // Unique sentinel per node so empty sets never pair with anything.
+      for (int r = 0; r < rows; ++r) {
+        sig[r] = std::numeric_limits<std::uint64_t>::max() - static_cast<std::uint64_t>(v);
+      }
+    }
+  }
+  return out;
+}
+
+double estimate_jaccard(const MinHashSignatures& s, NodeId a, NodeId b) {
+  if (s.rows == 0) return 0.0;
+  int match = 0;
+  for (int r = 0; r < s.rows; ++r) {
+    if (s.at(a, r) == s.at(b, r)) ++match;
+  }
+  return static_cast<double>(match) / static_cast<double>(s.rows);
+}
+
+}  // namespace gnnbridge::core

@@ -1,0 +1,42 @@
+// MinHash signatures over neighbor sets.
+//
+// Step 1 of locality-aware task scheduling (paper §4.1.1): compress each
+// center node's neighbor set into a short signature whose per-slot collision
+// probability equals the sets' Jaccard similarity. Signatures make the
+// similarity search tractable on large graphs; LSH banding (lsh.hpp)
+// consumes them to produce candidate pairs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gnnbridge::core {
+
+using graph::Csr;
+using graph::NodeId;
+
+/// MinHash signature matrix: `rows` hash slots per node, stored
+/// row-major per node (sig[node * rows + r]).
+struct MinHashSignatures {
+  int rows = 0;
+  std::vector<std::uint64_t> sig;
+
+  std::uint64_t at(NodeId node, int r) const {
+    return sig[static_cast<std::size_t>(node) * static_cast<std::size_t>(rows) +
+               static_cast<std::size_t>(r)];
+  }
+};
+
+/// Computes `rows` MinHash values per center node over its in-neighbor set.
+/// Hash family: h_r(x) = (a_r * (x+1) + b_r) with odd multipliers drawn from
+/// `seed` (multiply-shift universal hashing). Empty sets get sentinel
+/// signatures that never collide.
+MinHashSignatures minhash_signatures(const Csr& g, int rows, std::uint64_t seed = 0xD1B54A32);
+
+/// Estimated Jaccard similarity of two nodes from their signatures: the
+/// fraction of matching slots.
+double estimate_jaccard(const MinHashSignatures& s, NodeId a, NodeId b);
+
+}  // namespace gnnbridge::core

@@ -1,0 +1,46 @@
+#include "core/locality/reorder_baselines.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace gnnbridge::core {
+
+using graph::Csr;
+using graph::NodeId;
+
+std::vector<NodeId> degree_order(const Csr& g) {
+  std::vector<NodeId> order(static_cast<std::size_t>(g.num_nodes));
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](NodeId a, NodeId b) { return g.degree(a) > g.degree(b); });
+  return order;
+}
+
+std::vector<NodeId> bfs_order(const Csr& g) {
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(g.num_nodes));
+  std::vector<bool> visited(static_cast<std::size_t>(g.num_nodes), false);
+  const std::vector<NodeId> seeds = degree_order(g);
+
+  std::deque<NodeId> queue;
+  for (NodeId seed : seeds) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    visited[static_cast<std::size_t>(seed)] = true;
+    queue.push_back(seed);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      for (NodeId u : g.neighbors(v)) {
+        if (!visited[static_cast<std::size_t>(u)]) {
+          visited[static_cast<std::size_t>(u)] = true;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace gnnbridge::core

@@ -1,0 +1,27 @@
+// Task-reordering baselines to compare against locality-aware scheduling.
+//
+// LAS pays a MinHash/LSH/merge analysis; these two classic reorderings are
+// the cheap alternatives a practitioner would try first:
+//   * degree ordering — tasks sorted by descending degree. Fixes some of
+//     the tail (heavy blocks dispatch first) but ignores which *data*
+//     tasks share.
+//   * BFS ordering — breadth-first traversal order; a locality heuristic
+//     that groups topologically close nodes, the core idea behind RCM
+//     bandwidth-reduction orderings.
+// bench_fig9_locality reports their hit rates alongside LAS.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace gnnbridge::core {
+
+/// Node order sorted by descending in-degree (stable: ties keep id order).
+std::vector<graph::NodeId> degree_order(const graph::Csr& g);
+
+/// BFS order over the (symmetric) graph starting from the highest-degree
+/// node of each component, components in discovery order.
+std::vector<graph::NodeId> bfs_order(const graph::Csr& g);
+
+}  // namespace gnnbridge::core

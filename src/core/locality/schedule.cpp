@@ -1,0 +1,45 @@
+#include "core/locality/schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gnnbridge::core {
+
+LasSchedule locality_aware_schedule(const Csr& g, const LasConfig& cfg) {
+  const int rows = cfg.lsh.bands * cfg.lsh.rows_per_band;
+  const MinHashSignatures sigs = minhash_signatures(g, rows, cfg.seed);
+  std::vector<CandidatePair> pairs = lsh_candidate_pairs(sigs, cfg.lsh);
+
+  LasSchedule out;
+  out.num_candidate_pairs = static_cast<int>(pairs.size());
+
+  const Clustering clustering = merge_pairs(g.num_nodes, std::move(pairs), sigs, cfg.cluster);
+  out.num_nontrivial_clusters = clustering.num_nontrivial();
+
+  // Lay out non-trivial clusters first (largest first, members in id
+  // order), then the remaining singletons in natural order. Natural order
+  // for singletons preserves whatever inherent locality the original node
+  // numbering had — important for already-clustered graphs.
+  std::vector<const std::vector<NodeId>*> nontrivial;
+  for (const auto& c : clustering.clusters) {
+    if (c.size() > 1) nontrivial.push_back(&c);
+  }
+  std::stable_sort(nontrivial.begin(), nontrivial.end(),
+                   [](const auto* a, const auto* b) { return a->size() > b->size(); });
+
+  out.order.reserve(static_cast<std::size_t>(g.num_nodes));
+  std::vector<bool> placed(static_cast<std::size_t>(g.num_nodes), false);
+  for (const auto* c : nontrivial) {
+    for (NodeId v : *c) {
+      out.order.push_back(v);
+      placed[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    if (!placed[static_cast<std::size_t>(v)]) out.order.push_back(v);
+  }
+  assert(static_cast<NodeId>(out.order.size()) == g.num_nodes);
+  return out;
+}
+
+}  // namespace gnnbridge::core

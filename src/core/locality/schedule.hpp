@@ -1,0 +1,40 @@
+// Locality-aware task scheduling (LAS): the end-to-end offline pass.
+//
+// Step 3 of paper §4.1.1: after clustering, tasks of nodes in the same
+// cluster are placed on *adjacent computing units* — in our simulator,
+// adjacent positions in the kernel's block launch order, which makes them
+// co-resident in the same scheduling wave and lets them share L2 lines.
+// The pass is offline: it depends only on the graph structure and its
+// result (a task permutation) is reused across every layer, epoch and run.
+#pragma once
+
+#include <vector>
+
+#include "core/locality/cluster.hpp"
+
+namespace gnnbridge::core {
+
+/// End-to-end LAS configuration.
+struct LasConfig {
+  LshConfig lsh;
+  ClusterConfig cluster;
+  std::uint64_t seed = 0xD1B54A32;
+};
+
+/// Result of the offline analysis.
+struct LasSchedule {
+  /// Task order: position i runs the task of center node `order[i]`.
+  std::vector<NodeId> order;
+  /// Diagnostics.
+  int num_candidate_pairs = 0;
+  int num_nontrivial_clusters = 0;
+};
+
+/// Runs MinHash -> LSH -> pair merging -> cluster-adjacent ordering on the
+/// center-keyed CSR `g`. The returned order is a permutation of
+/// [0, num_nodes): clusters are laid out contiguously (largest first, so
+/// high-reuse groups claim cache early in each wave), singletons follow in
+/// natural order.
+LasSchedule locality_aware_schedule(const Csr& g, const LasConfig& cfg = {});
+
+}  // namespace gnnbridge::core

@@ -1,0 +1,30 @@
+#include "core/spfetch/step_index.hpp"
+
+namespace gnnbridge::core {
+
+std::vector<NodeId> step_neighbor_index(const Csr& g, int step) {
+  std::vector<NodeId> out(static_cast<std::size_t>(g.num_nodes));
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    out[static_cast<std::size_t>(v)] = v;  // isolated nodes: self-fallback
+    const graph::EdgeId d = g.degree(v);
+    if (d > 0) {
+      const graph::EdgeId idx = g.row_ptr[v] + (static_cast<graph::EdgeId>(step) % d);
+      out[static_cast<std::size_t>(v)] = g.col_idx[static_cast<std::size_t>(idx)];
+    }
+  }
+  return out;
+}
+
+StepIndexSet build_step_indices(sim::SimContext& ctx, const Csr& g, int num_steps) {
+  StepIndexSet set;
+  set.index.reserve(static_cast<std::size_t>(num_steps));
+  set.buf.reserve(static_cast<std::size_t>(num_steps));
+  for (int t = 0; t < num_steps; ++t) {
+    set.index.push_back(step_neighbor_index(g, t));
+    set.buf.push_back(
+        ctx.mem().alloc("step_index", static_cast<std::uint64_t>(g.num_nodes) * 4));
+  }
+  return set;
+}
+
+}  // namespace gnnbridge::core

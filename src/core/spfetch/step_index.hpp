@@ -1,0 +1,35 @@
+// Sparse-fetch support: per-step neighbor index construction.
+//
+// GraphSAGE-LSTM feeds the t-th sampled neighbor of every center node to
+// the t-th LSTM cell. The baseline materializes that [N, F] neighbor
+// feature matrix with a gather kernel per step (Observation 4). Sparse
+// fetching instead hands the *indices* to the neural kernel
+// (kernels::sparse_fetch_gemm), which loads rows directly from the feature
+// matrix. This module builds those index vectors.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "sim/context.hpp"
+
+namespace gnnbridge::core {
+
+using graph::Csr;
+using graph::NodeId;
+
+/// Index of the `step`-th sampled neighbor of every center node
+/// (neighbors wrap around for low-degree nodes; isolated nodes fall back
+/// to their own id, matching the reference model).
+std::vector<NodeId> step_neighbor_index(const Csr& g, int step);
+
+/// All step indices for a `num_steps`-cell unrolled LSTM, plus one
+/// simulated device buffer per step.
+struct StepIndexSet {
+  std::vector<std::vector<NodeId>> index;  ///< [num_steps][N]
+  std::vector<sim::Buffer> buf;            ///< device copies
+};
+
+StepIndexSet build_step_indices(sim::SimContext& ctx, const Csr& g, int num_steps);
+
+}  // namespace gnnbridge::core

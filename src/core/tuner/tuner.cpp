@@ -1,0 +1,63 @@
+#include "core/tuner/tuner.hpp"
+
+#include <algorithm>
+
+namespace gnnbridge::core {
+
+TuneResult tune_graph_op(const Csr& g, const TuneObjective& measure, TuneConfig base,
+                         const TunerOptions& options) {
+  TuneResult result;
+
+  // Neutral grouping bound while searching lanes: the average degree
+  // rounded up to a multiple of 16.
+  const double avg = g.num_nodes > 0
+                         ? static_cast<double>(g.num_edges()) / static_cast<double>(g.num_nodes)
+                         : 0.0;
+  const EdgeId neutral_bound = std::max<EdgeId>(16, (static_cast<EdgeId>(avg) + 15) / 16 * 16);
+
+  auto probe = [&](const TuneConfig& cfg) {
+    const double cycles = measure(cfg);
+    result.history.push_back({cfg, cycles});
+    ++result.rounds;
+    if (result.best_cycles == 0.0 || cycles < result.best_cycles) {
+      result.best_cycles = cycles;
+      result.best = cfg;
+    }
+    return cycles;
+  };
+
+  // Phase 1: thread mapping.
+  for (int lanes : options.lane_candidates) {
+    TuneConfig cfg = base;
+    cfg.lanes = lanes;
+    cfg.group_bound = neutral_bound;
+    probe(cfg);
+  }
+  const int best_lanes = result.best.lanes;
+
+  // Phase 2: grouping bound, best lanes fixed.
+  const std::vector<EdgeId> bounds = candidate_group_bounds(g, options.max_bound_rounds);
+  for (EdgeId bound : bounds) {
+    if (bound == neutral_bound) continue;  // already measured
+    TuneConfig cfg = base;
+    cfg.lanes = best_lanes;
+    cfg.group_bound = bound;
+    probe(cfg);
+  }
+  // Also consider no grouping at all.
+  TuneConfig ungrouped = base;
+  ungrouped.lanes = best_lanes;
+  ungrouped.group_bound = 0;
+  probe(ungrouped);
+
+  // Phase 3: toggle the offline schedule on the winner — on graphs whose
+  // natural order is already clustered (or whose hubs cluster badly), the
+  // reorder can lose (paper: protein/ddi in Figure 9).
+  TuneConfig toggled = result.best;
+  toggled.use_las = !toggled.use_las;
+  probe(toggled);
+
+  return result;
+}
+
+}  // namespace gnnbridge::core

@@ -1,0 +1,137 @@
+// The optimized execution engine ("Ours" in Figure 7).
+//
+// Composes the four optimizations of Section 4 over the same kernels,
+// graphs and weights the baselines use:
+//   * locality-aware task scheduling — offline cluster-adjacent task order;
+//   * neighbor grouping — bounded tasks with atomic merge;
+//   * data-visible-range adapter + linear property — fused kernel
+//     pipelines selected by the fusion pass in core/fusion;
+//   * sparse fetching + redundancy bypassing — for GraphSAGE-LSTM's
+//     center-neighbor neural operations.
+// Every knob is independently switchable, which is what the ablation
+// benchmarks (Figures 8-11, Table 6) sweep.
+#pragma once
+
+#include "baselines/backend.hpp"
+#include "core/balance/neighbor_grouping.hpp"
+#include "core/locality/schedule.hpp"
+#include "models/gcn_grad.hpp"
+
+namespace gnnbridge::engine {
+
+using baselines::Backend;
+using baselines::Dataset;
+using baselines::ExecMode;
+using baselines::GatRun;
+using baselines::GcnRun;
+using baselines::RunResult;
+using baselines::SageLstmRun;
+using graph::EdgeId;
+using graph::NodeId;
+
+/// GraphSAGE-LSTM optimization levels (Figure 11's three bars).
+enum class SageOptLevel {
+  kBase,              ///< expansion + per-step transformation (DGL-like)
+  kSparseFetch,       ///< gather folded into the transform's loads
+  kSparseFetchBypass, ///< + transformation hoisted out of the step loop
+};
+
+/// Engine configuration. Defaults are the full optimization stack.
+struct EngineConfig {
+  /// SIMD lanes per feature row (the tunable thread mapping).
+  int lanes = 32;
+  /// Neighbor grouping bound; 0 = heuristic (average degree rounded up to
+  /// a multiple of 16).
+  EdgeId group_bound = 0;
+  bool use_neighbor_grouping = true;
+  bool use_las = true;
+  /// Data-visible-range adapter (kernel fusion).
+  bool use_adapter = true;
+  /// Linear-property postponement of the softmax division.
+  bool use_linear = true;
+  SageOptLevel sage_level = SageOptLevel::kSparseFetchBypass;
+  /// Precomputed LAS order (offline result reused across runs); when null
+  /// and use_las is set, the engine computes it on the fly.
+  const std::vector<NodeId>* las_order = nullptr;
+  /// Run the online tuner per (graph, feature length) before executing:
+  /// lanes and grouping bound come from sampled probes instead of the
+  /// static fields above (paper §4.4). The tuned configuration is cached
+  /// per graph.
+  bool auto_tune = false;
+};
+
+class OptimizedEngine final : public Backend {
+ public:
+  explicit OptimizedEngine(EngineConfig cfg = {}) : cfg_(cfg) {}
+
+  std::string_view name() const override { return "Ours"; }
+  bool supports(models::ModelKind) const override { return true; }
+
+  RunResult run_gcn(const Dataset& data, const GcnRun& run, ExecMode mode,
+                    const sim::DeviceSpec& spec) override;
+  RunResult run_gat(const Dataset& data, const GatRun& run, ExecMode mode,
+                    const sim::DeviceSpec& spec) override;
+  RunResult run_sage_lstm(const Dataset& data, const SageLstmRun& run, ExecMode mode,
+                          const sim::DeviceSpec& spec) override;
+
+  bool supports_pool() const override { return true; }
+  RunResult run_sage_pool(const Dataset& data, const baselines::SagePoolRun& run, ExecMode mode,
+                          const sim::DeviceSpec& spec) override;
+
+  bool supports_multihead() const override { return true; }
+  RunResult run_multihead_gat(const Dataset& data, const baselines::MultiHeadGatRun& run,
+                              ExecMode mode, const sim::DeviceSpec& spec) override;
+
+  const EngineConfig& config() const { return cfg_; }
+
+  /// Outcome of one training step.
+  struct TrainResult {
+    RunResult run;
+    float loss = 0.0f;
+  };
+
+  /// One simulated GCN training step: forward (with activation caching),
+  /// MSE loss against `target`, backward, and an SGD update of `params`
+  /// (in place, ExecMode::kFull only). The backward aggregation reuses the
+  /// forward kernels — the symmetric GCN normalization is self-adjoint —
+  /// so LAS/NG/fusion apply to training unchanged. `grads_out`, when
+  /// non-null, receives the computed gradients (kFull only).
+  TrainResult train_gcn_step(const Dataset& data, const models::GcnConfig& cfg,
+                             models::GcnParams& params, const models::Matrix& x,
+                             const models::Matrix& target, float lr, ExecMode mode,
+                             const sim::DeviceSpec& spec,
+                             models::GcnGrads* grads_out = nullptr);
+
+  /// The task list this configuration produces for a graph — the
+  /// composition of neighbor grouping and the LAS order. Exposed for the
+  /// kernel-level benchmarks.
+  core::GroupedTasks build_tasks(const graph::Csr& csr) const;
+
+  /// Effective grouping bound for a graph under this configuration.
+  EdgeId effective_bound(const graph::Csr& csr) const;
+
+ private:
+  EngineConfig cfg_;
+  // Cached offline LAS schedule (keyed by graph identity).
+  mutable std::vector<NodeId> cached_order_;
+  mutable const void* cached_graph_ = nullptr;
+  // Cached auto-tune result (keyed by graph identity + feature length).
+  mutable const void* tuned_graph_ = nullptr;
+  mutable tensor::Index tuned_feat_ = -1;
+  mutable int tuned_lanes_ = 32;
+  mutable EdgeId tuned_bound_ = 0;
+  mutable bool tuned_las_ = true;
+
+  const std::vector<NodeId>* las_order_for(const graph::Csr& csr) const;
+
+  /// Lanes per feature row after optional auto-tuning.
+  int effective_lanes(const graph::Csr& csr) const;
+
+  /// When auto_tune is set, runs (or recalls) the tuner for
+  /// (csr, feat_len) and overwrites the schedule knobs used by
+  /// build_tasks/kernels.
+  void maybe_tune(const graph::Csr& csr, tensor::Index feat_len,
+                  const sim::DeviceSpec& spec) const;
+};
+
+}  // namespace gnnbridge::engine

@@ -1,0 +1,75 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace gnnbridge::graph {
+
+namespace {
+Csr build_keyed(const Coo& coo, const std::vector<NodeId>& key, const std::vector<NodeId>& val) {
+  Csr out;
+  out.num_nodes = coo.num_nodes;
+  out.row_ptr.assign(static_cast<std::size_t>(coo.num_nodes) + 1, 0);
+  for (NodeId k : key) out.row_ptr[static_cast<std::size_t>(k) + 1]++;
+  for (std::size_t i = 1; i < out.row_ptr.size(); ++i) out.row_ptr[i] += out.row_ptr[i - 1];
+
+  out.col_idx.resize(key.size());
+  std::vector<EdgeId> cursor(out.row_ptr.begin(), out.row_ptr.end() - 1);
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    out.col_idx[static_cast<std::size_t>(cursor[key[i]]++)] = val[i];
+  }
+  // Sort each row so neighbor lists are canonical (tests and MinHash rely
+  // on set semantics).
+  for (NodeId v = 0; v < out.num_nodes; ++v) {
+    std::sort(out.col_idx.begin() + out.row_ptr[v], out.col_idx.begin() + out.row_ptr[v + 1]);
+  }
+  return out;
+}
+}  // namespace
+
+Csr csr_from_coo(const Coo& coo) { return build_keyed(coo, coo.dst, coo.src); }
+
+Csr csc_from_coo(const Coo& coo) { return build_keyed(coo, coo.src, coo.dst); }
+
+Coo coo_from_csr(const Csr& csr) {
+  Coo out;
+  out.num_nodes = csr.num_nodes;
+  out.src.reserve(csr.col_idx.size());
+  out.dst.reserve(csr.col_idx.size());
+  for (NodeId v = 0; v < csr.num_nodes; ++v) {
+    for (NodeId u : csr.neighbors(v)) {
+      out.src.push_back(u);
+      out.dst.push_back(v);
+    }
+  }
+  return out;
+}
+
+bool valid(const Csr& g) {
+  if (g.row_ptr.size() != static_cast<std::size_t>(g.num_nodes) + 1) return false;
+  if (g.row_ptr.front() != 0) return false;
+  if (g.row_ptr.back() != g.num_edges()) return false;
+  for (std::size_t i = 1; i < g.row_ptr.size(); ++i) {
+    if (g.row_ptr[i] < g.row_ptr[i - 1]) return false;
+  }
+  for (NodeId c : g.col_idx) {
+    if (c < 0 || c >= g.num_nodes) return false;
+  }
+  return true;
+}
+
+Csr permute_rows(const Csr& g, std::span<const NodeId> perm) {
+  assert(static_cast<NodeId>(perm.size()) == g.num_nodes);
+  Csr out;
+  out.num_nodes = g.num_nodes;
+  out.row_ptr.reserve(g.row_ptr.size());
+  out.row_ptr.push_back(0);
+  out.col_idx.reserve(g.col_idx.size());
+  for (NodeId r = 0; r < g.num_nodes; ++r) {
+    const auto nbrs = g.neighbors(perm[static_cast<std::size_t>(r)]);
+    out.col_idx.insert(out.col_idx.end(), nbrs.begin(), nbrs.end());
+    out.row_ptr.push_back(static_cast<EdgeId>(out.col_idx.size()));
+  }
+  return out;
+}
+
+}  // namespace gnnbridge::graph

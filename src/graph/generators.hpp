@@ -1,0 +1,82 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on eight OGB datasets we cannot redistribute here, so
+// `datasets.hpp` rebuilds each one synthetically at reduced scale. These are
+// the underlying generator families:
+//
+//  * `chung_lu`    — expected-degree model over an explicit power-law degree
+//                    sequence. Gives direct control over avg/max degree and
+//                    degree variance, the three quantities Table 3 reports
+//                    and the load-imbalance experiments depend on.
+//  * `planted_partition` — community-structured graphs where neighbor sets
+//                    overlap heavily inside a community. Models the
+//                    "inherently clustered" protein/ddi datasets for which
+//                    the paper reports that locality-aware scheduling cannot
+//                    help (Figure 9).
+//  * `erdos_renyi` — uniform random edges, the no-structure control.
+//
+// All generators are deterministic given the Rng and emit symmetric
+// (undirected) edge lists, matching the OGB graphs used by the paper.
+#pragma once
+
+#include <vector>
+
+#include "graph/coo.hpp"
+#include "tensor/rng.hpp"
+
+namespace gnnbridge::graph {
+
+using tensor::Rng;
+
+/// Walker alias-method sampler over a fixed discrete distribution.
+/// O(n) setup, O(1) per sample; used to draw graph endpoints proportional
+/// to an expected-degree sequence.
+class DiscreteSampler {
+ public:
+  /// Builds the alias table for (unnormalized, nonnegative) `weights`.
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its weight.
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+/// Builds a power-law expected-degree sequence of length `n` with mean
+/// `avg_degree`, exponent-controlled skew, and a hard cap `max_degree`:
+///   d_i = clamp(c * (i+1)^{-alpha}, 1, max_degree), c chosen so mean(d) ==
+///   avg_degree (via bisection on c).
+std::vector<double> power_law_degrees(NodeId n, double avg_degree, double alpha,
+                                      double max_degree);
+
+/// Chung–Lu expected-degree graph: draws round(n * avg/2) undirected edges
+/// with both endpoints sampled proportional to `degrees`, then symmetrizes
+/// and deduplicates. The realized max in-degree tracks max(degrees).
+Coo chung_lu(std::span<const double> degrees, Rng& rng);
+
+/// Planted-partition (stochastic block) graph: `n` nodes in communities of
+/// `community_size`; each node draws ~avg_degree neighbors, a fraction
+/// `frac_within` of them inside its own community. High `frac_within` with
+/// small communities yields strongly overlapping neighbor sets (a
+/// clustered graph).
+///
+/// When `anchors > 0`, in-community edges target only the community's
+/// first `anchors` members instead of uniform members. This models the
+/// co-citation/hub structure of real citation and co-purchase graphs:
+/// community members share their anchor neighbors, giving the pairwise
+/// Jaccard similarity that locality-aware scheduling mines — without
+/// changing the degree distribution much.
+Coo planted_partition(NodeId n, NodeId community_size, double avg_degree,
+                      double frac_within, Rng& rng, NodeId anchors = 0);
+
+/// Unions two edge lists over the same node count (canonicalized result).
+Coo merge_edges(const Coo& a, const Coo& b);
+
+/// G(n, E) uniform random graph with ~n*avg_degree/2 undirected edges.
+Coo erdos_renyi(NodeId n, double avg_degree, Rng& rng);
+
+}  // namespace gnnbridge::graph

@@ -1,0 +1,118 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace gnnbridge::graph {
+
+namespace {
+constexpr std::uint32_t kCsrMagic = 0x47425243;  // "CRBG"
+constexpr std::uint32_t kMatMagic = 0x4742544D;  // "MTBG"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  write_pod(out, static_cast<std::uint64_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool read_vec(std::istream& in, std::vector<T>& v) {
+  std::uint64_t n = 0;
+  if (!read_pod(in, n)) return false;
+  // 1 GiB sanity bound against corrupt headers.
+  if (n > (1ull << 30) / sizeof(T)) return false;
+  v.resize(n);
+  in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
+  return static_cast<bool>(in);
+}
+}  // namespace
+
+bool save_csr(const Csr& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_pod(out, kCsrMagic);
+  write_pod(out, kVersion);
+  write_pod(out, g.num_nodes);
+  write_vec(out, g.row_ptr);
+  write_vec(out, g.col_idx);
+  return static_cast<bool>(out);
+}
+
+bool load_csr(Csr& g, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::uint32_t magic = 0, version = 0;
+  if (!read_pod(in, magic) || magic != kCsrMagic) return false;
+  if (!read_pod(in, version) || version != kVersion) return false;
+  Csr loaded;
+  if (!read_pod(in, loaded.num_nodes)) return false;
+  if (!read_vec(in, loaded.row_ptr)) return false;
+  if (!read_vec(in, loaded.col_idx)) return false;
+  if (!valid(loaded)) return false;
+  g = std::move(loaded);
+  return true;
+}
+
+bool save_matrix(const tensor::Matrix& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  write_pod(out, kMatMagic);
+  write_pod(out, kVersion);
+  write_pod(out, m.rows());
+  write_pod(out, m.cols());
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size()) * 4);
+  return static_cast<bool>(out);
+}
+
+bool load_matrix(tensor::Matrix& m, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::uint32_t magic = 0, version = 0;
+  if (!read_pod(in, magic) || magic != kMatMagic) return false;
+  if (!read_pod(in, version) || version != kVersion) return false;
+  tensor::Index rows = 0, cols = 0;
+  if (!read_pod(in, rows) || !read_pod(in, cols)) return false;
+  if (rows < 0 || cols < 0 || rows * cols > (1ll << 28)) return false;
+  tensor::Matrix loaded(rows, cols);
+  in.read(reinterpret_cast<char*>(loaded.data()),
+          static_cast<std::streamsize>(loaded.size()) * 4);
+  if (!in) return false;
+  m = std::move(loaded);
+  return true;
+}
+
+bool read_edge_list(std::istream& in, Coo& coo) {
+  coo = Coo{};
+  NodeId max_id = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    long long u = 0, v = 0;
+    if (!(ls >> u >> v)) return false;
+    if (u < 0 || v < 0) return false;
+    coo.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    max_id = std::max({max_id, static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  coo.num_nodes = max_id + 1;
+  return true;
+}
+
+}  // namespace gnnbridge::graph

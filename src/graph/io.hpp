@@ -1,0 +1,34 @@
+// Binary serialization for graphs and feature matrices.
+//
+// Lets users persist generated datasets (or import their own edge lists)
+// instead of regenerating per run. Format: little-endian, magic-tagged,
+// versioned; see io.cpp for the layout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr.hpp"
+#include "tensor/matrix.hpp"
+
+namespace gnnbridge::graph {
+
+/// Writes `g` to `path`. Returns false on I/O failure.
+bool save_csr(const Csr& g, const std::string& path);
+
+/// Reads a CSR written by `save_csr`. Returns false on I/O failure,
+/// bad magic/version, or a structurally invalid graph.
+bool load_csr(Csr& g, const std::string& path);
+
+/// Writes a dense row-major float matrix.
+bool save_matrix(const tensor::Matrix& m, const std::string& path);
+
+/// Reads a matrix written by `save_matrix`.
+bool load_matrix(tensor::Matrix& m, const std::string& path);
+
+/// Parses a whitespace-separated "src dst" edge-list text stream into a
+/// COO (one edge per line; lines starting with '#' or '%' are comments).
+/// Node count is 1 + the maximum id seen. Returns false on parse errors.
+bool read_edge_list(std::istream& in, Coo& coo);
+
+}  // namespace gnnbridge::graph

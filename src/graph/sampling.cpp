@@ -1,0 +1,56 @@
+#include "graph/sampling.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace gnnbridge::graph {
+
+SampledBatch sample_neighbors(const Csr& g, std::span<const NodeId> centers, int fanout,
+                              tensor::Rng& rng) {
+  assert(fanout > 0);
+  SampledBatch batch;
+  batch.centers.assign(centers.begin(), centers.end());
+  batch.csr.num_nodes = static_cast<NodeId>(centers.size());
+  batch.csr.row_ptr.reserve(centers.size() + 1);
+  batch.csr.row_ptr.push_back(0);
+  batch.csr.col_idx.reserve(centers.size() * static_cast<std::size_t>(fanout));
+
+  std::vector<NodeId> pool;
+  for (NodeId v : centers) {
+    const auto nbrs = g.neighbors(v);
+    if (static_cast<int>(nbrs.size()) <= fanout) {
+      batch.csr.col_idx.insert(batch.csr.col_idx.end(), nbrs.begin(), nbrs.end());
+    } else {
+      // Partial Fisher-Yates for `fanout` draws without replacement.
+      pool.assign(nbrs.begin(), nbrs.end());
+      for (int i = 0; i < fanout; ++i) {
+        const std::size_t j =
+            static_cast<std::size_t>(i) + rng.below(pool.size() - static_cast<std::size_t>(i));
+        std::swap(pool[static_cast<std::size_t>(i)], pool[j]);
+      }
+      batch.csr.col_idx.insert(batch.csr.col_idx.end(), pool.begin(), pool.begin() + fanout);
+      std::sort(batch.csr.col_idx.end() - fanout, batch.csr.col_idx.end());
+    }
+    batch.csr.row_ptr.push_back(static_cast<EdgeId>(batch.csr.col_idx.size()));
+  }
+  return batch;
+}
+
+std::vector<NodeId> sample_batch_centers(NodeId num_nodes, int batch_size, tensor::Rng& rng) {
+  assert(batch_size > 0);
+  const int n = std::min<int>(batch_size, num_nodes);
+  // Reservoir-free partial shuffle over the id range.
+  std::vector<NodeId> ids(static_cast<std::size_t>(num_nodes));
+  std::iota(ids.begin(), ids.end(), NodeId{0});
+  for (int i = 0; i < n; ++i) {
+    const std::size_t j =
+        static_cast<std::size_t>(i) + rng.below(ids.size() - static_cast<std::size_t>(i));
+    std::swap(ids[static_cast<std::size_t>(i)], ids[j]);
+  }
+  ids.resize(static_cast<std::size_t>(n));
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace gnnbridge::graph

@@ -1,0 +1,37 @@
+// Neighbor sampling (the GraphSAGE minibatch workload).
+//
+// The paper's offline/online analysis (§5.2) points out that when "graph
+// [structure] dynamically changes at every iteration when graph sampling
+// is applied", the offline locality-aware schedule cannot be reused — only
+// the online optimizations (neighbor grouping, fusion) still apply. This
+// module provides that workload: uniform k-neighbor sampling that builds a
+// fresh per-iteration subgraph in CSR form.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "tensor/rng.hpp"
+
+namespace gnnbridge::graph {
+
+/// A sampled minibatch subgraph. Rows are the minibatch's center nodes;
+/// columns index the *original* graph's node ids (features are fetched
+/// from the full feature matrix, as GraphSAGE does).
+struct SampledBatch {
+  /// The center node ids this batch aggregates for, in row order.
+  std::vector<NodeId> centers;
+  /// CSR over the sampled neighbors: row i holds the <= fanout sampled
+  /// in-neighbors of centers[i], as original-graph ids.
+  Csr csr;
+};
+
+/// Uniformly samples `fanout` in-neighbors (without replacement; all of
+/// them when degree <= fanout) for each node of `centers`.
+SampledBatch sample_neighbors(const Csr& g, std::span<const NodeId> centers, int fanout,
+                              tensor::Rng& rng);
+
+/// Draws `batch_size` distinct center nodes uniformly from [0, num_nodes).
+std::vector<NodeId> sample_batch_centers(NodeId num_nodes, int batch_size, tensor::Rng& rng);
+
+}  // namespace gnnbridge::graph

@@ -1,0 +1,62 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+namespace gnnbridge::graph {
+
+DegreeStats degree_stats(const Csr& g) {
+  DegreeStats s;
+  s.num_nodes = g.num_nodes;
+  s.num_edges = g.num_edges();
+  if (g.num_nodes == 0) return s;
+
+  double sum = 0.0, sumsq = 0.0;
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    const double d = static_cast<double>(g.degree(v));
+    sum += d;
+    sumsq += d * d;
+    s.max_degree = std::max<EdgeId>(s.max_degree, g.degree(v));
+  }
+  const double n = static_cast<double>(g.num_nodes);
+  s.avg_degree = sum / n;
+  s.degree_variance = sumsq / n - s.avg_degree * s.avg_degree;
+  s.density = static_cast<double>(s.num_edges) / (n * n);
+  return s;
+}
+
+double jaccard(std::span<const NodeId> a, std::span<const NodeId> b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  const std::size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double sampled_neighbor_jaccard(const Csr& g, int samples, tensor::Rng& rng) {
+  std::vector<NodeId> nonzero;
+  nonzero.reserve(static_cast<std::size_t>(g.num_nodes));
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    if (g.degree(v) > 0) nonzero.push_back(v);
+  }
+  if (nonzero.size() < 2 || samples <= 0) return 0.0;
+
+  double acc = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    const NodeId a = nonzero[rng.below(nonzero.size())];
+    const NodeId b = nonzero[rng.below(nonzero.size())];
+    acc += jaccard(g.neighbors(a), g.neighbors(b));
+  }
+  return acc / samples;
+}
+
+}  // namespace gnnbridge::graph

@@ -1,0 +1,132 @@
+#include "models/gat_grad.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "tensor/activations.hpp"
+#include "tensor/ops.hpp"
+
+namespace gnnbridge::models {
+
+GatLayerCache gat_layer_forward_cached(const Csr& g, const Matrix& h, const Matrix& weight,
+                                       const Matrix& att_l, const Matrix& att_r,
+                                       float leaky_alpha) {
+  GatLayerCache c;
+  c.input = h;
+  c.transformed = tensor::gemm(h, weight);
+  const Index feat = c.transformed.cols();
+  c.a_src = Matrix(g.num_nodes, 1);
+  c.a_dst = Matrix(g.num_nodes, 1);
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    float sl = 0.0f, sr = 0.0f;
+    auto row = c.transformed.row(v);
+    for (Index f = 0; f < feat; ++f) {
+      sl += row[f] * att_l(f, 0);
+      sr += row[f] * att_r(f, 0);
+    }
+    c.a_src(v, 0) = sl;
+    c.a_dst(v, 0) = sr;
+  }
+
+  c.raw.resize(static_cast<std::size_t>(g.num_edges()));
+  c.alpha.resize(static_cast<std::size_t>(g.num_edges()));
+  c.output = Matrix(g.num_nodes, feat);
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    const EdgeId begin = g.row_ptr[v];
+    const EdgeId end = g.row_ptr[static_cast<std::size_t>(v) + 1];
+    float mx = -std::numeric_limits<float>::infinity();
+    for (EdgeId i = begin; i < end; ++i) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(i)];
+      const float raw = c.a_src(u, 0) + c.a_dst(v, 0);
+      c.raw[static_cast<std::size_t>(i)] = raw;
+      mx = std::max(mx, tensor::leaky_relu_scalar(raw, leaky_alpha));
+    }
+    float sum = 0.0f;
+    for (EdgeId i = begin; i < end; ++i) {
+      const float s = tensor::leaky_relu_scalar(c.raw[static_cast<std::size_t>(i)], leaky_alpha);
+      const float e = std::exp(s - mx);
+      c.alpha[static_cast<std::size_t>(i)] = e;
+      sum += e;
+    }
+    if (sum > 0.0f) {
+      const float inv = 1.0f / sum;
+      for (EdgeId i = begin; i < end; ++i) c.alpha[static_cast<std::size_t>(i)] *= inv;
+    }
+    auto out = c.output.row(v);
+    for (EdgeId i = begin; i < end; ++i) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(i)];
+      const float a = c.alpha[static_cast<std::size_t>(i)];
+      auto trow = c.transformed.row(u);
+      for (Index f = 0; f < feat; ++f) out[f] += a * trow[f];
+    }
+  }
+  return c;
+}
+
+GatLayerGrads gat_layer_backward(const Csr& g, const Matrix& weight, const Matrix& att_l,
+                                 const Matrix& att_r, const GatLayerCache& cache,
+                                 const Matrix& d_out, float leaky_alpha) {
+  const Index feat = cache.transformed.cols();
+  assert(d_out.rows() == g.num_nodes && d_out.cols() == feat);
+
+  Matrix d_t(g.num_nodes, feat);
+  Matrix d_a_src(g.num_nodes, 1);
+  Matrix d_a_dst(g.num_nodes, 1);
+
+  // Per-center softmax backward; accumulate into d_t (aggregation path)
+  // and the attention scalars (score path).
+  std::vector<float> d_alpha(static_cast<std::size_t>(g.num_edges()));
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    const EdgeId begin = g.row_ptr[v];
+    const EdgeId end = g.row_ptr[static_cast<std::size_t>(v) + 1];
+    auto dov = d_out.row(v);
+    // d_alpha_i = <d_out[v], t[u]>; aggregation also feeds d_t[u].
+    float dot_sum = 0.0f;  // sum_j alpha_j * d_alpha_j (softmax jacobian)
+    for (EdgeId i = begin; i < end; ++i) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(i)];
+      const float a = cache.alpha[static_cast<std::size_t>(i)];
+      auto trow = cache.transformed.row(u);
+      auto dtu = d_t.row(u);
+      float da = 0.0f;
+      for (Index f = 0; f < feat; ++f) {
+        da += dov[f] * trow[f];
+        dtu[f] += a * dov[f];
+      }
+      d_alpha[static_cast<std::size_t>(i)] = da;
+      dot_sum += a * da;
+    }
+    for (EdgeId i = begin; i < end; ++i) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(i)];
+      const float a = cache.alpha[static_cast<std::size_t>(i)];
+      const float d_s = a * (d_alpha[static_cast<std::size_t>(i)] - dot_sum);
+      const float raw = cache.raw[static_cast<std::size_t>(i)];
+      const float d_raw = d_s * (raw >= 0.0f ? 1.0f : leaky_alpha);
+      d_a_src(u, 0) += d_raw;
+      d_a_dst(v, 0) += d_raw;
+    }
+  }
+
+  // Row-dot backward: a_src = t . att_l, a_dst = t . att_r.
+  GatLayerGrads grads;
+  grads.att_l = Matrix(feat, 1);
+  grads.att_r = Matrix(feat, 1);
+  for (NodeId n = 0; n < g.num_nodes; ++n) {
+    auto trow = cache.transformed.row(n);
+    auto dtn = d_t.row(n);
+    const float dsrc = d_a_src(n, 0);
+    const float ddst = d_a_dst(n, 0);
+    for (Index f = 0; f < feat; ++f) {
+      dtn[f] += dsrc * att_l(f, 0) + ddst * att_r(f, 0);
+      grads.att_l(f, 0) += dsrc * trow[f];
+      grads.att_r(f, 0) += ddst * trow[f];
+    }
+  }
+
+  // Transform backward.
+  grads.weight = tensor::gemm(tensor::transpose(cache.input), d_t);
+  grads.input = tensor::gemm_nt(d_t, weight);
+  return grads;
+}
+
+}  // namespace gnnbridge::models

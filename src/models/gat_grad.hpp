@@ -1,0 +1,51 @@
+// GAT layer backward pass — host reference.
+//
+// The attention layer's gradient flows through the softmax over each
+// center's incoming edges, the LeakyReLU on raw scores, the two attention
+// row-dots, and the feature transform. Notably, the gradient w.r.t. the
+// *source* features aggregates over each node's OUT-edges — the reverse
+// traversal — which is why training systems keep both CSR orientations
+// (our Dataset carries csr and csc).
+//
+// Forward (single head, one layer; Equation 2 of the paper):
+//   t      = h W                       [N, F]
+//   a_src  = t . att_l ; a_dst = t . att_r        [N]
+//   raw_uv = a_src[u] + a_dst[v]       per edge u->v
+//   s_uv   = leaky_relu(raw_uv)
+//   alpha  = softmax over v's incoming edges of s
+//   out[v] = sum_u alpha_uv * t[u]
+#pragma once
+
+#include "models/common.hpp"
+
+namespace gnnbridge::models {
+
+/// Everything the backward pass needs from the forward pass.
+struct GatLayerCache {
+  Matrix input;          ///< h, [N, Fin]
+  Matrix transformed;    ///< t = h W, [N, F]
+  Matrix a_src, a_dst;   ///< [N, 1] attention scalars
+  std::vector<float> raw;    ///< pre-LeakyReLU scores per CSR edge slot
+  std::vector<float> alpha;  ///< softmax weights per CSR edge slot
+  Matrix output;         ///< [N, F]
+};
+
+/// Per-layer parameter gradients.
+struct GatLayerGrads {
+  Matrix weight;  ///< [Fin, F]
+  Matrix att_l;   ///< [F, 1]
+  Matrix att_r;   ///< [F, 1]
+  Matrix input;   ///< [N, Fin]
+};
+
+/// Forward pass of one GAT layer with caching.
+GatLayerCache gat_layer_forward_cached(const Csr& g, const Matrix& h, const Matrix& weight,
+                                       const Matrix& att_l, const Matrix& att_r,
+                                       float leaky_alpha = 0.2f);
+
+/// Backward pass from `d_out` (gradient w.r.t. the layer output).
+GatLayerGrads gat_layer_backward(const Csr& g, const Matrix& weight, const Matrix& att_l,
+                                 const Matrix& att_r, const GatLayerCache& cache,
+                                 const Matrix& d_out, float leaky_alpha = 0.2f);
+
+}  // namespace gnnbridge::models

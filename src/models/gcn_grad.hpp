@@ -1,0 +1,59 @@
+// GCN training: forward with caching, backward, and SGD — host reference.
+//
+// The paper measures forward passes, but motivates the work with training
+// ("each run may involve thousands of epochs"); a usable library needs the
+// backward pass. For the symmetric GCN normalization the adjacency is
+// self-adjoint (A^T = A), so the backward graph operation is the *same*
+// aggregation kernel — every scheduling/fusion optimization applies to
+// training unchanged. Loss: mean squared error against a target matrix.
+//
+//   forward:  h_{l+1} = act(A (h_l W_l) + b_l)   (act = ReLU except last)
+//   backward: d_pre = d_out ⊙ act'(pre)
+//             d_b   = colsum(d_pre)
+//             d_t   = A d_pre                      (aggregation again)
+//             d_W   = h_l^T d_t
+//             d_h_l = d_t W_l^T
+#pragma once
+
+#include "models/common.hpp"
+
+namespace gnnbridge::models {
+
+/// Activations cached by the forward pass for the backward pass.
+struct GcnForwardCache {
+  /// inputs[l] = h_l (inputs[0] is x); inputs.back() is the model output.
+  std::vector<Matrix> inputs;
+  /// transformed[l] = h_l W_l.
+  std::vector<Matrix> transformed;
+  /// pre_act[l] = A (h_l W_l) + b_l (before the activation).
+  std::vector<Matrix> pre_act;
+};
+
+/// Parameter gradients (same shapes as GcnParams).
+struct GcnGrads {
+  std::vector<Matrix> weight;
+  std::vector<Matrix> bias;
+  /// Gradient w.r.t. the input features.
+  Matrix input;
+};
+
+/// Forward pass that caches everything backward needs. The returned
+/// cache's `inputs.back()` is the model output (identical to
+/// `gcn_forward_ref`).
+GcnForwardCache gcn_forward_cached(const Csr& g, const Matrix& x, const GcnConfig& cfg,
+                                   const GcnParams& params);
+
+/// 0.5 * mean((out - target)^2) over all elements.
+float mse_loss(const Matrix& out, const Matrix& target);
+
+/// d loss / d out for the MSE above: (out - target) / N_elements.
+Matrix mse_loss_grad(const Matrix& out, const Matrix& target);
+
+/// Full backward pass from `d_out` (gradient w.r.t. the model output).
+GcnGrads gcn_backward(const Csr& g, const GcnConfig& cfg, const GcnParams& params,
+                      const GcnForwardCache& cache, const Matrix& d_out);
+
+/// In-place SGD step: params -= lr * grads.
+void sgd_step(GcnParams& params, const GcnGrads& grads, float lr);
+
+}  // namespace gnnbridge::models

@@ -1,0 +1,195 @@
+#include "models/layers.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "tensor/activations.hpp"
+#include "tensor/ops.hpp"
+
+namespace gnnbridge::models {
+
+namespace {
+/// Shared weighted-sum skeleton.
+Matrix weighted_sum(const Csr& g, const Matrix& h, std::span<const float> w) {
+  assert(static_cast<EdgeId>(w.size()) == g.num_edges());
+  Matrix out(g.num_nodes, h.cols());
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    auto orow = out.row(v);
+    for (EdgeId e = g.row_ptr[v]; e < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++e) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(e)];
+      const float we = w[static_cast<std::size_t>(e)];
+      auto hrow = h.row(u);
+      for (Index f = 0; f < h.cols(); ++f) orow[f] += we * hrow[f];
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Matrix layer_sum(const Csr& g, const Matrix& h, std::span<const float> edge_weight) {
+  return weighted_sum(g, h, edge_weight);
+}
+
+Matrix layer_mean(const Csr& g, const Matrix& h, std::span<const float> edge_weight) {
+  Matrix out = weighted_sum(g, h, edge_weight);
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    const EdgeId d = g.degree(v);
+    if (d == 0) continue;
+    const float inv = 1.0f / static_cast<float>(d);
+    for (float& x : out.row(v)) x *= inv;
+  }
+  return out;
+}
+
+Matrix layer_pooling(const Csr& g, const Matrix& h, const Matrix& w,
+                     std::span<const float> edge_weight) {
+  const Matrix transformed = tensor::relu(tensor::gemm(h, w));
+  Matrix out(g.num_nodes, w.cols());
+  out.fill(-std::numeric_limits<float>::infinity());
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    auto orow = out.row(v);
+    for (EdgeId e = g.row_ptr[v]; e < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++e) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(e)];
+      const float we = edge_weight[static_cast<std::size_t>(e)];
+      auto trow = transformed.row(u);
+      for (Index f = 0; f < w.cols(); ++f) orow[f] = std::max(orow[f], trow[f] * we);
+    }
+    if (g.degree(v) == 0) {
+      for (float& x : orow) x = 0.0f;
+    }
+  }
+  return out;
+}
+
+Matrix layer_mlp(const Csr& g, const Matrix& h, const Matrix& w1, const Matrix& w2,
+                 std::span<const float> edge_weight) {
+  Matrix agg = weighted_sum(g, h, edge_weight);
+  Matrix hidden = tensor::relu(tensor::gemm(agg, w1));
+  return tensor::gemm(hidden, w2);
+}
+
+Matrix layer_softmax_aggr(const Csr& g, const Matrix& h, std::span<const float> edge_weight) {
+  std::vector<float> norm(edge_weight.begin(), edge_weight.end());
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    const EdgeId begin = g.row_ptr[v];
+    const EdgeId end = g.row_ptr[static_cast<std::size_t>(v) + 1];
+    if (begin == end) continue;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (EdgeId e = begin; e < end; ++e) mx = std::max(mx, norm[static_cast<std::size_t>(e)]);
+    float sum = 0.0f;
+    for (EdgeId e = begin; e < end; ++e) {
+      norm[static_cast<std::size_t>(e)] = std::exp(norm[static_cast<std::size_t>(e)] - mx);
+      sum += norm[static_cast<std::size_t>(e)];
+    }
+    const float inv = 1.0f / sum;
+    for (EdgeId e = begin; e < end; ++e) norm[static_cast<std::size_t>(e)] *= inv;
+  }
+  return weighted_sum(g, h, norm);
+}
+
+std::vector<float> edge_const(const Csr& g) {
+  return std::vector<float>(static_cast<std::size_t>(g.num_edges()), 1.0f);
+}
+
+std::vector<float> edge_gcn(const Csr& g) { return gcn_edge_norm(g); }
+
+std::vector<float> edge_gat(const Csr& g, const Matrix& feat_transformed, const Matrix& att_l,
+                            const Matrix& att_r, float leaky_alpha) {
+  assert(feat_transformed.rows() == g.num_nodes);
+  std::vector<float> al(static_cast<std::size_t>(g.num_nodes));
+  std::vector<float> ar(static_cast<std::size_t>(g.num_nodes));
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    float sl = 0.0f, sr = 0.0f;
+    auto row = feat_transformed.row(v);
+    for (Index f = 0; f < feat_transformed.cols(); ++f) {
+      sl += row[f] * att_l(f, 0);
+      sr += row[f] * att_r(f, 0);
+    }
+    al[static_cast<std::size_t>(v)] = sl;
+    ar[static_cast<std::size_t>(v)] = sr;
+  }
+  std::vector<float> e(static_cast<std::size_t>(g.num_edges()));
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    for (EdgeId idx = g.row_ptr[v]; idx < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++idx) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(idx)];
+      e[static_cast<std::size_t>(idx)] = tensor::leaky_relu_scalar(
+          al[static_cast<std::size_t>(u)] + ar[static_cast<std::size_t>(v)], leaky_alpha);
+    }
+  }
+  return e;
+}
+
+std::vector<float> edge_sym_gat(const Csr& g, const Matrix& feat_transformed,
+                                const Matrix& att_l, const Matrix& att_r, float leaky_alpha) {
+  const std::vector<float> fwd = edge_gat(g, feat_transformed, att_l, att_r, leaky_alpha);
+  std::vector<float> out = fwd;
+  // For edge u->v at slot i, add e^gat of the reverse edge v->u (found by
+  // binary search in row u's sorted neighbor list).
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    for (EdgeId idx = g.row_ptr[v]; idx < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++idx) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(idx)];
+      const auto nbrs = g.neighbors(u);
+      const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+      if (it != nbrs.end() && *it == v) {
+        const EdgeId rev = g.row_ptr[u] + (it - nbrs.begin());
+        out[static_cast<std::size_t>(idx)] += fwd[static_cast<std::size_t>(rev)];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<float> edge_cos(const Csr& g, const Matrix& left, const Matrix& right) {
+  assert(left.rows() == g.num_nodes && right.rows() == g.num_nodes);
+  assert(left.cols() == right.cols());
+  std::vector<float> e(static_cast<std::size_t>(g.num_edges()));
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    for (EdgeId idx = g.row_ptr[v]; idx < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++idx) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(idx)];
+      e[static_cast<std::size_t>(idx)] = tensor::dot(left.row(u), right.row(v));
+    }
+  }
+  return e;
+}
+
+std::vector<float> edge_linear(const Csr& g, const Matrix& left) {
+  assert(left.rows() == g.num_nodes);
+  std::vector<float> per_node(static_cast<std::size_t>(g.num_nodes));
+  for (NodeId u = 0; u < g.num_nodes; ++u) {
+    float s = 0.0f;
+    for (float x : left.row(u)) s += x;
+    per_node[static_cast<std::size_t>(u)] = std::tanh(s);
+  }
+  std::vector<float> e(static_cast<std::size_t>(g.num_edges()));
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    for (EdgeId idx = g.row_ptr[v]; idx < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++idx) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(idx)];
+      e[static_cast<std::size_t>(idx)] = per_node[static_cast<std::size_t>(u)];
+    }
+  }
+  return e;
+}
+
+std::vector<float> edge_gene_linear(const Csr& g, const Matrix& left, const Matrix& right,
+                                    const Matrix& wa) {
+  assert(left.cols() == right.cols() && wa.rows() == left.cols());
+  std::vector<float> e(static_cast<std::size_t>(g.num_edges()));
+  std::vector<float> tmp(static_cast<std::size_t>(left.cols()));
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    for (EdgeId idx = g.row_ptr[v]; idx < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++idx) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(idx)];
+      auto lrow = left.row(u);
+      auto rrow = right.row(v);
+      float acc = 0.0f;
+      for (Index f = 0; f < left.cols(); ++f) {
+        tmp[static_cast<std::size_t>(f)] = std::tanh(lrow[f] + rrow[f]);
+        acc += tmp[static_cast<std::size_t>(f)] * wa(f, 0);
+      }
+      e[static_cast<std::size_t>(idx)] = acc;
+    }
+  }
+  return e;
+}
+
+}  // namespace gnnbridge::models

@@ -1,0 +1,64 @@
+// The GNN layer and edge-op zoo — reference implementations.
+//
+// Table 1 (computing layers) and Table 2 (edge-weight operations) of the
+// paper, implemented directly over host matrices and CSR. These are the
+// ground truth the kernel library is tested against, and they make the
+// library usable for models beyond the three benchmarked ones.
+#pragma once
+
+#include "models/common.hpp"
+
+namespace gnnbridge::models {
+
+// ---- Table 1: computing layers -------------------------------------------
+
+/// sum layer: out[v] = sum_{u->v} h[u] * e_uv.
+Matrix layer_sum(const Csr& g, const Matrix& h, std::span<const float> edge_weight);
+
+/// mean layer: out[v] = sum_{u->v} h[u] * e_uv / deg(v).
+Matrix layer_mean(const Csr& g, const Matrix& h, std::span<const float> edge_weight);
+
+/// pooling layer: out[v] = max_{u->v} act(W h[u] * e_uv), act = ReLU.
+Matrix layer_pooling(const Csr& g, const Matrix& h, const Matrix& w,
+                     std::span<const float> edge_weight);
+
+/// MLP layer (GIN-style): out = MLP(sum_{u->v} h[u] * e_uv) with a
+/// two-linear-layer ReLU MLP.
+Matrix layer_mlp(const Csr& g, const Matrix& h, const Matrix& w1, const Matrix& w2,
+                 std::span<const float> edge_weight);
+
+/// softmax_aggr layer: out[v] = sum_{u->v} h[u] * softmax_v(e)_uv, where the
+/// softmax normalizes each center's incoming edge weights.
+Matrix layer_softmax_aggr(const Csr& g, const Matrix& h, std::span<const float> edge_weight);
+
+// ---- Table 2: edge-weight operations --------------------------------------
+
+/// Const: e_uv = 1.
+std::vector<float> edge_const(const Csr& g);
+
+/// GCN: e_uv = 1/sqrt(d_u d_v) (self-loop-adjusted degrees).
+std::vector<float> edge_gcn(const Csr& g);
+
+/// GAT: e_uv = leaky_relu(W_l h_u . a_l + W_r h_v . a_r) — with the usual
+/// factorization, leaky_relu(att_l[u] + att_r[v]) where att are row dots of
+/// the transformed features.
+std::vector<float> edge_gat(const Csr& g, const Matrix& feat_transformed, const Matrix& att_l,
+                            const Matrix& att_r, float leaky_alpha = 0.2f);
+
+/// Sym-GAT: e_uv = e^gat_uv + e^gat_vu. Requires a symmetric graph (the
+/// reverse edge must exist; missing reverse edges contribute 0).
+std::vector<float> edge_sym_gat(const Csr& g, const Matrix& feat_transformed,
+                                const Matrix& att_l, const Matrix& att_r,
+                                float leaky_alpha = 0.2f);
+
+/// GaAN / cosine: e_uv = <W_l h_u, W_r h_v>.
+std::vector<float> edge_cos(const Csr& g, const Matrix& left, const Matrix& right);
+
+/// Linear: e_uv = tanh(sum(W_l h_u)) — depends only on the source node.
+std::vector<float> edge_linear(const Csr& g, const Matrix& left);
+
+/// Gene-linear: e_uv = W_a . tanh(W_l h_u + W_r h_v).
+std::vector<float> edge_gene_linear(const Csr& g, const Matrix& left, const Matrix& right,
+                                    const Matrix& wa);
+
+}  // namespace gnnbridge::models

@@ -1,0 +1,44 @@
+#include "models/lstm.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace gnnbridge::models {
+
+LstmState zero_state(NodeId n, Index hidden) {
+  return LstmState{Matrix(n, hidden), Matrix(n, hidden)};
+}
+
+void lstm_apply_gates(const Matrix& gates, LstmState& state) {
+  const Index h = state.h.cols();
+  assert(gates.cols() == 4 * h && gates.rows() == state.h.rows());
+  auto sigmoid = [](float x) { return 1.0f / (1.0f + std::exp(-x)); };
+  for (Index n = 0; n < gates.rows(); ++n) {
+    auto g = gates.row(n);
+    auto hrow = state.h.row(n);
+    auto crow = state.c.row(n);
+    for (Index j = 0; j < h; ++j) {
+      const float i = sigmoid(g[j]);
+      const float f = sigmoid(g[h + j]);
+      const float z = std::tanh(g[2 * h + j]);
+      const float o = sigmoid(g[3 * h + j]);
+      const float c = f * crow[j] + i * z;
+      crow[j] = c;
+      hrow[j] = o * std::tanh(c);
+    }
+  }
+}
+
+void lstm_cell_ref(const Matrix& x, const SageLstmParams& p, LstmState& state) {
+  Matrix gates = tensor::gemm(x, p.w);
+  tensor::axpy(gates, 1.0f, tensor::gemm(state.h, p.r));
+  for (Index n = 0; n < gates.rows(); ++n) {
+    auto g = gates.row(n);
+    for (Index j = 0; j < gates.cols(); ++j) g[j] += p.bias(j, 0);
+  }
+  lstm_apply_gates(gates, state);
+}
+
+}  // namespace gnnbridge::models

@@ -1,0 +1,36 @@
+// Reference LSTM cell (host-only ground truth).
+//
+// The cell structure in Figure 6 of the paper: four gates i, f, z (cell
+// candidate), o; input transform W [F, 4H], recurrent transform R [H, 4H],
+// bias [4H]. Gate order in the packed matrices is i, f, z, o.
+//
+//   i = sigmoid(x W_i + h R_i + b_i)
+//   f = sigmoid(x W_f + h R_f + b_f)
+//   z = tanh   (x W_z + h R_z + b_z)
+//   o = sigmoid(x W_o + h R_o + b_o)
+//   c' = f * c + i * z
+//   h' = o * tanh(c')
+#pragma once
+
+#include "models/common.hpp"
+
+namespace gnnbridge::models {
+
+/// LSTM state for a batch of N sequences.
+struct LstmState {
+  Matrix h;  ///< [N, H]
+  Matrix c;  ///< [N, H]
+};
+
+/// Creates zero-initialized state.
+LstmState zero_state(NodeId n, Index hidden);
+
+/// Runs one reference LSTM cell step on the whole batch. `x` is [N, F].
+void lstm_cell_ref(const Matrix& x, const SageLstmParams& p, LstmState& state);
+
+/// Applies gate nonlinearities + state update given precomputed
+/// pre-activations `gates` = xW + hR + b, [N, 4H]. Shared by the reference
+/// cell and the backends (which compute `gates` through simulated kernels).
+void lstm_apply_gates(const Matrix& gates, LstmState& state);
+
+}  // namespace gnnbridge::models

@@ -1,0 +1,48 @@
+#include "models/multihead_gat.hpp"
+
+#include <cassert>
+
+#include "models/layers.hpp"
+#include "tensor/ops.hpp"
+
+namespace gnnbridge::models {
+
+MultiHeadGatParams init_multihead_gat(const MultiHeadGatConfig& cfg, std::uint64_t seed) {
+  tensor::Rng rng(seed + 21);
+  MultiHeadGatParams p;
+  for (int head = 0; head < cfg.heads; ++head) {
+    Matrix w(cfg.in_feat, cfg.head_dim);
+    Matrix al(cfg.head_dim, 1);
+    Matrix ar(cfg.head_dim, 1);
+    tensor::fill_glorot(w, rng);
+    tensor::fill_glorot(al, rng);
+    tensor::fill_glorot(ar, rng);
+    p.weight.push_back(std::move(w));
+    p.att_l.push_back(std::move(al));
+    p.att_r.push_back(std::move(ar));
+  }
+  return p;
+}
+
+Matrix multihead_gat_forward_ref(const Csr& g, const Matrix& x, const MultiHeadGatConfig& cfg,
+                                 const MultiHeadGatParams& params) {
+  assert(x.cols() == cfg.in_feat);
+  assert(static_cast<int>(params.weight.size()) == cfg.heads);
+  Matrix out(g.num_nodes, cfg.out_feat());
+  for (int head = 0; head < cfg.heads; ++head) {
+    const Matrix t = tensor::gemm(x, params.weight[static_cast<std::size_t>(head)]);
+    const auto scores =
+        edge_gat(g, t, params.att_l[static_cast<std::size_t>(head)],
+                 params.att_r[static_cast<std::size_t>(head)], cfg.leaky_alpha);
+    const Matrix agg = layer_softmax_aggr(g, t, scores);
+    const Index off = static_cast<Index>(head) * cfg.head_dim;
+    for (NodeId v = 0; v < g.num_nodes; ++v) {
+      auto src = agg.row(v);
+      auto dst = out.row(v);
+      for (Index f = 0; f < cfg.head_dim; ++f) dst[off + f] = src[f];
+    }
+  }
+  return out;
+}
+
+}  // namespace gnnbridge::models

@@ -1,0 +1,38 @@
+// Multi-head graph attention (Velickovic et al. 2018, §3.3 of that paper).
+//
+// The evaluated GAT in the PPoPP paper is single-head; real deployments
+// concatenate K independent attention heads per layer. Each head is a
+// complete GAT layer at width F/K; outputs concatenate to [N, K*F_head].
+// For the execution engine this multiplies the number of graph-operation
+// kernels per layer by K — exactly the op-count pressure Observation 3
+// describes — which makes the fused two-kernel pipeline matter even more.
+#pragma once
+
+#include "models/common.hpp"
+
+namespace gnnbridge::models {
+
+struct MultiHeadGatConfig {
+  Index in_feat = 64;
+  Index head_dim = 16;  ///< per-head output width
+  int heads = 4;
+  float leaky_alpha = 0.2f;
+
+  Index out_feat() const { return head_dim * heads; }
+};
+
+/// One weight/attention triple per head.
+struct MultiHeadGatParams {
+  std::vector<Matrix> weight;  ///< heads x [in, head_dim]
+  std::vector<Matrix> att_l;   ///< heads x [head_dim, 1]
+  std::vector<Matrix> att_r;   ///< heads x [head_dim, 1]
+};
+
+MultiHeadGatParams init_multihead_gat(const MultiHeadGatConfig& cfg, std::uint64_t seed);
+
+/// Host reference: K independent softmax-attention aggregations,
+/// concatenated head-major into [N, heads * head_dim].
+Matrix multihead_gat_forward_ref(const Csr& g, const Matrix& x, const MultiHeadGatConfig& cfg,
+                                 const MultiHeadGatParams& params);
+
+}  // namespace gnnbridge::models

@@ -1,0 +1,49 @@
+#include "models/pool_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "tensor/activations.hpp"
+#include "tensor/ops.hpp"
+
+namespace gnnbridge::models {
+
+SagePoolParams init_sage_pool(const SagePoolConfig& cfg, std::uint64_t seed) {
+  tensor::Rng rng(seed + 11);
+  SagePoolParams p;
+  p.w_pool = Matrix(cfg.in_feat, cfg.pool_dim);
+  p.b_pool = Matrix(cfg.pool_dim, 1);
+  p.w_out = Matrix(cfg.pool_dim, cfg.out_feat);
+  tensor::fill_glorot(p.w_pool, rng);
+  tensor::fill_uniform(p.b_pool, rng, -0.1f, 0.1f);
+  tensor::fill_glorot(p.w_out, rng);
+  return p;
+}
+
+Matrix sage_pool_forward_ref(const Csr& g, const Matrix& x, const SagePoolConfig& cfg,
+                             const SagePoolParams& params) {
+  assert(x.cols() == cfg.in_feat);
+  Matrix t = tensor::gemm(x, params.w_pool);
+  for (Index r = 0; r < t.rows(); ++r) {
+    auto row = t.row(r);
+    for (Index c = 0; c < t.cols(); ++c) {
+      row[c] = std::max(row[c] + params.b_pool(c, 0), 0.0f);
+    }
+  }
+  Matrix pooled(g.num_nodes, cfg.pool_dim);
+  pooled.fill(-std::numeric_limits<float>::infinity());
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    auto out = pooled.row(v);
+    for (NodeId u : g.neighbors(v)) {
+      auto trow = t.row(u);
+      for (Index c = 0; c < cfg.pool_dim; ++c) out[c] = std::max(out[c], trow[c]);
+    }
+    if (g.degree(v) == 0) {
+      for (float& f : out) f = 0.0f;
+    }
+  }
+  return tensor::gemm(pooled, params.w_out);
+}
+
+}  // namespace gnnbridge::models

@@ -1,0 +1,33 @@
+// GraphSAGE-Pool: the max-pooling aggregator model (Table 1's "pooling"
+// row) as a full model — a second center-neighbor neural-op model next to
+// GraphSAGE-LSTM, exercising the order-insensitive MAX reducer through the
+// whole optimization stack (neighbor grouping's atomic-merge argument
+// covers max as well as sum).
+//
+//   pooled[v] = max_{u->v} ReLU(h_u W_pool + b_pool)
+//   out[v]    = pooled[v] W_out
+#pragma once
+
+#include "models/common.hpp"
+
+namespace gnnbridge::models {
+
+struct SagePoolConfig {
+  Index in_feat = 64;
+  Index pool_dim = 32;
+  Index out_feat = 16;
+};
+
+struct SagePoolParams {
+  Matrix w_pool;  ///< [in, pool]
+  Matrix b_pool;  ///< [pool, 1]
+  Matrix w_out;   ///< [pool, out]
+};
+
+SagePoolParams init_sage_pool(const SagePoolConfig& cfg, std::uint64_t seed);
+
+/// Host reference forward pass.
+Matrix sage_pool_forward_ref(const Csr& g, const Matrix& x, const SagePoolConfig& cfg,
+                             const SagePoolParams& params);
+
+}  // namespace gnnbridge::models

@@ -1,0 +1,29 @@
+// Whole-model reference forward passes (host-only ground truth).
+//
+// Every backend — baseline or optimized — must produce outputs numerically
+// equal to these straightforward implementations; the paper's claim that
+// "our optimizations do not alter the semantics of the models" becomes the
+// integration-test contract of this repository.
+#pragma once
+
+#include "models/common.hpp"
+
+namespace gnnbridge::models {
+
+/// Three-layer GCN forward: per layer h = ReLU(A_norm (h W) + b)
+/// (no ReLU after the final layer, matching common practice).
+Matrix gcn_forward_ref(const Csr& g, const Matrix& x, const GcnConfig& cfg,
+                       const GcnParams& params);
+
+/// Three-layer single-head GAT forward (Equation 2 of the paper); ELU-less,
+/// ReLU between layers, none after the last.
+Matrix gat_forward_ref(const Csr& g, const Matrix& x, const GatConfig& cfg,
+                       const GatParams& params);
+
+/// One-layer GraphSAGE-LSTM forward: unrolls `steps` LSTM cells over the
+/// sampled neighbor sequence of every center node, then projects the final
+/// hidden state.
+Matrix sage_lstm_forward_ref(const Csr& g, const Matrix& x, const SageLstmConfig& cfg,
+                             const SageLstmParams& params);
+
+}  // namespace gnnbridge::models

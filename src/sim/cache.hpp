@@ -1,0 +1,63 @@
+// Set-associative LRU cache model (the simulated L2).
+//
+// One shared L2 sits between all SMs and DRAM, exactly as on the V100. The
+// replay drives it with the interleaved access streams of co-resident
+// blocks, so hit rates respond to task ordering (locality-aware scheduling)
+// and working-set size (neighbor grouping) — the mechanisms behind
+// Figures 3 and 9 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gnnbridge::sim {
+
+/// Result of probing the cache with one access.
+struct CacheProbe {
+  std::uint32_t lines = 0;   ///< lines the access spanned
+  std::uint32_t hits = 0;    ///< lines found resident
+  std::uint32_t misses = 0;  ///< lines fetched from DRAM
+};
+
+/// Set-associative LRU cache over 64-bit line tags.
+class SetAssocCache {
+ public:
+  /// `capacity_bytes` total, `ways` associativity, `line_bytes` per line.
+  /// The set count is rounded down to a power of two for cheap indexing.
+  SetAssocCache(std::int64_t capacity_bytes, int ways, int line_bytes);
+
+  /// Touches `bytes` bytes at `addr`; returns per-line hit/miss counts and
+  /// updates LRU state. Write allocation: writes behave like reads.
+  CacheProbe access(std::uint64_t addr, std::uint32_t bytes);
+
+  /// Touches exactly one line containing `addr`.
+  bool access_line(std::uint64_t addr);
+
+  /// Invalidates everything.
+  void clear();
+
+  int ways() const { return ways_; }
+  int num_sets() const { return num_sets_; }
+  int line_bytes() const { return line_bytes_; }
+
+  std::uint64_t total_hits() const { return total_hits_; }
+  std::uint64_t total_misses() const { return total_misses_; }
+
+ private:
+  int ways_;
+  int num_sets_;
+  int line_bytes_;
+  int set_shift_;
+  std::uint64_t set_mask_;
+  /// tags_[set * ways + w]; kEmpty means invalid.
+  std::vector<std::uint64_t> tags_;
+  /// LRU stamps parallel to tags_.
+  std::vector<std::uint64_t> stamps_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t total_hits_ = 0;
+  std::uint64_t total_misses_ = 0;
+
+  static constexpr std::uint64_t kEmpty = ~0ull;
+};
+
+}  // namespace gnnbridge::sim

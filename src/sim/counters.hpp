@@ -1,0 +1,95 @@
+// Performance counters.
+//
+// The simulator's equivalent of nvprof/nsight metrics: per-kernel and
+// per-run L2 hit rates, flop counts, launch counts, phase timings and
+// occupancy timelines. Every table and figure in the paper is printed from
+// these counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/device.hpp"
+#include "sim/timeline.hpp"
+
+namespace gnnbridge::sim {
+
+/// Metrics for a single launched kernel.
+struct KernelStats {
+  std::string name;
+  std::string phase;
+  int num_blocks = 0;
+
+  std::uint64_t l2_hits = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t dram_bytes = 0;
+
+  double flops = 0.0;
+  double issued_flops = 0.0;
+
+  /// Kernel wall time: launch overhead + block makespan.
+  Cycles cycles = 0.0;
+  Cycles makespan = 0.0;
+  /// Perfect-balance lower bound on the makespan.
+  Cycles balanced = 0.0;
+  Timeline timeline;
+
+  double l2_hit_rate() const {
+    const std::uint64_t total = l2_hits + l2_misses;
+    return total == 0 ? 0.0 : static_cast<double>(l2_hits) / static_cast<double>(total);
+  }
+  double l2_miss_rate() const {
+    const std::uint64_t total = l2_hits + l2_misses;
+    return total == 0 ? 0.0 : static_cast<double>(l2_misses) / static_cast<double>(total);
+  }
+};
+
+/// Accumulated metrics for a sequence of kernels (one model pass, one
+/// experiment, ...).
+struct RunStats {
+  std::vector<KernelStats> kernels;
+  Cycles total_cycles = 0.0;
+
+  int num_launches() const { return static_cast<int>(kernels.size()); }
+
+  double total_flops() const {
+    double f = 0.0;
+    for (const auto& k : kernels) f += k.flops;
+    return f;
+  }
+
+  std::uint64_t total_hits() const {
+    std::uint64_t h = 0;
+    for (const auto& k : kernels) h += k.l2_hits;
+    return h;
+  }
+
+  std::uint64_t total_misses() const {
+    std::uint64_t m = 0;
+    for (const auto& k : kernels) m += k.l2_misses;
+    return m;
+  }
+
+  double l2_hit_rate() const {
+    const std::uint64_t total = total_hits() + total_misses();
+    return total == 0 ? 0.0 : static_cast<double>(total_hits()) / static_cast<double>(total);
+  }
+
+  /// Sum of cycles of kernels tagged with `phase`.
+  Cycles cycles_in_phase(std::string_view phase) const {
+    Cycles c = 0.0;
+    for (const auto& k : kernels) {
+      if (k.phase == phase) c += k.cycles;
+    }
+    return c;
+  }
+
+  /// Achieved throughput in GFLOPS for the whole run.
+  double gflops(const DeviceSpec& spec) const {
+    const double s = spec.seconds(total_cycles);
+    return s <= 0.0 ? 0.0 : total_flops() / s / 1e9;
+  }
+};
+
+}  // namespace gnnbridge::sim

@@ -1,0 +1,67 @@
+// Kernel and thread-block work descriptors.
+//
+// A `Kernel` is what a backend submits to the simulated device: a list of
+// `BlockWork` items (one per thread block) in launch order. Launch order is
+// the lever locality-aware task scheduling pulls — blocks adjacent in this
+// list become co-resident and share L2 (DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/memory.hpp"
+
+namespace gnnbridge::sim {
+
+/// One global-memory touch: `bytes` bytes starting at virtual address
+/// `addr`. The replay expands it to cache lines.
+struct Access {
+  std::uint64_t addr = 0;
+  std::uint32_t bytes = 0;
+  bool write = false;
+};
+
+/// The work of one thread block.
+struct BlockWork {
+  /// Global-memory accesses in program order.
+  std::vector<Access> accesses;
+  /// Useful floating-point work performed by the block.
+  double flops = 0.0;
+  /// Issued (padded) floating-point work: >= flops when the thread mapping
+  /// wastes lanes (e.g. a 32-wide warp covering a 48-long feature row).
+  /// Observation 5 — inefficiency on varying feature lengths — lives here.
+  double issued_flops = 0.0;
+  /// Extra fixed cycles (atomics, shared-memory adapters, reduction trees).
+  double extra_cycles = 0.0;
+
+  /// Convenience emitters.
+  void read(const Buffer& buf, std::uint64_t offset, std::uint32_t bytes_) {
+    accesses.push_back({buf.addr(offset), bytes_, false});
+  }
+  void write(const Buffer& buf, std::uint64_t offset, std::uint32_t bytes_) {
+    accesses.push_back({buf.addr(offset), bytes_, true});
+  }
+  /// Adds `f` useful flops issued at lane efficiency `f/issued`.
+  void compute(double f, double issued) {
+    flops += f;
+    issued_flops += issued;
+  }
+};
+
+/// A launched kernel: named, with blocks in launch order.
+struct Kernel {
+  std::string name;
+  /// Phase tag for per-phase accounting (e.g. "expansion",
+  /// "transformation" for Table 5).
+  std::string phase;
+  std::vector<BlockWork> blocks;
+
+  double total_flops() const {
+    double f = 0.0;
+    for (const auto& b : blocks) f += b.flops;
+    return f;
+  }
+};
+
+}  // namespace gnnbridge::sim

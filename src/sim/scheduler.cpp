@@ -1,0 +1,55 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+namespace gnnbridge::sim {
+
+ScheduleResult schedule_blocks(std::span<const Cycles> durations, int slots) {
+  ScheduleResult result;
+  if (durations.empty() || slots <= 0) return result;
+
+  // Min-heap of slot free times; (time, slot) with slot as tie-breaker for
+  // determinism.
+  using Slot = std::pair<Cycles, int>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> free_at;
+  const int active_slots = std::min<int>(slots, static_cast<int>(durations.size()));
+  for (int s = 0; s < slots; ++s) free_at.push({0.0, s});
+
+  std::vector<std::pair<Cycles, int>> events;  // (+1 at start, -1 at end)
+  events.reserve(durations.size() * 2);
+  Cycles total = 0.0;
+  for (const Cycles d : durations) {
+    auto [t, s] = free_at.top();
+    free_at.pop();
+    const Cycles end = t + d;
+    events.push_back({t, +1});
+    events.push_back({end, -1});
+    result.makespan = std::max(result.makespan, end);
+    total += d;
+    free_at.push({end, s});
+  }
+  result.balanced = total / static_cast<double>(slots);
+  (void)active_slots;
+
+  // Sweep events into piecewise-constant occupancy intervals. Ends sort
+  // before starts at equal times so back-to-back blocks on one slot do not
+  // double-count.
+  std::sort(events.begin(), events.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second < b.second;
+  });
+  int active = 0;
+  Cycles prev = 0.0;
+  for (const auto& [t, delta] : events) {
+    if (t > prev) {
+      result.timeline.add_interval(prev, t, active);
+      prev = t;
+    }
+    active += delta;
+  }
+  return result;
+}
+
+}  // namespace gnnbridge::sim

@@ -1,0 +1,36 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gnnbridge::sim {
+
+void Timeline::add_interval(Cycles t0, Cycles t1, int active) {
+  if (t1 <= t0) return;
+  intervals_.push_back({t0, t1, active});
+  duration_ += t1 - t0;
+}
+
+double Timeline::fraction_below(double threshold_fraction, int capacity) const {
+  if (duration_ <= 0.0) return 0.0;
+  const double threshold = threshold_fraction * capacity;
+  Cycles below = 0.0;
+  for (const auto& iv : intervals_) {
+    if (static_cast<double>(iv.active) < threshold) below += iv.t1 - iv.t0;
+  }
+  return below / duration_;
+}
+
+double Timeline::mean_active() const {
+  if (duration_ <= 0.0) return 0.0;
+  double weighted = 0.0;
+  for (const auto& iv : intervals_) weighted += static_cast<double>(iv.active) * (iv.t1 - iv.t0);
+  return weighted / duration_;
+}
+
+void Timeline::append(const Timeline& later) {
+  intervals_.insert(intervals_.end(), later.intervals_.begin(), later.intervals_.end());
+  duration_ += later.duration_;
+}
+
+}  // namespace gnnbridge::sim

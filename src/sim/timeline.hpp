@@ -1,0 +1,45 @@
+// Occupancy timeline.
+//
+// The scheduler records, over simulated time, how many thread blocks are
+// active. From that we derive exactly the statistics the paper reports:
+// the fraction of time fewer than 100%/50%/10% of the device's block slots
+// are busy (Table 4), and the gap between actual makespan and perfectly
+// balanced execution (Figure 8).
+#pragma once
+
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace gnnbridge::sim {
+
+/// A piecewise-constant record of active-block count over time.
+class Timeline {
+ public:
+  /// Records that `active` blocks were running during [t0, t1).
+  void add_interval(Cycles t0, Cycles t1, int active);
+
+  /// Total recorded duration.
+  Cycles duration() const { return duration_; }
+
+  /// Fraction of recorded time during which the active-block count was
+  /// strictly below `threshold_fraction * capacity` slots.
+  /// (Table 4's "<100% / <50% / <10%" columns.)
+  double fraction_below(double threshold_fraction, int capacity) const;
+
+  /// Time-weighted mean active-block count.
+  double mean_active() const;
+
+  /// Merges another timeline recorded after this one.
+  void append(const Timeline& later);
+
+ private:
+  struct Interval {
+    Cycles t0, t1;
+    int active;
+  };
+  std::vector<Interval> intervals_;
+  Cycles duration_ = 0.0;
+};
+
+}  // namespace gnnbridge::sim

@@ -1,0 +1,35 @@
+#include "tensor/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gnnbridge::tensor {
+
+float max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return std::numeric_limits<float>::infinity();
+  }
+  float worst = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const Index n = a.size();
+  for (Index i = 0; i < n; ++i) {
+    worst = std::max(worst, std::fabs(pa[i] - pb[i]));
+  }
+  return worst;
+}
+
+bool allclose(const Matrix& a, const Matrix& b, float rtol, float atol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const Index n = a.size();
+  for (Index i = 0; i < n; ++i) {
+    const float tol = atol + rtol * std::fabs(pb[i]);
+    if (std::fabs(pa[i] - pb[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace gnnbridge::tensor

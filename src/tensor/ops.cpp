@@ -1,0 +1,161 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gnnbridge::tensor {
+
+Matrix gemm_ref(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (Index k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  const Index m = a.rows(), n = b.cols(), k = a.cols();
+  Matrix c(m, n);
+  constexpr Index kTile = 64;
+  float* pc = c.data();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (Index i0 = 0; i0 < m; i0 += kTile) {
+    const Index i1 = std::min(i0 + kTile, m);
+    for (Index k0 = 0; k0 < k; k0 += kTile) {
+      const Index k1 = std::min(k0 + kTile, k);
+      for (Index j0 = 0; j0 < n; j0 += kTile) {
+        const Index j1 = std::min(j0 + kTile, n);
+        for (Index i = i0; i < i1; ++i) {
+          for (Index kk = k0; kk < k1; ++kk) {
+            const float av = pa[i * k + kk];
+            const float* brow = pb + kk * n;
+            float* crow = pc + i * n;
+            for (Index j = j0; j < j1; ++j) crow[j] += av * brow[j];
+          }
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Matrix gemm_nt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  const Index m = a.rows(), n = b.rows(), k = a.cols();
+  Matrix c(m, n);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      c(i, j) = dot(a.row(i), b.row(j));
+    }
+  }
+  (void)k;
+  return c;
+}
+
+Matrix transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (Index i = 0; i < a.rows(); ++i)
+    for (Index j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+namespace {
+template <typename F>
+Matrix binary_op(const Matrix& a, const Matrix& b, F f) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const Index n = a.size();
+  for (Index i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+  return out;
+}
+}  // namespace
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  return binary_op(a, b, [](float x, float y) { return x + y; });
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  return binary_op(a, b, [](float x, float y) { return x - y; });
+}
+
+Matrix mul(const Matrix& a, const Matrix& b) {
+  return binary_op(a, b, [](float x, float y) { return x * y; });
+}
+
+void axpy(Matrix& a, float alpha, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  float* pa = a.data();
+  const float* pb = b.data();
+  const Index n = a.size();
+  for (Index i = 0; i < n; ++i) pa[i] += alpha * pb[i];
+}
+
+void scale(Matrix& a, float s) {
+  float* p = a.data();
+  const Index n = a.size();
+  for (Index i = 0; i < n; ++i) p[i] *= s;
+}
+
+void add_bias(Matrix& m, std::span<const float> bias) {
+  assert(static_cast<Index>(bias.size()) == m.cols());
+  for (Index i = 0; i < m.rows(); ++i) {
+    auto row = m.row(i);
+    for (Index j = 0; j < m.cols(); ++j) row[j] += bias[j];
+  }
+}
+
+void scale_rows(Matrix& m, std::span<const float> factors) {
+  assert(static_cast<Index>(factors.size()) == m.rows());
+  for (Index i = 0; i < m.rows(); ++i) {
+    auto row = m.row(i);
+    const float f = factors[i];
+    for (float& v : row) v *= f;
+  }
+}
+
+Matrix row_sum(const Matrix& m) {
+  Matrix out(m.rows(), 1);
+  for (Index i = 0; i < m.rows(); ++i) {
+    float acc = 0.0f;
+    for (float v : m.row(i)) acc += v;
+    out(i, 0) = acc;
+  }
+  return out;
+}
+
+Matrix row_max(const Matrix& m) {
+  assert(m.cols() > 0);
+  Matrix out(m.rows(), 1);
+  for (Index i = 0; i < m.rows(); ++i) {
+    auto row = m.row(i);
+    out(i, 0) = *std::max_element(row.begin(), row.end());
+  }
+  return out;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float frobenius_norm(const Matrix& m) {
+  double acc = 0.0;
+  const float* p = m.data();
+  for (Index i = 0; i < m.size(); ++i) acc += static_cast<double>(p[i]) * p[i];
+  return static_cast<float>(std::sqrt(acc));
+}
+
+}  // namespace gnnbridge::tensor

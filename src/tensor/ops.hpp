@@ -1,0 +1,60 @@
+// Dense linear-algebra building blocks (the cuBLAS stand-in).
+//
+// Two GEMM implementations are provided: a straightforward reference used by
+// tests as ground truth, and a cache-blocked version used by the models and
+// the benchmark harness. Both are single-threaded by design — parallelism in
+// this repository lives in the simulated GPU, not in host threads.
+#pragma once
+
+#include <span>
+
+#include "tensor/matrix.hpp"
+
+namespace gnnbridge::tensor {
+
+/// C = A * B. Triple-loop reference implementation (ground truth for tests).
+Matrix gemm_ref(const Matrix& a, const Matrix& b);
+
+/// C = A * B, cache-blocked (i-k-j loop order with 64x64x64 tiles).
+Matrix gemm(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T. Needed by attention-style edge ops (<W_l h_u, W_r h_v>).
+Matrix gemm_nt(const Matrix& a, const Matrix& b);
+
+/// Returns A^T.
+Matrix transpose(const Matrix& a);
+
+/// out = a + b (elementwise; shapes must match).
+Matrix add(const Matrix& a, const Matrix& b);
+
+/// out = a - b (elementwise; shapes must match).
+Matrix sub(const Matrix& a, const Matrix& b);
+
+/// out = a ⊙ b (Hadamard product; shapes must match).
+Matrix mul(const Matrix& a, const Matrix& b);
+
+/// a += alpha * b, in place.
+void axpy(Matrix& a, float alpha, const Matrix& b);
+
+/// Scales every element of `a` by `s`, in place.
+void scale(Matrix& a, float s);
+
+/// Adds row-vector `bias` (length == m.cols()) to every row of `m`.
+void add_bias(Matrix& m, std::span<const float> bias);
+
+/// Scales row r of `m` by `factors[r]` (length == m.rows()).
+void scale_rows(Matrix& m, std::span<const float> factors);
+
+/// Per-row sum: returns a column vector [rows x 1].
+Matrix row_sum(const Matrix& m);
+
+/// Per-row max: returns a column vector [rows x 1].
+Matrix row_max(const Matrix& m);
+
+/// Dot product of two equal-length spans.
+float dot(std::span<const float> a, std::span<const float> b);
+
+/// Frobenius norm of `m`.
+float frobenius_norm(const Matrix& m);
+
+}  // namespace gnnbridge::tensor

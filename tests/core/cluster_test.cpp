@@ -1,0 +1,107 @@
+#include "core/locality/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::core {
+namespace {
+
+MinHashSignatures empty_sigs(NodeId n, int rows = 4) {
+  MinHashSignatures s;
+  s.rows = rows;
+  // Unique signatures: re-posed pairs estimate 0 similarity and drop out.
+  s.sig.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(rows));
+  for (std::size_t i = 0; i < s.sig.size(); ++i) s.sig[i] = i;
+  return s;
+}
+
+TEST(PairMerging, SingletonsWithoutPairs) {
+  const Clustering c = merge_pairs(5, {}, empty_sigs(5), {});
+  EXPECT_EQ(c.clusters.size(), 5u);
+  EXPECT_EQ(c.num_nontrivial(), 0);
+}
+
+TEST(PairMerging, SimplePairMerges) {
+  std::vector<CandidatePair> pairs{{0, 1, 0.9}};
+  const Clustering c = merge_pairs(4, pairs, empty_sigs(4), {});
+  EXPECT_EQ(c.cluster_of[0], c.cluster_of[1]);
+  EXPECT_NE(c.cluster_of[0], c.cluster_of[2]);
+  EXPECT_EQ(c.num_nontrivial(), 1);
+}
+
+TEST(PairMerging, ChainMergesThroughRepresentatives) {
+  // Identical signatures for 0..2 so re-posed representative pairs keep a
+  // positive similarity estimate.
+  MinHashSignatures s;
+  s.rows = 4;
+  s.sig.assign(3 * 4, 42);
+  std::vector<CandidatePair> pairs{{0, 1, 0.9}, {1, 2, 0.8}};
+  const Clustering c = merge_pairs(3, pairs, s, {});
+  EXPECT_EQ(c.cluster_of[0], c.cluster_of[1]);
+  EXPECT_EQ(c.cluster_of[1], c.cluster_of[2]);
+}
+
+TEST(PairMerging, CapBlocksOversizeClusters) {
+  // All 6 nodes pairwise similar, cap 4: no cluster may exceed 4.
+  MinHashSignatures s;
+  s.rows = 4;
+  s.sig.assign(6 * 4, 7);
+  std::vector<CandidatePair> pairs;
+  for (NodeId a = 0; a < 6; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < 6; ++b) pairs.push_back({a, b, 0.9});
+  }
+  ClusterConfig cfg;
+  cfg.max_cluster_size = 4;
+  const Clustering c = merge_pairs(6, pairs, s, cfg);
+  for (const auto& cluster : c.clusters) {
+    EXPECT_LE(cluster.size(), 4u);
+  }
+}
+
+TEST(PairMerging, CapOneMeansNoMerging) {
+  std::vector<CandidatePair> pairs{{0, 1, 0.9}};
+  ClusterConfig cfg;
+  cfg.max_cluster_size = 1;
+  const Clustering c = merge_pairs(3, pairs, empty_sigs(3), cfg);
+  EXPECT_EQ(c.num_nontrivial(), 0);
+}
+
+TEST(PairMerging, HighSimilarityPairsWinContention) {
+  // 1 can merge with 0 (sim .9) or 2 (sim .3); cap 2 allows only one.
+  std::vector<CandidatePair> pairs{{1, 2, 0.3}, {0, 1, 0.9}};
+  ClusterConfig cfg;
+  cfg.max_cluster_size = 2;
+  const Clustering c = merge_pairs(3, pairs, empty_sigs(3), cfg);
+  EXPECT_EQ(c.cluster_of[0], c.cluster_of[1]);
+  EXPECT_NE(c.cluster_of[1], c.cluster_of[2]);
+}
+
+TEST(PairMerging, EveryNodeInExactlyOneCluster) {
+  tensor::Rng rng(5);
+  std::vector<CandidatePair> pairs;
+  for (int i = 0; i < 200; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.below(100));
+    const NodeId b = static_cast<NodeId>(rng.below(100));
+    if (a == b) continue;
+    pairs.push_back({std::min(a, b), std::max(a, b), rng.uniform()});
+  }
+  const Clustering c = merge_pairs(100, pairs, empty_sigs(100), {});
+  std::vector<int> seen(100, 0);
+  for (const auto& cluster : c.clusters) {
+    for (NodeId v : cluster) seen[static_cast<std::size_t>(v)]++;
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  for (NodeId v = 0; v < 100; ++v) {
+    const auto& cl = c.clusters[static_cast<std::size_t>(c.cluster_of[v])];
+    EXPECT_NE(std::find(cl.begin(), cl.end(), v), cl.end());
+  }
+}
+
+TEST(PairMerging, DefaultCapIs32) {
+  ClusterConfig cfg;
+  EXPECT_EQ(cfg.max_cluster_size, 32);
+}
+
+}  // namespace
+}  // namespace gnnbridge::core

@@ -1,0 +1,178 @@
+#include "core/fusion/fusion_pass.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gnnbridge::core {
+namespace {
+
+TEST(OpGraph, GatLayerHasTenOps) {
+  GatGraphIds ids{};
+  const OpGraph g = build_gat_layer(&ids);
+  EXPECT_EQ(g.size(), 10);
+  EXPECT_EQ(g.op(ids.aggregate).kind, OpKind::kAggregate);
+  EXPECT_EQ(g.op(ids.div).inputs.size(), 2u);
+}
+
+TEST(OpGraph, ConsumersFollowEdges) {
+  GatGraphIds ids{};
+  const OpGraph g = build_gat_layer(&ids);
+  const auto consumers = g.consumers(ids.exp);
+  // exp feeds segment_sum and the division.
+  EXPECT_EQ(consumers.size(), 2u);
+}
+
+TEST(OpDomain, Classification) {
+  EXPECT_EQ(op_domain(OpKind::kGemm), Domain::kDense);
+  EXPECT_EQ(op_domain(OpKind::kSegmentSum), Domain::kNodeScalar);
+  EXPECT_EQ(op_domain(OpKind::kExp), Domain::kEdge);
+  EXPECT_EQ(op_domain(OpKind::kAggregate), Domain::kNodeFeat);
+}
+
+TEST(VisibleRange, EdgeElementwiseChainsAreThreadLocal) {
+  EXPECT_EQ(dep_range(OpKind::kUAddV, OpKind::kLeakyRelu, Partitioning::kWholeRow),
+            VisibleRange::kThread);
+  EXPECT_EQ(dep_range(OpKind::kLeakyRelu, OpKind::kExp, Partitioning::kSplitRows),
+            VisibleRange::kThread);
+}
+
+TEST(VisibleRange, EdgeToSegmentReduceNeedsBlock) {
+  EXPECT_EQ(dep_range(OpKind::kExp, OpKind::kSegmentSum, Partitioning::kWholeRow),
+            VisibleRange::kBlock);
+}
+
+TEST(VisibleRange, SegmentSumPromotedToGlobalUnderSplit) {
+  EXPECT_EQ(dep_range(OpKind::kSegmentSum, OpKind::kBroadcast, Partitioning::kWholeRow),
+            VisibleRange::kBlock);
+  EXPECT_EQ(dep_range(OpKind::kSegmentSum, OpKind::kBroadcast, Partitioning::kSplitRows),
+            VisibleRange::kGlobal);
+}
+
+TEST(VisibleRange, DenseProducersAlwaysGlobal) {
+  EXPECT_EQ(dep_range(OpKind::kGemm, OpKind::kAggregate, Partitioning::kWholeRow),
+            VisibleRange::kGlobal);
+  EXPECT_EQ(dep_range(OpKind::kRowDot, OpKind::kUAddV, Partitioning::kWholeRow),
+            VisibleRange::kGlobal);
+}
+
+TEST(VisibleRange, MaterializedSoftmaxIsGlobal) {
+  EXPECT_EQ(dep_range(OpKind::kEdgeDiv, OpKind::kAggregate, Partitioning::kWholeRow),
+            VisibleRange::kGlobal);
+}
+
+TEST(VisibleRange, AggregateToEpilogueBlockVsGlobal) {
+  EXPECT_EQ(dep_range(OpKind::kAggregate, OpKind::kBiasAct, Partitioning::kWholeRow),
+            VisibleRange::kBlock);
+  EXPECT_EQ(dep_range(OpKind::kAggregate, OpKind::kBiasAct, Partitioning::kSplitRows),
+            VisibleRange::kGlobal);
+}
+
+TEST(LinearProperty, RewritesSoftmaxPattern) {
+  GatGraphIds ids{};
+  OpGraph g = build_gat_layer(&ids);
+  EXPECT_TRUE(apply_linear_property(g));
+  EXPECT_FALSE(g.op(ids.div).alive);
+  EXPECT_FALSE(g.op(ids.broadcast).alive);
+  EXPECT_EQ(g.op(ids.aggregate).postponed_scale, ids.seg_sum);
+  // Aggregate now consumes the raw scores.
+  EXPECT_EQ(g.op(ids.aggregate).inputs[0], ids.exp);
+}
+
+TEST(LinearProperty, NoPatternNoRewrite) {
+  GcnGraphIds ids{};
+  OpGraph g = build_gcn_layer(&ids);
+  EXPECT_FALSE(apply_linear_property(g));
+}
+
+TEST(FusionPass, BaselineOpPerKernelWouldBeSeven) {
+  // Sanity anchor: Listing 1 counts 7 graph ops.
+  GatGraphIds ids{};
+  const OpGraph g = build_gat_layer(&ids);
+  int graph_ops = 0;
+  for (int id : g.live_ops()) {
+    const Domain d = op_domain(g.op(id).kind);
+    if (d == Domain::kEdge || g.op(id).kind == OpKind::kSegmentSum ||
+        g.op(id).kind == OpKind::kAggregate) {
+      ++graph_ops;
+    }
+  }
+  EXPECT_EQ(graph_ops, 7);
+}
+
+TEST(FusionPass, GatWholeRowWithLinearFusesGraphPhaseIntoOneKernel) {
+  OpGraph g = build_gat_layer();
+  const FusionPlan plan = fuse(g, Partitioning::kWholeRow, /*use_linear_property=*/true);
+  EXPECT_TRUE(plan.postponed_scale);
+  // [gemm], [att dots], [whole graph phase].
+  EXPECT_EQ(num_kernels(plan), 3);
+  EXPECT_GT(plan.num_adapters, 0);
+}
+
+TEST(FusionPass, GatSplitRowsWithLinearGivesTwoGraphKernels) {
+  GatGraphIds ids{};
+  OpGraph g = build_gat_layer(&ids);
+  const FusionPlan plan = fuse(g, Partitioning::kSplitRows, /*use_linear_property=*/true);
+  EXPECT_TRUE(plan.postponed_scale);
+  // [gemm], [att dots], [score+segsum], [aggregate] — the paper's K1/K2.
+  ASSERT_EQ(num_kernels(plan), 4);
+  const auto& k1 = plan.groups[2].ops;
+  EXPECT_NE(std::find(k1.begin(), k1.end(), ids.seg_sum), k1.end());
+  const auto& k2 = plan.groups[3].ops;
+  ASSERT_EQ(k2.size(), 1u);
+  EXPECT_EQ(k2[0], ids.aggregate);
+}
+
+TEST(FusionPass, GatWithoutLinearKeepsExtraBarrier) {
+  OpGraph with_linear = build_gat_layer();
+  OpGraph without_linear = build_gat_layer();
+  const FusionPlan p_lin = fuse(with_linear, Partitioning::kSplitRows, true);
+  const FusionPlan p_nolin = fuse(without_linear, Partitioning::kSplitRows, false);
+  EXPECT_GT(num_kernels(p_nolin), num_kernels(p_lin));
+}
+
+TEST(FusionPass, GcnFusesAggregationWithEpilogue) {
+  GcnGraphIds ids{};
+  OpGraph g = build_gcn_layer(&ids);
+  const FusionPlan plan = fuse(g, Partitioning::kWholeRow, true);
+  // [gemm], [aggregate + bias_act]: 3 ops -> 2 kernels.
+  ASSERT_EQ(num_kernels(plan), 2);
+  EXPECT_EQ(plan.groups[1].ops.size(), 2u);
+}
+
+TEST(FusionPass, GcnSplitRowsDefersEpilogue) {
+  OpGraph g = build_gcn_layer();
+  const FusionPlan plan = fuse(g, Partitioning::kSplitRows, true);
+  EXPECT_EQ(num_kernels(plan), 3);
+}
+
+TEST(FusionPass, EveryLiveOpAppearsExactlyOnce) {
+  OpGraph g = build_gat_layer();
+  const FusionPlan plan = fuse(g, Partitioning::kSplitRows, true);
+  std::vector<int> counts(static_cast<std::size_t>(g.size()), 0);
+  for (const auto& grp : plan.groups) {
+    for (int id : grp.ops) counts[static_cast<std::size_t>(id)]++;
+  }
+  for (int id = 0; id < g.size(); ++id) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(id)], g.op(id).alive ? 1 : 0) << id;
+  }
+}
+
+TEST(FusionPass, GroupsRespectTopologicalOrder) {
+  OpGraph g = build_gat_layer();
+  const FusionPlan plan = fuse(g, Partitioning::kWholeRow, false);
+  int last = -1;
+  for (const auto& grp : plan.groups) {
+    for (int id : grp.ops) {
+      EXPECT_GT(id, last);
+      last = id;
+    }
+  }
+}
+
+TEST(RangeName, Printable) {
+  EXPECT_EQ(range_name(VisibleRange::kThread), "thread");
+  EXPECT_EQ(range_name(VisibleRange::kGlobal), "global");
+  EXPECT_EQ(op_name(OpKind::kSegmentSum), "segment_sum");
+}
+
+}  // namespace
+}  // namespace gnnbridge::core

@@ -1,0 +1,98 @@
+#include "core/locality/lsh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::core {
+namespace {
+
+/// Builds a graph with `pairs` groups of two nodes sharing identical
+/// neighbor sets, plus noise nodes with random neighbors.
+Csr twin_graph(int pairs, int noise, std::uint64_t seed) {
+  tensor::Rng rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const NodeId base_targets = static_cast<NodeId>(2 * pairs + noise);
+  const NodeId total = base_targets + 20;
+  for (int p = 0; p < pairs; ++p) {
+    const NodeId a = static_cast<NodeId>(2 * p);
+    const NodeId b = static_cast<NodeId>(2 * p + 1);
+    for (int t = 0; t < 6; ++t) {
+      const NodeId target = static_cast<NodeId>(base_targets + (p * 3 + t) % 20);
+      edges.push_back({a, target});
+      edges.push_back({b, target});
+    }
+  }
+  for (int nz = 0; nz < noise; ++nz) {
+    const NodeId v = static_cast<NodeId>(2 * pairs + nz);
+    for (int t = 0; t < 6; ++t) {
+      edges.push_back({v, static_cast<NodeId>(base_targets + rng.below(20))});
+    }
+  }
+  return testing::csr_from_edges(total, std::move(edges));
+}
+
+TEST(Lsh, FindsIdenticalTwins) {
+  const Csr g = twin_graph(10, 30, 1);
+  const LshConfig cfg{};
+  const MinHashSignatures sigs = minhash_signatures(g, cfg.bands * cfg.rows_per_band);
+  const auto pairs = lsh_candidate_pairs(sigs, cfg);
+
+  // Every twin pair (2p, 2p+1) must be among the candidates: identical
+  // sets collide in every band.
+  for (int p = 0; p < 10; ++p) {
+    const NodeId a = static_cast<NodeId>(2 * p);
+    const NodeId b = static_cast<NodeId>(2 * p + 1);
+    const bool found = std::any_of(pairs.begin(), pairs.end(), [&](const CandidatePair& cp) {
+      return cp.a == a && cp.b == b;
+    });
+    EXPECT_TRUE(found) << "twin pair " << p;
+  }
+}
+
+TEST(Lsh, PairsAreDeduplicatedAndOrdered) {
+  const Csr g = twin_graph(5, 10, 2);
+  const LshConfig cfg{};
+  const MinHashSignatures sigs = minhash_signatures(g, cfg.bands * cfg.rows_per_band);
+  const auto pairs = lsh_candidate_pairs(sigs, cfg);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_LT(pairs[i].a, pairs[i].b);
+    for (std::size_t j = i + 1; j < pairs.size(); ++j) {
+      EXPECT_FALSE(pairs[i].a == pairs[j].a && pairs[i].b == pairs[j].b);
+    }
+  }
+}
+
+TEST(Lsh, MinSimilarityFilters) {
+  const Csr g = twin_graph(5, 40, 3);
+  const MinHashSignatures sigs = minhash_signatures(g, 16);
+  LshConfig strict{};
+  strict.min_similarity = 0.99;
+  const auto strict_pairs = lsh_candidate_pairs(sigs, strict);
+  for (const auto& p : strict_pairs) EXPECT_GE(p.similarity, 0.99);
+
+  LshConfig loose{};
+  loose.min_similarity = 0.0;
+  const auto loose_pairs = lsh_candidate_pairs(sigs, loose);
+  EXPECT_GE(loose_pairs.size(), strict_pairs.size());
+}
+
+TEST(Lsh, SearchSpaceFarBelowQuadratic) {
+  // The whole point of LSH: candidate count is nowhere near N^2/2.
+  const Csr g = testing::random_graph(500, 6.0, 4);
+  const LshConfig cfg{};
+  const MinHashSignatures sigs = minhash_signatures(g, cfg.bands * cfg.rows_per_band);
+  const auto pairs = lsh_candidate_pairs(sigs, cfg);
+  EXPECT_LT(pairs.size(), 500u * 499u / 20u);
+}
+
+TEST(Lsh, EmptyGraphYieldsNoPairs) {
+  Csr g;
+  g.num_nodes = 5;
+  g.row_ptr.assign(6, 0);
+  const MinHashSignatures sigs = minhash_signatures(g, 16);
+  EXPECT_TRUE(lsh_candidate_pairs(sigs, {}).empty());
+}
+
+}  // namespace
+}  // namespace gnnbridge::core

@@ -1,0 +1,72 @@
+#include "core/locality/minhash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/stats.hpp"
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::core {
+namespace {
+
+TEST(MinHash, IdenticalSetsGiveIdenticalSignatures) {
+  // Nodes 0 and 1 both aggregate {2, 3, 4}.
+  const Csr g = testing::csr_from_edges(
+      5, {{0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3}, {1, 4}});
+  const MinHashSignatures s = minhash_signatures(g, 16);
+  EXPECT_DOUBLE_EQ(estimate_jaccard(s, 0, 1), 1.0);
+}
+
+TEST(MinHash, DisjointSetsRarelyCollide) {
+  const Csr g = testing::csr_from_edges(8, {{0, 2}, {0, 3}, {1, 4}, {1, 5}});
+  const MinHashSignatures s = minhash_signatures(g, 64);
+  EXPECT_LT(estimate_jaccard(s, 0, 1), 0.15);
+}
+
+TEST(MinHash, EmptySetsNeverMatchAnything) {
+  const Csr g = testing::csr_from_edges(4, {{0, 1}});
+  const MinHashSignatures s = minhash_signatures(g, 8);
+  // Nodes 2 and 3 are isolated.
+  EXPECT_DOUBLE_EQ(estimate_jaccard(s, 2, 3), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_jaccard(s, 2, 0), 0.0);
+}
+
+TEST(MinHash, EstimateApproximatesTrueJaccard) {
+  // The statistical contract: E[estimate] = true Jaccard. Check on random
+  // graphs with many hash rows.
+  const Csr g = testing::random_graph(60, 12.0, 7);
+  const MinHashSignatures s = minhash_signatures(g, 256);
+  double worst = 0.0;
+  int checked = 0;
+  for (NodeId a = 0; a < 20; ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < 20; ++b) {
+      if (g.degree(a) == 0 || g.degree(b) == 0) continue;
+      const double truth = graph::jaccard(g.neighbors(a), g.neighbors(b));
+      const double est = estimate_jaccard(s, a, b);
+      worst = std::max(worst, std::fabs(truth - est));
+      ++checked;
+    }
+  }
+  ASSERT_GT(checked, 50);
+  EXPECT_LT(worst, 0.25);  // 256 rows: stderr ~ sqrt(p(1-p)/256) <= 0.032
+}
+
+TEST(MinHash, DeterministicPerSeed) {
+  const Csr g = testing::random_graph(30, 5.0, 9);
+  const MinHashSignatures a = minhash_signatures(g, 16, 123);
+  const MinHashSignatures b = minhash_signatures(g, 16, 123);
+  EXPECT_EQ(a.sig, b.sig);
+  const MinHashSignatures c = minhash_signatures(g, 16, 456);
+  EXPECT_NE(a.sig, c.sig);
+}
+
+TEST(MinHash, SignatureSizeMatchesRows) {
+  const Csr g = testing::random_graph(10, 3.0, 11);
+  const MinHashSignatures s = minhash_signatures(g, 12);
+  EXPECT_EQ(s.rows, 12);
+  EXPECT_EQ(s.sig.size(), 120u);
+}
+
+}  // namespace
+}  // namespace gnnbridge::core

@@ -1,0 +1,72 @@
+#include "core/locality/reorder_baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::core {
+namespace {
+
+using graph::Csr;
+
+bool is_permutation_of_n(const std::vector<graph::NodeId>& order, graph::NodeId n) {
+  if (static_cast<graph::NodeId>(order.size()) != n) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (graph::NodeId v : order) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+TEST(DegreeOrder, SortedDescending) {
+  const Csr g = testing::random_graph(100, 6.0, 1);
+  const auto order = degree_order(g);
+  ASSERT_TRUE(is_permutation_of_n(order, 100));
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(g.degree(order[i - 1]), g.degree(order[i]));
+  }
+}
+
+TEST(DegreeOrder, StableOnTies) {
+  const Csr g = testing::path_graph(10);  // all in-degrees 0 or 1
+  const auto order = degree_order(g);
+  // Among equal degrees, ids stay ascending.
+  graph::NodeId prev_deg1 = -1, prev_deg0 = -1;
+  for (graph::NodeId v : order) {
+    if (g.degree(v) == 1) {
+      EXPECT_GT(v, prev_deg1);
+      prev_deg1 = v;
+    } else {
+      EXPECT_GT(v, prev_deg0);
+      prev_deg0 = v;
+    }
+  }
+}
+
+TEST(BfsOrder, PermutationCoveringAllComponents) {
+  // Two disjoint components.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (graph::NodeId v = 0; v < 5; ++v) edges.push_back({v, (v + 1) % 5});
+  for (graph::NodeId v = 5; v < 12; ++v) edges.push_back({v, v == 11 ? 5 : v + 1});
+  const Csr g = testing::csr_from_edges(12, std::move(edges));
+  const auto order = bfs_order(g);
+  EXPECT_TRUE(is_permutation_of_n(order, 12));
+}
+
+TEST(BfsOrder, NeighborsFollowSeedClosely) {
+  const Csr g = testing::star_graph(20);  // hub 0 first (highest degree)
+  const auto order = bfs_order(g);
+  EXPECT_EQ(order[0], 0);
+}
+
+TEST(BfsOrder, IncludesIsolatedNodes) {
+  const Csr g = testing::csr_from_edges(6, {{0, 1}});
+  const auto order = bfs_order(g);
+  EXPECT_TRUE(is_permutation_of_n(order, 6));
+}
+
+}  // namespace
+}  // namespace gnnbridge::core

@@ -1,0 +1,101 @@
+#include "core/locality/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/datasets.hpp"
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::core {
+namespace {
+
+bool is_permutation_of_n(const std::vector<NodeId>& order, NodeId n) {
+  if (static_cast<NodeId>(order.size()) != n) return false;
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (NodeId v : order) {
+    if (v < 0 || v >= n || seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+TEST(LasSchedule, OrderIsAPermutation) {
+  const Csr g = testing::random_graph(200, 8.0, 1);
+  const LasSchedule s = locality_aware_schedule(g);
+  EXPECT_TRUE(is_permutation_of_n(s.order, g.num_nodes));
+}
+
+TEST(LasSchedule, Deterministic) {
+  const Csr g = testing::random_graph(150, 6.0, 2);
+  const LasSchedule a = locality_aware_schedule(g);
+  const LasSchedule b = locality_aware_schedule(g);
+  EXPECT_EQ(a.order, b.order);
+}
+
+TEST(LasSchedule, TwinsEndUpAdjacent) {
+  // Nodes 0..3 share one neighbor set; 4..7 share another; the rest are
+  // random. Cluster members must be contiguous in the order.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < 4; ++v) {
+    for (NodeId t : {20, 21, 22, 23, 24}) edges.push_back({v, t});
+  }
+  for (NodeId v = 4; v < 8; ++v) {
+    for (NodeId t : {30, 31, 32, 33, 34}) edges.push_back({v, t});
+  }
+  tensor::Rng rng(3);
+  for (NodeId v = 8; v < 20; ++v) {
+    for (int i = 0; i < 5; ++i) edges.push_back({v, static_cast<NodeId>(20 + rng.below(20))});
+  }
+  const Csr g = testing::csr_from_edges(40, std::move(edges));
+  const LasSchedule s = locality_aware_schedule(g);
+
+  auto pos = [&](NodeId v) {
+    return std::find(s.order.begin(), s.order.end(), v) - s.order.begin();
+  };
+  // Group A contiguous.
+  std::vector<std::ptrdiff_t> pa = {pos(0), pos(1), pos(2), pos(3)};
+  std::sort(pa.begin(), pa.end());
+  EXPECT_EQ(pa.back() - pa.front(), 3);
+  // Group B contiguous.
+  std::vector<std::ptrdiff_t> pb = {pos(4), pos(5), pos(6), pos(7)};
+  std::sort(pb.begin(), pb.end());
+  EXPECT_EQ(pb.back() - pb.front(), 3);
+  EXPECT_GE(s.num_nontrivial_clusters, 2);
+}
+
+TEST(LasSchedule, NoSimilarityMeansNaturalOrder) {
+  // A directed cycle: every neighbor set is a distinct singleton.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < 20; ++v) edges.push_back({v, static_cast<NodeId>((v + 1) % 20)});
+  const Csr g = testing::csr_from_edges(20, std::move(edges));
+  const LasSchedule s = locality_aware_schedule(g);
+  std::vector<NodeId> natural(20);
+  std::iota(natural.begin(), natural.end(), 0);
+  EXPECT_EQ(s.order, natural);
+  EXPECT_EQ(s.num_nontrivial_clusters, 0);
+}
+
+TEST(LasSchedule, RunsOnRealDatasetShape) {
+  const graph::Dataset d = graph::make_dataset(graph::DatasetId::kCollab, 0.05);
+  const LasSchedule s = locality_aware_schedule(d.csr);
+  EXPECT_TRUE(is_permutation_of_n(s.order, d.csr.num_nodes));
+  // A power-law collaboration graph has *some* overlapping neighborhoods.
+  EXPECT_GT(s.num_candidate_pairs, 0);
+}
+
+TEST(LasSchedule, ClusterSizeCapRespectedInOrdering) {
+  // 64 identical-neighborhood nodes with default cap 32: at least two
+  // clusters, none bigger than 32.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < 64; ++v) {
+    for (NodeId t : {70, 71, 72}) edges.push_back({v, t});
+  }
+  const Csr g = testing::csr_from_edges(80, std::move(edges));
+  LasConfig cfg;
+  const LasSchedule s = locality_aware_schedule(g, cfg);
+  EXPECT_GE(s.num_nontrivial_clusters, 2);
+}
+
+}  // namespace
+}  // namespace gnnbridge::core

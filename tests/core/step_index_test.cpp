@@ -1,0 +1,51 @@
+#include "core/spfetch/step_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::core {
+namespace {
+
+TEST(StepIndex, PicksTthNeighbor) {
+  const Csr g = testing::csr_from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(step_neighbor_index(g, 0)[0], 1);
+  EXPECT_EQ(step_neighbor_index(g, 1)[0], 2);
+  EXPECT_EQ(step_neighbor_index(g, 2)[0], 3);
+}
+
+TEST(StepIndex, WrapsAroundDegree) {
+  const Csr g = testing::csr_from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(step_neighbor_index(g, 3)[0], 1);
+  EXPECT_EQ(step_neighbor_index(g, 7)[0], 2);
+}
+
+TEST(StepIndex, IsolatedNodeFallsBackToSelf) {
+  const Csr g = testing::csr_from_edges(3, {{0, 1}});
+  const auto idx = step_neighbor_index(g, 0);
+  EXPECT_EQ(idx[2], 2);
+  EXPECT_EQ(idx[1], 1);  // node 1 also has no in-neighbors here
+}
+
+TEST(StepIndexSet, BuildsOneBufferPerStep) {
+  const Csr g = testing::random_graph(30, 4.0, 1);
+  sim::SimContext ctx(sim::v100());
+  const StepIndexSet set = build_step_indices(ctx, g, 5);
+  EXPECT_EQ(set.index.size(), 5u);
+  EXPECT_EQ(set.buf.size(), 5u);
+  for (const auto& idx : set.index) EXPECT_EQ(idx.size(), 30u);
+  // Buffers are distinct allocations.
+  EXPECT_NE(set.buf[0].base, set.buf[1].base);
+}
+
+TEST(StepIndexSet, MatchesScalarFunction) {
+  const Csr g = testing::random_graph(25, 6.0, 2);
+  sim::SimContext ctx(sim::v100());
+  const StepIndexSet set = build_step_indices(ctx, g, 3);
+  for (int t = 0; t < 3; ++t) {
+    EXPECT_EQ(set.index[static_cast<std::size_t>(t)], step_neighbor_index(g, t));
+  }
+}
+
+}  // namespace
+}  // namespace gnnbridge::core

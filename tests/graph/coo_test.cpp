@@ -1,0 +1,86 @@
+#include "graph/coo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gnnbridge::graph {
+namespace {
+
+TEST(Coo, AddEdgeAppends) {
+  Coo g;
+  g.num_nodes = 3;
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.src[1], 2);
+  EXPECT_EQ(g.dst[1], 1);
+}
+
+TEST(Canonicalize, SortsByDstThenSrc) {
+  Coo g;
+  g.num_nodes = 4;
+  g.add_edge(3, 0);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  Coo c = canonicalize(g);
+  ASSERT_EQ(c.num_edges(), 3);
+  EXPECT_EQ(c.dst[0], 0);
+  EXPECT_EQ(c.dst[1], 2);
+  EXPECT_EQ(c.src[1], 0);
+  EXPECT_EQ(c.src[2], 1);
+}
+
+TEST(Canonicalize, RemovesDuplicates) {
+  Coo g;
+  g.num_nodes = 2;
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(canonicalize(g).num_edges(), 1);
+}
+
+TEST(Canonicalize, DropsSelfLoopsByDefault) {
+  Coo g;
+  g.num_nodes = 2;
+  g.add_edge(0, 0);
+  g.add_edge(0, 1);
+  EXPECT_EQ(canonicalize(g).num_edges(), 1);
+  EXPECT_EQ(canonicalize(g, /*keep_self_loops=*/true).num_edges(), 2);
+}
+
+TEST(Symmetrize, AddsReverseEdges) {
+  Coo g;
+  g.num_nodes = 3;
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  Coo s = symmetrize(g);
+  EXPECT_EQ(s.num_edges(), 4);
+}
+
+TEST(Symmetrize, IdempotentOnSymmetricInput) {
+  Coo g;
+  g.num_nodes = 2;
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  Coo s = symmetrize(g);
+  EXPECT_EQ(s.num_edges(), 2);
+  EXPECT_EQ(symmetrize(s).num_edges(), 2);
+}
+
+TEST(Valid, DetectsOutOfRange) {
+  Coo g;
+  g.num_nodes = 2;
+  g.add_edge(0, 1);
+  EXPECT_TRUE(valid(g));
+  g.add_edge(0, 2);
+  EXPECT_FALSE(valid(g));
+}
+
+TEST(Valid, DetectsLengthMismatch) {
+  Coo g;
+  g.num_nodes = 2;
+  g.src.push_back(0);
+  EXPECT_FALSE(valid(g));
+}
+
+}  // namespace
+}  // namespace gnnbridge::graph

@@ -1,0 +1,89 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::graph {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(GraphIo, CsrRoundTrip) {
+  const Csr g = gnnbridge::testing::random_graph(100, 6.0, 1);
+  const std::string path = temp_path("g.csr");
+  ASSERT_TRUE(save_csr(g, path));
+  Csr loaded;
+  ASSERT_TRUE(load_csr(loaded, path));
+  EXPECT_EQ(loaded.num_nodes, g.num_nodes);
+  EXPECT_EQ(loaded.row_ptr, g.row_ptr);
+  EXPECT_EQ(loaded.col_idx, g.col_idx);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadRejectsMissingFile) {
+  Csr g;
+  EXPECT_FALSE(load_csr(g, temp_path("nonexistent.csr")));
+}
+
+TEST(GraphIo, LoadRejectsBadMagic) {
+  const std::string path = temp_path("bad.csr");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a graph";
+  }
+  Csr g;
+  EXPECT_FALSE(load_csr(g, path));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadRejectsCorruptStructure) {
+  Csr g = gnnbridge::testing::random_graph(20, 3.0, 2);
+  g.col_idx[0] = 99;  // out of range — must fail validity check on load
+  const std::string path = temp_path("corrupt.csr");
+  ASSERT_TRUE(save_csr(g, path));
+  Csr loaded;
+  EXPECT_FALSE(load_csr(loaded, path));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, MatrixRoundTrip) {
+  const tensor::Matrix m = gnnbridge::testing::random_matrix(17, 9, 3);
+  const std::string path = temp_path("m.mat");
+  ASSERT_TRUE(save_matrix(m, path));
+  tensor::Matrix loaded;
+  ASSERT_TRUE(load_matrix(loaded, path));
+  EXPECT_EQ(loaded, m);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, EdgeListParsing) {
+  std::istringstream in("# comment\n0 1\n1 2\n% another comment\n2 0\n");
+  Coo coo;
+  ASSERT_TRUE(read_edge_list(in, coo));
+  EXPECT_EQ(coo.num_nodes, 3);
+  EXPECT_EQ(coo.num_edges(), 3);
+  EXPECT_EQ(coo.src[2], 2);
+  EXPECT_EQ(coo.dst[2], 0);
+}
+
+TEST(GraphIo, EdgeListRejectsGarbage) {
+  std::istringstream in("0 1\nnot numbers\n");
+  Coo coo;
+  EXPECT_FALSE(read_edge_list(in, coo));
+}
+
+TEST(GraphIo, EdgeListRejectsNegativeIds) {
+  std::istringstream in("0 -1\n");
+  Coo coo;
+  EXPECT_FALSE(read_edge_list(in, coo));
+}
+
+}  // namespace
+}  // namespace gnnbridge::graph

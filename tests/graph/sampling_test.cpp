@@ -1,0 +1,83 @@
+#include "graph/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::graph {
+namespace {
+
+TEST(SampleBatchCenters, DistinctSortedInRange) {
+  tensor::Rng rng(1);
+  const auto centers = sample_batch_centers(100, 20, rng);
+  ASSERT_EQ(centers.size(), 20u);
+  for (std::size_t i = 1; i < centers.size(); ++i) EXPECT_LT(centers[i - 1], centers[i]);
+  for (NodeId v : centers) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(SampleBatchCenters, ClampsToNodeCount) {
+  tensor::Rng rng(2);
+  EXPECT_EQ(sample_batch_centers(5, 20, rng).size(), 5u);
+}
+
+TEST(SampleNeighbors, FanoutRespected) {
+  const Csr g = testing::star_graph(50);  // node 0: degree 49
+  tensor::Rng rng(3);
+  const NodeId centers[] = {0};
+  const SampledBatch b = sample_neighbors(g, centers, 8, rng);
+  EXPECT_EQ(b.csr.num_nodes, 1);
+  EXPECT_EQ(b.csr.degree(0), 8);
+}
+
+TEST(SampleNeighbors, LowDegreeNodesKeepAllNeighbors) {
+  const Csr g = testing::path_graph(10);  // degree <= 1
+  tensor::Rng rng(4);
+  const NodeId centers[] = {0, 3, 9};
+  const SampledBatch b = sample_neighbors(g, centers, 5, rng);
+  EXPECT_EQ(b.csr.degree(0), 1);
+  EXPECT_EQ(b.csr.degree(2), 0);  // node 9 has no in-neighbors
+}
+
+TEST(SampleNeighbors, SamplesWithoutReplacementFromTrueNeighbors) {
+  const Csr g = testing::random_graph(60, 12.0, 5);
+  tensor::Rng rng(6);
+  const auto centers = sample_batch_centers(60, 30, rng);
+  const SampledBatch b = sample_neighbors(g, centers, 4, rng);
+  ASSERT_TRUE(valid(b.csr) || b.csr.num_nodes == 30);  // cols index the FULL graph
+  for (NodeId i = 0; i < b.csr.num_nodes; ++i) {
+    const NodeId center = b.centers[static_cast<std::size_t>(i)];
+    const auto true_nbrs = g.neighbors(center);
+    std::set<NodeId> seen;
+    for (NodeId u : b.csr.neighbors(i)) {
+      EXPECT_TRUE(std::binary_search(true_nbrs.begin(), true_nbrs.end(), u));
+      EXPECT_TRUE(seen.insert(u).second) << "duplicate sample";
+    }
+  }
+}
+
+TEST(SampleNeighbors, DifferentSeedsDifferentBatches) {
+  const Csr g = testing::random_graph(80, 20.0, 7);
+  tensor::Rng a(8), b(9);
+  const auto centers = sample_batch_centers(80, 40, a);
+  const SampledBatch sa = sample_neighbors(g, centers, 4, a);
+  const SampledBatch sb = sample_neighbors(g, centers, 4, b);
+  EXPECT_NE(sa.csr.col_idx, sb.csr.col_idx);
+}
+
+TEST(SampleNeighbors, DeterministicPerSeed) {
+  const Csr g = testing::random_graph(80, 20.0, 10);
+  tensor::Rng a(11), b(11);
+  const auto ca = sample_batch_centers(80, 40, a);
+  const auto cb = sample_batch_centers(80, 40, b);
+  EXPECT_EQ(ca, cb);
+  EXPECT_EQ(sample_neighbors(g, ca, 4, a).csr.col_idx,
+            sample_neighbors(g, cb, 4, b).csr.col_idx);
+}
+
+}  // namespace
+}  // namespace gnnbridge::graph

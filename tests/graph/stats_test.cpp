@@ -1,0 +1,82 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::graph {
+namespace {
+
+TEST(DegreeStats, StarGraph) {
+  const Csr g = testing::star_graph(11);  // node 0 has degree 10
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.num_nodes, 11);
+  EXPECT_EQ(s.num_edges, 10);
+  EXPECT_EQ(s.max_degree, 10);
+  EXPECT_NEAR(s.avg_degree, 10.0 / 11.0, 1e-9);
+  EXPECT_NEAR(s.density, 10.0 / 121.0, 1e-9);
+}
+
+TEST(DegreeStats, RegularGraphHasZeroVariance) {
+  // A directed cycle: every node has in-degree exactly 1.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 0; v < 6; ++v) edges.push_back({v, (v + 1) % 6});
+  const Csr g = testing::csr_from_edges(6, std::move(edges));
+  const DegreeStats s = degree_stats(g);
+  EXPECT_NEAR(s.degree_variance, 0.0, 1e-9);
+  EXPECT_EQ(s.max_degree, 1);
+}
+
+TEST(DegreeStats, EmptyGraph) {
+  Csr g;
+  g.num_nodes = 0;
+  g.row_ptr = {0};
+  const DegreeStats s = degree_stats(g);
+  EXPECT_EQ(s.num_nodes, 0);
+  EXPECT_EQ(s.num_edges, 0);
+}
+
+TEST(Jaccard, IdenticalSetsGiveOne) {
+  const std::vector<NodeId> a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+}
+
+TEST(Jaccard, DisjointSetsGiveZero) {
+  const std::vector<NodeId> a{1, 2};
+  const std::vector<NodeId> b{3, 4};
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  const std::vector<NodeId> a{1, 2, 3};
+  const std::vector<NodeId> b{2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(jaccard(a, b), 2.0 / 5.0);
+}
+
+TEST(Jaccard, EmptySets) {
+  const std::vector<NodeId> a;
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 0.0);
+}
+
+TEST(SampledJaccard, HighForCliqueCommunities) {
+  // Two disjoint 8-cliques: within-community neighbor sets overlap almost
+  // fully, so sampled similarity should be well above a random graph's.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId base : {0, 8}) {
+    for (NodeId i = 0; i < 8; ++i) {
+      for (NodeId j = 0; j < 8; ++j) {
+        if (i != j) edges.push_back({static_cast<NodeId>(base + i), static_cast<NodeId>(base + j)});
+      }
+    }
+  }
+  const Csr clique = testing::csr_from_edges(16, std::move(edges));
+  const Csr random = testing::random_graph(16, 7.0, 3);
+  tensor::Rng rng1(1), rng2(1);
+  const double sim_clique = sampled_neighbor_jaccard(clique, 300, rng1);
+  const double sim_random = sampled_neighbor_jaccard(random, 300, rng2);
+  EXPECT_GT(sim_clique, sim_random);
+  EXPECT_GT(sim_clique, 0.3);
+}
+
+}  // namespace
+}  // namespace gnnbridge::graph

@@ -1,0 +1,77 @@
+// Validates the paper-scale OOM model against Figure 7's published
+// OOM/no-OOM pattern — every cell, every framework.
+#include "baselines/footprint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gnnbridge::baselines {
+namespace {
+
+using graph::DatasetId;
+using graph::paper_stats;
+
+const models::GcnConfig kGcn{};  // {512,128,64,32}
+const models::GatConfig kGat{};
+
+bool pyg_gcn_oom(DatasetId id) { return pyg_footprint_gcn(paper_stats(id), kGcn) > kDeviceBytes; }
+bool pyg_gat_oom(DatasetId id) { return pyg_footprint_gat(paper_stats(id), kGat) > kDeviceBytes; }
+bool roc_gcn_oom(DatasetId id) { return roc_footprint_gcn(paper_stats(id), kGcn) > kDeviceBytes; }
+bool dgl_gcn_oom(DatasetId id) { return dgl_footprint(paper_stats(id), kGcn) > kDeviceBytes; }
+bool dgl_gat_oom(DatasetId id) { return dgl_footprint_gat(paper_stats(id), kGat) > kDeviceBytes; }
+
+TEST(Footprint, DglNeverOoms) {
+  for (DatasetId id : graph::kAllDatasets) {
+    EXPECT_FALSE(dgl_gcn_oom(id)) << graph::dataset_name(id);
+    EXPECT_FALSE(dgl_gat_oom(id)) << graph::dataset_name(id);
+  }
+}
+
+TEST(Footprint, PygGcnOomPatternMatchesFigure7a) {
+  EXPECT_FALSE(pyg_gcn_oom(DatasetId::kArxiv));
+  EXPECT_FALSE(pyg_gcn_oom(DatasetId::kCollab));
+  EXPECT_FALSE(pyg_gcn_oom(DatasetId::kCitation));
+  EXPECT_FALSE(pyg_gcn_oom(DatasetId::kDdi));
+  EXPECT_TRUE(pyg_gcn_oom(DatasetId::kProtein));
+  EXPECT_FALSE(pyg_gcn_oom(DatasetId::kPpa));
+  EXPECT_TRUE(pyg_gcn_oom(DatasetId::kReddit));
+  EXPECT_TRUE(pyg_gcn_oom(DatasetId::kProducts));
+}
+
+TEST(Footprint, PygGatOomPatternMatchesFigure7b) {
+  EXPECT_FALSE(pyg_gat_oom(DatasetId::kArxiv));
+  EXPECT_FALSE(pyg_gat_oom(DatasetId::kCollab));
+  EXPECT_TRUE(pyg_gat_oom(DatasetId::kCitation));
+  EXPECT_FALSE(pyg_gat_oom(DatasetId::kDdi));
+  EXPECT_TRUE(pyg_gat_oom(DatasetId::kProtein));
+  EXPECT_TRUE(pyg_gat_oom(DatasetId::kPpa));
+  EXPECT_TRUE(pyg_gat_oom(DatasetId::kReddit));
+  EXPECT_TRUE(pyg_gat_oom(DatasetId::kProducts));
+}
+
+TEST(Footprint, RocGcnOomPatternMatchesFigure7a) {
+  EXPECT_FALSE(roc_gcn_oom(DatasetId::kArxiv));
+  EXPECT_FALSE(roc_gcn_oom(DatasetId::kCollab));
+  EXPECT_TRUE(roc_gcn_oom(DatasetId::kCitation));
+  EXPECT_FALSE(roc_gcn_oom(DatasetId::kDdi));
+  EXPECT_FALSE(roc_gcn_oom(DatasetId::kProtein));
+  EXPECT_FALSE(roc_gcn_oom(DatasetId::kPpa));
+  EXPECT_TRUE(roc_gcn_oom(DatasetId::kReddit));
+  EXPECT_TRUE(roc_gcn_oom(DatasetId::kProducts));
+}
+
+TEST(Footprint, ExpansionDominatesPygFootprint) {
+  const auto paper = paper_stats(DatasetId::kReddit);
+  const std::uint64_t pyg = pyg_footprint_gcn(paper, kGcn);
+  const std::uint64_t dgl = dgl_footprint(paper, kGcn);
+  EXPECT_GT(pyg, 10 * dgl);
+}
+
+TEST(Footprint, MonotoneInEdges) {
+  auto small = paper_stats(DatasetId::kArxiv);
+  auto big = small;
+  big.num_edges *= 100;
+  EXPECT_GT(pyg_footprint_gcn(big, kGcn), pyg_footprint_gcn(small, kGcn));
+}
+
+}  // namespace
+}  // namespace gnnbridge::baselines

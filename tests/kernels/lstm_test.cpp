@@ -1,0 +1,91 @@
+#include "kernels/lstm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/lstm.hpp"
+#include "tensor/ops.hpp"
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::kernels {
+namespace {
+
+using testing::random_matrix;
+
+TEST(LstmPointwise, MatchesReferenceGateMath) {
+  const Index n = 12, hidden = 8;
+  sim::SimContext ctx(sim::v100());
+  Matrix gates_host = random_matrix(n, 4 * hidden, 1);
+  Matrix bias_host = random_matrix(4 * hidden, 1, 2, -0.1f, 0.1f);
+  Matrix c_host = random_matrix(n, hidden, 3);
+  Matrix h_host(n, hidden);
+
+  // Reference: add bias to gates, then apply the shared gate math.
+  Matrix gates_biased = gates_host;
+  for (Index r = 0; r < n; ++r) {
+    auto row = gates_biased.row(r);
+    for (Index j = 0; j < 4 * hidden; ++j) row[j] += bias_host(j, 0);
+  }
+  models::LstmState ref_state{Matrix(n, hidden), c_host};
+  models::lstm_apply_gates(gates_biased, ref_state);
+
+  auto gates = device_mat(ctx, gates_host, "g");
+  auto bias = device_mat(ctx, bias_host, "b");
+  auto c = device_mat(ctx, c_host, "c");
+  auto h = device_mat(ctx, h_host, "h");
+  lstm_pointwise(ctx, {.gates = &gates, .bias = &bias, .c = &c, .h = &h});
+
+  EXPECT_TRUE(tensor::allclose(h_host, ref_state.h, 1e-5f, 1e-6f));
+  EXPECT_TRUE(tensor::allclose(c_host, ref_state.c, 1e-5f, 1e-6f));
+}
+
+TEST(LstmPointwise, NullBiasMeansZeroBias) {
+  const Index n = 5, hidden = 4;
+  sim::SimContext ctx(sim::v100());
+  Matrix gates_host = random_matrix(n, 4 * hidden, 4);
+  Matrix c_host(n, hidden);
+  Matrix h_host(n, hidden);
+  auto gates = device_mat(ctx, gates_host, "g");
+  auto c = device_mat(ctx, c_host, "c");
+  auto h = device_mat(ctx, h_host, "h");
+  lstm_pointwise(ctx, {.gates = &gates, .bias = nullptr, .c = &c, .h = &h});
+
+  models::LstmState ref_state{Matrix(n, hidden), Matrix(n, hidden)};
+  models::lstm_apply_gates(gates_host, ref_state);
+  EXPECT_TRUE(tensor::allclose(h_host, ref_state.h, 1e-5f, 1e-6f));
+}
+
+TEST(LstmPointwise, StateEvolvesAcrossSteps) {
+  const Index n = 3, hidden = 4;
+  sim::SimContext ctx(sim::v100());
+  Matrix gates_host = random_matrix(n, 4 * hidden, 5);
+  Matrix c_host(n, hidden);
+  Matrix h_host(n, hidden);
+  auto gates = device_mat(ctx, gates_host, "g");
+  auto c = device_mat(ctx, c_host, "c");
+  auto h = device_mat(ctx, h_host, "h");
+  lstm_pointwise(ctx, {.gates = &gates, .bias = nullptr, .c = &c, .h = &h});
+  const Matrix h1 = h_host;
+  lstm_pointwise(ctx, {.gates = &gates, .bias = nullptr, .c = &c, .h = &h});
+  EXPECT_GT(tensor::max_abs_diff(h1, h_host), 0.0f);
+}
+
+TEST(LstmPointwise, HiddenStateBounded) {
+  // h = o * tanh(c) is always in (-1, 1).
+  const Index n = 20, hidden = 16;
+  sim::SimContext ctx(sim::v100());
+  Matrix gates_host = random_matrix(n, 4 * hidden, 6, -5.0f, 5.0f);
+  Matrix c_host = random_matrix(n, hidden, 7, -2.0f, 2.0f);
+  Matrix h_host(n, hidden);
+  auto gates = device_mat(ctx, gates_host, "g");
+  auto c = device_mat(ctx, c_host, "c");
+  auto h = device_mat(ctx, h_host, "h");
+  lstm_pointwise(ctx, {.gates = &gates, .bias = nullptr, .c = &c, .h = &h});
+  for (Index i = 0; i < h_host.size(); ++i) {
+    EXPECT_LT(std::fabs(h_host.data()[i]), 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace gnnbridge::kernels

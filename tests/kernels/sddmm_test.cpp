@@ -1,0 +1,96 @@
+#include "kernels/sddmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/layers.hpp"
+#include "tensor/ops.hpp"
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::kernels {
+namespace {
+
+using testing::random_graph;
+using testing::random_matrix;
+
+TEST(UAddV, MatchesPerEdgeSum) {
+  const graph::Csr csr = random_graph(40, 5.0, 1);
+  sim::SimContext ctx(sim::v100());
+  auto gdev = device_graph(ctx, csr, "g");
+  Matrix src_host = random_matrix(40, 1, 2);
+  Matrix dst_host = random_matrix(40, 1, 3);
+  Matrix e_host(csr.num_edges(), 1);
+  auto src = device_mat(ctx, src_host, "src");
+  auto dst = device_mat(ctx, dst_host, "dst");
+  auto e = device_mat(ctx, e_host, "e");
+  const auto tasks = natural_tasks(csr);
+  u_add_v(ctx, {.graph = &gdev, .tasks = tasks, .src_scalar = &src, .dst_scalar = &dst,
+                .edge_out = &e});
+  for (graph::NodeId v = 0; v < csr.num_nodes; ++v) {
+    for (graph::EdgeId idx = csr.row_ptr[v]; idx < csr.row_ptr[static_cast<std::size_t>(v) + 1];
+         ++idx) {
+      const graph::NodeId u = csr.col_idx[static_cast<std::size_t>(idx)];
+      EXPECT_FLOAT_EQ(e_host(idx, 0), src_host(u, 0) + dst_host(v, 0));
+    }
+  }
+}
+
+TEST(UAddV, SplitTasksCoverAllEdges) {
+  const graph::Csr csr = testing::star_graph(20);
+  sim::SimContext ctx(sim::v100());
+  auto gdev = device_graph(ctx, csr, "g");
+  Matrix src_host = random_matrix(20, 1, 4);
+  Matrix dst_host = random_matrix(20, 1, 5);
+  Matrix e_host(csr.num_edges(), 1);
+  e_host.fill(-99.0f);
+  auto src = device_mat(ctx, src_host, "src");
+  auto dst = device_mat(ctx, dst_host, "dst");
+  auto e = device_mat(ctx, e_host, "e");
+  // Split node 0's 19 edges into tasks of <= 4.
+  std::vector<Task> tasks;
+  for (graph::EdgeId b = 0; b < csr.num_edges(); b += 4) {
+    tasks.push_back({0, b, std::min<graph::EdgeId>(b + 4, csr.num_edges())});
+  }
+  u_add_v(ctx, {.graph = &gdev, .tasks = tasks, .src_scalar = &src, .dst_scalar = &dst,
+                .edge_out = &e});
+  for (graph::EdgeId idx = 0; idx < csr.num_edges(); ++idx) {
+    EXPECT_NE(e_host(idx, 0), -99.0f) << idx;
+  }
+}
+
+TEST(UDotV, MatchesCosineEdgeOp) {
+  const graph::Csr csr = random_graph(30, 4.0, 7);
+  sim::SimContext ctx(sim::v100());
+  auto gdev = device_graph(ctx, csr, "g");
+  Matrix left_host = random_matrix(30, 8, 8);
+  Matrix right_host = random_matrix(30, 8, 9);
+  Matrix e_host(csr.num_edges(), 1);
+  auto left = device_mat(ctx, left_host, "l");
+  auto right = device_mat(ctx, right_host, "r");
+  auto e = device_mat(ctx, e_host, "e");
+  const auto tasks = natural_tasks(csr);
+  u_dot_v(ctx, {.graph = &gdev, .tasks = tasks, .src_feat = &left, .dst_feat = &right,
+                .edge_out = &e});
+  const std::vector<float> expect = models::edge_cos(csr, left_host, right_host);
+  for (graph::EdgeId i = 0; i < csr.num_edges(); ++i) {
+    EXPECT_NEAR(e_host(i, 0), expect[static_cast<std::size_t>(i)], 1e-4f);
+  }
+}
+
+TEST(UDotV, FlopsCountTwoPerElement) {
+  const graph::Csr csr = testing::star_graph(5);  // 4 edges
+  sim::SimContext ctx(sim::v100());
+  auto gdev = device_graph(ctx, csr, "g");
+  Matrix l_host = random_matrix(5, 16, 10);
+  Matrix r_host = random_matrix(5, 16, 11);
+  Matrix e_host(4, 1);
+  auto l = device_mat(ctx, l_host, "l");
+  auto r = device_mat(ctx, r_host, "r");
+  auto e = device_mat(ctx, e_host, "e");
+  const auto tasks = natural_tasks(csr);
+  const sim::KernelStats& ks = u_dot_v(
+      ctx, {.graph = &gdev, .tasks = tasks, .src_feat = &l, .dst_feat = &r, .edge_out = &e});
+  EXPECT_DOUBLE_EQ(ks.flops, 2.0 * 16 * 4);
+}
+
+}  // namespace
+}  // namespace gnnbridge::kernels

@@ -1,0 +1,124 @@
+#include "models/gat_grad.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/layers.hpp"
+#include "tensor/ops.hpp"
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::models {
+namespace {
+
+struct GatGradFixture : public ::testing::Test {
+  Csr g = testing::random_graph(10, 3.0, 1);
+  Matrix h = testing::random_matrix(10, 5, 2);
+  Matrix w = testing::random_matrix(5, 4, 3);
+  Matrix al = testing::random_matrix(4, 1, 4);
+  Matrix ar = testing::random_matrix(4, 1, 5);
+  Matrix target = testing::random_matrix(10, 4, 6);
+
+  float loss_at() const {
+    const GatLayerCache c = gat_layer_forward_cached(g, h, w, al, ar);
+    float acc = 0.0f;
+    for (Index i = 0; i < c.output.size(); ++i) {
+      const float d = c.output.data()[i] - target.data()[i];
+      acc += 0.5f * d * d;
+    }
+    return acc;
+  }
+
+  Matrix loss_grad(const Matrix& out) const {
+    Matrix d(out.rows(), out.cols());
+    for (Index i = 0; i < out.size(); ++i) d.data()[i] = out.data()[i] - target.data()[i];
+    return d;
+  }
+};
+
+TEST_F(GatGradFixture, CachedForwardMatchesLayerZoo) {
+  const GatLayerCache c = gat_layer_forward_cached(g, h, w, al, ar);
+  const Matrix t = tensor::gemm(h, w);
+  const auto scores = edge_gat(g, t, al, ar);
+  const Matrix expect = layer_softmax_aggr(g, t, scores);
+  EXPECT_TRUE(tensor::allclose(c.output, expect, 1e-4f, 1e-5f));
+}
+
+TEST_F(GatGradFixture, AlphaIsARowStochasticMatrix) {
+  const GatLayerCache c = gat_layer_forward_cached(g, h, w, al, ar);
+  for (graph::NodeId v = 0; v < g.num_nodes; ++v) {
+    if (g.degree(v) == 0) continue;
+    float sum = 0.0f;
+    for (graph::EdgeId i = g.row_ptr[v]; i < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++i) {
+      EXPECT_GE(c.alpha[static_cast<std::size_t>(i)], 0.0f);
+      sum += c.alpha[static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST_F(GatGradFixture, WeightGradientMatchesFiniteDifferences) {
+  const GatLayerCache c = gat_layer_forward_cached(g, h, w, al, ar);
+  const GatLayerGrads grads = gat_layer_backward(g, w, al, ar, c, loss_grad(c.output));
+  const float eps = 1e-3f;
+  for (Index idx : {Index{0}, w.size() / 2, w.size() - 1}) {
+    const float saved = w.data()[idx];
+    w.data()[idx] = saved + eps;
+    const float up = loss_at();
+    w.data()[idx] = saved - eps;
+    const float down = loss_at();
+    w.data()[idx] = saved;
+    EXPECT_NEAR(grads.weight.data()[idx], (up - down) / (2.0f * eps), 5e-2f) << idx;
+  }
+}
+
+TEST_F(GatGradFixture, AttentionGradientsMatchFiniteDifferences) {
+  const GatLayerCache c = gat_layer_forward_cached(g, h, w, al, ar);
+  const GatLayerGrads grads = gat_layer_backward(g, w, al, ar, c, loss_grad(c.output));
+  const float eps = 1e-3f;
+  for (Index idx = 0; idx < al.rows(); ++idx) {
+    float saved = al(idx, 0);
+    al(idx, 0) = saved + eps;
+    const float up = loss_at();
+    al(idx, 0) = saved - eps;
+    const float down = loss_at();
+    al(idx, 0) = saved;
+    EXPECT_NEAR(grads.att_l(idx, 0), (up - down) / (2.0f * eps), 5e-2f) << "att_l " << idx;
+
+    saved = ar(idx, 0);
+    ar(idx, 0) = saved + eps;
+    const float up_r = loss_at();
+    ar(idx, 0) = saved - eps;
+    const float down_r = loss_at();
+    ar(idx, 0) = saved;
+    EXPECT_NEAR(grads.att_r(idx, 0), (up_r - down_r) / (2.0f * eps), 5e-2f) << "att_r " << idx;
+  }
+}
+
+TEST_F(GatGradFixture, InputGradientMatchesFiniteDifferences) {
+  const GatLayerCache c = gat_layer_forward_cached(g, h, w, al, ar);
+  const GatLayerGrads grads = gat_layer_backward(g, w, al, ar, c, loss_grad(c.output));
+  const float eps = 1e-3f;
+  for (Index idx : {Index{0}, h.size() / 3, h.size() - 1}) {
+    const float saved = h.data()[idx];
+    h.data()[idx] = saved + eps;
+    const float up = loss_at();
+    h.data()[idx] = saved - eps;
+    const float down = loss_at();
+    h.data()[idx] = saved;
+    EXPECT_NEAR(grads.input.data()[idx], (up - down) / (2.0f * eps), 5e-2f) << idx;
+  }
+}
+
+TEST_F(GatGradFixture, GradientDescentLowersLoss) {
+  const float before = loss_at();
+  for (int step = 0; step < 20; ++step) {
+    const GatLayerCache c = gat_layer_forward_cached(g, h, w, al, ar);
+    const GatLayerGrads grads = gat_layer_backward(g, w, al, ar, c, loss_grad(c.output));
+    tensor::axpy(w, -0.05f, grads.weight);
+    tensor::axpy(al, -0.05f, grads.att_l);
+    tensor::axpy(ar, -0.05f, grads.att_r);
+  }
+  EXPECT_LT(loss_at(), before);
+}
+
+}  // namespace
+}  // namespace gnnbridge::models

@@ -1,0 +1,137 @@
+#include "models/gcn_grad.hpp"
+
+#include <gtest/gtest.h>
+
+#include "models/reference.hpp"
+#include "tensor/ops.hpp"
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::models {
+namespace {
+
+struct GradFixture : public ::testing::Test {
+  Csr g = testing::random_graph(12, 3.0, 1);
+  GcnConfig cfg;
+  GcnParams params;
+  Matrix x, target;
+
+  GradFixture() {
+    cfg.dims = {5, 4, 3};
+    params = init_gcn(cfg, 2);
+    x = testing::random_matrix(12, 5, 3);
+    target = testing::random_matrix(12, 3, 4);
+  }
+
+  float loss_at() const {
+    const GcnForwardCache cache = gcn_forward_cached(g, x, cfg, params);
+    return mse_loss(cache.inputs.back(), target);
+  }
+};
+
+TEST_F(GradFixture, CachedForwardMatchesReference) {
+  const GcnForwardCache cache = gcn_forward_cached(g, x, cfg, params);
+  const Matrix expect = gcn_forward_ref(g, x, cfg, params);
+  EXPECT_TRUE(tensor::allclose(cache.inputs.back(), expect, 1e-5f, 1e-6f));
+  EXPECT_EQ(cache.inputs.size(), 3u);
+  EXPECT_EQ(cache.transformed.size(), 2u);
+}
+
+TEST_F(GradFixture, MseLossAndGradConsistent) {
+  Matrix out = testing::random_matrix(4, 3, 5);
+  Matrix tgt = testing::random_matrix(4, 3, 6);
+  const Matrix grad = mse_loss_grad(out, tgt);
+  // Directional derivative check: loss(out + eps*d) - loss(out) ~ eps <grad, d>.
+  Matrix dir = testing::random_matrix(4, 3, 7);
+  const float eps = 1e-3f;
+  Matrix moved = out;
+  tensor::axpy(moved, eps, dir);
+  const float analytic = tensor::dot({grad.data(), static_cast<std::size_t>(grad.size())},
+                                     {dir.data(), static_cast<std::size_t>(dir.size())});
+  const float numeric = (mse_loss(moved, tgt) - mse_loss(out, tgt)) / eps;
+  EXPECT_NEAR(numeric, analytic, 5e-4f);
+}
+
+/// Finite-difference gradient checks — the gold standard for backward
+/// implementations. Perturbs a sample of entries in every parameter.
+TEST_F(GradFixture, WeightGradientsMatchFiniteDifferences) {
+  const GcnForwardCache cache = gcn_forward_cached(g, x, cfg, params);
+  const Matrix d_out = mse_loss_grad(cache.inputs.back(), target);
+  const GcnGrads grads = gcn_backward(g, cfg, params, cache, d_out);
+
+  const float eps = 1e-3f;
+  for (std::size_t l = 0; l < params.weight.size(); ++l) {
+    for (Index idx : {Index{0}, params.weight[l].size() / 2, params.weight[l].size() - 1}) {
+      const float saved = params.weight[l].data()[idx];
+      params.weight[l].data()[idx] = saved + eps;
+      const float up = loss_at();
+      params.weight[l].data()[idx] = saved - eps;
+      const float down = loss_at();
+      params.weight[l].data()[idx] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      EXPECT_NEAR(grads.weight[l].data()[idx], numeric, 2e-3f)
+          << "layer " << l << " idx " << idx;
+    }
+  }
+}
+
+TEST_F(GradFixture, BiasGradientsMatchFiniteDifferences) {
+  const GcnForwardCache cache = gcn_forward_cached(g, x, cfg, params);
+  const GcnGrads grads =
+      gcn_backward(g, cfg, params, cache, mse_loss_grad(cache.inputs.back(), target));
+  const float eps = 1e-3f;
+  for (std::size_t l = 0; l < params.bias.size(); ++l) {
+    for (Index idx = 0; idx < params.bias[l].rows(); ++idx) {
+      const float saved = params.bias[l](idx, 0);
+      params.bias[l](idx, 0) = saved + eps;
+      const float up = loss_at();
+      params.bias[l](idx, 0) = saved - eps;
+      const float down = loss_at();
+      params.bias[l](idx, 0) = saved;
+      EXPECT_NEAR(grads.bias[l](idx, 0), (up - down) / (2.0f * eps), 2e-3f);
+    }
+  }
+}
+
+TEST_F(GradFixture, InputGradientsMatchFiniteDifferences) {
+  const GcnForwardCache cache = gcn_forward_cached(g, x, cfg, params);
+  const GcnGrads grads =
+      gcn_backward(g, cfg, params, cache, mse_loss_grad(cache.inputs.back(), target));
+  const float eps = 1e-3f;
+  for (Index idx : {Index{0}, x.size() / 3, x.size() - 1}) {
+    const float saved = x.data()[idx];
+    x.data()[idx] = saved + eps;
+    const float up = loss_at();
+    x.data()[idx] = saved - eps;
+    const float down = loss_at();
+    x.data()[idx] = saved;
+    EXPECT_NEAR(grads.input.data()[idx], (up - down) / (2.0f * eps), 2e-3f);
+  }
+}
+
+TEST_F(GradFixture, SgdStepLowersLoss) {
+  float prev = loss_at();
+  for (int step = 0; step < 10; ++step) {
+    const GcnForwardCache cache = gcn_forward_cached(g, x, cfg, params);
+    const GcnGrads grads =
+        gcn_backward(g, cfg, params, cache, mse_loss_grad(cache.inputs.back(), target));
+    sgd_step(params, grads, 0.5f);
+  }
+  EXPECT_LT(loss_at(), prev);
+}
+
+TEST_F(GradFixture, GradShapesMatchParams) {
+  const GcnForwardCache cache = gcn_forward_cached(g, x, cfg, params);
+  const GcnGrads grads =
+      gcn_backward(g, cfg, params, cache, mse_loss_grad(cache.inputs.back(), target));
+  ASSERT_EQ(grads.weight.size(), params.weight.size());
+  for (std::size_t l = 0; l < params.weight.size(); ++l) {
+    EXPECT_EQ(grads.weight[l].rows(), params.weight[l].rows());
+    EXPECT_EQ(grads.weight[l].cols(), params.weight[l].cols());
+    EXPECT_EQ(grads.bias[l].rows(), params.bias[l].rows());
+  }
+  EXPECT_EQ(grads.input.rows(), x.rows());
+  EXPECT_EQ(grads.input.cols(), x.cols());
+}
+
+}  // namespace
+}  // namespace gnnbridge::models

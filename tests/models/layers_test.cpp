@@ -1,0 +1,188 @@
+#include "models/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/activations.hpp"
+#include "tensor/ops.hpp"
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::models {
+namespace {
+
+using testing::random_graph;
+using testing::random_matrix;
+
+struct LayerFixture : public ::testing::Test {
+  Csr g = random_graph(30, 4.0, 1);
+  Matrix h = random_matrix(30, 6, 2);
+  std::vector<float> ones = edge_const(g);
+};
+
+TEST_F(LayerFixture, SumLayerHandComputable) {
+  const Csr tiny = testing::csr_from_edges(3, {{0, 1}, {0, 2}});
+  Matrix feat(3, 2, {0, 0, 1, 2, 3, 4});
+  const std::vector<float> w{1.0f, 1.0f};
+  const Matrix out = layer_sum(tiny, feat, w);
+  EXPECT_FLOAT_EQ(out(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), 6.0f);
+  EXPECT_FLOAT_EQ(out(1, 0), 0.0f);
+}
+
+TEST_F(LayerFixture, MeanIsSumOverDegree) {
+  const Matrix sum = layer_sum(g, h, ones);
+  const Matrix mean = layer_mean(g, h, ones);
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    const EdgeId d = g.degree(v);
+    for (Index f = 0; f < h.cols(); ++f) {
+      if (d > 0) {
+        EXPECT_NEAR(mean(v, f), sum(v, f) / static_cast<float>(d), 1e-5f);
+      } else {
+        EXPECT_EQ(mean(v, f), 0.0f);
+      }
+    }
+  }
+}
+
+TEST_F(LayerFixture, PoolingIsMaxOfTransformed) {
+  Matrix w = random_matrix(6, 4, 3);
+  const Matrix out = layer_pooling(g, h, w, ones);
+  const Matrix transformed = tensor::relu(tensor::gemm(h, w));
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    for (Index f = 0; f < 4; ++f) {
+      float mx = g.degree(v) == 0 ? 0.0f : -1e30f;
+      for (NodeId u : g.neighbors(v)) mx = std::max(mx, transformed(u, f));
+      EXPECT_NEAR(out(v, f), mx, 1e-5f);
+    }
+  }
+}
+
+TEST_F(LayerFixture, MlpLayerShapeAndSemantics) {
+  Matrix w1 = random_matrix(6, 8, 4);
+  Matrix w2 = random_matrix(8, 3, 5);
+  const Matrix out = layer_mlp(g, h, w1, w2, ones);
+  EXPECT_EQ(out.rows(), 30);
+  EXPECT_EQ(out.cols(), 3);
+  const Matrix expect =
+      tensor::gemm(tensor::relu(tensor::gemm(layer_sum(g, h, ones), w1)), w2);
+  EXPECT_TRUE(tensor::allclose(out, expect, 1e-4f, 1e-5f));
+}
+
+TEST_F(LayerFixture, SoftmaxAggrWeightsSumToOnePerCenter) {
+  // With all-equal edge weights softmax degenerates to mean.
+  const Matrix aggr = layer_softmax_aggr(g, h, ones);
+  const Matrix mean = layer_mean(g, h, ones);
+  EXPECT_TRUE(tensor::allclose(aggr, mean, 1e-4f, 1e-5f));
+}
+
+TEST(EdgeOps, ConstIsAllOnes) {
+  const Csr g = random_graph(10, 3.0, 6);
+  for (float v : edge_const(g)) EXPECT_EQ(v, 1.0f);
+}
+
+TEST(EdgeOps, GcnNormSymmetric) {
+  // Symmetric graph: e_uv == e_vu.
+  tensor::Rng rng(7);
+  const Csr g = graph::csr_from_coo(graph::erdos_renyi(40, 6.0, rng));
+  const auto norm = edge_gcn(g);
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    for (EdgeId i = g.row_ptr[v]; i < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++i) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(i)];
+      const float expect = 1.0f / std::sqrt(static_cast<float>((g.degree(u) + 1)) *
+                                            static_cast<float>(g.degree(v) + 1));
+      EXPECT_NEAR(norm[static_cast<std::size_t>(i)], expect, 1e-6f);
+    }
+  }
+}
+
+TEST(EdgeOps, GatMatchesFactorizedForm) {
+  const Csr g = random_graph(20, 4.0, 8);
+  Matrix feat = random_matrix(20, 5, 9);
+  Matrix al = random_matrix(5, 1, 10);
+  Matrix ar = random_matrix(5, 1, 11);
+  const auto e = edge_gat(g, feat, al, ar);
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    for (EdgeId i = g.row_ptr[v]; i < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++i) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(i)];
+      float su = 0.0f, sv = 0.0f;
+      for (Index f = 0; f < 5; ++f) {
+        su += feat(u, f) * al(f, 0);
+        sv += feat(v, f) * ar(f, 0);
+      }
+      const float raw = su + sv;
+      EXPECT_NEAR(e[static_cast<std::size_t>(i)], raw >= 0 ? raw : 0.2f * raw, 1e-5f);
+    }
+  }
+}
+
+TEST(EdgeOps, SymGatAddsReverse) {
+  tensor::Rng rng(12);
+  const Csr g = graph::csr_from_coo(graph::erdos_renyi(25, 4.0, rng));  // symmetric
+  Matrix feat = random_matrix(25, 4, 13);
+  Matrix al = random_matrix(4, 1, 14);
+  Matrix ar = random_matrix(4, 1, 15);
+  const auto fwd = edge_gat(g, feat, al, ar);
+  const auto sym = edge_sym_gat(g, feat, al, ar);
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    for (EdgeId i = g.row_ptr[v]; i < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++i) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(i)];
+      // Find the reverse slot.
+      const auto nbrs = g.neighbors(u);
+      const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+      ASSERT_TRUE(it != nbrs.end() && *it == v);  // symmetric graph
+      const EdgeId rev = g.row_ptr[u] + (it - nbrs.begin());
+      EXPECT_NEAR(sym[static_cast<std::size_t>(i)],
+                  fwd[static_cast<std::size_t>(i)] + fwd[static_cast<std::size_t>(rev)], 1e-5f);
+    }
+  }
+}
+
+TEST(EdgeOps, CosIsEndpointDotProduct) {
+  const Csr g = random_graph(15, 3.0, 16);
+  Matrix left = random_matrix(15, 6, 17);
+  Matrix right = random_matrix(15, 6, 18);
+  const auto e = edge_cos(g, left, right);
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    for (EdgeId i = g.row_ptr[v]; i < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++i) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(i)];
+      EXPECT_NEAR(e[static_cast<std::size_t>(i)], tensor::dot(left.row(u), right.row(v)), 1e-4f);
+    }
+  }
+}
+
+TEST(EdgeOps, LinearDependsOnlyOnSource) {
+  const Csr g = random_graph(15, 4.0, 19);
+  Matrix left = random_matrix(15, 6, 20);
+  const auto e = edge_linear(g, left);
+  // All edges sharing a source get the same value.
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    for (EdgeId i = g.row_ptr[v]; i < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++i) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(i)];
+      float s = 0.0f;
+      for (Index f = 0; f < 6; ++f) s += left(u, f);
+      EXPECT_NEAR(e[static_cast<std::size_t>(i)], std::tanh(s), 1e-5f);
+    }
+  }
+}
+
+TEST(EdgeOps, GeneLinearMatchesFormula) {
+  const Csr g = random_graph(12, 3.0, 21);
+  Matrix left = random_matrix(12, 4, 22);
+  Matrix right = random_matrix(12, 4, 23);
+  Matrix wa = random_matrix(4, 1, 24);
+  const auto e = edge_gene_linear(g, left, right, wa);
+  for (NodeId v = 0; v < g.num_nodes; ++v) {
+    for (EdgeId i = g.row_ptr[v]; i < g.row_ptr[static_cast<std::size_t>(v) + 1]; ++i) {
+      const NodeId u = g.col_idx[static_cast<std::size_t>(i)];
+      float expect = 0.0f;
+      for (Index f = 0; f < 4; ++f) {
+        expect += std::tanh(left(u, f) + right(v, f)) * wa(f, 0);
+      }
+      EXPECT_NEAR(e[static_cast<std::size_t>(i)], expect, 1e-5f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gnnbridge::models

@@ -1,0 +1,103 @@
+#include "models/lstm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::models {
+namespace {
+
+SageLstmParams tiny_params(Index in, Index hidden, std::uint64_t seed) {
+  SageLstmConfig cfg;
+  cfg.in_feat = in;
+  cfg.hidden = hidden;
+  return init_sage_lstm(cfg, seed);
+}
+
+TEST(LstmRef, ZeroStateIsZero) {
+  const LstmState s = zero_state(4, 8);
+  EXPECT_EQ(tensor::frobenius_norm(s.h), 0.0f);
+  EXPECT_EQ(tensor::frobenius_norm(s.c), 0.0f);
+}
+
+TEST(LstmRef, CellUpdatesState) {
+  const SageLstmParams p = tiny_params(6, 4, 1);
+  LstmState s = zero_state(3, 4);
+  const Matrix x = testing::random_matrix(3, 6, 2);
+  lstm_cell_ref(x, p, s);
+  EXPECT_GT(tensor::frobenius_norm(s.h), 0.0f);
+  EXPECT_GT(tensor::frobenius_norm(s.c), 0.0f);
+}
+
+TEST(LstmRef, HiddenBoundedByOne) {
+  const SageLstmParams p = tiny_params(5, 7, 3);
+  LstmState s = zero_state(10, 7);
+  const Matrix x = testing::random_matrix(10, 5, 4, -3.0f, 3.0f);
+  for (int t = 0; t < 20; ++t) lstm_cell_ref(x, p, s);
+  for (Index i = 0; i < s.h.size(); ++i) EXPECT_LT(std::fabs(s.h.data()[i]), 1.0f);
+}
+
+TEST(LstmRef, ForgetGateZeroKillsMemory) {
+  // Gates order i,f,z,o: a huge negative f-gate pre-activation makes
+  // f ~ 0 and the new cell state ignores the old one.
+  const Index hidden = 3;
+  Matrix gates(1, 4 * hidden);
+  for (Index j = 0; j < hidden; ++j) {
+    gates(0, j) = 10.0f;               // i ~ 1
+    gates(0, hidden + j) = -50.0f;     // f ~ 0
+    gates(0, 2 * hidden + j) = 0.5f;   // z = tanh(0.5)
+    gates(0, 3 * hidden + j) = 10.0f;  // o ~ 1
+  }
+  LstmState s = zero_state(1, hidden);
+  s.c.fill(100.0f);  // should be forgotten
+  lstm_apply_gates(gates, s);
+  for (Index j = 0; j < hidden; ++j) {
+    EXPECT_NEAR(s.c(0, j), std::tanh(0.5f), 1e-4f);
+  }
+}
+
+TEST(LstmRef, InputGateZeroPreservesCell) {
+  const Index hidden = 2;
+  Matrix gates(1, 4 * hidden);
+  for (Index j = 0; j < hidden; ++j) {
+    gates(0, j) = -50.0f;             // i ~ 0
+    gates(0, hidden + j) = 50.0f;     // f ~ 1
+    gates(0, 2 * hidden + j) = 0.9f;  // z irrelevant
+    gates(0, 3 * hidden + j) = 50.0f; // o ~ 1
+  }
+  LstmState s = zero_state(1, hidden);
+  s.c(0, 0) = 0.3f;
+  s.c(0, 1) = -0.2f;
+  lstm_apply_gates(gates, s);
+  EXPECT_NEAR(s.c(0, 0), 0.3f, 1e-4f);
+  EXPECT_NEAR(s.c(0, 1), -0.2f, 1e-4f);
+  EXPECT_NEAR(s.h(0, 0), std::tanh(0.3f), 1e-4f);
+}
+
+TEST(LstmRef, CellMatchesManualGateComposition) {
+  const SageLstmParams p = tiny_params(4, 5, 5);
+  const Matrix x = testing::random_matrix(2, 4, 6);
+  LstmState s = zero_state(2, 5);
+  s.c = testing::random_matrix(2, 5, 7, -0.5f, 0.5f);
+  s.h = testing::random_matrix(2, 5, 8, -0.5f, 0.5f);
+  const LstmState before = s;
+
+  // Manual: gates = xW + hR + b, then shared gate math.
+  Matrix gates = tensor::gemm(x, p.w);
+  tensor::axpy(gates, 1.0f, tensor::gemm(before.h, p.r));
+  for (Index n = 0; n < 2; ++n) {
+    for (Index j = 0; j < 20; ++j) gates(n, j) += p.bias(j, 0);
+  }
+  LstmState manual = before;
+  lstm_apply_gates(gates, manual);
+
+  lstm_cell_ref(x, p, s);
+  EXPECT_TRUE(tensor::allclose(s.h, manual.h, 1e-5f, 1e-6f));
+  EXPECT_TRUE(tensor::allclose(s.c, manual.c, 1e-5f, 1e-6f));
+}
+
+}  // namespace
+}  // namespace gnnbridge::models

@@ -1,0 +1,164 @@
+#include "models/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/layers.hpp"
+#include "tensor/ops.hpp"
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::models {
+namespace {
+
+GcnConfig small_gcn() {
+  GcnConfig cfg;
+  cfg.dims = {12, 8, 4};
+  return cfg;
+}
+
+GatConfig small_gat() {
+  GatConfig cfg;
+  cfg.dims = {10, 6, 3};
+  return cfg;
+}
+
+TEST(GcnRef, OutputShape) {
+  const Csr g = testing::random_graph(25, 4.0, 1);
+  const GcnConfig cfg = small_gcn();
+  const GcnParams p = init_gcn(cfg, 7);
+  const Matrix x = init_features(25, 12, 7);
+  const Matrix out = gcn_forward_ref(g, x, cfg, p);
+  EXPECT_EQ(out.rows(), 25);
+  EXPECT_EQ(out.cols(), 4);
+}
+
+TEST(GcnRef, SingleLayerHandVerifiable) {
+  GcnConfig cfg;
+  cfg.dims = {3, 2};
+  const GcnParams p = init_gcn(cfg, 11);
+  const Csr g = testing::csr_from_edges(2, {{0, 1}, {1, 0}});
+  const Matrix x = testing::random_matrix(2, 3, 12);
+  const Matrix out = gcn_forward_ref(g, x, cfg, p);
+
+  const Matrix t = tensor::gemm(x, p.weight[0]);
+  const auto norm = gcn_edge_norm(g);
+  // Both nodes have degree 1 -> norm = 1/sqrt(2*2) = 0.5.
+  for (Index f = 0; f < 2; ++f) {
+    EXPECT_NEAR(out(0, f), 0.5f * t(1, f) + p.bias[0](f, 0), 1e-5f);
+  }
+  (void)norm;
+}
+
+TEST(GcnRef, InterLayerReluApplied) {
+  // A 2-layer GCN's intermediate is non-negative; make the final layer
+  // identity-ish to observe it: just check monotonic property instead —
+  // run with all-positive weights and inputs, outputs stay positive.
+  GcnConfig cfg;
+  cfg.dims = {4, 3, 2};
+  GcnParams p = init_gcn(cfg, 13);
+  for (auto& w : p.weight) {
+    for (Index i = 0; i < w.size(); ++i) w.data()[i] = std::fabs(w.data()[i]);
+  }
+  for (auto& b : p.bias) b.fill(0.0f);
+  const Csr g = testing::random_graph(10, 3.0, 14);
+  Matrix x = testing::random_matrix(10, 4, 15, 0.0f, 1.0f);
+  const Matrix out = gcn_forward_ref(g, x, cfg, p);
+  for (Index i = 0; i < out.size(); ++i) EXPECT_GE(out.data()[i], 0.0f);
+}
+
+TEST(GatRef, OutputShape) {
+  const Csr g = testing::random_graph(20, 5.0, 2);
+  const GatConfig cfg = small_gat();
+  const GatParams p = init_gat(cfg, 17);
+  const Matrix x = init_features(20, 10, 17);
+  const Matrix out = gat_forward_ref(g, x, cfg, p);
+  EXPECT_EQ(out.rows(), 20);
+  EXPECT_EQ(out.cols(), 3);
+}
+
+TEST(GatRef, AttentionIsConvexCombination) {
+  // One layer; every center's output lies in the convex hull of its
+  // neighbors' transformed features (softmax weights sum to 1).
+  GatConfig cfg;
+  cfg.dims = {6, 4};
+  const GatParams p = init_gat(cfg, 19);
+  const Csr g = testing::random_graph(15, 4.0, 20);
+  const Matrix x = testing::random_matrix(15, 6, 21);
+  const Matrix out = gat_forward_ref(g, x, cfg, p);
+  const Matrix t = tensor::gemm(x, p.weight[0]);
+  for (NodeId v = 0; v < 15; ++v) {
+    if (g.degree(v) == 0) continue;
+    for (Index f = 0; f < 4; ++f) {
+      float lo = 1e30f, hi = -1e30f;
+      for (NodeId u : g.neighbors(v)) {
+        lo = std::min(lo, t(u, f));
+        hi = std::max(hi, t(u, f));
+      }
+      EXPECT_GE(out(v, f), lo - 1e-4f);
+      EXPECT_LE(out(v, f), hi + 1e-4f);
+    }
+  }
+}
+
+TEST(SageLstmRef, OutputShape) {
+  SageLstmConfig cfg;
+  cfg.in_feat = 8;
+  cfg.hidden = 6;
+  cfg.steps = 4;
+  const SageLstmParams p = init_sage_lstm(cfg, 23);
+  const Csr g = testing::random_graph(12, 3.0, 24);
+  const Matrix x = init_features(12, 8, 24);
+  const Matrix out = sage_lstm_forward_ref(g, x, cfg, p);
+  EXPECT_EQ(out.rows(), 12);
+  EXPECT_EQ(out.cols(), 6);
+}
+
+TEST(SageLstmRef, MoreStepsChangeOutput) {
+  SageLstmConfig a;
+  a.in_feat = 5;
+  a.hidden = 5;
+  a.steps = 2;
+  SageLstmConfig b = a;
+  b.steps = 6;
+  const SageLstmParams p = init_sage_lstm(a, 25);
+  const Csr g = testing::random_graph(10, 4.0, 26);
+  const Matrix x = init_features(10, 5, 26);
+  const Matrix out_a = sage_lstm_forward_ref(g, x, a, p);
+  const Matrix out_b = sage_lstm_forward_ref(g, x, b, p);
+  EXPECT_GT(tensor::max_abs_diff(out_a, out_b), 1e-5f);
+}
+
+TEST(Params, DeterministicInit) {
+  const GcnConfig cfg = small_gcn();
+  const GcnParams a = init_gcn(cfg, 42);
+  const GcnParams b = init_gcn(cfg, 42);
+  EXPECT_EQ(a.weight[0], b.weight[0]);
+  EXPECT_EQ(a.bias[1], b.bias[1]);
+  const GcnParams c = init_gcn(cfg, 43);
+  EXPECT_NE(a.weight[0], c.weight[0]);
+}
+
+TEST(Params, ShapesFollowConfig) {
+  const GatConfig cfg = small_gat();
+  const GatParams p = init_gat(cfg, 1);
+  ASSERT_EQ(p.weight.size(), 2u);
+  EXPECT_EQ(p.weight[0].rows(), 10);
+  EXPECT_EQ(p.weight[0].cols(), 6);
+  EXPECT_EQ(p.att_l[1].rows(), 3);
+}
+
+TEST(GcnNorm, SelfLoopAdjustedDegrees) {
+  const Csr g = testing::csr_from_edges(3, {{0, 1}, {0, 2}});
+  const auto norm = gcn_edge_norm(g);
+  // deg(0)=2 -> 3 with self loop; deg(1)=deg(2)=0 -> 1.
+  EXPECT_NEAR(norm[0], 1.0f / std::sqrt(3.0f * 1.0f), 1e-6f);
+}
+
+TEST(ModelName, Printable) {
+  EXPECT_EQ(model_name(ModelKind::kGcn), "GCN");
+  EXPECT_EQ(model_name(ModelKind::kSageLstm), "GraphSAGE-LSTM");
+}
+
+}  // namespace
+}  // namespace gnnbridge::models

@@ -1,0 +1,89 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gnnbridge::sim {
+namespace {
+
+TEST(Scheduler, EmptyKernel) {
+  const ScheduleResult r = schedule_blocks({}, 8);
+  EXPECT_EQ(r.makespan, 0.0);
+  EXPECT_EQ(r.balanced, 0.0);
+}
+
+TEST(Scheduler, SingleBlock) {
+  const std::vector<Cycles> d{100.0};
+  const ScheduleResult r = schedule_blocks(d, 4);
+  EXPECT_DOUBLE_EQ(r.makespan, 100.0);
+  EXPECT_DOUBLE_EQ(r.balanced, 25.0);
+}
+
+TEST(Scheduler, PerfectPackingEqualsBalanced) {
+  const std::vector<Cycles> d(16, 10.0);
+  const ScheduleResult r = schedule_blocks(d, 4);
+  EXPECT_DOUBLE_EQ(r.makespan, 40.0);
+  EXPECT_DOUBLE_EQ(r.balanced, 40.0);
+}
+
+TEST(Scheduler, LongTailDominatesMakespan) {
+  // One whale, many shrimp: the whale sets the makespan (the paper's
+  // long-tail effect, Observation 2).
+  std::vector<Cycles> d(31, 1.0);
+  d.push_back(1000.0);
+  const ScheduleResult r = schedule_blocks(d, 32);
+  EXPECT_DOUBLE_EQ(r.makespan, 1000.0);
+  EXPECT_NEAR(r.balanced, (31.0 + 1000.0) / 32.0, 1e-9);
+  EXPECT_GT(r.makespan, 10.0 * r.balanced);
+}
+
+TEST(Scheduler, MakespanNeverBelowBalanced) {
+  std::vector<Cycles> d;
+  for (int i = 0; i < 100; ++i) d.push_back(static_cast<Cycles>(1 + (i * 37) % 50));
+  const ScheduleResult r = schedule_blocks(d, 7);
+  EXPECT_GE(r.makespan, r.balanced - 1e-9);
+}
+
+TEST(Scheduler, MoreSlotsNeverSlower) {
+  std::vector<Cycles> d;
+  for (int i = 0; i < 64; ++i) d.push_back(static_cast<Cycles>(1 + (i * 13) % 20));
+  const Cycles m4 = schedule_blocks(d, 4).makespan;
+  const Cycles m16 = schedule_blocks(d, 16).makespan;
+  EXPECT_LE(m16, m4 + 1e-9);
+}
+
+TEST(Scheduler, TimelinePeaksAtSlotCount) {
+  const std::vector<Cycles> d(64, 10.0);
+  const ScheduleResult r = schedule_blocks(d, 8);
+  // All 8 slots busy the whole time.
+  EXPECT_NEAR(r.timeline.mean_active(), 8.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.timeline.fraction_below(1.0, 8), 0.0);
+}
+
+TEST(Scheduler, TailShowsUpInOccupancy) {
+  std::vector<Cycles> d(8, 1.0);
+  d.push_back(92.0);  // after the 8 shrimp finish, one whale runs alone
+  const ScheduleResult r = schedule_blocks(d, 8);
+  // Over ~99% of the time fewer than half the slots are active.
+  EXPECT_GT(r.timeline.fraction_below(0.5, 8), 0.9);
+}
+
+TEST(Scheduler, DeterministicAcrossCalls) {
+  std::vector<Cycles> d;
+  for (int i = 0; i < 200; ++i) d.push_back(static_cast<Cycles>(1 + (i * 7919) % 97));
+  const ScheduleResult a = schedule_blocks(d, 11);
+  const ScheduleResult b = schedule_blocks(d, 11);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.timeline.mean_active(), b.timeline.mean_active());
+}
+
+TEST(Scheduler, GreedyDispatchOrder) {
+  // Two slots; blocks 10, 10, 5: third block starts at t=10 on either
+  // slot -> makespan 15.
+  const std::vector<Cycles> d{10.0, 10.0, 5.0};
+  EXPECT_DOUBLE_EQ(schedule_blocks(d, 2).makespan, 15.0);
+}
+
+}  // namespace
+}  // namespace gnnbridge::sim

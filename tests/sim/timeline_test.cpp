@@ -1,0 +1,66 @@
+#include "sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gnnbridge::sim {
+namespace {
+
+TEST(Timeline, EmptyHasZeroDuration) {
+  Timeline t;
+  EXPECT_EQ(t.duration(), 0.0);
+  EXPECT_EQ(t.fraction_below(1.0, 8), 0.0);
+  EXPECT_EQ(t.mean_active(), 0.0);
+}
+
+TEST(Timeline, SingleInterval) {
+  Timeline t;
+  t.add_interval(0.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(t.duration(), 10.0);
+  EXPECT_DOUBLE_EQ(t.mean_active(), 4.0);
+}
+
+TEST(Timeline, IgnoresEmptyIntervals) {
+  Timeline t;
+  t.add_interval(5.0, 5.0, 3);
+  t.add_interval(7.0, 6.0, 3);
+  EXPECT_DOUBLE_EQ(t.duration(), 0.0);
+}
+
+TEST(Timeline, FractionBelowThreshold) {
+  Timeline t;
+  t.add_interval(0.0, 60.0, 8);   // full
+  t.add_interval(60.0, 100.0, 2); // tail
+  // capacity 8: <100% threshold=8 -> active 2 qualifies, active 8 doesn't.
+  EXPECT_DOUBLE_EQ(t.fraction_below(1.0, 8), 0.4);
+  // <50% -> threshold 4: only the tail.
+  EXPECT_DOUBLE_EQ(t.fraction_below(0.5, 8), 0.4);
+  // <10% -> threshold 0.8: nothing.
+  EXPECT_DOUBLE_EQ(t.fraction_below(0.1, 8), 0.0);
+}
+
+TEST(Timeline, MeanIsTimeWeighted) {
+  Timeline t;
+  t.add_interval(0.0, 10.0, 10);
+  t.add_interval(10.0, 40.0, 2);
+  EXPECT_DOUBLE_EQ(t.mean_active(), (10.0 * 10 + 2.0 * 30) / 40.0);
+}
+
+TEST(Timeline, AppendConcatenates) {
+  Timeline a, b;
+  a.add_interval(0.0, 10.0, 1);
+  b.add_interval(0.0, 10.0, 3);
+  a.append(b);
+  EXPECT_DOUBLE_EQ(a.duration(), 20.0);
+  EXPECT_DOUBLE_EQ(a.mean_active(), 2.0);
+}
+
+TEST(Timeline, StrictlyBelowSemantics) {
+  Timeline t;
+  t.add_interval(0.0, 10.0, 4);
+  // Exactly at threshold does not count as below.
+  EXPECT_DOUBLE_EQ(t.fraction_below(0.5, 8), 0.0);
+  EXPECT_DOUBLE_EQ(t.fraction_below(0.5001, 8), 1.0);
+}
+
+}  // namespace
+}  // namespace gnnbridge::sim

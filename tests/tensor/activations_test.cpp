@@ -1,0 +1,90 @@
+#include "tensor/activations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gnnbridge::tensor {
+namespace {
+
+TEST(Relu, ClampsNegatives) {
+  Matrix m(1, 4, {-2, -0.5f, 0, 3});
+  relu_(m);
+  EXPECT_EQ(m, Matrix(1, 4, {0, 0, 0, 3}));
+}
+
+TEST(LeakyRelu, ScalesNegatives) {
+  Matrix m(1, 3, {-1, 0, 2});
+  leaky_relu_(m, 0.2f);
+  EXPECT_FLOAT_EQ(m(0, 0), -0.2f);
+  EXPECT_FLOAT_EQ(m(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m(0, 2), 2.0f);
+}
+
+TEST(LeakyReluScalar, MatchesMatrixVersion) {
+  EXPECT_FLOAT_EQ(leaky_relu_scalar(-2.0f, 0.1f), -0.2f);
+  EXPECT_FLOAT_EQ(leaky_relu_scalar(5.0f, 0.1f), 5.0f);
+}
+
+TEST(Tanh, MatchesStd) {
+  Matrix m(1, 3, {-1, 0, 1});
+  tanh_(m);
+  EXPECT_FLOAT_EQ(m(0, 0), std::tanh(-1.0f));
+  EXPECT_FLOAT_EQ(m(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m(0, 2), std::tanh(1.0f));
+}
+
+TEST(Sigmoid, SymmetricAroundHalf) {
+  Matrix m(1, 2, {-3, 3});
+  sigmoid_(m);
+  EXPECT_NEAR(m(0, 0) + m(0, 1), 1.0f, 1e-6f);
+  EXPECT_LT(m(0, 0), 0.5f);
+}
+
+TEST(Exp, Elementwise) {
+  Matrix m(1, 2, {0, 1});
+  exp_(m);
+  EXPECT_FLOAT_EQ(m(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), std::exp(1.0f));
+}
+
+TEST(CopyingVariants, LeaveInputUntouched) {
+  const Matrix m(1, 2, {-1, 1});
+  const Matrix r = relu(m);
+  const Matrix l = leaky_relu(m);
+  const Matrix t = tanh_of(m);
+  const Matrix s = sigmoid(m);
+  EXPECT_EQ(m, Matrix(1, 2, {-1, 1}));
+  EXPECT_FLOAT_EQ(r(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(l(0, 0), -0.2f);
+  EXPECT_FLOAT_EQ(t(0, 1), std::tanh(1.0f));
+  EXPECT_GT(s(0, 1), 0.5f);
+}
+
+TEST(SoftmaxRows, RowsSumToOne) {
+  Matrix m(2, 3, {1, 2, 3, -1, 0, 1});
+  Matrix s = softmax_rows(m);
+  for (Index r = 0; r < 2; ++r) {
+    float sum = 0.0f;
+    for (Index c = 0; c < 3; ++c) sum += s(r, c);
+    EXPECT_NEAR(sum, 1.0f, 1e-6f);
+  }
+}
+
+TEST(SoftmaxRows, StableForLargeInputs) {
+  Matrix m(1, 2, {1000.0f, 1001.0f});
+  Matrix s = softmax_rows(m);
+  EXPECT_FALSE(std::isnan(s(0, 0)));
+  EXPECT_NEAR(s(0, 0) + s(0, 1), 1.0f, 1e-6f);
+  EXPECT_GT(s(0, 1), s(0, 0));
+}
+
+TEST(SoftmaxRows, OrderPreserving) {
+  Matrix m(1, 3, {0.1f, 0.3f, 0.2f});
+  Matrix s = softmax_rows(m);
+  EXPECT_GT(s(0, 1), s(0, 2));
+  EXPECT_GT(s(0, 2), s(0, 0));
+}
+
+}  // namespace
+}  // namespace gnnbridge::tensor

@@ -1,0 +1,103 @@
+#include "tensor/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gnnbridge::tensor {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructedZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  for (Index r = 0; r < 3; ++r) {
+    for (Index c = 0; c < 4; ++c) EXPECT_EQ(m(r, c), 0.0f);
+  }
+}
+
+TEST(Matrix, ElementAccessRoundTrips) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.5f;
+  m(1, 2) = -2.0f;
+  EXPECT_EQ(m(0, 0), 1.5f);
+  EXPECT_EQ(m(1, 2), -2.0f);
+}
+
+TEST(Matrix, RowSpanIsContiguousRowMajor) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  auto r1 = m.row(1);
+  ASSERT_EQ(r1.size(), 3u);
+  EXPECT_EQ(r1[0], 4.0f);
+  EXPECT_EQ(r1[2], 6.0f);
+  r1[1] = 50.0f;
+  EXPECT_EQ(m(1, 1), 50.0f);
+}
+
+TEST(Matrix, FillSetsAll) {
+  Matrix m(4, 4);
+  m.fill(3.25f);
+  EXPECT_EQ(m(3, 3), 3.25f);
+  EXPECT_EQ(m(0, 0), 3.25f);
+}
+
+TEST(Matrix, ResetReshapesAndZeroes) {
+  Matrix m(2, 2);
+  m.fill(1.0f);
+  m.reset(3, 5);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 5);
+  EXPECT_EQ(m(2, 4), 0.0f);
+}
+
+TEST(Matrix, EqualityIsDeep) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(a, b);
+  b(0, 0) = 9.0f;
+  EXPECT_NE(a, b);
+}
+
+TEST(MaxAbsDiff, ZeroForIdentical) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  EXPECT_EQ(max_abs_diff(a, a), 0.0f);
+}
+
+TEST(MaxAbsDiff, FindsWorstElement) {
+  Matrix a(1, 3, {1, 2, 3});
+  Matrix b(1, 3, {1, 2.5f, 2});
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 1.0f);
+}
+
+TEST(MaxAbsDiff, InfiniteOnShapeMismatch) {
+  Matrix a(1, 2);
+  Matrix b(2, 1);
+  EXPECT_TRUE(std::isinf(max_abs_diff(a, b)));
+}
+
+TEST(Allclose, ToleratesRelativeError) {
+  Matrix a(1, 1, {1000.0f});
+  Matrix b(1, 1, {1000.05f});
+  EXPECT_TRUE(allclose(a, b));
+}
+
+TEST(Allclose, RejectsLargeError) {
+  Matrix a(1, 1, {1.0f});
+  Matrix b(1, 1, {1.1f});
+  EXPECT_FALSE(allclose(a, b));
+}
+
+TEST(Allclose, RejectsShapeMismatch) {
+  EXPECT_FALSE(allclose(Matrix(1, 2), Matrix(2, 1)));
+}
+
+}  // namespace
+}  // namespace gnnbridge::tensor

@@ -1,0 +1,190 @@
+// gnnbridge_cli — run any (model, backend, dataset) cell from the command
+// line, with optional optimization toggles. The scriptable face of the
+// library: what bench_fig7_overall sweeps, one cell at a time.
+//
+//   gnnbridge_cli --model gcn --backend ours --dataset citation --scale 0.1
+//   gnnbridge_cli --model gat --backend dgl --dataset arxiv --full
+//   gnnbridge_cli --model gcn --backend ours --no-las --no-ng --kernels
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "baselines/dgl.hpp"
+#include "baselines/pyg.hpp"
+#include "baselines/roc.hpp"
+#include "engine/engine.hpp"
+#include "graph/datasets.hpp"
+#include "tensor/ops.hpp"
+
+using namespace gnnbridge;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: gnnbridge_cli [options]\n"
+      "  --model gcn|gat|sage|pool|mhgat  model to run (default gcn)\n"
+      "  --backend dgl|pyg|roc|ours    framework backend (default ours)\n"
+      "  --dataset NAME                arxiv|collab|citation|ddi|protein|ppa|reddit|products\n"
+      "  --scale S                     dataset scale in (0,1] (default 0.1)\n"
+      "  --full                        run real numerics (default: trace-only)\n"
+      "  --heads K                     attention heads for mhgat (default 4)\n"
+      "  --kernels                     print the per-kernel breakdown\n"
+      "  --no-las / --no-ng / --no-fusion / --no-linear\n"
+      "                                disable individual optimizations (ours only)\n");
+}
+
+graph::DatasetId parse_dataset(const std::string& name) {
+  for (graph::DatasetId id : graph::kAllDatasets) {
+    if (name == graph::dataset_name(id)) return id;
+  }
+  std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model = "gcn", backend_name = "ours", dataset = "collab";
+  double scale = 0.1;
+  bool full = false, show_kernels = false;
+  int heads = 4;
+  engine::EngineConfig ecfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      model = next();
+    } else if (arg == "--backend") {
+      backend_name = next();
+    } else if (arg == "--dataset") {
+      dataset = next();
+    } else if (arg == "--scale") {
+      scale = std::atof(next());
+    } else if (arg == "--heads") {
+      heads = std::atoi(next());
+    } else if (arg == "--full") {
+      full = true;
+    } else if (arg == "--kernels") {
+      show_kernels = true;
+    } else if (arg == "--no-las") {
+      ecfg.use_las = false;
+    } else if (arg == "--no-ng") {
+      ecfg.use_neighbor_grouping = false;
+    } else if (arg == "--no-fusion") {
+      ecfg.use_adapter = ecfg.use_linear = false;
+    } else if (arg == "--no-linear") {
+      ecfg.use_linear = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (scale <= 0.0 || scale > 1.0) {
+    std::fprintf(stderr, "--scale must be in (0, 1]\n");
+    return 2;
+  }
+
+  std::unique_ptr<baselines::Backend> backend;
+  if (backend_name == "dgl") {
+    backend = std::make_unique<baselines::DglBackend>();
+  } else if (backend_name == "pyg") {
+    backend = std::make_unique<baselines::PygBackend>();
+  } else if (backend_name == "roc") {
+    backend = std::make_unique<baselines::RocBackend>();
+  } else if (backend_name == "ours") {
+    backend = std::make_unique<engine::OptimizedEngine>(ecfg);
+  } else {
+    std::fprintf(stderr, "unknown backend '%s'\n", backend_name.c_str());
+    return 2;
+  }
+
+  const graph::Dataset data = graph::make_dataset(parse_dataset(dataset), scale);
+  std::printf("dataset %s @ scale %.3g: %d nodes, %lld edges (avg deg %.1f, max %lld)\n",
+              data.name.c_str(), scale, data.stats.num_nodes,
+              static_cast<long long>(data.stats.num_edges), data.stats.avg_degree,
+              static_cast<long long>(data.stats.max_degree));
+
+  const kernels::ExecMode mode = full ? kernels::ExecMode::kFull
+                                      : kernels::ExecMode::kSimulateOnly;
+  baselines::RunResult r;
+  if (model == "gcn") {
+    const models::GcnConfig cfg;
+    const auto params = models::init_gcn(cfg, 1);
+    const auto x = models::init_features(data.csr.num_nodes, cfg.dims[0], 1);
+    r = backend->run_gcn(data, {&cfg, &params, &x}, mode, sim::v100());
+  } else if (model == "gat") {
+    const models::GatConfig cfg;
+    const auto params = models::init_gat(cfg, 2);
+    const auto x = models::init_features(data.csr.num_nodes, cfg.dims[0], 2);
+    r = backend->run_gat(data, {&cfg, &params, &x}, mode, sim::v100());
+  } else if (model == "sage") {
+    const models::SageLstmConfig cfg;
+    const auto params = models::init_sage_lstm(cfg, 3);
+    const auto x = models::init_features(data.csr.num_nodes, cfg.in_feat, 3);
+    if (!backend->supports(models::ModelKind::kSageLstm)) {
+      std::printf("%s does not implement GraphSAGE-LSTM ('x' in Figure 7c)\n",
+                  backend_name.c_str());
+      return 0;
+    }
+    r = backend->run_sage_lstm(data, {&cfg, &params, &x}, mode, sim::v100());
+  } else if (model == "mhgat") {
+    models::MultiHeadGatConfig cfg;
+    cfg.heads = heads;
+    const auto params = models::init_multihead_gat(cfg, 5);
+    const auto x = models::init_features(data.csr.num_nodes, cfg.in_feat, 5);
+    if (!backend->supports_multihead()) {
+      std::printf("%s does not implement multi-head GAT\n", backend_name.c_str());
+      return 0;
+    }
+    r = backend->run_multihead_gat(data, {&cfg, &params, &x}, mode, sim::v100());
+  } else if (model == "pool") {
+    const models::SagePoolConfig cfg;
+    const auto params = models::init_sage_pool(cfg, 4);
+    const auto x = models::init_features(data.csr.num_nodes, cfg.in_feat, 4);
+    if (!backend->supports_pool()) {
+      std::printf("%s does not implement GraphSAGE-Pool\n", backend_name.c_str());
+      return 0;
+    }
+    r = backend->run_sage_pool(data, {&cfg, &params, &x}, mode, sim::v100());
+  } else {
+    std::fprintf(stderr, "unknown model '%s'\n", model.c_str());
+    return 2;
+  }
+
+  if (r.oom) {
+    std::printf("OOM at paper scale: footprint %.1f GB > 32 GB device\n",
+                static_cast<double>(r.paper_bytes) / 1e9);
+    return 0;
+  }
+  const sim::DeviceSpec spec = sim::v100();
+  std::printf("%s on %s: %.3f simulated ms, %d launches, L2 hit %.1f%%, %.1f GFLOPS\n",
+              model.c_str(), backend_name.c_str(), r.ms, r.stats.num_launches(),
+              100.0 * r.stats.l2_hit_rate(), r.stats.gflops(spec));
+  if (full && !r.output.empty()) {
+    std::printf("output [%lld x %lld], Frobenius norm %.4f\n",
+                static_cast<long long>(r.output.rows()),
+                static_cast<long long>(r.output.cols()),
+                static_cast<double>(tensor::frobenius_norm(r.output)));
+  }
+  if (show_kernels) {
+    std::printf("%-24s %8s %12s %10s %10s\n", "kernel", "blocks", "cycles", "hit %", "MFLOP");
+    for (const auto& k : r.stats.kernels) {
+      std::printf("%-24s %8d %12.0f %9.1f%% %10.2f\n", k.name.c_str(), k.num_blocks, k.cycles,
+                  100.0 * k.l2_hit_rate(), k.flops / 1e6);
+    }
+  }
+  return 0;
+}
