@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_adapter.dir/bench_fig10_adapter.cpp.o"
+  "CMakeFiles/bench_fig10_adapter.dir/bench_fig10_adapter.cpp.o.d"
+  "bench_fig10_adapter"
+  "bench_fig10_adapter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

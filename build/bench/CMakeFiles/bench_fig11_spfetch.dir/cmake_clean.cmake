@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_spfetch.dir/bench_fig11_spfetch.cpp.o"
+  "CMakeFiles/bench_fig11_spfetch.dir/bench_fig11_spfetch.cpp.o.d"
+  "bench_fig11_spfetch"
+  "bench_fig11_spfetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_spfetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

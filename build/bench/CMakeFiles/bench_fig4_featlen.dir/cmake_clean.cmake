@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_featlen.dir/bench_fig4_featlen.cpp.o"
+  "CMakeFiles/bench_fig4_featlen.dir/bench_fig4_featlen.cpp.o.d"
+  "bench_fig4_featlen"
+  "bench_fig4_featlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_featlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_sampling.dir/bench_online_sampling.cpp.o"
+  "CMakeFiles/bench_online_sampling.dir/bench_online_sampling.cpp.o.d"
+  "bench_online_sampling"
+  "bench_online_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4_occupancy.cpp" "bench/CMakeFiles/bench_table4_occupancy.dir/bench_table4_occupancy.cpp.o" "gcc" "bench/CMakeFiles/bench_table4_occupancy.dir/bench_table4_occupancy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/gnnbridge_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gnnbridge_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gnnbridge_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gnnbridge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gnnbridge_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnnbridge_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnnbridge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnnbridge_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_social.dir/attention_social.cpp.o"
+  "CMakeFiles/attention_social.dir/attention_social.cpp.o.d"
+  "attention_social"
+  "attention_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

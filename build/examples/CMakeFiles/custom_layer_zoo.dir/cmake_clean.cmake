@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_layer_zoo.dir/custom_layer_zoo.cpp.o"
+  "CMakeFiles/custom_layer_zoo.dir/custom_layer_zoo.cpp.o.d"
+  "custom_layer_zoo"
+  "custom_layer_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_layer_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sage_lstm_protein.dir/sage_lstm_protein.cpp.o"
+  "CMakeFiles/sage_lstm_protein.dir/sage_lstm_protein.cpp.o.d"
+  "sage_lstm_protein"
+  "sage_lstm_protein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sage_lstm_protein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_gcn.dir/train_gcn.cpp.o"
+  "CMakeFiles/train_gcn.dir/train_gcn.cpp.o.d"
+  "train_gcn"
+  "train_gcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_gcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

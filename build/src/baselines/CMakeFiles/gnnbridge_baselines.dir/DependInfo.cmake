@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dgl.cpp" "src/baselines/CMakeFiles/gnnbridge_baselines.dir/dgl.cpp.o" "gcc" "src/baselines/CMakeFiles/gnnbridge_baselines.dir/dgl.cpp.o.d"
+  "/root/repo/src/baselines/footprint.cpp" "src/baselines/CMakeFiles/gnnbridge_baselines.dir/footprint.cpp.o" "gcc" "src/baselines/CMakeFiles/gnnbridge_baselines.dir/footprint.cpp.o.d"
+  "/root/repo/src/baselines/pyg.cpp" "src/baselines/CMakeFiles/gnnbridge_baselines.dir/pyg.cpp.o" "gcc" "src/baselines/CMakeFiles/gnnbridge_baselines.dir/pyg.cpp.o.d"
+  "/root/repo/src/baselines/roc.cpp" "src/baselines/CMakeFiles/gnnbridge_baselines.dir/roc.cpp.o" "gcc" "src/baselines/CMakeFiles/gnnbridge_baselines.dir/roc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernels/CMakeFiles/gnnbridge_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gnnbridge_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnnbridge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnnbridge_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnnbridge_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

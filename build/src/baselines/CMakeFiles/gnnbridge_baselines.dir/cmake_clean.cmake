@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnbridge_baselines.dir/dgl.cpp.o"
+  "CMakeFiles/gnnbridge_baselines.dir/dgl.cpp.o.d"
+  "CMakeFiles/gnnbridge_baselines.dir/footprint.cpp.o"
+  "CMakeFiles/gnnbridge_baselines.dir/footprint.cpp.o.d"
+  "CMakeFiles/gnnbridge_baselines.dir/pyg.cpp.o"
+  "CMakeFiles/gnnbridge_baselines.dir/pyg.cpp.o.d"
+  "CMakeFiles/gnnbridge_baselines.dir/roc.cpp.o"
+  "CMakeFiles/gnnbridge_baselines.dir/roc.cpp.o.d"
+  "libgnnbridge_baselines.a"
+  "libgnnbridge_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnbridge_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

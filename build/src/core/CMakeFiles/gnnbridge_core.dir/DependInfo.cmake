@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balance/neighbor_grouping.cpp" "src/core/CMakeFiles/gnnbridge_core.dir/balance/neighbor_grouping.cpp.o" "gcc" "src/core/CMakeFiles/gnnbridge_core.dir/balance/neighbor_grouping.cpp.o.d"
+  "/root/repo/src/core/fusion/fusion_pass.cpp" "src/core/CMakeFiles/gnnbridge_core.dir/fusion/fusion_pass.cpp.o" "gcc" "src/core/CMakeFiles/gnnbridge_core.dir/fusion/fusion_pass.cpp.o.d"
+  "/root/repo/src/core/fusion/opgraph.cpp" "src/core/CMakeFiles/gnnbridge_core.dir/fusion/opgraph.cpp.o" "gcc" "src/core/CMakeFiles/gnnbridge_core.dir/fusion/opgraph.cpp.o.d"
+  "/root/repo/src/core/fusion/visible_range.cpp" "src/core/CMakeFiles/gnnbridge_core.dir/fusion/visible_range.cpp.o" "gcc" "src/core/CMakeFiles/gnnbridge_core.dir/fusion/visible_range.cpp.o.d"
+  "/root/repo/src/core/locality/cluster.cpp" "src/core/CMakeFiles/gnnbridge_core.dir/locality/cluster.cpp.o" "gcc" "src/core/CMakeFiles/gnnbridge_core.dir/locality/cluster.cpp.o.d"
+  "/root/repo/src/core/locality/lsh.cpp" "src/core/CMakeFiles/gnnbridge_core.dir/locality/lsh.cpp.o" "gcc" "src/core/CMakeFiles/gnnbridge_core.dir/locality/lsh.cpp.o.d"
+  "/root/repo/src/core/locality/minhash.cpp" "src/core/CMakeFiles/gnnbridge_core.dir/locality/minhash.cpp.o" "gcc" "src/core/CMakeFiles/gnnbridge_core.dir/locality/minhash.cpp.o.d"
+  "/root/repo/src/core/locality/reorder_baselines.cpp" "src/core/CMakeFiles/gnnbridge_core.dir/locality/reorder_baselines.cpp.o" "gcc" "src/core/CMakeFiles/gnnbridge_core.dir/locality/reorder_baselines.cpp.o.d"
+  "/root/repo/src/core/locality/schedule.cpp" "src/core/CMakeFiles/gnnbridge_core.dir/locality/schedule.cpp.o" "gcc" "src/core/CMakeFiles/gnnbridge_core.dir/locality/schedule.cpp.o.d"
+  "/root/repo/src/core/spfetch/step_index.cpp" "src/core/CMakeFiles/gnnbridge_core.dir/spfetch/step_index.cpp.o" "gcc" "src/core/CMakeFiles/gnnbridge_core.dir/spfetch/step_index.cpp.o.d"
+  "/root/repo/src/core/tuner/tuner.cpp" "src/core/CMakeFiles/gnnbridge_core.dir/tuner/tuner.cpp.o" "gcc" "src/core/CMakeFiles/gnnbridge_core.dir/tuner/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/gnnbridge_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gnnbridge_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnnbridge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnnbridge_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnbridge_core.dir/balance/neighbor_grouping.cpp.o"
+  "CMakeFiles/gnnbridge_core.dir/balance/neighbor_grouping.cpp.o.d"
+  "CMakeFiles/gnnbridge_core.dir/fusion/fusion_pass.cpp.o"
+  "CMakeFiles/gnnbridge_core.dir/fusion/fusion_pass.cpp.o.d"
+  "CMakeFiles/gnnbridge_core.dir/fusion/opgraph.cpp.o"
+  "CMakeFiles/gnnbridge_core.dir/fusion/opgraph.cpp.o.d"
+  "CMakeFiles/gnnbridge_core.dir/fusion/visible_range.cpp.o"
+  "CMakeFiles/gnnbridge_core.dir/fusion/visible_range.cpp.o.d"
+  "CMakeFiles/gnnbridge_core.dir/locality/cluster.cpp.o"
+  "CMakeFiles/gnnbridge_core.dir/locality/cluster.cpp.o.d"
+  "CMakeFiles/gnnbridge_core.dir/locality/lsh.cpp.o"
+  "CMakeFiles/gnnbridge_core.dir/locality/lsh.cpp.o.d"
+  "CMakeFiles/gnnbridge_core.dir/locality/minhash.cpp.o"
+  "CMakeFiles/gnnbridge_core.dir/locality/minhash.cpp.o.d"
+  "CMakeFiles/gnnbridge_core.dir/locality/reorder_baselines.cpp.o"
+  "CMakeFiles/gnnbridge_core.dir/locality/reorder_baselines.cpp.o.d"
+  "CMakeFiles/gnnbridge_core.dir/locality/schedule.cpp.o"
+  "CMakeFiles/gnnbridge_core.dir/locality/schedule.cpp.o.d"
+  "CMakeFiles/gnnbridge_core.dir/spfetch/step_index.cpp.o"
+  "CMakeFiles/gnnbridge_core.dir/spfetch/step_index.cpp.o.d"
+  "CMakeFiles/gnnbridge_core.dir/tuner/tuner.cpp.o"
+  "CMakeFiles/gnnbridge_core.dir/tuner/tuner.cpp.o.d"
+  "libgnnbridge_core.a"
+  "libgnnbridge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnbridge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnbridge_engine.dir/engine.cpp.o"
+  "CMakeFiles/gnnbridge_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/gnnbridge_engine.dir/tune_helper.cpp.o"
+  "CMakeFiles/gnnbridge_engine.dir/tune_helper.cpp.o.d"
+  "libgnnbridge_engine.a"
+  "libgnnbridge_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnbridge_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

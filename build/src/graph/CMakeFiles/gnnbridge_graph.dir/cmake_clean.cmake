@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnbridge_graph.dir/coo.cpp.o"
+  "CMakeFiles/gnnbridge_graph.dir/coo.cpp.o.d"
+  "CMakeFiles/gnnbridge_graph.dir/csr.cpp.o"
+  "CMakeFiles/gnnbridge_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/gnnbridge_graph.dir/datasets.cpp.o"
+  "CMakeFiles/gnnbridge_graph.dir/datasets.cpp.o.d"
+  "CMakeFiles/gnnbridge_graph.dir/generators.cpp.o"
+  "CMakeFiles/gnnbridge_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/gnnbridge_graph.dir/io.cpp.o"
+  "CMakeFiles/gnnbridge_graph.dir/io.cpp.o.d"
+  "CMakeFiles/gnnbridge_graph.dir/sampling.cpp.o"
+  "CMakeFiles/gnnbridge_graph.dir/sampling.cpp.o.d"
+  "CMakeFiles/gnnbridge_graph.dir/stats.cpp.o"
+  "CMakeFiles/gnnbridge_graph.dir/stats.cpp.o.d"
+  "libgnnbridge_graph.a"
+  "libgnnbridge_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnbridge_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/common.cpp" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/common.cpp.o" "gcc" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/common.cpp.o.d"
+  "/root/repo/src/kernels/dense.cpp" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/dense.cpp.o" "gcc" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/dense.cpp.o.d"
+  "/root/repo/src/kernels/edge_ops.cpp" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/edge_ops.cpp.o" "gcc" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/edge_ops.cpp.o.d"
+  "/root/repo/src/kernels/expand.cpp" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/expand.cpp.o" "gcc" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/expand.cpp.o.d"
+  "/root/repo/src/kernels/fused.cpp" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/fused.cpp.o" "gcc" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/fused.cpp.o.d"
+  "/root/repo/src/kernels/lstm.cpp" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/lstm.cpp.o" "gcc" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/lstm.cpp.o.d"
+  "/root/repo/src/kernels/sddmm.cpp" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/sddmm.cpp.o" "gcc" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/sddmm.cpp.o.d"
+  "/root/repo/src/kernels/spmm.cpp" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/spmm.cpp.o" "gcc" "src/kernels/CMakeFiles/gnnbridge_kernels.dir/spmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/gnnbridge_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnnbridge_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnnbridge_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnbridge_kernels.dir/common.cpp.o"
+  "CMakeFiles/gnnbridge_kernels.dir/common.cpp.o.d"
+  "CMakeFiles/gnnbridge_kernels.dir/dense.cpp.o"
+  "CMakeFiles/gnnbridge_kernels.dir/dense.cpp.o.d"
+  "CMakeFiles/gnnbridge_kernels.dir/edge_ops.cpp.o"
+  "CMakeFiles/gnnbridge_kernels.dir/edge_ops.cpp.o.d"
+  "CMakeFiles/gnnbridge_kernels.dir/expand.cpp.o"
+  "CMakeFiles/gnnbridge_kernels.dir/expand.cpp.o.d"
+  "CMakeFiles/gnnbridge_kernels.dir/fused.cpp.o"
+  "CMakeFiles/gnnbridge_kernels.dir/fused.cpp.o.d"
+  "CMakeFiles/gnnbridge_kernels.dir/lstm.cpp.o"
+  "CMakeFiles/gnnbridge_kernels.dir/lstm.cpp.o.d"
+  "CMakeFiles/gnnbridge_kernels.dir/sddmm.cpp.o"
+  "CMakeFiles/gnnbridge_kernels.dir/sddmm.cpp.o.d"
+  "CMakeFiles/gnnbridge_kernels.dir/spmm.cpp.o"
+  "CMakeFiles/gnnbridge_kernels.dir/spmm.cpp.o.d"
+  "libgnnbridge_kernels.a"
+  "libgnnbridge_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnbridge_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

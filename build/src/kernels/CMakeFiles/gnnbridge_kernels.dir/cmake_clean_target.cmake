@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgnnbridge_kernels.a"
+)

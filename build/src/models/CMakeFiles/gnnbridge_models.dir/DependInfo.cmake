@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/common.cpp" "src/models/CMakeFiles/gnnbridge_models.dir/common.cpp.o" "gcc" "src/models/CMakeFiles/gnnbridge_models.dir/common.cpp.o.d"
+  "/root/repo/src/models/gat_grad.cpp" "src/models/CMakeFiles/gnnbridge_models.dir/gat_grad.cpp.o" "gcc" "src/models/CMakeFiles/gnnbridge_models.dir/gat_grad.cpp.o.d"
+  "/root/repo/src/models/gcn_grad.cpp" "src/models/CMakeFiles/gnnbridge_models.dir/gcn_grad.cpp.o" "gcc" "src/models/CMakeFiles/gnnbridge_models.dir/gcn_grad.cpp.o.d"
+  "/root/repo/src/models/layers.cpp" "src/models/CMakeFiles/gnnbridge_models.dir/layers.cpp.o" "gcc" "src/models/CMakeFiles/gnnbridge_models.dir/layers.cpp.o.d"
+  "/root/repo/src/models/lstm.cpp" "src/models/CMakeFiles/gnnbridge_models.dir/lstm.cpp.o" "gcc" "src/models/CMakeFiles/gnnbridge_models.dir/lstm.cpp.o.d"
+  "/root/repo/src/models/multihead_gat.cpp" "src/models/CMakeFiles/gnnbridge_models.dir/multihead_gat.cpp.o" "gcc" "src/models/CMakeFiles/gnnbridge_models.dir/multihead_gat.cpp.o.d"
+  "/root/repo/src/models/pool_model.cpp" "src/models/CMakeFiles/gnnbridge_models.dir/pool_model.cpp.o" "gcc" "src/models/CMakeFiles/gnnbridge_models.dir/pool_model.cpp.o.d"
+  "/root/repo/src/models/reference.cpp" "src/models/CMakeFiles/gnnbridge_models.dir/reference.cpp.o" "gcc" "src/models/CMakeFiles/gnnbridge_models.dir/reference.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/gnnbridge_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnnbridge_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnbridge_models.dir/common.cpp.o"
+  "CMakeFiles/gnnbridge_models.dir/common.cpp.o.d"
+  "CMakeFiles/gnnbridge_models.dir/gat_grad.cpp.o"
+  "CMakeFiles/gnnbridge_models.dir/gat_grad.cpp.o.d"
+  "CMakeFiles/gnnbridge_models.dir/gcn_grad.cpp.o"
+  "CMakeFiles/gnnbridge_models.dir/gcn_grad.cpp.o.d"
+  "CMakeFiles/gnnbridge_models.dir/layers.cpp.o"
+  "CMakeFiles/gnnbridge_models.dir/layers.cpp.o.d"
+  "CMakeFiles/gnnbridge_models.dir/lstm.cpp.o"
+  "CMakeFiles/gnnbridge_models.dir/lstm.cpp.o.d"
+  "CMakeFiles/gnnbridge_models.dir/multihead_gat.cpp.o"
+  "CMakeFiles/gnnbridge_models.dir/multihead_gat.cpp.o.d"
+  "CMakeFiles/gnnbridge_models.dir/pool_model.cpp.o"
+  "CMakeFiles/gnnbridge_models.dir/pool_model.cpp.o.d"
+  "CMakeFiles/gnnbridge_models.dir/reference.cpp.o"
+  "CMakeFiles/gnnbridge_models.dir/reference.cpp.o.d"
+  "libgnnbridge_models.a"
+  "libgnnbridge_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnbridge_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

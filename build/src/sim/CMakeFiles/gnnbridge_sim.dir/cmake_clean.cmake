@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnbridge_sim.dir/cache.cpp.o"
+  "CMakeFiles/gnnbridge_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/gnnbridge_sim.dir/context.cpp.o"
+  "CMakeFiles/gnnbridge_sim.dir/context.cpp.o.d"
+  "CMakeFiles/gnnbridge_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/gnnbridge_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/gnnbridge_sim.dir/timeline.cpp.o"
+  "CMakeFiles/gnnbridge_sim.dir/timeline.cpp.o.d"
+  "libgnnbridge_sim.a"
+  "libgnnbridge_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnbridge_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnbridge_tensor.dir/activations.cpp.o"
+  "CMakeFiles/gnnbridge_tensor.dir/activations.cpp.o.d"
+  "CMakeFiles/gnnbridge_tensor.dir/matrix.cpp.o"
+  "CMakeFiles/gnnbridge_tensor.dir/matrix.cpp.o.d"
+  "CMakeFiles/gnnbridge_tensor.dir/ops.cpp.o"
+  "CMakeFiles/gnnbridge_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/gnnbridge_tensor.dir/rng.cpp.o"
+  "CMakeFiles/gnnbridge_tensor.dir/rng.cpp.o.d"
+  "libgnnbridge_tensor.a"
+  "libgnnbridge_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnbridge_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

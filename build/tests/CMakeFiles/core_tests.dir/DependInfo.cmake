@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cluster_test.cpp" "tests/CMakeFiles/core_tests.dir/core/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cluster_test.cpp.o.d"
+  "/root/repo/tests/core/fusion_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fusion_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fusion_test.cpp.o.d"
+  "/root/repo/tests/core/grouping_test.cpp" "tests/CMakeFiles/core_tests.dir/core/grouping_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/grouping_test.cpp.o.d"
+  "/root/repo/tests/core/lsh_test.cpp" "tests/CMakeFiles/core_tests.dir/core/lsh_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lsh_test.cpp.o.d"
+  "/root/repo/tests/core/minhash_test.cpp" "tests/CMakeFiles/core_tests.dir/core/minhash_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/minhash_test.cpp.o.d"
+  "/root/repo/tests/core/reorder_baselines_test.cpp" "tests/CMakeFiles/core_tests.dir/core/reorder_baselines_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/reorder_baselines_test.cpp.o.d"
+  "/root/repo/tests/core/schedule_test.cpp" "tests/CMakeFiles/core_tests.dir/core/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/schedule_test.cpp.o.d"
+  "/root/repo/tests/core/step_index_test.cpp" "tests/CMakeFiles/core_tests.dir/core/step_index_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/step_index_test.cpp.o.d"
+  "/root/repo/tests/core/tuner_test.cpp" "tests/CMakeFiles/core_tests.dir/core/tuner_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/tuner_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/gnnbridge_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gnnbridge_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gnnbridge_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gnnbridge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gnnbridge_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnnbridge_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnnbridge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnnbridge_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/cluster_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cluster_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/fusion_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/fusion_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/grouping_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/grouping_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/lsh_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/lsh_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/minhash_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/minhash_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/reorder_baselines_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/reorder_baselines_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/schedule_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/schedule_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/step_index_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/step_index_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/tuner_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/tuner_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

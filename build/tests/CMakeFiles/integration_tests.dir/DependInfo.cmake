@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/autotune_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/autotune_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/autotune_test.cpp.o.d"
+  "/root/repo/tests/integration/backend_equivalence_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/backend_equivalence_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/backend_equivalence_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/integration/engine_ablation_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/engine_ablation_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/engine_ablation_test.cpp.o.d"
+  "/root/repo/tests/integration/footprint_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/footprint_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/footprint_test.cpp.o.d"
+  "/root/repo/tests/integration/multihead_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/multihead_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/multihead_test.cpp.o.d"
+  "/root/repo/tests/integration/training_test.cpp" "tests/CMakeFiles/integration_tests.dir/integration/training_test.cpp.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/training_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/gnnbridge_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gnnbridge_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gnnbridge_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gnnbridge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gnnbridge_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnnbridge_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnnbridge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnnbridge_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/autotune_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/autotune_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/backend_equivalence_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/backend_equivalence_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/engine_ablation_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/engine_ablation_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/footprint_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/footprint_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/multihead_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/multihead_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/training_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/training_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kernels/dense_test.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/dense_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/dense_test.cpp.o.d"
+  "/root/repo/tests/kernels/edge_ops_test.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/edge_ops_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/edge_ops_test.cpp.o.d"
+  "/root/repo/tests/kernels/expand_test.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/expand_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/expand_test.cpp.o.d"
+  "/root/repo/tests/kernels/fused_test.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/fused_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/fused_test.cpp.o.d"
+  "/root/repo/tests/kernels/lstm_test.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/lstm_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/lstm_test.cpp.o.d"
+  "/root/repo/tests/kernels/sddmm_test.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/sddmm_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/sddmm_test.cpp.o.d"
+  "/root/repo/tests/kernels/spmm_test.cpp" "tests/CMakeFiles/kernels_tests.dir/kernels/spmm_test.cpp.o" "gcc" "tests/CMakeFiles/kernels_tests.dir/kernels/spmm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/gnnbridge_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gnnbridge_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/gnnbridge_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gnnbridge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/gnnbridge_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/gnnbridge_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gnnbridge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/gnnbridge_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernels_tests.dir/kernels/dense_test.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/dense_test.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/edge_ops_test.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/edge_ops_test.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/expand_test.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/expand_test.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/fused_test.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/fused_test.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/lstm_test.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/lstm_test.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/sddmm_test.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/sddmm_test.cpp.o.d"
+  "CMakeFiles/kernels_tests.dir/kernels/spmm_test.cpp.o"
+  "CMakeFiles/kernels_tests.dir/kernels/spmm_test.cpp.o.d"
+  "kernels_tests"
+  "kernels_tests.pdb"
+  "kernels_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernels_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_tests.dir/models/gat_grad_test.cpp.o"
+  "CMakeFiles/models_tests.dir/models/gat_grad_test.cpp.o.d"
+  "CMakeFiles/models_tests.dir/models/gcn_grad_test.cpp.o"
+  "CMakeFiles/models_tests.dir/models/gcn_grad_test.cpp.o.d"
+  "CMakeFiles/models_tests.dir/models/layers_test.cpp.o"
+  "CMakeFiles/models_tests.dir/models/layers_test.cpp.o.d"
+  "CMakeFiles/models_tests.dir/models/lstm_ref_test.cpp.o"
+  "CMakeFiles/models_tests.dir/models/lstm_ref_test.cpp.o.d"
+  "CMakeFiles/models_tests.dir/models/pool_model_test.cpp.o"
+  "CMakeFiles/models_tests.dir/models/pool_model_test.cpp.o.d"
+  "CMakeFiles/models_tests.dir/models/reference_test.cpp.o"
+  "CMakeFiles/models_tests.dir/models/reference_test.cpp.o.d"
+  "models_tests"
+  "models_tests.pdb"
+  "models_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

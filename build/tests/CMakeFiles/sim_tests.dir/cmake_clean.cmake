@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/cache_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/cache_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/context_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/context_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/replay_property_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/replay_property_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/scheduler_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/scheduler_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/timeline_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/timeline_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

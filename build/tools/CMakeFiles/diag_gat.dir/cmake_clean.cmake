@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diag_gat.dir/diag_gat.cpp.o"
+  "CMakeFiles/diag_gat.dir/diag_gat.cpp.o.d"
+  "diag_gat"
+  "diag_gat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diag_gat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

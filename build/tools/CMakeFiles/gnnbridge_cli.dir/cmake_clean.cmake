@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnnbridge_cli.dir/gnnbridge_cli.cpp.o"
+  "CMakeFiles/gnnbridge_cli.dir/gnnbridge_cli.cpp.o.d"
+  "gnnbridge_cli"
+  "gnnbridge_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnnbridge_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
