@@ -16,16 +16,22 @@ namespace {
 
 double run_gat(engine::OptimizedEngine& e, const graph::Dataset& d,
                const models::GatConfig& cfg, const models::GatParams& params,
-               const models::Matrix& x) {
+               const models::Matrix& x, const char* variant) {
   const baselines::GatRun run{&cfg, &params, &x};
-  return e.run_gat(d, run, kernels::ExecMode::kSimulateOnly, sim::v100()).ms;
+  const auto r = e.run_gat(d, run, kernels::ExecMode::kSimulateOnly, sim::v100());
+  bench::record_run("adapter/gat/" + std::string(variant) + "/" + d.name, "gat", variant,
+                    d.name, r);
+  return r.ms;
 }
 
 double run_gcn(engine::OptimizedEngine& e, const graph::Dataset& d,
                const models::GcnConfig& cfg, const models::GcnParams& params,
-               const models::Matrix& x) {
+               const models::Matrix& x, const char* variant) {
   const baselines::GcnRun run{&cfg, &params, &x};
-  return e.run_gcn(d, run, kernels::ExecMode::kSimulateOnly, sim::v100()).ms;
+  const auto r = e.run_gcn(d, run, kernels::ExecMode::kSimulateOnly, sim::v100());
+  bench::record_run("adapter/gcn/" + std::string(variant) + "/" + d.name, "gcn", variant,
+                    d.name, r);
+  return r.ms;
 }
 
 }  // namespace
@@ -57,9 +63,9 @@ int main() {
   for (graph::DatasetId id : graph::kAllDatasets) {
     const graph::Dataset& d = cache.get(id);
     const models::Matrix x = models::init_features(d.csr.num_nodes, 128, 9);
-    const double t_base = run_gat(base, d, gat_cfg, gat_params, x);
-    const double t_adp = run_gat(adp, d, gat_cfg, gat_params, x);
-    const double t_lin = run_gat(lin, d, gat_cfg, gat_params, x);
+    const double t_base = run_gat(base, d, gat_cfg, gat_params, x, "base");
+    const double t_adp = run_gat(adp, d, gat_cfg, gat_params, x, "adapter");
+    const double t_lin = run_gat(lin, d, gat_cfg, gat_params, x, "adapter+linear");
     std::printf("%-10s %8.3f %12.3f %20.3f\n", d.name.c_str(), 1.0, t_adp / t_base,
                 t_lin / t_base);
   }
@@ -69,8 +75,8 @@ int main() {
   for (graph::DatasetId id : graph::kAllDatasets) {
     const graph::Dataset& d = cache.get(id);
     const models::Matrix x = models::init_features(d.csr.num_nodes, 128, 10);
-    const double t_base = run_gcn(base, d, gcn_cfg, gcn_params, x);
-    const double t_lin = run_gcn(lin, d, gcn_cfg, gcn_params, x);
+    const double t_base = run_gcn(base, d, gcn_cfg, gcn_params, x, "base");
+    const double t_lin = run_gcn(lin, d, gcn_cfg, gcn_params, x, "adapter+linear");
     std::printf("%-10s %8.3f %20.3f\n", d.name.c_str(), 1.0, t_lin / t_base);
   }
   std::printf("\npaper (Fig 10): GAT gains large from Adp, more from +Linear; GCN ~16%% "

@@ -29,12 +29,19 @@ int main() {
     const graph::Dataset& d = cache.get(id);
     const models::Matrix x = models::init_features(d.csr.num_nodes, cfg.in_feat, 14);
     const baselines::SageLstmRun run{&cfg, &params, &x};
-    const double t_base =
-        base.run_sage_lstm(d, run, kernels::ExecMode::kSimulateOnly, sim::v100()).ms;
-    const double t_spf =
-        spf.run_sage_lstm(d, run, kernels::ExecMode::kSimulateOnly, sim::v100()).ms;
-    const double t_byp =
-        byp.run_sage_lstm(d, run, kernels::ExecMode::kSimulateOnly, sim::v100()).ms;
+    const auto r_base = base.run_sage_lstm(d, run, kernels::ExecMode::kSimulateOnly,
+                                           sim::v100());
+    const auto r_spf = spf.run_sage_lstm(d, run, kernels::ExecMode::kSimulateOnly,
+                                         sim::v100());
+    const auto r_byp = byp.run_sage_lstm(d, run, kernels::ExecMode::kSimulateOnly,
+                                         sim::v100());
+    bench::record_run("spfetch/base/" + d.name, "sage", "base", d.name, r_base);
+    bench::record_run("spfetch/sparse-fetch/" + d.name, "sage", "sparse-fetch", d.name, r_spf);
+    bench::record_run("spfetch/bypass/" + d.name, "sage", "sparse-fetch+bypass", d.name,
+                      r_byp);
+    const double t_base = r_base.ms;
+    const double t_spf = r_spf.ms;
+    const double t_byp = r_byp.ms;
     std::printf("%-10s %8.3f %10.3f %12.3f %14.3f\n", d.name.c_str(), 1.0, t_spf / t_base,
                 t_byp / t_base, t_base);
   }

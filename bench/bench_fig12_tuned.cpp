@@ -62,6 +62,8 @@ int main() {
                              .atomic_merge = grouped.any_split,
                              .mode = kernels::ExecMode::kSimulateOnly};
       const sim::KernelStats ks = kernels::spmm_node(ctx, args);
+      bench::record_stats("tuned/" + std::to_string(feat) + "/" + d.name, "aggregation",
+                          "tuned", d.name, ctx.stats(), spec);
       std::printf(" %9.1f", ks.flops / spec.seconds(ks.cycles) / 1e9);
     }
     std::printf("\n");

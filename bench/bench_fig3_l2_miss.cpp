@@ -32,6 +32,7 @@ int main() {
                            .out = &out,
                            .mode = kernels::ExecMode::kSimulateOnly};
     const sim::KernelStats ks = kernels::spmm_vendor(ctx, args);
+    bench::record_stats("l2_miss/" + d.name, "gcn-last-layer", "dgl", d.name, ctx.stats());
     std::printf("%-10s %12.1f %12llu %12llu\n", d.name.c_str(), 100.0 * ks.l2_miss_rate(),
                 static_cast<unsigned long long>(ks.l2_hits + ks.l2_misses),
                 static_cast<unsigned long long>(ks.l2_misses));

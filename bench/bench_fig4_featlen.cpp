@@ -39,6 +39,8 @@ int main() {
                              .lanes = 32,
                              .mode = kernels::ExecMode::kSimulateOnly};
       const sim::KernelStats ks = kernels::spmm_node(ctx, args);
+      bench::record_stats("featlen/" + std::to_string(feat) + "/" + d.name, "aggregation",
+                          "fixed-schedule", d.name, ctx.stats(), spec);
       std::printf(" %9.1f", ks.flops / spec.seconds(ks.cycles) / 1e9);
     }
     std::printf("\n");

@@ -35,8 +35,8 @@ void print_cell(const baselines::RunResult& r, bool supported) {
 }
 
 template <typename RunFn>
-void run_model(const char* title, models::ModelKind kind, bench::DatasetCache& cache,
-               std::vector<Row>& rows, RunFn run_fn) {
+void run_model(const char* title, const char* model_tag, models::ModelKind kind,
+               bench::DatasetCache& cache, std::vector<Row>& rows, RunFn run_fn) {
   std::printf("\n--- %s (simulated ms per forward pass; lower is better) ---\n", title);
   std::printf("%-10s", "framework");
   for (graph::DatasetId id : graph::kAllDatasets) {
@@ -49,7 +49,11 @@ void run_model(const char* title, models::ModelKind kind, bench::DatasetCache& c
       const graph::Dataset& d = cache.get(id);
       const bool supported = row.backend->supports(kind);
       baselines::RunResult r;
-      if (supported) r = run_fn(*row.backend, d);
+      if (supported) {
+        r = run_fn(*row.backend, d);
+        bench::record_run(std::string(model_tag) + "/" + row.label + "/" + d.name, model_tag,
+                          row.label, d.name, r);
+      }
       print_cell(r, supported);
     }
     std::printf("\n");
@@ -83,19 +87,19 @@ int main() {
     x32.emplace(id, models::init_features(d.csr.num_nodes, 32, 5));
   }
 
-  run_model("(a) GCN, 3 layers 512-128-64-32", models::ModelKind::kGcn, cache, rows,
+  run_model("(a) GCN, 3 layers 512-128-64-32", "gcn", models::ModelKind::kGcn, cache, rows,
             [&](baselines::Backend& b, const graph::Dataset& d) {
               const baselines::GcnRun run{&gcn_cfg, &gcn_params, &x512.at(d.id)};
               return b.run_gcn(d, run, kernels::ExecMode::kSimulateOnly, sim::v100());
             });
 
-  run_model("(b) GAT, 3 layers 512-128-64-32", models::ModelKind::kGat, cache, rows,
+  run_model("(b) GAT, 3 layers 512-128-64-32", "gat", models::ModelKind::kGat, cache, rows,
             [&](baselines::Backend& b, const graph::Dataset& d) {
               const baselines::GatRun run{&gat_cfg, &gat_params, &x512.at(d.id)};
               return b.run_gat(d, run, kernels::ExecMode::kSimulateOnly, sim::v100());
             });
 
-  run_model("(c) GraphSAGE-LSTM, 1 layer 32/32, 16 sampled neighbors",
+  run_model("(c) GraphSAGE-LSTM, 1 layer 32/32, 16 sampled neighbors", "sage",
             models::ModelKind::kSageLstm, cache, rows,
             [&](baselines::Backend& b, const graph::Dataset& d) {
               const baselines::SageLstmRun run{&sage_cfg, &sage_params, &x32.at(d.id)};

@@ -16,7 +16,7 @@ using namespace gnnbridge;
 
 namespace {
 sim::KernelStats run_agg(const graph::Dataset& d, std::span<const kernels::Task> tasks,
-                         bool atomic, tensor::Index feat) {
+                         bool atomic, tensor::Index feat, const char* schedule) {
   sim::SimContext ctx(sim::v100());
   const auto gdev = kernels::device_graph(ctx, d.csr, "csr");
   auto src = kernels::device_mat_shape(ctx, d.csr.num_nodes, feat, "src");
@@ -29,7 +29,10 @@ sim::KernelStats run_agg(const graph::Dataset& d, std::span<const kernels::Task>
                          .out = &out,
                          .atomic_merge = atomic,
                          .mode = kernels::ExecMode::kSimulateOnly};
-  return kernels::spmm_node(ctx, args);
+  const sim::KernelStats ks = kernels::spmm_node(ctx, args);
+  bench::record_stats("ng_balance/" + std::string(schedule) + "/" + d.name, "gcn-last-layer",
+                      schedule, d.name, ctx.stats());
+  return ks;
 }
 }  // namespace
 
@@ -43,13 +46,13 @@ int main() {
   for (graph::DatasetId id : graph::kAllDatasets) {
     const graph::Dataset& d = cache.get(id);
     const auto whole = kernels::natural_tasks(d.csr);
-    const sim::KernelStats base = run_agg(d, whole, false, kFeat);
+    const sim::KernelStats base = run_agg(d, whole, false, kFeat, "baseline");
 
     const graph::EdgeId bound =
         std::max<graph::EdgeId>(16, (static_cast<graph::EdgeId>(d.stats.avg_degree) + 15) /
                                         16 * 16);
     const core::GroupedTasks grouped = core::neighbor_group_tasks(d.csr, bound);
-    const sim::KernelStats ng = run_agg(d, grouped.tasks, grouped.any_split, kFeat);
+    const sim::KernelStats ng = run_agg(d, grouped.tasks, grouped.any_split, kFeat, "ng");
 
     const double norm = base.makespan;
     std::printf("%-10s %14.3f %14.3f %14.3f %14.3f %9.2fx\n", d.name.c_str(),

@@ -18,7 +18,7 @@ namespace {
 constexpr tensor::Index kFeat = 128;  // locality matters when rows are fat
 
 double node_parallel_hit_rate(const graph::Dataset& d, std::span<const kernels::Task> tasks,
-                              bool atomic) {
+                              bool atomic, const char* schedule) {
   sim::SimContext ctx(sim::v100());
   const auto gdev = kernels::device_graph(ctx, d.csr, "csr");
   auto src = kernels::device_mat_shape(ctx, d.csr.num_nodes, kFeat, "src");
@@ -29,7 +29,10 @@ double node_parallel_hit_rate(const graph::Dataset& d, std::span<const kernels::
                          .out = &out,
                          .atomic_merge = atomic,
                          .mode = kernels::ExecMode::kSimulateOnly};
-  return kernels::spmm_node(ctx, args).l2_hit_rate();
+  const double hit = kernels::spmm_node(ctx, args).l2_hit_rate();
+  bench::record_stats("locality/" + std::string(schedule) + "/" + d.name, "gcn-last-layer",
+                      schedule, d.name, ctx.stats());
+  return hit;
 }
 
 double edge_parallel_hit_rate(const graph::Dataset& d) {
@@ -42,7 +45,10 @@ double edge_parallel_hit_rate(const graph::Dataset& d) {
                            .feat = &src,
                            .expanded = &expanded,
                            .mode = kernels::ExecMode::kSimulateOnly};
-  return kernels::gather(ctx, args).l2_hit_rate();
+  const double hit = kernels::gather(ctx, args).l2_hit_rate();
+  bench::record_stats("locality/edge-parallel/" + d.name, "gcn-last-layer", "edge-parallel",
+                      d.name, ctx.stats());
+  return hit;
 }
 
 }  // namespace
@@ -56,7 +62,7 @@ int main() {
   for (graph::DatasetId id : graph::kAllDatasets) {
     const graph::Dataset& d = cache.get(id);
     const auto whole = kernels::natural_tasks(d.csr);
-    const double prior_node = node_parallel_hit_rate(d, whole, false);
+    const double prior_node = node_parallel_hit_rate(d, whole, false, "natural");
     const double prior_edge = edge_parallel_hit_rate(d);
     const double best_prior = std::max(prior_node, prior_edge);
 
@@ -64,22 +70,23 @@ int main() {
         std::max<graph::EdgeId>(16, (static_cast<graph::EdgeId>(d.stats.avg_degree) + 15) /
                                         16 * 16);
     const core::GroupedTasks ng = core::neighbor_group_tasks(d.csr, bound);
-    const double hit_ng = node_parallel_hit_rate(d, ng.tasks, ng.any_split);
+    const double hit_ng = node_parallel_hit_rate(d, ng.tasks, ng.any_split, "ng");
 
     const auto las = core::locality_aware_schedule(d.csr);
     const core::GroupedTasks las_only = core::neighbor_group_tasks(d.csr, 0, las.order);
-    const double hit_las = node_parallel_hit_rate(d, las_only.tasks, false);
+    const double hit_las = node_parallel_hit_rate(d, las_only.tasks, false, "las");
 
     const core::GroupedTasks both = core::neighbor_group_tasks(d.csr, bound, las.order);
-    const double hit_both = node_parallel_hit_rate(d, both.tasks, both.any_split);
+    const double hit_both = node_parallel_hit_rate(d, both.tasks, both.any_split, "ng+las");
 
     // Extension: classic reordering baselines under the same grouping.
     const auto deg = core::degree_order(d.csr);
     const core::GroupedTasks ng_deg = core::neighbor_group_tasks(d.csr, bound, deg);
-    const double hit_deg = node_parallel_hit_rate(d, ng_deg.tasks, ng_deg.any_split);
+    const double hit_deg =
+        node_parallel_hit_rate(d, ng_deg.tasks, ng_deg.any_split, "ng+degree");
     const auto bfs = core::bfs_order(d.csr);
     const core::GroupedTasks ng_bfs = core::neighbor_group_tasks(d.csr, bound, bfs);
-    const double hit_bfs = node_parallel_hit_rate(d, ng_bfs.tasks, ng_bfs.any_split);
+    const double hit_bfs = node_parallel_hit_rate(d, ng_bfs.tasks, ng_bfs.any_split, "ng+bfs");
 
     std::printf("%-10s %12.1f %8.1f %8.1f %8.1f | %10.1f %8.1f\n", d.name.c_str(),
                 100.0 * best_prior, 100.0 * hit_ng, 100.0 * hit_las, 100.0 * hit_both,

@@ -6,6 +6,7 @@
 // regressions in the simulator hot paths.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "core/balance/neighbor_grouping.hpp"
 #include "core/locality/schedule.hpp"
 #include "graph/datasets.hpp"
@@ -77,4 +78,30 @@ BENCHMARK(BM_NeighborGroupingOnlinePass);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): bootstraps the metrics sink
+// (GNNBRIDGE_METRICS_JSON / GNNBRIDGE_TRACE_JSON) and records one untimed
+// representative replay so this binary emits the same schema as the rest.
+int main(int argc, char** argv) {
+  bench::banner("Micro kernels", "host cost of simulated kernel replay");
+  {
+    const graph::Dataset& d = collab();
+    const auto tasks = kernels::natural_tasks(d.csr);
+    sim::SimContext ctx(sim::v100());
+    const auto gdev = kernels::device_graph(ctx, d.csr, "csr");
+    auto src = kernels::device_mat_shape(ctx, d.csr.num_nodes, 32, "src");
+    auto out = kernels::device_mat_shape(ctx, d.csr.num_nodes, 32, "out");
+    kernels::SpmmArgs args{.graph = &gdev,
+                           .tasks = tasks,
+                           .src = &src,
+                           .out = &out,
+                           .mode = kernels::ExecMode::kSimulateOnly};
+    kernels::spmm_node(ctx, args);
+    bench::record_stats("micro/spmm_replay/" + d.name, "aggregation", "micro", d.name,
+                        ctx.stats());
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -68,10 +68,17 @@ int main() {
     const graph::Dataset mini =
         dataset_from_batch(full, graph::sample_neighbors(full.csr, centers, 16, rng));
 
-    ms_unopt +=
-        e_unopt.run_gat(mini, run, kernels::ExecMode::kSimulateOnly, sim::v100()).ms;
-    ms_online +=
-        e_online.run_gat(mini, run, kernels::ExecMode::kSimulateOnly, sim::v100()).ms;
+    const auto r_unopt = e_unopt.run_gat(mini, run, kernels::ExecMode::kSimulateOnly,
+                                         sim::v100());
+    const auto r_online = e_online.run_gat(mini, run, kernels::ExecMode::kSimulateOnly,
+                                           sim::v100());
+    ms_unopt += r_unopt.ms;
+    ms_online += r_online.ms;
+    if (iter == kIters - 1) {
+      bench::record_run("online_sampling/unopt", "gat", "unopt", "reddit-minibatch", r_unopt);
+      bench::record_run("online_sampling/online", "gat", "adp+ng", "reddit-minibatch",
+                        r_online);
+    }
 
     // Offline LAS on a throwaway graph: charge its host analysis time.
     const auto t0 = std::chrono::steady_clock::now();
@@ -81,7 +88,12 @@ int main() {
     engine::EngineConfig per_sample = offline_too;
     per_sample.las_order = &las.order;
     engine::OptimizedEngine e_off(per_sample);
-    ms_offline += e_off.run_gat(mini, run, kernels::ExecMode::kSimulateOnly, sim::v100()).ms;
+    const auto r_off = e_off.run_gat(mini, run, kernels::ExecMode::kSimulateOnly, sim::v100());
+    ms_offline += r_off.ms;
+    if (iter == kIters - 1) {
+      bench::record_run("online_sampling/offline", "gat", "adp+ng+las", "reddit-minibatch",
+                        r_off);
+    }
   }
 
   std::printf("%-38s %14s %12s\n", "configuration", "sim ms/iter", "speedup");

@@ -46,6 +46,7 @@ int main() {
                           .mode = kernels::ExecMode::kSimulateOnly,
                           .name = "u_mul_e_sum"};
     combined.append(kernels::spmm_node(ctx, agg).timeline);
+    bench::record_stats("occupancy/" + d.name, "gat-graph-ops", "dgl", d.name, ctx.stats());
 
     std::printf("%-10s %8.2f %8.2f %8.2f\n", d.name.c_str(),
                 100.0 * combined.fraction_below(1.0, slots),

@@ -25,6 +25,7 @@ int main() {
     const models::Matrix x = models::init_features(d.csr.num_nodes, cfg.in_feat, 3);
     const baselines::SageLstmRun run{&cfg, &params, &x};
     const auto r = dgl.run_sage_lstm(d, run, kernels::ExecMode::kSimulateOnly, sim::v100());
+    bench::record_run("expansion/" + d.name, "sage", "dgl", d.name, r);
     const double total = r.stats.total_cycles;
     std::printf("%-10s %14.2f %18.2f %12.3f\n", d.name.c_str(),
                 100.0 * r.stats.cycles_in_phase("expansion") / total,

@@ -15,10 +15,13 @@ using namespace gnnbridge;
 namespace {
 double run_last_layer(const engine::EngineConfig& cfg, const graph::Dataset& d,
                       const models::GatConfig& gat_cfg, const models::GatParams& params,
-                      const models::Matrix& x) {
+                      const models::Matrix& x, const char* variant) {
   engine::OptimizedEngine e(cfg);
   const baselines::GatRun run{&gat_cfg, &params, &x};
-  return e.run_gat(d, run, kernels::ExecMode::kSimulateOnly, sim::v100()).ms;
+  const auto r = e.run_gat(d, run, kernels::ExecMode::kSimulateOnly, sim::v100());
+  bench::record_run("ablation/" + std::string(variant) + "/" + d.name, "gat-last-layer",
+                    variant, d.name, r);
+  return r.ms;
 }
 }  // namespace
 
@@ -52,10 +55,10 @@ int main() {
   for (graph::DatasetId id : graph::kAllDatasets) {
     const graph::Dataset& d = cache.get(id);
     const models::Matrix x = models::init_features(d.csr.num_nodes, 64, 18);
-    const double t0 = run_last_layer(unopt, d, gat_cfg, params, x);
-    const double t1 = run_last_layer(adp, d, gat_cfg, params, x);
-    const double t2 = run_last_layer(adp_ng, d, gat_cfg, params, x);
-    const double t3 = run_last_layer(adp_ng_las, d, gat_cfg, params, x);
+    const double t0 = run_last_layer(unopt, d, gat_cfg, params, x, "unopt");
+    const double t1 = run_last_layer(adp, d, gat_cfg, params, x, "adp");
+    const double t2 = run_last_layer(adp_ng, d, gat_cfg, params, x, "adp+ng");
+    const double t3 = run_last_layer(adp_ng_las, d, gat_cfg, params, x, "adp+ng+las");
     std::printf("%-10s %8.2f %10.2f %14.2f\n", d.name.c_str(), t0 / t1, t0 / t2, t0 / t3);
     prod[0] *= t0 / t1;
     prod[1] *= t0 / t2;

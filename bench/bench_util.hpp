@@ -7,6 +7,7 @@
 // simulated times are identical to full-math runs.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -14,17 +15,33 @@
 
 #include "baselines/backend.hpp"
 #include "graph/datasets.hpp"
+#include "prof/metrics_json.hpp"
+#include "prof/tracer.hpp"
 #include "sim/device.hpp"
 
 namespace gnnbridge::bench {
 
 /// Scale factor for dataset generation (env GNNBRIDGE_SCALE, default 0.25).
+/// Malformed or out-of-range values are rejected with a stderr warning
+/// instead of silently parsing to 0 (std::atof) and falling back.
 inline double dataset_scale() {
-  if (const char* env = std::getenv("GNNBRIDGE_SCALE")) {
-    const double s = std::atof(env);
-    if (s > 0.0 && s <= 1.0) return s;
-  }
-  return 0.25;
+  static const double scale = [] {
+    constexpr double kDefault = 0.25;
+    const char* env = std::getenv("GNNBRIDGE_SCALE");
+    if (!env || !*env) return kDefault;
+    char* end = nullptr;
+    errno = 0;
+    const double s = std::strtod(env, &end);
+    if (end == env || *end != '\0' || errno == ERANGE || !(s > 0.0) || s > 1.0) {
+      std::fprintf(stderr,
+                   "gnnbridge: invalid GNNBRIDGE_SCALE='%s' (want a number in (0, 1]); "
+                   "using default %.2f\n",
+                   env, kDefault);
+      return kDefault;
+    }
+    return s;
+  }();
+  return scale;
 }
 
 /// Lazily-generated dataset cache for one bench process.
@@ -42,13 +59,43 @@ class DatasetCache {
   std::map<graph::DatasetId, graph::Dataset> cache_;
 };
 
-/// Header banner with the experiment id and the generation scale.
+/// Header banner with the experiment id and the generation scale. Also
+/// bootstraps the observability sinks: names the experiment in the metrics
+/// sink (written to $GNNBRIDGE_METRICS_JSON at exit when set) and arms the
+/// span tracer's at-exit Chrome-trace export ($GNNBRIDGE_TRACE_JSON).
 inline void banner(const char* experiment, const char* description) {
+  prof::MetricsSink::instance().configure(experiment, dataset_scale());
+  prof::install_env_trace_export();
   std::printf("==================================================================\n");
   std::printf("%s — %s\n", experiment, description);
   std::printf("datasets at scale %.2f of reduced size (GNNBRIDGE_SCALE to change)\n",
               dataset_scale());
+  if (const char* p = prof::MetricsSink::env_path()) {
+    std::printf("metrics JSON -> %s\n", p);
+  }
+  if (const char* p = prof::trace_env_path()) {
+    std::printf("chrome trace -> %s\n", p);
+  }
   std::printf("==================================================================\n");
+}
+
+/// Records one backend run into the process-wide metrics sink.
+inline void record_run(std::string label, std::string model, std::string backend,
+                       std::string dataset, const baselines::RunResult& r,
+                       const sim::DeviceSpec& spec = sim::v100()) {
+  prof::MetricsSink::instance().record({std::move(label), std::move(model),
+                                        std::move(backend), std::move(dataset), r.ms, r.oom,
+                                        r.stats, spec});
+}
+
+/// Records raw simulator counters (kernel-level benchmarks that drive a
+/// SimContext directly rather than a Backend).
+inline void record_stats(std::string label, std::string model, std::string backend,
+                         std::string dataset, const sim::RunStats& stats,
+                         const sim::DeviceSpec& spec = sim::v100()) {
+  prof::MetricsSink::instance().record({std::move(label), std::move(model),
+                                        std::move(backend), std::move(dataset),
+                                        spec.millis(stats.total_cycles), false, stats, spec});
 }
 
 /// The paper's model configurations (§5.1).

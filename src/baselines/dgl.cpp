@@ -12,6 +12,7 @@
 #include "kernels/sddmm.hpp"
 #include "kernels/spmm.hpp"
 #include "tensor/activations.hpp"
+#include "prof/span.hpp"
 
 namespace gnnbridge::baselines {
 
@@ -61,6 +62,7 @@ RunResult finish(sim::SimContext& ctx, const sim::DeviceSpec& spec, Matrix outpu
 
 RunResult DglBackend::run_gcn(const Dataset& data, const GcnRun& run, ExecMode mode,
                               const sim::DeviceSpec& spec) {
+  prof::Span span("DglBackend::run_gcn", "baseline");
   const std::uint64_t paper_bytes = dgl_footprint(graph::paper_stats(data.id), *run.cfg);
   if (paper_bytes > kDeviceBytes) return {.oom = true, .paper_bytes = paper_bytes};
 
@@ -100,6 +102,7 @@ RunResult DglBackend::run_gcn(const Dataset& data, const GcnRun& run, ExecMode m
 
 RunResult DglBackend::run_gat(const Dataset& data, const GatRun& run, ExecMode mode,
                               const sim::DeviceSpec& spec) {
+  prof::Span span("DglBackend::run_gat", "baseline");
   const std::uint64_t paper_bytes = dgl_footprint_gat(graph::paper_stats(data.id), *run.cfg);
   if (paper_bytes > kDeviceBytes) return {.oom = true, .paper_bytes = paper_bytes};
 
@@ -182,6 +185,7 @@ RunResult DglBackend::run_gat(const Dataset& data, const GatRun& run, ExecMode m
 
 RunResult DglBackend::run_sage_lstm(const Dataset& data, const SageLstmRun& run, ExecMode mode,
                                     const sim::DeviceSpec& spec) {
+  prof::Span span("DglBackend::run_sage_lstm", "baseline");
   // SAGE-LSTM footprints are tiny (one [N, F] expansion buffer at a time).
   sim::SimContext ctx(with_framework_overhead(spec));
   Workspace ws;
@@ -228,6 +232,7 @@ RunResult DglBackend::run_sage_lstm(const Dataset& data, const SageLstmRun& run,
 
 RunResult DglBackend::run_multihead_gat(const Dataset& data, const MultiHeadGatRun& run,
                                         ExecMode mode, const sim::DeviceSpec& spec) {
+  prof::Span span("DglBackend::run_multihead_gat", "baseline");
   // DGL executes each head as an independent Listing-1 pipeline: K times
   // the op count — the op-explosion face of Observation 3.
   sim::SimContext ctx(with_framework_overhead(spec));
@@ -297,6 +302,7 @@ RunResult DglBackend::run_multihead_gat(const Dataset& data, const MultiHeadGatR
 
 RunResult DglBackend::run_sage_pool(const Dataset& data, const SagePoolRun& run, ExecMode mode,
                                     const sim::DeviceSpec& spec) {
+  prof::Span span("DglBackend::run_sage_pool", "baseline");
   sim::SimContext ctx(with_framework_overhead(spec));
   Workspace ws;
   const auto gdev = k::device_graph(ctx, data.csr, "csr");

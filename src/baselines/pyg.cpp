@@ -9,6 +9,7 @@
 #include "kernels/expand.hpp"
 #include "kernels/fused.hpp"
 #include "tensor/activations.hpp"
+#include "prof/span.hpp"
 
 namespace gnnbridge::baselines {
 
@@ -44,6 +45,7 @@ struct Workspace {
 
 RunResult PygBackend::run_gcn(const Dataset& data, const GcnRun& run, ExecMode mode,
                               const sim::DeviceSpec& spec) {
+  prof::Span span("PygBackend::run_gcn", "baseline");
   const std::uint64_t paper_bytes = pyg_footprint_gcn(graph::paper_stats(data.id), *run.cfg);
   if (paper_bytes > kDeviceBytes) return {.oom = true, .paper_bytes = paper_bytes};
 
@@ -85,6 +87,7 @@ RunResult PygBackend::run_gcn(const Dataset& data, const GcnRun& run, ExecMode m
 
 RunResult PygBackend::run_gat(const Dataset& data, const GatRun& run, ExecMode mode,
                               const sim::DeviceSpec& spec) {
+  prof::Span span("PygBackend::run_gat", "baseline");
   const std::uint64_t paper_bytes = pyg_footprint_gat(graph::paper_stats(data.id), *run.cfg);
   if (paper_bytes > kDeviceBytes) return {.oom = true, .paper_bytes = paper_bytes};
 
@@ -174,6 +177,7 @@ RunResult PygBackend::run_gat(const Dataset& data, const GatRun& run, ExecMode m
 
 RunResult PygBackend::run_sage_lstm(const Dataset&, const SageLstmRun&, ExecMode,
                                     const sim::DeviceSpec&) {
+  prof::Span span("PygBackend::run_sage_lstm", "baseline");
   // PyG (1.5) has no LSTM aggregator — "x" in Figure 7c.
   RunResult r;
   r.oom = false;

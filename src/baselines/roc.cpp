@@ -6,6 +6,7 @@
 #include "kernels/dense.hpp"
 #include "kernels/fused.hpp"
 #include "kernels/spmm.hpp"
+#include "prof/span.hpp"
 
 namespace gnnbridge::baselines {
 
@@ -42,6 +43,7 @@ struct Workspace {
 
 RunResult RocBackend::run_gcn(const Dataset& data, const GcnRun& run, ExecMode mode,
                               const sim::DeviceSpec& spec) {
+  prof::Span span("RocBackend::run_gcn", "baseline");
   const std::uint64_t paper_bytes = roc_footprint_gcn(graph::paper_stats(data.id), *run.cfg);
   if (paper_bytes > kDeviceBytes) return {.oom = true, .paper_bytes = paper_bytes};
 
@@ -104,11 +106,13 @@ RunResult RocBackend::run_gcn(const Dataset& data, const GcnRun& run, ExecMode m
 }
 
 RunResult RocBackend::run_gat(const Dataset&, const GatRun&, ExecMode, const sim::DeviceSpec&) {
+  prof::Span span("RocBackend::run_gat", "baseline");
   return {};  // not implemented in ROC — "x" in Figure 7b
 }
 
 RunResult RocBackend::run_sage_lstm(const Dataset&, const SageLstmRun&, ExecMode,
                                     const sim::DeviceSpec&) {
+  prof::Span span("RocBackend::run_sage_lstm", "baseline");
   return {};  // not implemented in ROC — "x" in Figure 7c
 }
 

@@ -3,18 +3,29 @@
 #include <algorithm>
 #include <cassert>
 
+#include "prof/span.hpp"
+
 namespace gnnbridge::core {
 
 LasSchedule locality_aware_schedule(const Csr& g, const LasConfig& cfg) {
+  prof::Span whole("locality_aware_schedule", "core");
   const int rows = cfg.lsh.bands * cfg.lsh.rows_per_band;
+  prof::Span sig_span("las/minhash", "core");
   const MinHashSignatures sigs = minhash_signatures(g, rows, cfg.seed);
+  sig_span.end();
+  prof::Span lsh_span("las/lsh_pairs", "core");
   std::vector<CandidatePair> pairs = lsh_candidate_pairs(sigs, cfg.lsh);
+  lsh_span.end();
 
   LasSchedule out;
   out.num_candidate_pairs = static_cast<int>(pairs.size());
 
+  prof::Span merge_span("las/merge_pairs", "core");
+  merge_span.arg("candidate_pairs", out.num_candidate_pairs);
   const Clustering clustering = merge_pairs(g.num_nodes, std::move(pairs), sigs, cfg.cluster);
+  merge_span.end();
   out.num_nontrivial_clusters = clustering.num_nontrivial();
+  whole.arg("nontrivial_clusters", out.num_nontrivial_clusters);
 
   // Lay out non-trivial clusters first (largest first, members in id
   // order), then the remaining singletons in natural order. Natural order

@@ -13,6 +13,7 @@
 #include "kernels/lstm.hpp"
 #include "kernels/sddmm.hpp"
 #include "kernels/spmm.hpp"
+#include "prof/span.hpp"
 #include "tensor/activations.hpp"
 
 namespace gnnbridge::engine {
@@ -73,8 +74,10 @@ const std::vector<NodeId>* OptimizedEngine::las_order_for(const graph::Csr& csr)
   if (cfg_.auto_tune && tuned_graph_ == &csr && !tuned_las_) return nullptr;
   if (cfg_.las_order) return cfg_.las_order;
   if (cached_graph_ != &csr) {
+    prof::Span span("las_schedule", "engine");
     cached_order_ = core::locality_aware_schedule(csr).order;
     cached_graph_ = &csr;
+    span.arg("nodes", static_cast<double>(csr.num_nodes));
   }
   return &cached_order_;
 }
@@ -88,6 +91,8 @@ void OptimizedEngine::maybe_tune(const graph::Csr& csr, tensor::Index feat_len,
                                  const sim::DeviceSpec& spec) const {
   if (!cfg_.auto_tune) return;
   if (tuned_graph_ == &csr && tuned_feat_ == feat_len) return;
+  prof::Span span("auto_tune", "engine");
+  span.arg("feat_len", static_cast<double>(feat_len));
   const core::TuneResult tuned = tune_for(csr, feat_len, spec, cfg_.use_las);
   tuned_lanes_ = tuned.best.lanes;
   tuned_bound_ = tuned.best.group_bound;
@@ -98,13 +103,17 @@ void OptimizedEngine::maybe_tune(const graph::Csr& csr, tensor::Index feat_len,
 
 core::GroupedTasks OptimizedEngine::build_tasks(const graph::Csr& csr) const {
   const std::vector<NodeId>* order = las_order_for(csr);
-  return core::neighbor_group_tasks(
+  prof::Span span("neighbor_grouping", "engine");
+  core::GroupedTasks grouped = core::neighbor_group_tasks(
       csr, effective_bound(csr),
       order ? std::span<const NodeId>(*order) : std::span<const NodeId>());
+  span.arg("tasks", static_cast<double>(grouped.tasks.size()));
+  return grouped;
 }
 
 RunResult OptimizedEngine::run_gcn(const Dataset& data, const GcnRun& run, ExecMode mode,
                                    const sim::DeviceSpec& spec) {
+  prof::Span span("OptimizedEngine::run_gcn", "engine");
   if (run.cfg->dims.size() > 1) maybe_tune(data.csr, run.cfg->dims[1], spec);
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;
@@ -173,6 +182,7 @@ OptimizedEngine::TrainResult OptimizedEngine::train_gcn_step(
     const Dataset& data, const models::GcnConfig& cfg, models::GcnParams& params,
     const models::Matrix& x, const models::Matrix& target, float lr, ExecMode mode,
     const sim::DeviceSpec& spec, models::GcnGrads* grads_out) {
+  prof::Span span("OptimizedEngine::train_gcn_step", "engine");
   (void)cfg;
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;
@@ -310,6 +320,7 @@ OptimizedEngine::TrainResult OptimizedEngine::train_gcn_step(
 
 RunResult OptimizedEngine::run_gat(const Dataset& data, const GatRun& run, ExecMode mode,
                                    const sim::DeviceSpec& spec) {
+  prof::Span span("OptimizedEngine::run_gat", "engine");
   if (run.cfg->dims.size() > 1) maybe_tune(data.csr, run.cfg->dims[1], spec);
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;
@@ -450,6 +461,7 @@ RunResult OptimizedEngine::run_gat(const Dataset& data, const GatRun& run, ExecM
 RunResult OptimizedEngine::run_multihead_gat(const Dataset& data,
                                              const baselines::MultiHeadGatRun& run,
                                              ExecMode mode, const sim::DeviceSpec& spec) {
+  prof::Span span("OptimizedEngine::run_multihead_gat", "engine");
   // Each head runs the fused two-kernel graph pipeline; head outputs write
   // directly into their column slice of the concatenated destination on a
   // real GPU (strided epilogue stores) — per-head buffers here carry the
@@ -512,6 +524,7 @@ RunResult OptimizedEngine::run_multihead_gat(const Dataset& data,
 
 RunResult OptimizedEngine::run_sage_pool(const Dataset& data, const baselines::SagePoolRun& run,
                                          ExecMode mode, const sim::DeviceSpec& spec) {
+  prof::Span span("OptimizedEngine::run_sage_pool", "engine");
   maybe_tune(data.csr, run.cfg->pool_dim, spec);
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;
@@ -548,6 +561,7 @@ RunResult OptimizedEngine::run_sage_pool(const Dataset& data, const baselines::S
 
 RunResult OptimizedEngine::run_sage_lstm(const Dataset& data, const SageLstmRun& run,
                                          ExecMode mode, const sim::DeviceSpec& spec) {
+  prof::Span span("OptimizedEngine::run_sage_lstm", "engine");
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;
   const auto gdev = k::device_graph(ctx, data.csr, "csr");

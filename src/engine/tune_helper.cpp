@@ -2,6 +2,7 @@
 
 #include "core/locality/schedule.hpp"
 #include "kernels/spmm.hpp"
+#include "prof/span.hpp"
 
 namespace gnnbridge::engine {
 
@@ -10,6 +11,9 @@ namespace k = gnnbridge::kernels;
 double measure_aggregation(const graph::Csr& csr, tensor::Index feat_len,
                            const core::TuneConfig& config, const sim::DeviceSpec& spec,
                            double sample_fraction, const std::vector<graph::NodeId>* las_order) {
+  prof::Span span("tune_probe", "engine");
+  span.arg("lanes", config.lanes);
+  span.arg("group_bound", static_cast<double>(config.group_bound));
   sim::SimContext ctx(spec);
   const auto gdev = k::device_graph(ctx, csr, "csr");
   auto src = k::device_mat_shape(ctx, csr.num_nodes, feat_len, "feat");

@@ -1,0 +1,37 @@
+// Chrome-trace / Perfetto exporter.
+//
+// Serializes the tracer's host-side spans — and, when a run's simulated
+// counters are supplied, a synthetic "Simulated GPU" track — into the
+// Chrome trace-event JSON format. Open the file at chrome://tracing or
+// https://ui.perfetto.dev.
+//
+// Host spans become matched B/E duration events on pid 1 (one row per
+// thread). The simulated track lives on pid 2: each kernel is a B/E pair
+// spanning its simulated [start, start+cycles) interval (cycles converted
+// to microseconds through the device clock), and the scheduler's
+// block-occupancy timeline becomes an "active_blocks" counter series —
+// the merged computation/occupancy view the paper reads off nsight.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "prof/tracer.hpp"
+#include "sim/counters.hpp"
+#include "sim/device.hpp"
+
+namespace gnnbridge::prof {
+
+/// Builds the trace-event JSON document. `sim_stats`/`spec` are optional;
+/// when both are non-null the simulated-GPU track is appended.
+std::string chrome_trace_json(const std::vector<SpanRecord>& spans,
+                              const sim::RunStats* sim_stats = nullptr,
+                              const sim::DeviceSpec* spec = nullptr);
+
+/// Writes `chrome_trace_json` to `path`. Returns false (and warns on
+/// stderr) when the file cannot be written.
+bool write_chrome_trace_file(const std::string& path, const std::vector<SpanRecord>& spans,
+                             const sim::RunStats* sim_stats = nullptr,
+                             const sim::DeviceSpec* spec = nullptr);
+
+}  // namespace gnnbridge::prof

@@ -1,0 +1,133 @@
+// Minimal streaming JSON writer.
+//
+// The observability exporters need deterministic, dependency-free JSON
+// output (the metrics schema is locked by a golden test). This writer
+// handles the whole of what they emit: nested objects/arrays, escaped
+// strings, integers, and doubles printed with %.12g (non-finite values
+// degrade to 0 so the output always parses).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gnnbridge::prof {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string* out) : out_(out) {}
+
+  void begin_object() {
+    comma();
+    *out_ += '{';
+    stack_.push_back(false);
+  }
+  void end_object() {
+    *out_ += '}';
+    stack_.pop_back();
+    mark();
+  }
+  void begin_array() {
+    comma();
+    *out_ += '[';
+    stack_.push_back(false);
+  }
+  void end_array() {
+    *out_ += ']';
+    stack_.pop_back();
+    mark();
+  }
+
+  void key(std::string_view k) {
+    comma();
+    write_string(k);
+    *out_ += ':';
+    pending_key_ = true;
+  }
+
+  void value(std::string_view s) {
+    comma();
+    write_string(s);
+    mark();
+  }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(bool b) {
+    comma();
+    *out_ += b ? "true" : "false";
+    mark();
+  }
+  void value(double d) {
+    comma();
+    char buf[32];
+    if (!std::isfinite(d)) d = 0.0;
+    std::snprintf(buf, sizeof(buf), "%.12g", d);
+    *out_ += buf;
+    mark();
+  }
+  void value(std::int64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    *out_ += buf;
+    mark();
+  }
+  void value(std::uint64_t v) {
+    comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    *out_ += buf;
+    mark();
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+ private:
+  // A comma precedes every element after the first of a container, except
+  // a value that directly follows its key.
+  void comma() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (!stack_.empty() && stack_.back()) *out_ += ',';
+  }
+  void mark() {
+    if (!stack_.empty()) stack_.back() = true;
+  }
+
+  void write_string(std::string_view s) {
+    *out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': *out_ += "\\\""; break;
+        case '\\': *out_ += "\\\\"; break;
+        case '\n': *out_ += "\\n"; break;
+        case '\t': *out_ += "\\t"; break;
+        case '\r': *out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            *out_ += buf;
+          } else {
+            *out_ += c;
+          }
+      }
+    }
+    *out_ += '"';
+  }
+
+  std::string* out_;
+  std::vector<bool> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace gnnbridge::prof

@@ -1,0 +1,146 @@
+#include "prof/metrics_json.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "prof/json_writer.hpp"
+#include "sim/timeline.hpp"
+
+namespace gnnbridge::prof {
+
+namespace {
+
+void write_device(JsonWriter& w, const sim::DeviceSpec& spec) {
+  w.begin_object();
+  w.kv("num_sms", spec.num_sms);
+  w.kv("max_blocks_per_sm", spec.max_blocks_per_sm);
+  w.kv("clock_ghz", spec.clock_ghz);
+  w.kv("l2_bytes", static_cast<std::int64_t>(spec.l2_bytes));
+  w.kv("line_bytes", spec.line_bytes);
+  w.end_object();
+}
+
+void write_kernel(JsonWriter& w, const sim::KernelStats& k) {
+  w.begin_object();
+  w.kv("name", std::string_view(k.name));
+  w.kv("phase", std::string_view(k.phase));
+  w.kv("blocks", k.num_blocks);
+  w.kv("cycles", k.cycles);
+  w.kv("makespan", k.makespan);
+  w.kv("balanced", k.balanced);
+  w.kv("l2_hits", k.l2_hits);
+  w.kv("l2_misses", k.l2_misses);
+  w.kv("l2_hit_rate", k.l2_hit_rate());
+  w.kv("dram_bytes", k.dram_bytes);
+  w.kv("flops", k.flops);
+  w.kv("issued_flops", k.issued_flops);
+  w.kv("mean_active_blocks", k.timeline.mean_active());
+  w.end_object();
+}
+
+void write_run(JsonWriter& w, const RunRecord& r) {
+  w.begin_object();
+  w.kv("label", std::string_view(r.label));
+  w.kv("model", std::string_view(r.model));
+  w.kv("backend", std::string_view(r.backend));
+  w.kv("dataset", std::string_view(r.dataset));
+  w.kv("ms", r.ms);
+  w.kv("oom", r.oom);
+  w.key("device");
+  write_device(w, r.spec);
+  w.key("totals");
+  w.begin_object();
+  w.kv("cycles", r.stats.total_cycles);
+  w.kv("launches", r.stats.num_launches());
+  w.kv("flops", r.stats.total_flops());
+  w.kv("l2_hits", r.stats.total_hits());
+  w.kv("l2_misses", r.stats.total_misses());
+  w.kv("l2_hit_rate", r.stats.l2_hit_rate());
+  std::uint64_t dram = 0;
+  for (const auto& k : r.stats.kernels) dram += k.dram_bytes;
+  w.kv("dram_bytes", dram);
+  w.kv("gflops", r.stats.gflops(r.spec));
+  w.end_object();
+  w.key("kernels");
+  w.begin_array();
+  for (const auto& k : r.stats.kernels) write_kernel(w, k);
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+MetricsSink& MetricsSink::instance() {
+  static MetricsSink* sink = new MetricsSink();  // leaked: outlives atexit
+  return *sink;
+}
+
+const char* MetricsSink::env_path() {
+  const char* env = std::getenv("GNNBRIDGE_METRICS_JSON");
+  return (env && *env) ? env : nullptr;
+}
+
+void MetricsSink::configure(std::string experiment, double scale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  experiment_ = std::move(experiment);
+  scale_ = scale;
+  arm_env_write_locked();
+}
+
+void MetricsSink::record(RunRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(rec));
+  arm_env_write_locked();
+}
+
+void MetricsSink::arm_env_write_locked() {
+  if (armed_ || !env_path()) return;
+  armed_ = true;
+  std::atexit([] {
+    if (const char* path = env_path()) {
+      MetricsSink::instance().write_file(path);
+    }
+  });
+}
+
+std::size_t MetricsSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void MetricsSink::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+std::string MetricsSink::to_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  JsonWriter w(&out);
+  w.begin_object();
+  w.kv("schema", kMetricsSchemaName);
+  w.kv("schema_version", kMetricsSchemaVersion);
+  w.kv("experiment", std::string_view(experiment_));
+  w.kv("scale", scale_);
+  w.key("runs");
+  w.begin_array();
+  for (const auto& r : records_) write_run(w, r);
+  w.end_array();
+  w.end_object();
+  out += '\n';
+  return out;
+}
+
+bool MetricsSink::write_file(const std::string& path) const {
+  const std::string doc = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "gnnbridge: cannot write metrics file '%s'\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace gnnbridge::prof

@@ -1,0 +1,98 @@
+// Machine-readable metrics sink.
+//
+// Collects per-run simulator counters (`sim::RunStats` with per-kernel
+// `KernelStats`) and serializes them to a stable, versioned JSON schema —
+// the machine-readable twin of the tables every bench binary prints. Every
+// bench binary and `gnnbridge_cli profile` feed this sink; when the
+// GNNBRIDGE_METRICS_JSON environment variable names a path, the collected
+// records are written there at process exit. The schema is locked by a
+// golden test (tests/prof/metrics_json_test.cpp) and validated by
+// tools/check_metrics_schema.py; bump kMetricsSchemaVersion on any
+// incompatible change.
+//
+// Schema (gnnbridge-metrics, version 1):
+//   {
+//     "schema": "gnnbridge-metrics",
+//     "schema_version": 1,
+//     "experiment": "<banner id>",
+//     "scale": 0.25,
+//     "runs": [{
+//       "label": "...", "model": "...", "backend": "...", "dataset": "...",
+//       "ms": 1.5, "oom": false,
+//       "device": {"num_sms":80, "max_blocks_per_sm":8, "clock_ghz":1.38,
+//                  "l2_bytes":6291456, "line_bytes":64},
+//       "totals": {"cycles":..., "launches":..., "flops":..., "l2_hits":...,
+//                  "l2_misses":..., "l2_hit_rate":..., "dram_bytes":...,
+//                  "gflops":...},
+//       "kernels": [{"name":..., "phase":..., "blocks":..., "cycles":...,
+//                    "makespan":..., "balanced":..., "l2_hits":...,
+//                    "l2_misses":..., "l2_hit_rate":..., "dram_bytes":...,
+//                    "flops":..., "issued_flops":...,
+//                    "mean_active_blocks":...}]
+//     }]
+//   }
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/counters.hpp"
+#include "sim/device.hpp"
+
+namespace gnnbridge::prof {
+
+inline constexpr const char* kMetricsSchemaName = "gnnbridge-metrics";
+inline constexpr int kMetricsSchemaVersion = 1;
+
+/// One recorded run: a labelled RunStats plus the identifying metadata.
+struct RunRecord {
+  std::string label;
+  std::string model;
+  std::string backend;
+  std::string dataset;
+  double ms = 0.0;
+  bool oom = false;
+  sim::RunStats stats;
+  sim::DeviceSpec spec;
+};
+
+/// Process-wide collector. Thread-safe. Records are kept regardless of the
+/// environment; the at-exit file write only happens when
+/// GNNBRIDGE_METRICS_JSON is set (registered on `configure`/first
+/// `record`).
+class MetricsSink {
+ public:
+  static MetricsSink& instance();
+
+  /// Names the experiment (the bench banner id) and the dataset scale for
+  /// the emitted document, and arms the at-exit env write.
+  void configure(std::string experiment, double scale);
+
+  void record(RunRecord rec);
+
+  std::size_t size() const;
+  void clear();
+
+  /// Serializes everything recorded so far.
+  std::string to_json() const;
+
+  /// Writes `to_json()` to `path`; warns on stderr and returns false on
+  /// I/O failure.
+  bool write_file(const std::string& path) const;
+
+  /// The path GNNBRIDGE_METRICS_JSON points at, or nullptr.
+  static const char* env_path();
+
+ private:
+  MetricsSink() = default;
+  void arm_env_write_locked();
+
+  mutable std::mutex mu_;
+  std::string experiment_ = "unnamed";
+  double scale_ = 0.0;
+  std::vector<RunRecord> records_;
+  bool armed_ = false;
+};
+
+}  // namespace gnnbridge::prof

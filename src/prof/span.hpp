@@ -1,0 +1,59 @@
+// RAII scoped span.
+//
+// Usage at an instrumentation site:
+//
+//   prof::Span span("neighbor_grouping", "engine");
+//   ...work...
+//   span.arg("tasks", tasks.size());   // optional counters
+//
+// When the tracer is disabled the constructor is a single relaxed atomic
+// load and everything else is a no-op — instrumented hot paths (every
+// SimContext::launch) cost nothing in normal runs.
+#pragma once
+
+#include <string_view>
+
+#include "prof/tracer.hpp"
+
+namespace gnnbridge::prof {
+
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view category = "host")
+      : active_(Tracer::instance().enabled()) {
+    if (!active_) return;
+    Tracer& t = Tracer::instance();
+    rec_.name.assign(name.data(), name.size());
+    rec_.category.assign(category.data(), category.size());
+    rec_.tid = t.thread_id();
+    rec_.depth = t.enter_depth();
+    rec_.start_us = t.now_us();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric counter to the span (no-op when disabled).
+  void arg(std::string_view key, double value) {
+    if (!active_) return;
+    rec_.args.emplace_back(std::string(key), value);
+  }
+
+  /// Ends the span early (before scope exit). Safe to call once.
+  void end() {
+    if (!active_) return;
+    active_ = false;
+    Tracer& t = Tracer::instance();
+    rec_.duration_us = t.now_us() - rec_.start_us;
+    t.leave_depth();
+    t.record(std::move(rec_));
+  }
+
+  ~Span() { end(); }
+
+ private:
+  bool active_;
+  SpanRecord rec_;
+};
+
+}  // namespace gnnbridge::prof

@@ -1,0 +1,29 @@
+#include "prof/tracer.hpp"
+
+#include <cstdlib>
+
+#include "prof/chrome_trace.hpp"
+
+namespace gnnbridge::prof {
+
+const char* trace_env_path() {
+  const char* env = std::getenv("GNNBRIDGE_TRACE_JSON");
+  return (env && *env) ? env : nullptr;
+}
+
+bool install_env_trace_export() {
+  static bool installed = false;
+  if (installed) return true;
+  const char* path = trace_env_path();
+  if (!path) return false;
+  Tracer::instance().set_enabled(true);
+  installed = true;
+  std::atexit([] {
+    if (const char* p = trace_env_path()) {
+      write_chrome_trace_file(p, Tracer::instance().snapshot());
+    }
+  });
+  return true;
+}
+
+}  // namespace gnnbridge::prof

@@ -1,0 +1,133 @@
+// Process-wide span tracer.
+//
+// The host-side half of the observability subsystem (DESIGN.md §9): every
+// engine phase, baseline run and simulated kernel launch opens a
+// `prof::Span`, and the singleton `Tracer` collects the completed spans.
+// Exporters (chrome_trace.hpp) turn them into a Chrome-trace/Perfetto
+// file; the metrics sink (metrics_json.hpp) is the counter-oriented
+// sibling.
+//
+// The tracer is header-only so that instrumented subsystems (sim, core,
+// baselines, engine) pay no link dependency on the prof library and the
+// disabled fast path inlines down to one relaxed atomic load. Recording is
+// thread-safe: completed spans append under a mutex; per-thread ids are
+// assigned lazily. Wall time is steady_clock microseconds since the
+// tracer's construction, so nesting and ordering are preserved per thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gnnbridge::prof {
+
+/// One completed span: a named [start, start+duration) interval on one
+/// thread, with optional numeric arguments (counters attached mid-span).
+struct SpanRecord {
+  std::string name;
+  /// Coarse grouping shown as the Chrome-trace category: "engine", "sim",
+  /// "baseline", "core", ...
+  std::string category;
+  /// Small dense id of the recording thread (0 = first thread seen).
+  int tid = 0;
+  /// Nesting depth at the time the span opened (0 = top level).
+  int depth = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t duration_us = 0;
+  /// Attached counters, e.g. {"cycles", 1.2e6} on a kernel-launch span.
+  std::vector<std::pair<std::string, double>> args;
+};
+
+/// Singleton span collector. Disabled by default; enabled explicitly
+/// (`set_enabled`) or at construction when GNNBRIDGE_TRACE_JSON is set in
+/// the environment.
+class Tracer {
+ public:
+  static Tracer& instance() {
+    static Tracer t;
+    return t;
+  }
+
+  /// The inlined fast path every instrumentation site checks first.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Microseconds since tracer construction (monotonic).
+  std::uint64_t now_us() const {
+    const auto d = std::chrono::steady_clock::now() - epoch_;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+  }
+
+  /// Dense id of the calling thread, assigned on first use.
+  int thread_id() {
+    thread_local int id = -1;
+    if (id < 0) id = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+  }
+
+  /// Per-thread nesting depth bookkeeping (used by Span).
+  int enter_depth() {
+    int& d = depth_slot();
+    return d++;
+  }
+  void leave_depth() {
+    int& d = depth_slot();
+    if (d > 0) --d;
+  }
+
+  void record(SpanRecord rec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.push_back(std::move(rec));
+  }
+
+  /// Copies out everything recorded so far.
+  std::vector<SpanRecord> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.clear();
+  }
+
+ private:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {
+    if (const char* env = std::getenv("GNNBRIDGE_TRACE_JSON"); env && *env) {
+      enabled_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  static int& depth_slot() {
+    thread_local int depth = 0;
+    return depth;
+  }
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int> next_tid_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// When GNNBRIDGE_TRACE_JSON is set: enables the tracer and registers an
+/// at-exit hook that writes the collected spans there as a Chrome-trace
+/// file (spans only; for a trace merged with simulated-GPU timelines use
+/// `gnnbridge_cli profile`). Idempotent. Returns true when active.
+bool install_env_trace_export();
+
+/// The path GNNBRIDGE_TRACE_JSON points at, or nullptr.
+const char* trace_env_path();
+
+}  // namespace gnnbridge::prof

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "prof/span.hpp"
 #include "sim/scheduler.hpp"
 
 namespace gnnbridge::sim {
@@ -11,6 +12,7 @@ SimContext::SimContext(DeviceSpec spec)
     : spec_(spec), l2_(spec.l2_bytes, spec.l2_ways, spec.line_bytes) {}
 
 const KernelStats& SimContext::launch(Kernel kernel) {
+  prof::Span span(kernel.name, "sim");
   KernelStats ks;
   ks.name = std::move(kernel.name);
   ks.phase = std::move(kernel.phase);
@@ -95,6 +97,11 @@ const KernelStats& SimContext::launch(Kernel kernel) {
   ks.balanced = sched.balanced;
   ks.timeline = std::move(sched.timeline);
   ks.cycles = spec_.kernel_launch_cycles + spec_.framework_overhead_cycles + ks.makespan;
+
+  span.arg("cycles", ks.cycles);
+  span.arg("blocks", ks.num_blocks);
+  span.arg("l2_hit_rate", ks.l2_hit_rate());
+  span.arg("flops", ks.flops);
 
   stats_.total_cycles += ks.cycles;
   stats_.kernels.push_back(std::move(ks));

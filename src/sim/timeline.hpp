@@ -16,8 +16,17 @@ namespace gnnbridge::sim {
 /// A piecewise-constant record of active-block count over time.
 class Timeline {
  public:
+  struct Interval {
+    Cycles t0, t1;
+    int active;
+  };
+
   /// Records that `active` blocks were running during [t0, t1).
   void add_interval(Cycles t0, Cycles t1, int active);
+
+  /// The raw recorded intervals, in insertion order (exposed for the
+  /// observability exporters, which replot them as occupancy counters).
+  const std::vector<Interval>& intervals() const { return intervals_; }
 
   /// Total recorded duration.
   Cycles duration() const { return duration_; }
@@ -34,10 +43,6 @@ class Timeline {
   void append(const Timeline& later);
 
  private:
-  struct Interval {
-    Cycles t0, t1;
-    int active;
-  };
   std::vector<Interval> intervals_;
   Cycles duration_ = 0.0;
 };

@@ -1,0 +1,155 @@
+// Chrome-trace exporter smoke tests: the document must be well-formed
+// JSON, and every B must be closed by a matching E in file order (Perfetto
+// rejects unbalanced duration events).
+#include "prof/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/counters.hpp"
+#include "sim/device.hpp"
+#include "tests/testing/json.hpp"
+
+namespace gnnbridge::prof {
+namespace {
+
+struct Event {
+  std::string name;
+  char ph;
+};
+
+// Extracts (name, ph) per event in file order. The exporter always writes
+// "name" before "ph" inside an event object, so the closest preceding
+// "name" key belongs to the same event.
+std::vector<Event> extract_events(const std::string& doc) {
+  std::vector<Event> events;
+  std::size_t pos = 0;
+  while ((pos = doc.find("\"ph\":\"", pos)) != std::string::npos) {
+    const char ph = doc[pos + 6];
+    const std::size_t name_key = doc.rfind("\"name\":\"", pos);
+    EXPECT_NE(name_key, std::string::npos);
+    const std::size_t name_start = name_key + 8;
+    const std::size_t name_end = doc.find('"', name_start);
+    events.push_back({doc.substr(name_start, name_end - name_start), ph});
+    pos += 6;
+  }
+  return events;
+}
+
+// Stack-checks B/E balance: every E must close the most recent open B of
+// the same name, and nothing may stay open.
+void expect_balanced(const std::vector<Event>& events) {
+  std::vector<std::string> open;
+  for (const Event& e : events) {
+    if (e.ph == 'B') {
+      open.push_back(e.name);
+    } else if (e.ph == 'E') {
+      ASSERT_FALSE(open.empty()) << "E for '" << e.name << "' with no open B";
+      EXPECT_EQ(open.back(), e.name) << "E closes a non-innermost span";
+      open.pop_back();
+    }
+  }
+  EXPECT_TRUE(open.empty()) << "unclosed B events remain";
+}
+
+SpanRecord span(std::string name, int tid, int depth, std::uint64_t start,
+                std::uint64_t dur) {
+  SpanRecord s;
+  s.name = std::move(name);
+  s.category = "test";
+  s.tid = tid;
+  s.depth = depth;
+  s.start_us = start;
+  s.duration_us = dur;
+  return s;
+}
+
+TEST(ChromeTraceTest, EmptyTraceIsValidJson) {
+  const std::string doc = chrome_trace_json({});
+  testing::JsonChecker check(doc);
+  EXPECT_TRUE(check.valid()) << check.error() << " at byte " << check.error_pos();
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("gnnbridge host"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, NestedSpansEmitMatchedEventsInFileOrder) {
+  // Completion order (as the tracer stores them): innermost first.
+  std::vector<SpanRecord> spans;
+  spans.push_back(span("inner", 0, 1, 10, 40));
+  spans.push_back(span("outer", 0, 0, 0, 100));
+  spans.push_back(span("second", 0, 0, 150, 10));
+
+  const std::string doc = chrome_trace_json(spans);
+  testing::JsonChecker check(doc);
+  ASSERT_TRUE(check.valid()) << check.error() << " at byte " << check.error_pos();
+
+  const auto events = extract_events(doc);
+  expect_balanced(events);
+  std::vector<std::string> sequence;
+  for (const Event& e : events) {
+    if (e.ph == 'B' || e.ph == 'E') sequence.push_back(std::string(1, e.ph) + ":" + e.name);
+  }
+  const std::vector<std::string> want = {"B:outer", "B:inner", "E:inner",
+                                         "E:outer", "B:second", "E:second"};
+  EXPECT_EQ(sequence, want);
+}
+
+TEST(ChromeTraceTest, ZeroDurationSiblingsAtSameInstantStayBalanced) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(span("a", 0, 0, 5, 0));
+  spans.push_back(span("b", 0, 0, 5, 0));
+  const std::string doc = chrome_trace_json(spans);
+  ASSERT_TRUE(testing::json_valid(doc));
+  expect_balanced(extract_events(doc));
+}
+
+TEST(ChromeTraceTest, MultipleThreadsEachBalance) {
+  std::vector<SpanRecord> spans;
+  spans.push_back(span("t0_inner", 0, 1, 2, 4));
+  spans.push_back(span("t1_span", 1, 0, 0, 50));
+  spans.push_back(span("t0_outer", 0, 0, 0, 10));
+  const std::string doc = chrome_trace_json(spans);
+  ASSERT_TRUE(testing::json_valid(doc));
+  expect_balanced(extract_events(doc));
+}
+
+TEST(ChromeTraceTest, SimTrackEmitsKernelsAndOccupancyCounters) {
+  sim::RunStats stats;
+  sim::KernelStats k;
+  k.name = "spmm_node";
+  k.phase = "aggregation";
+  k.num_blocks = 4;
+  k.cycles = 2000.0;
+  k.makespan = 1000.0;
+  k.l2_hits = 3;
+  k.l2_misses = 1;
+  k.flops = 256.0;
+  k.timeline.add_interval(0.0, 500.0, 4);
+  k.timeline.add_interval(500.0, 1000.0, 2);
+  stats.kernels.push_back(k);
+  stats.total_cycles = 2000.0;
+  const sim::DeviceSpec spec = sim::v100();
+
+  const std::string doc = chrome_trace_json({}, &stats, &spec);
+  testing::JsonChecker check(doc);
+  ASSERT_TRUE(check.valid()) << check.error() << " at byte " << check.error_pos();
+  EXPECT_NE(doc.find("simulated GPU"), std::string::npos);
+  EXPECT_NE(doc.find("\"spmm_node\""), std::string::npos);
+  EXPECT_NE(doc.find("\"active_blocks\""), std::string::npos);
+
+  const auto events = extract_events(doc);
+  expect_balanced(events);
+  int counters = 0;
+  for (const Event& e : events) {
+    if (e.ph == 'C') {
+      EXPECT_EQ(e.name, "active_blocks");
+      ++counters;
+    }
+  }
+  EXPECT_EQ(counters, 3);  // two intervals + the trailing zero sample
+}
+
+}  // namespace
+}  // namespace gnnbridge::prof

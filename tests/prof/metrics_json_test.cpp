@@ -1,0 +1,143 @@
+// Golden test locking the gnnbridge-metrics JSON schema (version 1).
+//
+// The serialized document for a fixed RunRecord must match byte-for-byte:
+// downstream consumers (tools/check_metrics_schema.py, notebook readers)
+// parse this schema, so any change here is a compatibility break and must
+// come with a kMetricsSchemaVersion bump.
+#include "prof/metrics_json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/counters.hpp"
+#include "sim/device.hpp"
+#include "tests/testing/json.hpp"
+
+namespace gnnbridge::prof {
+namespace {
+
+// Every quantity is a power of two (or exactly representable) so the
+// %.12g rendering is deterministic across platforms.
+RunRecord golden_record() {
+  sim::KernelStats k;
+  k.name = "spmm_node";
+  k.phase = "aggregation";
+  k.num_blocks = 3;
+  k.l2_hits = 6;
+  k.l2_misses = 2;
+  k.dram_bytes = 128;
+  k.flops = 2147483648.0;  // 2^31
+  k.issued_flops = 2147483648.0;
+  k.cycles = 2.0e9;
+  k.makespan = 1.6e9;
+  k.balanced = 1.2e9;
+  k.timeline.add_interval(0.0, 100.0, 2);
+  k.timeline.add_interval(100.0, 200.0, 4);  // time-weighted mean: 3
+
+  sim::RunStats stats;
+  stats.kernels.push_back(k);
+  stats.total_cycles = 2.0e9;
+
+  sim::DeviceSpec spec;
+  spec.num_sms = 2;
+  spec.max_blocks_per_sm = 4;
+  spec.clock_ghz = 2.0;  // seconds(2e9 cycles) == 1.0 exactly
+  spec.l2_bytes = 1 << 20;
+  spec.line_bytes = 64;
+
+  return RunRecord{.label = "gcn/ours/collab",
+                   .model = "gcn",
+                   .backend = "ours",
+                   .dataset = "collab",
+                   .ms = 1.5,
+                   .oom = false,
+                   .stats = stats,
+                   .spec = spec};
+}
+
+constexpr const char* kGolden =
+    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":1,"
+    "\"experiment\":\"golden\",\"scale\":0.25,\"runs\":["
+    "{\"label\":\"gcn/ours/collab\",\"model\":\"gcn\",\"backend\":\"ours\","
+    "\"dataset\":\"collab\",\"ms\":1.5,\"oom\":false,"
+    "\"device\":{\"num_sms\":2,\"max_blocks_per_sm\":4,\"clock_ghz\":2,"
+    "\"l2_bytes\":1048576,\"line_bytes\":64},"
+    "\"totals\":{\"cycles\":2000000000,\"launches\":1,\"flops\":2147483648,"
+    "\"l2_hits\":6,\"l2_misses\":2,\"l2_hit_rate\":0.75,\"dram_bytes\":128,"
+    "\"gflops\":2.147483648},"
+    "\"kernels\":[{\"name\":\"spmm_node\",\"phase\":\"aggregation\","
+    "\"blocks\":3,\"cycles\":2000000000,\"makespan\":1600000000,"
+    "\"balanced\":1200000000,\"l2_hits\":6,\"l2_misses\":2,"
+    "\"l2_hit_rate\":0.75,\"dram_bytes\":128,\"flops\":2147483648,"
+    "\"issued_flops\":2147483648,\"mean_active_blocks\":3}]}]}\n";
+
+TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion1) {
+  MetricsSink& sink = MetricsSink::instance();
+  sink.clear();
+  sink.configure("golden", 0.25);
+  sink.record(golden_record());
+  EXPECT_EQ(sink.to_json(), kGolden);
+  sink.clear();
+}
+
+TEST(MetricsJsonTest, GoldenDocumentIsValidJson) {
+  MetricsSink& sink = MetricsSink::instance();
+  sink.clear();
+  sink.configure("golden", 0.25);
+  sink.record(golden_record());
+  const std::string doc = sink.to_json();
+  testing::JsonChecker check(doc);
+  EXPECT_TRUE(check.valid()) << check.error() << " at byte " << check.error_pos();
+  sink.clear();
+}
+
+TEST(MetricsJsonTest, EmptySinkStillEmitsSchemaEnvelope) {
+  MetricsSink& sink = MetricsSink::instance();
+  sink.clear();
+  sink.configure("empty", 1.0);
+  const std::string doc = sink.to_json();
+  EXPECT_TRUE(testing::json_valid(doc));
+  EXPECT_NE(doc.find("\"schema\":\"gnnbridge-metrics\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"runs\":[]"), std::string::npos);
+}
+
+TEST(MetricsJsonTest, OomRunSerializesWithEmptyKernels) {
+  MetricsSink& sink = MetricsSink::instance();
+  sink.clear();
+  sink.configure("oom", 1.0);
+  RunRecord r;
+  r.label = "gat/pyg/products";
+  r.model = "gat";
+  r.backend = "pyg";
+  r.dataset = "products";
+  r.oom = true;
+  sink.record(r);
+  const std::string doc = sink.to_json();
+  EXPECT_TRUE(testing::json_valid(doc));
+  EXPECT_NE(doc.find("\"oom\":true"), std::string::npos);
+  EXPECT_NE(doc.find("\"kernels\":[]"), std::string::npos);
+  // Degenerate rates serialize as zeros, never NaN/inf.
+  EXPECT_NE(doc.find("\"l2_hit_rate\":0"), std::string::npos);
+  EXPECT_EQ(doc.find("nan"), std::string::npos);
+  EXPECT_EQ(doc.find("inf"), std::string::npos);
+  sink.clear();
+}
+
+TEST(MetricsJsonTest, EscapesSpecialCharactersInLabels) {
+  MetricsSink& sink = MetricsSink::instance();
+  sink.clear();
+  sink.configure("escape \"quotes\"\n", 1.0);
+  RunRecord r;
+  r.label = "a\"b\\c";
+  sink.record(r);
+  const std::string doc = sink.to_json();
+  testing::JsonChecker check(doc);
+  EXPECT_TRUE(check.valid()) << check.error() << " at byte " << check.error_pos();
+  EXPECT_NE(doc.find("a\\\"b\\\\c"), std::string::npos);
+  sink.clear();
+}
+
+}  // namespace
+}  // namespace gnnbridge::prof

@@ -1,0 +1,125 @@
+// The span tracer: disabled no-op behaviour, nesting depth bookkeeping,
+// explicit end(), attached args and thread safety.
+#include "prof/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "prof/span.hpp"
+
+namespace gnnbridge::prof {
+namespace {
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().clear();
+    Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+};
+
+TEST_F(TracerTest, DisabledSpansRecordNothing) {
+  Tracer::instance().set_enabled(false);
+  {
+    Span outer("outer");
+    outer.arg("x", 1.0);
+    Span inner("inner");
+  }
+  EXPECT_EQ(Tracer::instance().size(), 0u);
+}
+
+TEST_F(TracerTest, RecordsNameCategoryAndDuration) {
+  {
+    Span s("work", "engine");
+    s.arg("items", 42.0);
+  }
+  const auto spans = Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "work");
+  EXPECT_EQ(spans[0].category, "engine");
+  EXPECT_EQ(spans[0].depth, 0);
+  ASSERT_EQ(spans[0].args.size(), 1u);
+  EXPECT_EQ(spans[0].args[0].first, "items");
+  EXPECT_DOUBLE_EQ(spans[0].args[0].second, 42.0);
+}
+
+TEST_F(TracerTest, NestedSpansGetIncreasingDepths) {
+  {
+    Span a("a");
+    {
+      Span b("b");
+      { Span c("c"); }
+    }
+  }
+  auto spans = Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Completion order is innermost-first.
+  EXPECT_EQ(spans[0].name, "c");
+  EXPECT_EQ(spans[0].depth, 2);
+  EXPECT_EQ(spans[1].name, "b");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "a");
+  EXPECT_EQ(spans[2].depth, 0);
+  // A parent's interval contains its child's.
+  EXPECT_LE(spans[2].start_us, spans[0].start_us);
+  EXPECT_GE(spans[2].start_us + spans[2].duration_us,
+            spans[0].start_us + spans[0].duration_us);
+}
+
+TEST_F(TracerTest, ExplicitEndIsIdempotentAndUnwindsDepth) {
+  Span a("a");
+  a.end();
+  a.end();  // second end() must not double-record or underflow the depth
+  { Span b("b"); }
+  const auto spans = Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "a");
+  EXPECT_EQ(spans[1].name, "b");
+  EXPECT_EQ(spans[1].depth, 0);  // a's end() restored the top level
+}
+
+TEST_F(TracerTest, SequentialSpansShareDepthZero) {
+  { Span a("a"); }
+  { Span b("b"); }
+  const auto spans = Tracer::instance().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].depth, 0);
+}
+
+TEST_F(TracerTest, ThreadsRecordConcurrentlyWithDistinctIds) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 50;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span s("threaded");
+        { Span inner("inner"); }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto spans = Tracer::instance().snapshot();
+  EXPECT_EQ(spans.size(), static_cast<std::size_t>(kThreads * kSpansPerThread * 2));
+  std::vector<int> tids;
+  for (const auto& s : spans) tids.push_back(s.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& s : spans) {
+    EXPECT_TRUE(s.depth == 0 || s.depth == 1);
+    EXPECT_EQ(s.depth == 1, s.name == "inner");
+  }
+}
+
+}  // namespace
+}  // namespace gnnbridge::prof

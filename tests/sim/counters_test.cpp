@@ -1,0 +1,79 @@
+// Edge cases of the performance counters (sim/counters.hpp): the derived
+// rates must be well-defined — not NaN/inf — on empty or degenerate runs,
+// because the metrics sink serializes them for every bench binary.
+#include "sim/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gnnbridge::sim {
+namespace {
+
+TEST(KernelStatsTest, HitRateZeroAccessesIsZero) {
+  KernelStats k;
+  EXPECT_EQ(k.l2_hits, 0u);
+  EXPECT_EQ(k.l2_misses, 0u);
+  EXPECT_DOUBLE_EQ(k.l2_hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(k.l2_miss_rate(), 0.0);
+}
+
+TEST(KernelStatsTest, HitAndMissRatesSumToOne) {
+  KernelStats k;
+  k.l2_hits = 30;
+  k.l2_misses = 10;
+  EXPECT_DOUBLE_EQ(k.l2_hit_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(k.l2_miss_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(k.l2_hit_rate() + k.l2_miss_rate(), 1.0);
+}
+
+TEST(RunStatsTest, EmptyRunHasZeroTotals) {
+  RunStats r;
+  EXPECT_EQ(r.num_launches(), 0);
+  EXPECT_DOUBLE_EQ(r.total_flops(), 0.0);
+  EXPECT_EQ(r.total_hits(), 0u);
+  EXPECT_EQ(r.total_misses(), 0u);
+  EXPECT_DOUBLE_EQ(r.l2_hit_rate(), 0.0);
+}
+
+TEST(RunStatsTest, CyclesInUnknownPhaseIsZero) {
+  RunStats r;
+  KernelStats k;
+  k.phase = "expansion";
+  k.cycles = 1000.0;
+  r.kernels.push_back(k);
+  EXPECT_DOUBLE_EQ(r.cycles_in_phase("expansion"), 1000.0);
+  EXPECT_DOUBLE_EQ(r.cycles_in_phase("no-such-phase"), 0.0);
+  EXPECT_DOUBLE_EQ(r.cycles_in_phase(""), 0.0);
+}
+
+TEST(RunStatsTest, GflopsZeroCyclesIsZeroNotInf) {
+  RunStats r;
+  KernelStats k;
+  k.flops = 1e9;
+  r.kernels.push_back(k);
+  ASSERT_DOUBLE_EQ(r.total_cycles, 0.0);
+  const double g = r.gflops(v100());
+  EXPECT_DOUBLE_EQ(g, 0.0);
+}
+
+TEST(RunStatsTest, TotalsAccumulateAcrossKernels) {
+  RunStats r;
+  KernelStats a;
+  a.l2_hits = 10;
+  a.l2_misses = 10;
+  a.flops = 100.0;
+  KernelStats b;
+  b.l2_hits = 20;
+  b.l2_misses = 0;
+  b.flops = 50.0;
+  r.kernels = {a, b};
+  r.total_cycles = 1.38e9;  // one simulated second on the default clock
+  EXPECT_EQ(r.num_launches(), 2);
+  EXPECT_EQ(r.total_hits(), 30u);
+  EXPECT_EQ(r.total_misses(), 10u);
+  EXPECT_DOUBLE_EQ(r.l2_hit_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(r.total_flops(), 150.0);
+  EXPECT_NEAR(r.gflops(v100()), 150.0 / 1e9, 1e-12);
+}
+
+}  // namespace
+}  // namespace gnnbridge::sim

@@ -1,0 +1,184 @@
+// Minimal JSON validity checker for tests.
+//
+// A recursive-descent parser that accepts exactly the JSON grammar
+// (RFC 8259) and reports the first syntax error. Tests use it to assert
+// that exporter output is well-formed without depending on an external
+// JSON library. It validates only — no DOM is built; structural
+// assertions on the content are done with string searches in the tests.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace gnnbridge::testing {
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  /// True when the whole input is one valid JSON value (plus trailing
+  /// whitespace). On failure `error()` describes the first problem.
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing garbage");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+  std::size_t error_pos() const { return error_pos_; }
+
+ private:
+  bool fail(const char* what) {
+    if (error_.empty()) {
+      error_ = what;
+      error_pos_ = pos_;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value() {
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    if (!eat('{')) return fail("expected '{'");
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return fail("expected object key");
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return fail("expected '['");
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) return fail("expected '\"'");
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return fail("bad escape");
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+                   e != 'r' && e != 't') {
+          return fail("bad escape character");
+        }
+        ++pos_;
+      } else if (c < 0x20) {
+        return fail("raw control character in string");
+      } else {
+        ++pos_;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    eat('-');
+    if (eat('0')) {
+      // no further digits allowed before the fraction
+    } else {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("expected digit");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (eat('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("expected fraction digit");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return fail("expected exponent digit");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+  std::size_t error_pos_ = 0;
+};
+
+/// Convenience: true when `text` parses as JSON.
+inline bool json_valid(std::string_view text) { return JsonChecker(text).valid(); }
+
+}  // namespace gnnbridge::testing

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Validate gnnbridge observability output files.
+
+Default mode checks a gnnbridge-metrics JSON document (the schema emitted
+by prof::MetricsSink, locked by tests/prof/metrics_json_test.cpp):
+
+    tools/check_metrics_schema.py out/metrics.json [more.json ...]
+
+With --trace, checks a Chrome-trace JSON file instead (the exporter in
+src/prof/chrome_trace.cpp): well-formed trace envelope, required event
+keys, and stack-balanced B/E duration events per (pid, tid) track:
+
+    tools/check_metrics_schema.py --trace out/trace.json
+
+Exits 0 when every file validates, 1 otherwise. Used by the ctest smoke
+entries (tests/CMakeLists.txt) and handy standalone after any bench run
+with GNNBRIDGE_METRICS_JSON / GNNBRIDGE_TRACE_JSON set.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA_NAME = "gnnbridge-metrics"
+SCHEMA_VERSION = 1
+
+RUN_KEYS = {
+    "label": str,
+    "model": str,
+    "backend": str,
+    "dataset": str,
+    "ms": (int, float),
+    "oom": bool,
+    "device": dict,
+    "totals": dict,
+    "kernels": list,
+}
+DEVICE_KEYS = {
+    "num_sms": int,
+    "max_blocks_per_sm": int,
+    "clock_ghz": (int, float),
+    "l2_bytes": int,
+    "line_bytes": int,
+}
+TOTALS_KEYS = {
+    "cycles": (int, float),
+    "launches": int,
+    "flops": (int, float),
+    "l2_hits": int,
+    "l2_misses": int,
+    "l2_hit_rate": (int, float),
+    "dram_bytes": int,
+    "gflops": (int, float),
+}
+KERNEL_KEYS = {
+    "name": str,
+    "phase": str,
+    "blocks": int,
+    "cycles": (int, float),
+    "makespan": (int, float),
+    "balanced": (int, float),
+    "l2_hits": int,
+    "l2_misses": int,
+    "l2_hit_rate": (int, float),
+    "dram_bytes": int,
+    "flops": (int, float),
+    "issued_flops": (int, float),
+    "mean_active_blocks": (int, float),
+}
+
+
+class Invalid(Exception):
+    pass
+
+
+def check_keys(obj, spec, where):
+    if not isinstance(obj, dict):
+        raise Invalid(f"{where}: expected object, got {type(obj).__name__}")
+    for key, types in spec.items():
+        if key not in obj:
+            raise Invalid(f"{where}: missing key '{key}'")
+        if not isinstance(obj[key], types):
+            raise Invalid(
+                f"{where}.{key}: expected {types}, got {type(obj[key]).__name__}"
+            )
+        if isinstance(obj[key], float) and not math.isfinite(obj[key]):
+            raise Invalid(f"{where}.{key}: non-finite number {obj[key]}")
+
+
+def check_metrics(doc):
+    if not isinstance(doc, dict):
+        raise Invalid("top level: expected object")
+    if doc.get("schema") != SCHEMA_NAME:
+        raise Invalid(f"schema: expected '{SCHEMA_NAME}', got {doc.get('schema')!r}")
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        raise Invalid(
+            f"schema_version: expected {SCHEMA_VERSION}, "
+            f"got {doc.get('schema_version')!r}"
+        )
+    if not isinstance(doc.get("experiment"), str):
+        raise Invalid("experiment: expected string")
+    if not isinstance(doc.get("scale"), (int, float)):
+        raise Invalid("scale: expected number")
+    runs = doc.get("runs")
+    if not isinstance(runs, list):
+        raise Invalid("runs: expected array")
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        check_keys(run, RUN_KEYS, where)
+        check_keys(run["device"], DEVICE_KEYS, f"{where}.device")
+        check_keys(run["totals"], TOTALS_KEYS, f"{where}.totals")
+        if not 0.0 <= run["totals"]["l2_hit_rate"] <= 1.0:
+            raise Invalid(f"{where}.totals.l2_hit_rate out of [0,1]")
+        for j, k in enumerate(run["kernels"]):
+            kwhere = f"{where}.kernels[{j}]"
+            check_keys(k, KERNEL_KEYS, kwhere)
+            if not 0.0 <= k["l2_hit_rate"] <= 1.0:
+                raise Invalid(f"{kwhere}.l2_hit_rate out of [0,1]")
+    return len(runs)
+
+
+def check_trace(doc):
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise Invalid("top level: expected object with 'traceEvents' array")
+    stacks = {}  # (pid, tid) -> list of open event names
+    n_duration = 0
+    for i, ev in enumerate(doc["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise Invalid(f"{where}: expected object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                raise Invalid(f"{where}: missing key '{key}'")
+        ph = ev["ph"]
+        if ph not in ("B", "E", "C", "M"):
+            raise Invalid(f"{where}: unexpected phase {ph!r}")
+        if ph != "M" and not isinstance(ev.get("ts"), (int, float)):
+            raise Invalid(f"{where}: missing/invalid 'ts'")
+        track = (ev["pid"], ev["tid"])
+        if ph == "B":
+            stacks.setdefault(track, []).append(ev["name"])
+            n_duration += 1
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                raise Invalid(f"{where}: 'E' for {ev['name']!r} with no open 'B'")
+            top = stack.pop()
+            if top != ev["name"]:
+                raise Invalid(
+                    f"{where}: 'E' for {ev['name']!r} closes open span {top!r}"
+                )
+    for track, stack in stacks.items():
+        if stack:
+            raise Invalid(f"track {track}: unclosed 'B' events {stack}")
+    return n_duration
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help="JSON files to validate")
+    ap.add_argument(
+        "--trace",
+        action="store_true",
+        help="validate Chrome-trace files instead of gnnbridge-metrics files",
+    )
+    args = ap.parse_args()
+
+    failed = False
+    for path in args.files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+            if args.trace:
+                n = check_trace(doc)
+                print(f"{path}: OK ({n} duration events, B/E balanced)")
+            else:
+                n = check_metrics(doc)
+                print(f"{path}: OK ({n} runs, schema v{SCHEMA_VERSION})")
+        except (OSError, json.JSONDecodeError, Invalid) as e:
+            print(f"{path}: FAIL: {e}", file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@
 //   gnnbridge_cli --model gcn --backend ours --dataset citation --scale 0.1
 //   gnnbridge_cli --model gat --backend dgl --dataset arxiv --full
 //   gnnbridge_cli --model gcn --backend ours --no-las --no-ng --kernels
+//   gnnbridge_cli profile --model gat --backend ours --dataset collab
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -15,6 +16,9 @@
 #include "baselines/roc.hpp"
 #include "engine/engine.hpp"
 #include "graph/datasets.hpp"
+#include "prof/chrome_trace.hpp"
+#include "prof/metrics_json.hpp"
+#include "prof/span.hpp"
 #include "tensor/ops.hpp"
 
 using namespace gnnbridge;
@@ -23,7 +27,14 @@ namespace {
 
 void usage() {
   std::printf(
-      "usage: gnnbridge_cli [options]\n"
+      "usage: gnnbridge_cli [profile] [options]\n"
+      "  profile                       record a host/sim trace and metrics while running;\n"
+      "                                writes Chrome-trace JSON (load in ui.perfetto.dev)\n"
+      "                                and gnnbridge-metrics JSON\n"
+      "  --trace-out PATH              trace file (profile mode; default\n"
+      "                                $GNNBRIDGE_TRACE_JSON or gnnbridge_trace.json)\n"
+      "  --metrics-out PATH            metrics file (profile mode; default\n"
+      "                                $GNNBRIDGE_METRICS_JSON or gnnbridge_metrics.json)\n"
       "  --model gcn|gat|sage|pool|mhgat  model to run (default gcn)\n"
       "  --backend dgl|pyg|roc|ours    framework backend (default ours)\n"
       "  --dataset NAME                arxiv|collab|citation|ddi|protein|ppa|reddit|products\n"
@@ -48,11 +59,17 @@ graph::DatasetId parse_dataset(const std::string& name) {
 int main(int argc, char** argv) {
   std::string model = "gcn", backend_name = "ours", dataset = "collab";
   double scale = 0.1;
-  bool full = false, show_kernels = false;
+  bool full = false, show_kernels = false, profile = false;
   int heads = 4;
   engine::EngineConfig ecfg;
+  std::string trace_out, metrics_out;
 
-  for (int i = 1; i < argc; ++i) {
+  int first_arg = 1;
+  if (argc > 1 && std::strcmp(argv[1], "profile") == 0) {
+    profile = true;
+    first_arg = 2;
+  }
+  for (int i = first_arg; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -71,6 +88,10 @@ int main(int argc, char** argv) {
       scale = std::atof(next());
     } else if (arg == "--heads") {
       heads = std::atoi(next());
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--full") {
       full = true;
     } else if (arg == "--kernels") {
@@ -95,6 +116,17 @@ int main(int argc, char** argv) {
   if (scale <= 0.0 || scale > 1.0) {
     std::fprintf(stderr, "--scale must be in (0, 1]\n");
     return 2;
+  }
+  if (profile) {
+    if (trace_out.empty()) {
+      const char* env = prof::trace_env_path();
+      trace_out = env ? env : "gnnbridge_trace.json";
+    }
+    if (metrics_out.empty()) {
+      const char* env = prof::MetricsSink::env_path();
+      metrics_out = env ? env : "gnnbridge_metrics.json";
+    }
+    prof::Tracer::instance().set_enabled(true);
   }
 
   std::unique_ptr<baselines::Backend> backend;
@@ -164,12 +196,37 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const sim::DeviceSpec spec = sim::v100();
+  if (profile) {
+    prof::MetricsSink& sink = prof::MetricsSink::instance();
+    sink.configure("gnnbridge_cli profile", scale);
+    sink.record({.label = model + "/" + backend_name + "/" + data.name,
+                 .model = model,
+                 .backend = backend_name,
+                 .dataset = data.name,
+                 .ms = r.ms,
+                 .oom = r.oom,
+                 .stats = r.stats,
+                 .spec = spec});
+    if (!sink.write_file(metrics_out)) {
+      std::fprintf(stderr, "failed to write metrics to '%s'\n", metrics_out.c_str());
+      return 1;
+    }
+    if (!prof::write_chrome_trace_file(trace_out, prof::Tracer::instance().snapshot(),
+                                       &r.stats, &spec)) {
+      std::fprintf(stderr, "failed to write trace to '%s'\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("profile: %zu spans -> %s (open in ui.perfetto.dev or chrome://tracing)\n",
+                prof::Tracer::instance().size(), trace_out.c_str());
+    std::printf("profile: metrics (%zu run%s) -> %s\n", sink.size(),
+                sink.size() == 1 ? "" : "s", metrics_out.c_str());
+  }
   if (r.oom) {
     std::printf("OOM at paper scale: footprint %.1f GB > 32 GB device\n",
                 static_cast<double>(r.paper_bytes) / 1e9);
     return 0;
   }
-  const sim::DeviceSpec spec = sim::v100();
   std::printf("%s on %s: %.3f simulated ms, %d launches, L2 hit %.1f%%, %.1f GFLOPS\n",
               model.c_str(), backend_name.c_str(), r.ms, r.stats.num_launches(),
               100.0 * r.stats.l2_hit_rate(), r.stats.gflops(spec));
