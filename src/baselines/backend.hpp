@@ -17,6 +17,7 @@
 #include "models/common.hpp"
 #include "models/multihead_gat.hpp"
 #include "models/pool_model.hpp"
+#include "rt/status.hpp"
 #include "sim/context.hpp"
 
 namespace gnnbridge::baselines {
@@ -45,6 +46,10 @@ struct RunResult {
   std::uint64_t paper_bytes = 0;
   /// Model output in ExecMode::kFull (empty otherwise).
   Matrix output;
+  /// Non-ok when the run could not complete even after the backend
+  /// exhausted its degradation options (structured error model, DESIGN.md
+  /// §10). `stats`/`ms`/`output` are meaningless when this is set.
+  rt::Status status;
 };
 
 /// Shared per-run inputs: weights are created once by the harness so that

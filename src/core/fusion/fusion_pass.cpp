@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "rt/fault.hpp"
+
 namespace gnnbridge::core {
 
 bool apply_linear_property(OpGraph& g) {
@@ -33,6 +35,7 @@ bool apply_linear_property(OpGraph& g) {
 }
 
 FusionPlan fuse(OpGraph& g, Partitioning part, bool use_linear_property) {
+  rt::raise_if_armed(rt::kSeamFusionPass, "fuse");
   FusionPlan plan;
   if (use_linear_property) plan.postponed_scale = apply_linear_property(g);
 

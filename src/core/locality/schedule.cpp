@@ -4,10 +4,12 @@
 #include <cassert>
 
 #include "prof/span.hpp"
+#include "rt/fault.hpp"
 
 namespace gnnbridge::core {
 
 LasSchedule locality_aware_schedule(const Csr& g, const LasConfig& cfg) {
+  rt::raise_if_armed(rt::kSeamLasCluster, "locality_aware_schedule");
   prof::Span whole("locality_aware_schedule", "core");
   const int rows = cfg.lsh.bands * cfg.lsh.rows_per_band;
   prof::Span sig_span("las/minhash", "core");

@@ -1,12 +1,14 @@
 #include "core/tuner/tuner.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace gnnbridge::core {
 
 TuneResult tune_graph_op(const Csr& g, const TuneObjective& measure, TuneConfig base,
                          const TunerOptions& options) {
   TuneResult result;
+  result.best = base;
 
   // Neutral grouping bound while searching lanes: the average degree
   // rounded up to a multiple of 16.
@@ -15,15 +17,27 @@ TuneResult tune_graph_op(const Csr& g, const TuneObjective& measure, TuneConfig 
                          : 0.0;
   const EdgeId neutral_bound = std::max<EdgeId>(16, (static_cast<EdgeId>(avg) + 15) / 16 * 16);
 
+  // Returns false when the measurement is unusable (non-finite or
+  // negative); the search stops there and reports through result.error so
+  // a broken objective cannot poison the chosen configuration.
   auto probe = [&](const TuneConfig& cfg) {
     const double cycles = measure(cfg);
-    result.history.push_back({cfg, cycles});
     ++result.rounds;
+    if (!std::isfinite(cycles) || cycles < 0.0) {
+      result.error =
+          rt::Status(rt::StatusCode::kUnavailable,
+                     "probe measurement came back " +
+                         (std::isfinite(cycles) ? std::to_string(cycles) : "non-finite") +
+                         " cycles at round " + std::to_string(result.rounds))
+              .with_context("tune_graph_op");
+      return false;
+    }
+    result.history.push_back({cfg, cycles});
     if (result.best_cycles == 0.0 || cycles < result.best_cycles) {
       result.best_cycles = cycles;
       result.best = cfg;
     }
-    return cycles;
+    return true;
   };
 
   // Phase 1: thread mapping.
@@ -31,7 +45,7 @@ TuneResult tune_graph_op(const Csr& g, const TuneObjective& measure, TuneConfig 
     TuneConfig cfg = base;
     cfg.lanes = lanes;
     cfg.group_bound = neutral_bound;
-    probe(cfg);
+    if (!probe(cfg)) return result;
   }
   const int best_lanes = result.best.lanes;
 
@@ -42,20 +56,20 @@ TuneResult tune_graph_op(const Csr& g, const TuneObjective& measure, TuneConfig 
     TuneConfig cfg = base;
     cfg.lanes = best_lanes;
     cfg.group_bound = bound;
-    probe(cfg);
+    if (!probe(cfg)) return result;
   }
   // Also consider no grouping at all.
   TuneConfig ungrouped = base;
   ungrouped.lanes = best_lanes;
   ungrouped.group_bound = 0;
-  probe(ungrouped);
+  if (!probe(ungrouped)) return result;
 
   // Phase 3: toggle the offline schedule on the winner — on graphs whose
   // natural order is already clustered (or whose hubs cluster badly), the
   // reorder can lose (paper: protein/ddi in Figure 9).
   TuneConfig toggled = result.best;
   toggled.use_las = !toggled.use_las;
-  probe(toggled);
+  if (!probe(toggled)) return result;
 
   return result;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/balance/neighbor_grouping.hpp"
+#include "rt/status.hpp"
 
 namespace gnnbridge::core {
 
@@ -46,6 +47,11 @@ struct TuneResult {
   double best_cycles = 0.0;
   int rounds = 0;
   std::vector<TuneSample> history;
+  /// Non-ok when the search aborted — e.g. a probe measurement came back
+  /// non-finite or negative (broken or fault-injected objective). `best`
+  /// then holds the last good candidate, or `base` if no probe succeeded;
+  /// callers should fall back to their heuristic configuration.
+  rt::Status error;
 };
 
 /// Cost callback: simulated cycles of the kernel(s) under `config`.

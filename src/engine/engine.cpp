@@ -1,7 +1,9 @@
 #include "engine/engine.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <deque>
+#include <type_traits>
 
 #include "core/spfetch/step_index.hpp"
 #include "engine/tune_helper.hpp"
@@ -13,7 +15,10 @@
 #include "kernels/lstm.hpp"
 #include "kernels/sddmm.hpp"
 #include "kernels/spmm.hpp"
+#include "prof/metrics_json.hpp"
 #include "prof/span.hpp"
+#include "rt/fault.hpp"
+#include "rt/validate.hpp"
 #include "tensor/activations.hpp"
 
 namespace gnnbridge::engine {
@@ -59,7 +64,101 @@ RunResult finish(sim::SimContext& ctx, const sim::DeviceSpec& spec, Matrix outpu
 }
 }  // namespace
 
+// ---- Graceful degradation (DESIGN.md §10) -----------------------------
+
+rt::Status OptimizedEngine::preflight(const Dataset& data,
+                                      const models::Matrix* features) const {
+  if (preflight_graph_ == &data.csr && preflight_feat_ == features) return rt::OkStatus();
+  if (rt::Status s = rt::validate_csr(data.csr); !s.ok()) {
+    return std::move(s).with_context("engine preflight");
+  }
+  if (features) {
+    if (rt::Status s = rt::validate_matrix(*features, "features"); !s.ok()) {
+      return std::move(s).with_context("engine preflight");
+    }
+  }
+  preflight_graph_ = &data.csr;
+  preflight_feat_ = features;
+  return rt::OkStatus();
+}
+
+bool OptimizedEngine::degrade_for(const rt::StageFailure& failure) const {
+  const auto disable = [&](bool& flag, bool configured, std::string_view knob,
+                           std::string_view action) {
+    if (flag || !configured) return false;
+    flag = true;
+    prof::MetricsSink::instance().record_degradation(
+        rt::make_degradation(failure.seam(), knob, action, failure.status()));
+    std::fprintf(stderr, "gnnbridge: stage '%s' failed (%s); degrading: %s\n",
+                 failure.seam().c_str(), failure.status().to_string().c_str(),
+                 std::string(action).c_str());
+    return true;
+  };
+  const std::string& seam = failure.seam();
+  if (seam == rt::kSeamLasCluster) {
+    return disable(las_failed_, cfg_.use_las, rt::kKnobLas, "las->natural_order");
+  }
+  if (seam == rt::kSeamTunerProbe) {
+    return disable(tune_failed_, cfg_.auto_tune, rt::kKnobAutoTune,
+                   "tuned_bound->heuristic_bound");
+  }
+  if (seam == rt::kSeamFusionPass) {
+    return disable(adapter_failed_, cfg_.use_adapter, rt::kKnobAdapter,
+                   "fused->unfused_pipeline");
+  }
+  if (seam == rt::kSeamSimLaunch) {
+    // A failing launch has no single culprit; walk toward the most
+    // conservative configuration one knob at a time.
+    return disable(grouping_failed_, cfg_.use_neighbor_grouping, rt::kKnobNeighborGrouping,
+                   "grouped->one_task_per_node") ||
+           disable(adapter_failed_, cfg_.use_adapter, rt::kKnobAdapter,
+                   "fused->unfused_pipeline") ||
+           disable(las_failed_, cfg_.use_las, rt::kKnobLas, "las->natural_order");
+  }
+  return false;
+}
+
+template <typename Fn>
+auto OptimizedEngine::run_guarded(const Dataset& data, const models::Matrix* features,
+                                  std::string_view what, Fn&& attempt) -> decltype(attempt()) {
+  using R = decltype(attempt());
+  const auto fail = [&](rt::Status s) {
+    R r{};
+    s.with_context("OptimizedEngine::" + std::string(what) + "('" + data.name + "')");
+    if constexpr (std::is_same_v<R, RunResult>) {
+      r.status = std::move(s);
+    } else {
+      r.run.status = std::move(s);
+    }
+    return r;
+  };
+  if (rt::Status s = preflight(data, features); !s.ok()) return fail(std::move(s));
+  // The ladder holds at most four knobs; a few spare rounds absorb fault
+  // plans that keep firing while we degrade.
+  constexpr int kMaxRounds = 8;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    try {
+      return attempt();
+    } catch (const rt::StageFailure& failure) {
+      if (!degrade_for(failure)) return fail(failure.status());
+    }
+  }
+  return fail(rt::Status(rt::StatusCode::kInternal, "degradation retries exhausted"));
+}
+
+std::vector<std::string> OptimizedEngine::degraded_knobs() const {
+  std::vector<std::string> knobs;
+  if (las_failed_) knobs.emplace_back(rt::kKnobLas);
+  if (tune_failed_) knobs.emplace_back(rt::kKnobAutoTune);
+  if (adapter_failed_) knobs.emplace_back(rt::kKnobAdapter);
+  if (grouping_failed_) knobs.emplace_back(rt::kKnobNeighborGrouping);
+  return knobs;
+}
+
+// ---- Knob plumbing ----------------------------------------------------
+
 EdgeId OptimizedEngine::effective_bound(const graph::Csr& csr) const {
+  if (grouping_failed_) return 0;
   if (cfg_.auto_tune && tuned_graph_ == &csr) return tuned_bound_;
   if (!cfg_.use_neighbor_grouping) return 0;
   if (cfg_.group_bound > 0) return cfg_.group_bound;
@@ -70,7 +169,7 @@ EdgeId OptimizedEngine::effective_bound(const graph::Csr& csr) const {
 }
 
 const std::vector<NodeId>* OptimizedEngine::las_order_for(const graph::Csr& csr) const {
-  if (!cfg_.use_las) return nullptr;
+  if (!cfg_.use_las || las_failed_) return nullptr;
   if (cfg_.auto_tune && tuned_graph_ == &csr && !tuned_las_) return nullptr;
   if (cfg_.las_order) return cfg_.las_order;
   if (cached_graph_ != &csr) {
@@ -89,11 +188,21 @@ int OptimizedEngine::effective_lanes(const graph::Csr& csr) const {
 
 void OptimizedEngine::maybe_tune(const graph::Csr& csr, tensor::Index feat_len,
                                  const sim::DeviceSpec& spec) const {
-  if (!cfg_.auto_tune) return;
+  if (!cfg_.auto_tune || tune_failed_) return;
   if (tuned_graph_ == &csr && tuned_feat_ == feat_len) return;
   prof::Span span("auto_tune", "engine");
   span.arg("feat_len", static_cast<double>(feat_len));
-  const core::TuneResult tuned = tune_for(csr, feat_len, spec, cfg_.use_las);
+  const core::TuneResult tuned = tune_for(csr, feat_len, spec, cfg_.use_las && !las_failed_);
+  if (!tuned.error.ok()) {
+    // A poisoned probe measurement must not pick the configuration: fall
+    // back to the heuristic bound and static lanes for good.
+    tune_failed_ = true;
+    prof::MetricsSink::instance().record_degradation(rt::make_degradation(
+        rt::kSeamTunerProbe, rt::kKnobAutoTune, "tuned_bound->heuristic_bound", tuned.error));
+    std::fprintf(stderr, "gnnbridge: auto-tune aborted (%s); using heuristic configuration\n",
+                 tuned.error.to_string().c_str());
+    return;
+  }
   tuned_lanes_ = tuned.best.lanes;
   tuned_bound_ = tuned.best.group_bound;
   tuned_las_ = tuned.best.use_las;
@@ -113,7 +222,16 @@ core::GroupedTasks OptimizedEngine::build_tasks(const graph::Csr& csr) const {
 
 RunResult OptimizedEngine::run_gcn(const Dataset& data, const GcnRun& run, ExecMode mode,
                                    const sim::DeviceSpec& spec) {
+  return run_guarded(data, run.features, "run_gcn",
+                     [&] { return gcn_attempt(data, run, mode, spec); });
+}
+
+RunResult OptimizedEngine::gcn_attempt(const Dataset& data, const GcnRun& run, ExecMode mode,
+                                       const sim::DeviceSpec& spec) {
   prof::Span span("OptimizedEngine::run_gcn", "engine");
+  // Fusion gate: the fused pipeline is only taken when the fusion
+  // machinery works; an injected fusion_pass fault degrades to unfused.
+  if (adapter_enabled()) rt::raise_if_armed(rt::kSeamFusionPass, "run_gcn fusion gate");
   if (run.cfg->dims.size() > 1) maybe_tune(data.csr, run.cfg->dims[1], spec);
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;
@@ -130,7 +248,7 @@ RunResult OptimizedEngine::run_gcn(const Dataset& data, const GcnRun& run, ExecM
     k::dense_gemm(ctx, {.a = &h, .b = &w, .c = &t, .mode = mode});
 
     auto agg = ws.mat(ctx, h.rows, w.cols, "aggregated");
-    if (cfg_.use_adapter) {
+    if (adapter_enabled()) {
       // Fused aggregation + bias + activation. With split rows (neighbor
       // grouping) the epilogue is deferred to a separate kernel — the
       // fusion pass reports the same boundary (bias_act cannot read
@@ -182,8 +300,17 @@ OptimizedEngine::TrainResult OptimizedEngine::train_gcn_step(
     const Dataset& data, const models::GcnConfig& cfg, models::GcnParams& params,
     const models::Matrix& x, const models::Matrix& target, float lr, ExecMode mode,
     const sim::DeviceSpec& spec, models::GcnGrads* grads_out) {
-  prof::Span span("OptimizedEngine::train_gcn_step", "engine");
   (void)cfg;
+  return run_guarded(data, &x, "train_gcn_step", [&] {
+    return train_gcn_attempt(data, params, x, target, lr, mode, spec, grads_out);
+  });
+}
+
+OptimizedEngine::TrainResult OptimizedEngine::train_gcn_attempt(
+    const Dataset& data, models::GcnParams& params, const models::Matrix& x,
+    const models::Matrix& target, float lr, ExecMode mode, const sim::DeviceSpec& spec,
+    models::GcnGrads* grads_out) {
+  prof::Span span("OptimizedEngine::train_gcn_step", "engine");
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;
   const auto gdev = k::device_graph(ctx, data.csr, "csr");
@@ -320,7 +447,14 @@ OptimizedEngine::TrainResult OptimizedEngine::train_gcn_step(
 
 RunResult OptimizedEngine::run_gat(const Dataset& data, const GatRun& run, ExecMode mode,
                                    const sim::DeviceSpec& spec) {
+  return run_guarded(data, run.features, "run_gat",
+                     [&] { return gat_attempt(data, run, mode, spec); });
+}
+
+RunResult OptimizedEngine::gat_attempt(const Dataset& data, const GatRun& run, ExecMode mode,
+                                       const sim::DeviceSpec& spec) {
   prof::Span span("OptimizedEngine::run_gat", "engine");
+  if (adapter_enabled()) rt::raise_if_armed(rt::kSeamFusionPass, "run_gat fusion gate");
   if (run.cfg->dims.size() > 1) maybe_tune(data.csr, run.cfg->dims[1], spec);
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;
@@ -346,7 +480,7 @@ RunResult OptimizedEngine::run_gat(const Dataset& data, const GatRun& run, ExecM
     auto vacc = ws.mat(ctx, h.rows, 1, "v_acc");
     auto agg = ws.mat(ctx, h.rows, w.cols, "aggregated");
 
-    if (cfg_.use_adapter && cfg_.use_linear) {
+    if (adapter_enabled() && cfg_.use_linear) {
       // K1: fused score + normalization sum; K2: aggregation with the
       // postponed division — the two-kernel pipeline of §4.2.
       k::gat_edge_fused(ctx, {.graph = &gdev,
@@ -368,7 +502,7 @@ RunResult OptimizedEngine::run_gat(const Dataset& data, const GatRun& run, ExecM
                                    .lanes = effective_lanes(data.csr),
                                    .atomic_merge = grouped.any_split,
                                    .mode = mode});
-    } else if (cfg_.use_adapter) {
+    } else if (adapter_enabled()) {
       // Adapter without the linear property: the normalized weights are
       // materialized before the aggregation primitive consumes them.
       k::gat_edge_fused(ctx, {.graph = &gdev,
@@ -461,6 +595,13 @@ RunResult OptimizedEngine::run_gat(const Dataset& data, const GatRun& run, ExecM
 RunResult OptimizedEngine::run_multihead_gat(const Dataset& data,
                                              const baselines::MultiHeadGatRun& run,
                                              ExecMode mode, const sim::DeviceSpec& spec) {
+  return run_guarded(data, run.features, "run_multihead_gat",
+                     [&] { return multihead_gat_attempt(data, run, mode, spec); });
+}
+
+RunResult OptimizedEngine::multihead_gat_attempt(const Dataset& data,
+                                                 const baselines::MultiHeadGatRun& run,
+                                                 ExecMode mode, const sim::DeviceSpec& spec) {
   prof::Span span("OptimizedEngine::run_multihead_gat", "engine");
   // Each head runs the fused two-kernel graph pipeline; head outputs write
   // directly into their column slice of the concatenated destination on a
@@ -524,6 +665,13 @@ RunResult OptimizedEngine::run_multihead_gat(const Dataset& data,
 
 RunResult OptimizedEngine::run_sage_pool(const Dataset& data, const baselines::SagePoolRun& run,
                                          ExecMode mode, const sim::DeviceSpec& spec) {
+  return run_guarded(data, run.features, "run_sage_pool",
+                     [&] { return sage_pool_attempt(data, run, mode, spec); });
+}
+
+RunResult OptimizedEngine::sage_pool_attempt(const Dataset& data,
+                                             const baselines::SagePoolRun& run, ExecMode mode,
+                                             const sim::DeviceSpec& spec) {
   prof::Span span("OptimizedEngine::run_sage_pool", "engine");
   maybe_tune(data.csr, run.cfg->pool_dim, spec);
   sim::SimContext ctx(with_engine_overhead(spec));
@@ -561,6 +709,12 @@ RunResult OptimizedEngine::run_sage_pool(const Dataset& data, const baselines::S
 
 RunResult OptimizedEngine::run_sage_lstm(const Dataset& data, const SageLstmRun& run,
                                          ExecMode mode, const sim::DeviceSpec& spec) {
+  return run_guarded(data, run.features, "run_sage_lstm",
+                     [&] { return sage_lstm_attempt(data, run, mode, spec); });
+}
+
+RunResult OptimizedEngine::sage_lstm_attempt(const Dataset& data, const SageLstmRun& run,
+                                             ExecMode mode, const sim::DeviceSpec& spec) {
   prof::Span span("OptimizedEngine::run_sage_lstm", "engine");
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;

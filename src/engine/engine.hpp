@@ -16,6 +16,7 @@
 #include "core/balance/neighbor_grouping.hpp"
 #include "core/locality/schedule.hpp"
 #include "models/gcn_grad.hpp"
+#include "rt/degrade.hpp"
 
 namespace gnnbridge::engine {
 
@@ -60,6 +61,13 @@ struct EngineConfig {
   bool auto_tune = false;
 };
 
+/// The optimized engine, with graceful degradation (DESIGN.md §10): every
+/// public run_* entry point validates its inputs (preflight), executes the
+/// optimized pipeline, and — when an optimization stage fails (injected
+/// via GNNBRIDGE_FAULT_PLAN or real) — disables the failed knob, records a
+/// structured degradation event through prof::MetricsSink, and retries.
+/// Only unrecoverable failures (invalid inputs, ladder exhausted) surface
+/// as a non-ok RunResult::status; nothing throws across this API.
 class OptimizedEngine final : public Backend {
  public:
   explicit OptimizedEngine(EngineConfig cfg = {}) : cfg_(cfg) {}
@@ -110,6 +118,10 @@ class OptimizedEngine final : public Backend {
   /// Effective grouping bound for a graph under this configuration.
   EdgeId effective_bound(const graph::Csr& csr) const;
 
+  /// Knobs the degradation ladder has disabled so far, as metric-schema
+  /// knob names (rt::kKnob*). Sticky for the engine's lifetime.
+  std::vector<std::string> degraded_knobs() const;
+
  private:
   EngineConfig cfg_;
   // Cached offline LAS schedule (keyed by graph identity).
@@ -121,6 +133,49 @@ class OptimizedEngine final : public Backend {
   mutable int tuned_lanes_ = 32;
   mutable EdgeId tuned_bound_ = 0;
   mutable bool tuned_las_ = true;
+
+  // Sticky health flags: set when the corresponding stage failed and the
+  // degradation ladder disabled its knob; never cleared — a stage that
+  // failed once is not trusted again for this engine's lifetime.
+  mutable bool las_failed_ = false;
+  mutable bool tune_failed_ = false;
+  mutable bool adapter_failed_ = false;
+  mutable bool grouping_failed_ = false;
+  // Preflight cache: validation is O(N x F); benches rerun identical
+  // inputs thousands of times.
+  mutable const void* preflight_graph_ = nullptr;
+  mutable const void* preflight_feat_ = nullptr;
+
+  bool adapter_enabled() const { return cfg_.use_adapter && !adapter_failed_; }
+
+  /// Input validation run before every attempt (cached by identity).
+  rt::Status preflight(const Dataset& data, const models::Matrix* features) const;
+
+  /// Walks one step down the degradation ladder for the failed seam:
+  /// disables the responsible knob, records the event, returns false when
+  /// there is nothing left to turn off.
+  bool degrade_for(const rt::StageFailure& failure) const;
+
+  /// Preflight + attempt + catch-degrade-retry loop shared by every entry
+  /// point. `attempt` returns RunResult or TrainResult.
+  template <typename Fn>
+  auto run_guarded(const Dataset& data, const models::Matrix* features, std::string_view what,
+                   Fn&& attempt) -> decltype(attempt());
+
+  RunResult gcn_attempt(const Dataset& data, const GcnRun& run, ExecMode mode,
+                        const sim::DeviceSpec& spec);
+  RunResult gat_attempt(const Dataset& data, const GatRun& run, ExecMode mode,
+                        const sim::DeviceSpec& spec);
+  RunResult multihead_gat_attempt(const Dataset& data, const baselines::MultiHeadGatRun& run,
+                                  ExecMode mode, const sim::DeviceSpec& spec);
+  RunResult sage_pool_attempt(const Dataset& data, const baselines::SagePoolRun& run,
+                              ExecMode mode, const sim::DeviceSpec& spec);
+  RunResult sage_lstm_attempt(const Dataset& data, const SageLstmRun& run, ExecMode mode,
+                              const sim::DeviceSpec& spec);
+  TrainResult train_gcn_attempt(const Dataset& data, models::GcnParams& params,
+                                const models::Matrix& x, const models::Matrix& target, float lr,
+                                ExecMode mode, const sim::DeviceSpec& spec,
+                                models::GcnGrads* grads_out);
 
   const std::vector<NodeId>* las_order_for(const graph::Csr& csr) const;
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "rt/validate.hpp"
+
 namespace gnnbridge::graph {
 
 namespace {
@@ -44,18 +46,7 @@ Coo coo_from_csr(const Csr& csr) {
   return out;
 }
 
-bool valid(const Csr& g) {
-  if (g.row_ptr.size() != static_cast<std::size_t>(g.num_nodes) + 1) return false;
-  if (g.row_ptr.front() != 0) return false;
-  if (g.row_ptr.back() != g.num_edges()) return false;
-  for (std::size_t i = 1; i < g.row_ptr.size(); ++i) {
-    if (g.row_ptr[i] < g.row_ptr[i - 1]) return false;
-  }
-  for (NodeId c : g.col_idx) {
-    if (c < 0 || c >= g.num_nodes) return false;
-  }
-  return true;
-}
+bool valid(const Csr& g) { return rt::validate_csr(g).ok(); }
 
 Csr permute_rows(const Csr& g, std::span<const NodeId> perm) {
   assert(static_cast<NodeId>(perm.size()) == g.num_nodes);

@@ -3,10 +3,14 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 #include <vector>
 
 #include "graph/generators.hpp"
+#include "rt/fault.hpp"
+#include "rt/validate.hpp"
 
 namespace gnnbridge::graph {
 
@@ -85,9 +89,18 @@ std::string_view dataset_name(DatasetId id) { return recipe_for(id).name; }
 
 DegreeStats paper_stats(DatasetId id) { return recipe_for(id).paper; }
 
-Dataset make_dataset(DatasetId id, double scale, std::uint64_t seed) {
-  assert(scale > 0.0 && scale <= 1.0);
+rt::Result<Dataset> try_make_dataset(DatasetId id, double scale, std::uint64_t seed) {
   const Recipe r = recipe_for(id);
+  const std::string frame =
+      "try_make_dataset('" + std::string(r.name) + "', scale=" + std::to_string(scale) + ")";
+  if (auto fault = rt::fire_fault(rt::kSeamDatasetLoad)) {
+    return std::move(*fault).with_context(frame);
+  }
+  if (!(scale > 0.0 && scale <= 1.0)) {
+    return rt::Status(rt::StatusCode::kInvalidArgument,
+                      "scale must be in (0, 1], got " + std::to_string(scale))
+        .with_context(frame);
+  }
   // Seed mixes in the dataset id so graphs differ even with equal shapes.
   tensor::Rng rng(seed * 0x100 + static_cast<std::uint64_t>(id));
 
@@ -138,7 +151,20 @@ Dataset make_dataset(DatasetId id, double scale, std::uint64_t seed) {
   d.csc = csc_from_coo(coo);
   d.coo = std::move(coo);
   d.stats = degree_stats(d.csr);
+  if (rt::Status s = rt::validate_csr(d.csr); !s.ok()) {
+    return std::move(s).with_context(frame);
+  }
   return d;
+}
+
+Dataset make_dataset(DatasetId id, double scale, std::uint64_t seed) {
+  rt::Result<Dataset> r = try_make_dataset(id, scale, seed);
+  if (!r.ok()) {
+    std::fprintf(stderr, "gnnbridge: make_dataset failed: %s\n",
+                 r.status().to_string().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
 }
 
 }  // namespace gnnbridge::graph

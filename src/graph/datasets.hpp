@@ -22,6 +22,7 @@
 
 #include "graph/csr.hpp"
 #include "graph/stats.hpp"
+#include "rt/status.hpp"
 
 namespace gnnbridge::graph {
 
@@ -65,6 +66,16 @@ struct Dataset {
 /// Generates dataset `id` deterministically (same seed -> same graph).
 /// `scale` in (0, 1] shrinks node counts further below the default
 /// reduced size; benches use scale=1, quick tests use smaller scales.
+///
+/// Fallible entry point: rejects out-of-range scales with
+/// kInvalidArgument, reports injected `dataset_load` faults, and
+/// validates the generated CSR before handing it out.
+rt::Result<Dataset> try_make_dataset(DatasetId id, double scale = 1.0,
+                                     std::uint64_t seed = 21);
+
+/// Infallible convenience wrapper around `try_make_dataset` for callers
+/// that pass known-good arguments (tests, benches). Aborts with the
+/// rendered Status on failure — it cannot degrade, only refuse.
 Dataset make_dataset(DatasetId id, double scale = 1.0, std::uint64_t seed = 21);
 
 }  // namespace gnnbridge::graph

@@ -1,14 +1,25 @@
 #include "graph/io.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
+
+#include "rt/fault.hpp"
+#include "rt/validate.hpp"
 
 namespace gnnbridge::graph {
 
 namespace {
+
+using rt::OkStatus;
+using rt::Status;
+using rt::StatusCode;
+
 constexpr std::uint32_t kCsrMagic = 0x47425243;  // "CRBG"
 constexpr std::uint32_t kMatMagic = 0x4742544D;  // "MTBG"
 constexpr std::uint32_t kVersion = 1;
@@ -19,9 +30,14 @@ void write_pod(std::ostream& out, const T& v) {
 }
 
 template <typename T>
-bool read_pod(std::istream& in, T& v) {
+Status read_pod(std::istream& in, T& v, const char* what) {
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  return static_cast<bool>(in);
+  if (!in) {
+    return Status(StatusCode::kDataLoss,
+                  std::string("truncated file reading ") + what + " (" +
+                      std::to_string(sizeof(T)) + " bytes)");
+  }
+  return OkStatus();
 }
 
 template <typename T>
@@ -32,87 +48,190 @@ void write_vec(std::ostream& out, const std::vector<T>& v) {
 }
 
 template <typename T>
-bool read_vec(std::istream& in, std::vector<T>& v) {
+Status read_vec(std::istream& in, std::vector<T>& v, const char* what) {
   std::uint64_t n = 0;
-  if (!read_pod(in, n)) return false;
+  GNNBRIDGE_RETURN_IF_ERROR(read_pod(in, n, what));
   // 1 GiB sanity bound against corrupt headers.
-  if (n > (1ull << 30) / sizeof(T)) return false;
+  if (n > (1ull << 30) / sizeof(T)) {
+    return Status(StatusCode::kDataLoss,
+                  std::string(what) + " length " + std::to_string(n) +
+                      " exceeds the 1 GiB sanity bound");
+  }
   v.resize(n);
   in.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
-  return static_cast<bool>(in);
+  if (!in) {
+    return Status(StatusCode::kDataLoss,
+                  std::string("truncated payload: ") + what + " declares " +
+                      std::to_string(n) + " entries but the file ends early");
+  }
+  return OkStatus();
 }
+
+Status check_magic(std::istream& in, std::uint32_t want, const char* kind) {
+  std::uint32_t magic = 0;
+  GNNBRIDGE_RETURN_IF_ERROR(read_pod(in, magic, "magic"));
+  if (magic != want) {
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "bad %s magic 0x%08x (want 0x%08x)", kind, magic, want);
+    return Status(StatusCode::kDataLoss, buf);
+  }
+  std::uint32_t version = 0;
+  GNNBRIDGE_RETURN_IF_ERROR(read_pod(in, version, "version"));
+  if (version != kVersion) {
+    return Status(StatusCode::kDataLoss, std::string("unsupported ") + kind + " version " +
+                                             std::to_string(version) + " (want " +
+                                             std::to_string(kVersion) + ")");
+  }
+  return OkStatus();
+}
+
+std::string frame(const char* fn, const std::string& path) {
+  return std::string(fn) + "('" + path + "')";
+}
+
 }  // namespace
 
-bool save_csr(const Csr& g, const std::string& path) {
+rt::Status save_csr(const Csr& g, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
+  if (!out) {
+    return Status(StatusCode::kUnavailable, "cannot open for writing")
+        .with_context(frame("save_csr", path));
+  }
   write_pod(out, kCsrMagic);
   write_pod(out, kVersion);
   write_pod(out, g.num_nodes);
   write_vec(out, g.row_ptr);
   write_vec(out, g.col_idx);
-  return static_cast<bool>(out);
+  if (!out) {
+    return Status(StatusCode::kUnavailable, "write failed")
+        .with_context(frame("save_csr", path));
+  }
+  return OkStatus();
 }
 
-bool load_csr(Csr& g, const std::string& path) {
+rt::Status load_csr(Csr& g, const std::string& path) {
+  if (auto fault = rt::fire_fault(rt::kSeamDatasetLoad)) {
+    return std::move(*fault).with_context(frame("load_csr", path));
+  }
+  const auto fail = [&](Status s) { return std::move(s).with_context(frame("load_csr", path)); };
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::uint32_t magic = 0, version = 0;
-  if (!read_pod(in, magic) || magic != kCsrMagic) return false;
-  if (!read_pod(in, version) || version != kVersion) return false;
+  if (!in) return fail(Status(StatusCode::kNotFound, "cannot open file"));
+  GNNBRIDGE_RETURN_IF_ERROR(fail(check_magic(in, kCsrMagic, "csr")));
   Csr loaded;
-  if (!read_pod(in, loaded.num_nodes)) return false;
-  if (!read_vec(in, loaded.row_ptr)) return false;
-  if (!read_vec(in, loaded.col_idx)) return false;
-  if (!valid(loaded)) return false;
+  GNNBRIDGE_RETURN_IF_ERROR(fail(read_pod(in, loaded.num_nodes, "num_nodes")));
+  if (loaded.num_nodes < 0) {
+    return fail(Status(StatusCode::kDataLoss,
+                       "negative node count " + std::to_string(loaded.num_nodes)));
+  }
+  GNNBRIDGE_RETURN_IF_ERROR(fail(read_vec(in, loaded.row_ptr, "row_ptr")));
+  GNNBRIDGE_RETURN_IF_ERROR(fail(read_vec(in, loaded.col_idx, "col_idx")));
+  GNNBRIDGE_RETURN_IF_ERROR(fail(rt::validate_csr(loaded)));
   g = std::move(loaded);
-  return true;
+  return OkStatus();
 }
 
-bool save_matrix(const tensor::Matrix& m, const std::string& path) {
+rt::Status save_matrix(const tensor::Matrix& m, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) return false;
+  if (!out) {
+    return Status(StatusCode::kUnavailable, "cannot open for writing")
+        .with_context(frame("save_matrix", path));
+  }
   write_pod(out, kMatMagic);
   write_pod(out, kVersion);
   write_pod(out, m.rows());
   write_pod(out, m.cols());
   out.write(reinterpret_cast<const char*>(m.data()),
             static_cast<std::streamsize>(m.size()) * 4);
-  return static_cast<bool>(out);
+  if (!out) {
+    return Status(StatusCode::kUnavailable, "write failed")
+        .with_context(frame("save_matrix", path));
+  }
+  return OkStatus();
 }
 
-bool load_matrix(tensor::Matrix& m, const std::string& path) {
+rt::Status load_matrix(tensor::Matrix& m, const std::string& path) {
+  if (auto fault = rt::fire_fault(rt::kSeamDatasetLoad)) {
+    return std::move(*fault).with_context(frame("load_matrix", path));
+  }
+  const auto fail = [&](Status s) {
+    return std::move(s).with_context(frame("load_matrix", path));
+  };
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::uint32_t magic = 0, version = 0;
-  if (!read_pod(in, magic) || magic != kMatMagic) return false;
-  if (!read_pod(in, version) || version != kVersion) return false;
+  if (!in) return fail(Status(StatusCode::kNotFound, "cannot open file"));
+  GNNBRIDGE_RETURN_IF_ERROR(fail(check_magic(in, kMatMagic, "matrix")));
   tensor::Index rows = 0, cols = 0;
-  if (!read_pod(in, rows) || !read_pod(in, cols)) return false;
-  if (rows < 0 || cols < 0 || rows * cols > (1ll << 28)) return false;
+  GNNBRIDGE_RETURN_IF_ERROR(fail(read_pod(in, rows, "rows")));
+  GNNBRIDGE_RETURN_IF_ERROR(fail(read_pod(in, cols, "cols")));
+  constexpr tensor::Index kMaxElems = 1ll << 28;
+  // Overflow-safe element bound: dividing instead of multiplying keeps an
+  // adversarial rows*cols from wrapping past the check.
+  if (rows < 0 || cols < 0 || (rows > 0 && cols > kMaxElems / rows)) {
+    return fail(Status(StatusCode::kDataLoss,
+                       "header declares [" + std::to_string(rows) + " x " +
+                           std::to_string(cols) + "], outside the sane range"));
+  }
   tensor::Matrix loaded(rows, cols);
   in.read(reinterpret_cast<char*>(loaded.data()),
           static_cast<std::streamsize>(loaded.size()) * 4);
-  if (!in) return false;
+  if (!in) {
+    return fail(Status(StatusCode::kDataLoss,
+                       "truncated payload: header declares " + std::to_string(loaded.size()) +
+                           " floats but the file ends early"));
+  }
+  GNNBRIDGE_RETURN_IF_ERROR(fail(rt::validate_matrix(loaded, "loaded matrix")));
   m = std::move(loaded);
-  return true;
+  return OkStatus();
 }
 
-bool read_edge_list(std::istream& in, Coo& coo) {
-  coo = Coo{};
+rt::Status read_edge_list(std::istream& in, Coo& coo) {
+  // Largest id we accept: num_nodes = max_id + 1 must stay representable.
+  constexpr long long kMaxId = std::numeric_limits<NodeId>::max() - 1;
+  Coo parsed;
   NodeId max_id = -1;
   std::string line;
+  long long line_no = 0;
+
+  const auto parse_id = [&](const std::string& token, long long& out) -> Status {
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(token.c_str(), &end, 10);
+    const std::string where = "line " + std::to_string(line_no) + ": ";
+    if (end == token.c_str() || *end != '\0') {
+      return Status(StatusCode::kInvalidArgument,
+                    where + "token '" + token + "' is not an integer node id");
+    }
+    if (errno == ERANGE || value > kMaxId) {
+      return Status(StatusCode::kOutOfRange,
+                    where + "node id '" + token + "' overflows NodeId");
+    }
+    if (value < 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    where + "negative node id '" + token + "'");
+    }
+    out = value;
+    return OkStatus();
+  };
+
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream ls(line);
+    std::string src_tok, dst_tok;
+    if (!(ls >> src_tok >> dst_tok)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "line " + std::to_string(line_no) + ": expected 'src dst', got '" +
+                        (src_tok.empty() ? line : src_tok) + "'")
+          .with_context("read_edge_list");
+    }
     long long u = 0, v = 0;
-    if (!(ls >> u >> v)) return false;
-    if (u < 0 || v < 0) return false;
-    coo.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    GNNBRIDGE_RETURN_IF_ERROR(parse_id(src_tok, u).with_context("read_edge_list"));
+    GNNBRIDGE_RETURN_IF_ERROR(parse_id(dst_tok, v).with_context("read_edge_list"));
+    parsed.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
     max_id = std::max({max_id, static_cast<NodeId>(u), static_cast<NodeId>(v)});
   }
-  coo.num_nodes = max_id + 1;
-  return true;
+  parsed.num_nodes = max_id + 1;
+  coo = std::move(parsed);
+  return OkStatus();
 }
 
 }  // namespace gnnbridge::graph

@@ -3,32 +3,44 @@
 // Lets users persist generated datasets (or import their own edge lists)
 // instead of regenerating per run. Format: little-endian, magic-tagged,
 // versioned; see io.cpp for the layout.
+//
+// Every entry point reports failure through the structured error model
+// (rt::Status): code + message + context chain, precise enough to name the
+// offending byte offset, vector length or input line. Loaders never
+// partially mutate their output argument — on error the destination is
+// left exactly as the caller passed it.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "graph/csr.hpp"
+#include "rt/status.hpp"
 #include "tensor/matrix.hpp"
 
 namespace gnnbridge::graph {
 
-/// Writes `g` to `path`. Returns false on I/O failure.
-bool save_csr(const Csr& g, const std::string& path);
+/// Writes `g` to `path`.
+rt::Status save_csr(const Csr& g, const std::string& path);
 
-/// Reads a CSR written by `save_csr`. Returns false on I/O failure,
-/// bad magic/version, or a structurally invalid graph.
-bool load_csr(Csr& g, const std::string& path);
+/// Reads a CSR written by `save_csr`. Errors on I/O failure, bad
+/// magic/version, truncated or oversized payloads, and structurally
+/// invalid graphs (rt::validate_csr). `g` is untouched on error.
+rt::Status load_csr(Csr& g, const std::string& path);
 
 /// Writes a dense row-major float matrix.
-bool save_matrix(const tensor::Matrix& m, const std::string& path);
+rt::Status save_matrix(const tensor::Matrix& m, const std::string& path);
 
-/// Reads a matrix written by `save_matrix`.
-bool load_matrix(tensor::Matrix& m, const std::string& path);
+/// Reads a matrix written by `save_matrix`. Errors on corrupt headers
+/// (negative or overflowing dimensions), truncated payloads and
+/// non-finite values. `m` is untouched on error.
+rt::Status load_matrix(tensor::Matrix& m, const std::string& path);
 
 /// Parses a whitespace-separated "src dst" edge-list text stream into a
 /// COO (one edge per line; lines starting with '#' or '%' are comments).
-/// Node count is 1 + the maximum id seen. Returns false on parse errors.
-bool read_edge_list(std::istream& in, Coo& coo);
+/// Node count is 1 + the maximum id seen. Parse errors name the line
+/// number and offending token; ids that cannot be represented as NodeId
+/// are rejected rather than truncated. `coo` is untouched on error.
+rt::Status read_edge_list(std::istream& in, Coo& coo);
 
 }  // namespace gnnbridge::graph

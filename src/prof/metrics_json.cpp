@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "prof/json_writer.hpp"
+#include "rt/fault.hpp"
 #include "sim/timeline.hpp"
 
 namespace gnnbridge::prof {
@@ -93,6 +94,12 @@ void MetricsSink::record(RunRecord rec) {
   arm_env_write_locked();
 }
 
+void MetricsSink::record_degradation(rt::DegradationEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  degradations_.push_back(std::move(event));
+  arm_env_write_locked();
+}
+
 void MetricsSink::arm_env_write_locked() {
   if (armed_ || !env_path()) return;
   armed_ = true;
@@ -108,9 +115,20 @@ std::size_t MetricsSink::size() const {
   return records_.size();
 }
 
+std::size_t MetricsSink::degradation_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degradations_.size();
+}
+
+std::vector<rt::DegradationEvent> MetricsSink::degradations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degradations_;
+}
+
 void MetricsSink::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   records_.clear();
+  degradations_.clear();
 }
 
 std::string MetricsSink::to_json() const {
@@ -126,21 +144,52 @@ std::string MetricsSink::to_json() const {
   w.begin_array();
   for (const auto& r : records_) write_run(w, r);
   w.end_array();
+  w.key("degradations");
+  w.begin_array();
+  for (const auto& d : degradations_) {
+    w.begin_object();
+    w.kv("seam", std::string_view(d.seam));
+    w.kv("knob", std::string_view(d.knob));
+    w.kv("action", std::string_view(d.action));
+    w.kv("detail", std::string_view(d.detail));
+    w.kv("injected", d.injected);
+    w.end_object();
+  }
+  w.end_array();
   w.end_object();
   out += '\n';
   return out;
 }
 
-bool MetricsSink::write_file(const std::string& path) const {
-  const std::string doc = to_json();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (!f) {
-    std::fprintf(stderr, "gnnbridge: cannot write metrics file '%s'\n", path.c_str());
-    return false;
+rt::Status MetricsSink::write_file(const std::string& path) const {
+  constexpr int kMaxAttempts = 3;
+  rt::Status last;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    if (auto fault = rt::fire_fault(rt::kSeamMetricsWrite)) {
+      // Record first, write after: the retried document carries the event.
+      MetricsSink::instance().record_degradation(rt::make_degradation(
+          rt::kSeamMetricsWrite, rt::kKnobMetricsSink, "retry_write", *fault));
+      last = std::move(*fault);
+      continue;
+    }
+    const std::string doc = to_json();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "gnnbridge: cannot write metrics file '%s'\n", path.c_str());
+      return rt::Status(rt::StatusCode::kUnavailable, "cannot open for writing")
+          .with_context("MetricsSink::write_file('" + path + "')");
+    }
+    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    std::fclose(f);
+    if (!ok) {
+      return rt::Status(rt::StatusCode::kUnavailable, "short write")
+          .with_context("MetricsSink::write_file('" + path + "')");
+    }
+    return rt::OkStatus();
   }
-  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
-  std::fclose(f);
-  return ok;
+  std::fprintf(stderr, "gnnbridge: metrics write to '%s' failed %d times, giving up\n",
+               path.c_str(), kMaxAttempts);
+  return std::move(last).with_context("MetricsSink::write_file('" + path + "')");
 }
 
 }  // namespace gnnbridge::prof

@@ -10,10 +10,10 @@
 // tools/check_metrics_schema.py; bump kMetricsSchemaVersion on any
 // incompatible change.
 //
-// Schema (gnnbridge-metrics, version 1):
+// Schema (gnnbridge-metrics, version 2):
 //   {
 //     "schema": "gnnbridge-metrics",
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "experiment": "<banner id>",
 //     "scale": 0.25,
 //     "runs": [{
@@ -29,21 +29,28 @@
 //                    "l2_misses":..., "l2_hit_rate":..., "dram_bytes":...,
 //                    "flops":..., "issued_flops":...,
 //                    "mean_active_blocks":...}]
-//     }]
+//     }],
+//     "degradations": [{"seam":"las_cluster", "knob":"las",
+//                       "action":"las->natural_order", "detail":"...",
+//                       "injected":true}]
 //   }
+// v1 -> v2: added the top-level `degradations` array — one entry per
+// optimization knob the engine (or the sink itself) disabled after a stage
+// failure (DESIGN.md §10).
 #pragma once
 
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "rt/degrade.hpp"
 #include "sim/counters.hpp"
 #include "sim/device.hpp"
 
 namespace gnnbridge::prof {
 
 inline constexpr const char* kMetricsSchemaName = "gnnbridge-metrics";
-inline constexpr int kMetricsSchemaVersion = 1;
+inline constexpr int kMetricsSchemaVersion = 2;
 
 /// One recorded run: a labelled RunStats plus the identifying metadata.
 struct RunRecord {
@@ -71,15 +78,25 @@ class MetricsSink {
 
   void record(RunRecord rec);
 
+  /// Records a degradation event (engine knob disabled after a stage
+  /// failure); serialized into the top-level `degradations` array.
+  void record_degradation(rt::DegradationEvent event);
+
   std::size_t size() const;
+  std::size_t degradation_count() const;
+  std::vector<rt::DegradationEvent> degradations() const;
   void clear();
 
   /// Serializes everything recorded so far.
   std::string to_json() const;
 
-  /// Writes `to_json()` to `path`; warns on stderr and returns false on
-  /// I/O failure.
-  bool write_file(const std::string& path) const;
+  /// Writes `to_json()` to `path`. The write itself is a fault seam
+  /// (`metrics_write`): an injected failure is recorded as a degradation
+  /// (knob `metrics_sink`, action `retry_write`) and the write retried, so
+  /// the emitted file still carries the event. Warns on stderr and
+  /// returns a structured error when the retries run out or real I/O
+  /// fails.
+  rt::Status write_file(const std::string& path) const;
 
   /// The path GNNBRIDGE_METRICS_JSON points at, or nullptr.
   static const char* env_path();
@@ -92,6 +109,7 @@ class MetricsSink {
   std::string experiment_ = "unnamed";
   double scale_ = 0.0;
   std::vector<RunRecord> records_;
+  std::vector<rt::DegradationEvent> degradations_;
   bool armed_ = false;
 };
 

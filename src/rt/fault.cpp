@@ -1,0 +1,161 @@
+#include "rt/fault.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace gnnbridge::rt {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+struct ParsedArm {
+  std::string seam;
+  int remaining = 1;
+  bool always = false;
+};
+
+/// Parses one `seam[=N|*]` entry.
+Status parse_entry(std::string_view entry, ParsedArm& out) {
+  const std::size_t eq = entry.find('=');
+  const std::string_view seam = trim(entry.substr(0, eq));
+  if (seam.empty()) {
+    return Status(StatusCode::kInvalidArgument, "empty seam name in fault plan");
+  }
+  if (!known_seam(seam)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "unknown fault seam '" + std::string(seam) + "'");
+  }
+  out.seam = std::string(seam);
+  out.remaining = 1;
+  out.always = false;
+  if (eq == std::string_view::npos) return OkStatus();
+
+  const std::string_view count = trim(entry.substr(eq + 1));
+  if (count == "*") {
+    out.always = true;
+    return OkStatus();
+  }
+  const std::string count_str(count);
+  char* end = nullptr;
+  const long n = std::strtol(count_str.c_str(), &end, 10);
+  if (count_str.empty() || end != count_str.c_str() + count_str.size() || n <= 0 ||
+      n > 1'000'000) {
+    return Status(StatusCode::kInvalidArgument,
+                  "bad fault count '" + count_str + "' for seam '" + out.seam +
+                      "' (want a positive integer or '*')");
+  }
+  out.remaining = static_cast<int>(n);
+  return OkStatus();
+}
+
+Status parse_plan(std::string_view plan, std::vector<ParsedArm>& out) {
+  std::size_t pos = 0;
+  while (pos <= plan.size()) {
+    std::size_t comma = plan.find(',', pos);
+    if (comma == std::string_view::npos) comma = plan.size();
+    const std::string_view entry = trim(plan.substr(pos, comma - pos));
+    if (!entry.empty()) {
+      ParsedArm arm;
+      GNNBRIDGE_RETURN_IF_ERROR(parse_entry(entry, arm));
+      out.push_back(std::move(arm));
+    }
+    pos = comma + 1;
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+bool known_seam(std::string_view seam) {
+  for (std::string_view s : kKnownSeams) {
+    if (s == seam) return true;
+  }
+  return false;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* injector = new FaultInjector();  // leaked: outlives atexit users
+  return *injector;
+}
+
+void FaultInjector::maybe_load_env_locked() {
+  if (env_checked_) return;
+  env_checked_ = true;
+  const char* env = std::getenv("GNNBRIDGE_FAULT_PLAN");
+  if (!env || !*env) return;
+  std::vector<ParsedArm> arms;
+  const Status s = parse_plan(env, arms);
+  if (!s.ok()) {
+    // A malformed plan must never take the process down — warn and run
+    // without injection rather than silently arming the wrong seam.
+    std::fprintf(stderr, "gnnbridge: ignoring GNNBRIDGE_FAULT_PLAN: %s\n",
+                 s.to_string().c_str());
+    return;
+  }
+  for (auto& arm : arms) arms_[arm.seam] = Arm{arm.remaining, arm.always};
+}
+
+Status FaultInjector::set_plan(std::string_view plan) {
+  std::vector<ParsedArm> arms;
+  GNNBRIDGE_RETURN_IF_ERROR(parse_plan(plan, arms));
+  std::lock_guard<std::mutex> lock(mu_);
+  env_checked_ = true;  // an explicit plan overrides the environment
+  arms_.clear();
+  for (auto& arm : arms) arms_[arm.seam] = Arm{arm.remaining, arm.always};
+  return OkStatus();
+}
+
+void FaultInjector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  env_checked_ = true;
+  arms_.clear();
+}
+
+std::optional<Status> FaultInjector::fire(std::string_view seam) {
+  std::lock_guard<std::mutex> lock(mu_);
+  maybe_load_env_locked();
+  const auto it = arms_.find(seam);
+  if (it == arms_.end()) return std::nullopt;
+  if (!it->second.always) {
+    if (--it->second.remaining <= 0) arms_.erase(it);
+  }
+  return Status(StatusCode::kFaultInjected,
+                "injected fault at seam '" + std::string(seam) + "'");
+}
+
+bool FaultInjector::armed(std::string_view seam) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const_cast<FaultInjector*>(this)->maybe_load_env_locked();
+  return arms_.find(seam) != arms_.end();
+}
+
+std::string FaultInjector::plan_string() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [seam, arm] : arms_) {
+    if (!out.empty()) out += ',';
+    out += seam;
+    if (arm.always) {
+      out += "=*";
+    } else if (arm.remaining != 1) {
+      out += '=' + std::to_string(arm.remaining);
+    }
+  }
+  return out;
+}
+
+void raise_if_armed(std::string_view seam, std::string_view where) {
+  if (auto fault = fire_fault(seam)) {
+    throw StageFailure(std::string(seam),
+                       std::move(*fault).with_context(std::string(where)));
+  }
+}
+
+}  // namespace gnnbridge::rt

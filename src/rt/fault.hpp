@@ -1,0 +1,92 @@
+// Deterministic fault injection (robustness subsystem, DESIGN.md §10).
+//
+// A fault plan arms named seams — well-defined failure points threaded
+// through the system — so tests and operators can exercise every error
+// path reproducibly. The plan comes from the GNNBRIDGE_FAULT_PLAN
+// environment variable (parsed lazily on first use) or programmatically
+// via `FaultInjector::set_plan`.
+//
+// Plan syntax: comma-separated entries, each `seam`, `seam=N` or `seam=*`:
+//   GNNBRIDGE_FAULT_PLAN="las_cluster"          # fail the first LAS pass
+//   GNNBRIDGE_FAULT_PLAN="tuner_probe=*"        # fail every tuner probe
+//   GNNBRIDGE_FAULT_PLAN="sim_launch=2,fusion_pass"
+// An armed seam fires (reports a kFaultInjected Status) the next N times
+// it is reached, then passes. Unknown seam names are rejected by
+// `set_plan` and warned-and-skipped when they come from the environment.
+#pragma once
+
+#include <array>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "rt/status.hpp"
+
+namespace gnnbridge::rt {
+
+// The named seams. Each is checked exactly where the real work happens.
+inline constexpr std::string_view kSeamDatasetLoad = "dataset_load";    ///< graph/io loaders + make_dataset
+inline constexpr std::string_view kSeamLasCluster = "las_cluster";      ///< core::locality_aware_schedule
+inline constexpr std::string_view kSeamTunerProbe = "tuner_probe";      ///< engine::measure_aggregation
+inline constexpr std::string_view kSeamFusionPass = "fusion_pass";      ///< adapter/fusion availability
+inline constexpr std::string_view kSeamSimLaunch = "sim_launch";        ///< sim::SimContext::launch
+inline constexpr std::string_view kSeamMetricsWrite = "metrics_write";  ///< prof::MetricsSink::write_file
+
+inline constexpr std::array<std::string_view, 6> kKnownSeams = {
+    kSeamDatasetLoad, kSeamLasCluster, kSeamTunerProbe,
+    kSeamFusionPass,  kSeamSimLaunch,  kSeamMetricsWrite,
+};
+
+/// True when `seam` is one of kKnownSeams.
+bool known_seam(std::string_view seam);
+
+/// Process-wide fault-plan registry. Thread-safe.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Parses and installs a plan, replacing any previous one (including the
+  /// environment's). Empty plan disarms everything. Returns
+  /// kInvalidArgument on syntax errors or unknown seams; on error the
+  /// previous plan is kept.
+  Status set_plan(std::string_view plan);
+
+  /// Disarms every seam (and suppresses later env re-loading).
+  void clear();
+
+  /// Consumes one armed shot for `seam`. Returns the injected failure
+  /// when the seam fires, std::nullopt when it passes.
+  std::optional<Status> fire(std::string_view seam);
+
+  /// True when `seam` would fire (does not consume).
+  bool armed(std::string_view seam) const;
+
+  /// Remaining plan in plan syntax ("seam=2,other=*"); empty when disarmed.
+  std::string plan_string() const;
+
+ private:
+  FaultInjector() = default;
+  void maybe_load_env_locked();
+
+  struct Arm {
+    int remaining = 0;   // shots left (ignored when always)
+    bool always = false;
+  };
+
+  mutable std::mutex mu_;
+  bool env_checked_ = false;
+  std::map<std::string, Arm, std::less<>> arms_;
+};
+
+/// Shorthand for FaultInjector::instance().fire(seam).
+inline std::optional<Status> fire_fault(std::string_view seam) {
+  return FaultInjector::instance().fire(seam);
+}
+
+/// Fires the seam and throws StageFailure when it is armed. For seams in
+/// call chains that propagate errors by exception (see StageFailure).
+void raise_if_armed(std::string_view seam, std::string_view where);
+
+}  // namespace gnnbridge::rt

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "prof/span.hpp"
+#include "rt/fault.hpp"
 #include "sim/scheduler.hpp"
 
 namespace gnnbridge::sim {
@@ -12,6 +13,10 @@ SimContext::SimContext(DeviceSpec spec)
     : spec_(spec), l2_(spec.l2_bytes, spec.l2_ways, spec.line_bytes) {}
 
 const KernelStats& SimContext::launch(Kernel kernel) {
+  // Fault seam: this is the chokepoint every simulated kernel passes
+  // through, several stack frames below APIs that return void or stats
+  // references — hence the exception vehicle (see rt::StageFailure).
+  rt::raise_if_armed(rt::kSeamSimLaunch, "SimContext::launch('" + kernel.name + "')");
   prof::Span span(kernel.name, "sim");
   KernelStats ks;
   ks.name = std::move(kernel.name);

@@ -68,6 +68,36 @@ TEST(Tuner, LasToggleCanWin) {
   EXPECT_FALSE(r.best.use_las);
 }
 
+TEST(Tuner, BrokenProbeAbortsWithStructuredError) {
+  const Csr g = testing::random_graph(50, 6.0, 8);
+  // A NaN measurement (broken simulator, poisoned counters) must abort the
+  // search with a structured error, not poison the comparison chain.
+  const TuneResult r =
+      tune_graph_op(g, [](const TuneConfig&) { return std::nan(""); });
+  EXPECT_FALSE(r.error.ok());
+  EXPECT_EQ(r.error.code(), rt::StatusCode::kUnavailable);
+  EXPECT_NE(r.error.to_string().find("tune_graph_op"), std::string::npos);
+}
+
+TEST(Tuner, NegativeProbeAbortsWithStructuredError) {
+  const Csr g = testing::random_graph(50, 6.0, 9);
+  const TuneResult r = tune_graph_op(g, [](const TuneConfig&) { return -5.0; });
+  EXPECT_FALSE(r.error.ok());
+  EXPECT_EQ(r.error.code(), rt::StatusCode::kUnavailable);
+}
+
+TEST(Tuner, ProbeFailureMidSearchKeepsLastGoodCandidate) {
+  const Csr g = testing::random_graph(50, 6.0, 10);
+  int calls = 0;
+  const TuneResult r = tune_graph_op(g, [&](const TuneConfig&) {
+    return ++calls > 3 ? std::nan("") : static_cast<double>(calls);
+  });
+  EXPECT_FALSE(r.error.ok());
+  // The first (cheapest) probe survives as the best seen before the break.
+  EXPECT_DOUBLE_EQ(r.best_cycles, 1.0);
+  EXPECT_EQ(static_cast<int>(r.history.size()), 3);
+}
+
 TEST(TuneHelper, MeasureAggregationPositiveAndConfigSensitive) {
   const Csr g = testing::random_graph(400, 16.0, 5);
   const sim::DeviceSpec spec = sim::v100();

@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string>
 
+#include "rt/status.hpp"
 #include "tests/testing/util.hpp"
 
 namespace gnnbridge::graph {
@@ -13,6 +16,27 @@ namespace {
 
 std::string temp_path(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// A recognizable graph used to prove failed loads leave the output alone.
+Csr sentinel_graph() {
+  Csr g;
+  g.num_nodes = 2;
+  g.row_ptr = {0, 1, 2};
+  g.col_idx = {1, 0};
+  return g;
 }
 
 TEST(GraphIo, CsrRoundTrip) {
@@ -53,6 +77,64 @@ TEST(GraphIo, LoadRejectsCorruptStructure) {
   std::remove(path.c_str());
 }
 
+TEST(GraphIo, LoadReportsMissingFileAsNotFound) {
+  Csr g;
+  const rt::Status s = load_csr(g, temp_path("nonexistent.csr"));
+  EXPECT_EQ(s.code(), rt::StatusCode::kNotFound);
+  ASSERT_FALSE(s.context().empty());
+  EXPECT_NE(s.context()[0].find("load_csr"), std::string::npos);
+}
+
+TEST(GraphIo, LoadRejectsBadVersion) {
+  const std::string path = temp_path("badver.csr");
+  ASSERT_TRUE(save_csr(gnnbridge::testing::random_graph(10, 3.0, 4), path));
+  std::string bytes = slurp(path);
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  spit(path, bytes);
+  Csr loaded;
+  const rt::Status s = load_csr(loaded, path);
+  EXPECT_EQ(s.code(), rt::StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadRejectsTruncatedPayload) {
+  const std::string path = temp_path("trunc.csr");
+  ASSERT_TRUE(save_csr(gnnbridge::testing::random_graph(50, 4.0, 5), path));
+  const std::string bytes = slurp(path);
+  spit(path, bytes.substr(0, bytes.size() - 8));
+  Csr loaded = sentinel_graph();
+  const rt::Status s = load_csr(loaded, path);
+  EXPECT_EQ(s.code(), rt::StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("truncated"), std::string::npos);
+  // The output graph must be untouched by the failed load.
+  EXPECT_EQ(loaded.num_nodes, 2);
+  EXPECT_EQ(loaded.row_ptr, sentinel_graph().row_ptr);
+  EXPECT_EQ(loaded.col_idx, sentinel_graph().col_idx);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadRejectsLyingVectorLength) {
+  // Hand-build a header whose row_ptr declares far more entries than the
+  // file holds: the 1 GiB sanity bound must refuse before allocating.
+  const std::string path = temp_path("lying.csr");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint32_t magic = 0x47425243, version = 1;
+    const std::int32_t num_nodes = 4;
+    const std::uint64_t bogus_len = 1ull << 40;
+    out.write(reinterpret_cast<const char*>(&magic), 4);
+    out.write(reinterpret_cast<const char*>(&version), 4);
+    out.write(reinterpret_cast<const char*>(&num_nodes), 4);
+    out.write(reinterpret_cast<const char*>(&bogus_len), 8);
+  }
+  Csr loaded;
+  const rt::Status s = load_csr(loaded, path);
+  EXPECT_EQ(s.code(), rt::StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("sanity bound"), std::string::npos);
+  std::remove(path.c_str());
+}
+
 TEST(GraphIo, MatrixRoundTrip) {
   const tensor::Matrix m = gnnbridge::testing::random_matrix(17, 9, 3);
   const std::string path = temp_path("m.mat");
@@ -60,6 +142,59 @@ TEST(GraphIo, MatrixRoundTrip) {
   tensor::Matrix loaded;
   ASSERT_TRUE(load_matrix(loaded, path));
   EXPECT_EQ(loaded, m);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadMatrixRejectsOverflowingHeader) {
+  // rows*cols would wrap a 64-bit product; the loader's division-based
+  // bound check must reject the header rather than allocate garbage.
+  const std::string path = temp_path("overflow.mat");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint32_t magic = 0x4742544D, version = 1;
+    const std::int64_t rows = 1ll << 62, cols = 8;
+    out.write(reinterpret_cast<const char*>(&magic), 4);
+    out.write(reinterpret_cast<const char*>(&version), 4);
+    out.write(reinterpret_cast<const char*>(&rows), 8);
+    out.write(reinterpret_cast<const char*>(&cols), 8);
+  }
+  tensor::Matrix loaded;
+  const rt::Status s = load_matrix(loaded, path);
+  EXPECT_EQ(s.code(), rt::StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("outside the sane range"), std::string::npos);
+  EXPECT_EQ(loaded.size(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadMatrixRejectsNegativeDims) {
+  const std::string path = temp_path("negdim.mat");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const std::uint32_t magic = 0x4742544D, version = 1;
+    const std::int64_t rows = -4, cols = 4;
+    out.write(reinterpret_cast<const char*>(&magic), 4);
+    out.write(reinterpret_cast<const char*>(&version), 4);
+    out.write(reinterpret_cast<const char*>(&rows), 8);
+    out.write(reinterpret_cast<const char*>(&cols), 8);
+  }
+  tensor::Matrix loaded;
+  EXPECT_EQ(load_matrix(loaded, path).code(), rt::StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadMatrixRejectsTruncatedPayload) {
+  const std::string path = temp_path("trunc.mat");
+  ASSERT_TRUE(save_matrix(gnnbridge::testing::random_matrix(8, 8, 6), path));
+  const std::string bytes = slurp(path);
+  spit(path, bytes.substr(0, bytes.size() - 16));
+  tensor::Matrix loaded(1, 1);
+  loaded(0, 0) = 42.0f;
+  const rt::Status s = load_matrix(loaded, path);
+  EXPECT_EQ(s.code(), rt::StatusCode::kDataLoss);
+  EXPECT_NE(s.message().find("truncated"), std::string::npos);
+  // The output matrix must be untouched by the failed load.
+  ASSERT_EQ(loaded.rows(), 1);
+  EXPECT_EQ(loaded(0, 0), 42.0f);
   std::remove(path.c_str());
 }
 
@@ -73,16 +208,52 @@ TEST(GraphIo, EdgeListParsing) {
   EXPECT_EQ(coo.dst[2], 0);
 }
 
-TEST(GraphIo, EdgeListRejectsGarbage) {
-  std::istringstream in("0 1\nnot numbers\n");
+TEST(GraphIo, EdgeListRejectsGarbageWithLineNumber) {
+  std::istringstream in("0 1\n# comment lines still count\nnot numbers\n");
   Coo coo;
-  EXPECT_FALSE(read_edge_list(in, coo));
+  const rt::Status s = read_edge_list(in, coo);
+  EXPECT_EQ(s.code(), rt::StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 3"), std::string::npos);
+  EXPECT_NE(s.message().find("'not'"), std::string::npos);
 }
 
 TEST(GraphIo, EdgeListRejectsNegativeIds) {
   std::istringstream in("0 -1\n");
   Coo coo;
-  EXPECT_FALSE(read_edge_list(in, coo));
+  const rt::Status s = read_edge_list(in, coo);
+  EXPECT_EQ(s.code(), rt::StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("negative node id"), std::string::npos);
+}
+
+TEST(GraphIo, EdgeListRejectsOverflowingIds) {
+  // 2^40 does not fit NodeId (int32); must be OUT_OF_RANGE, not a wrap.
+  std::istringstream in("0 1099511627776\n");
+  Coo coo;
+  const rt::Status s = read_edge_list(in, coo);
+  EXPECT_EQ(s.code(), rt::StatusCode::kOutOfRange);
+  EXPECT_NE(s.message().find("overflows NodeId"), std::string::npos);
+}
+
+TEST(GraphIo, EdgeListRejectsMissingToken) {
+  std::istringstream in("0 1\n5\n");
+  Coo coo;
+  const rt::Status s = read_edge_list(in, coo);
+  EXPECT_EQ(s.code(), rt::StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("line 2"), std::string::npos);
+  EXPECT_NE(s.message().find("expected 'src dst'"), std::string::npos);
+}
+
+TEST(GraphIo, EdgeListNoPartialMutationOnFailure) {
+  Coo coo;
+  coo.add_edge(7, 8);
+  coo.num_nodes = 9;
+  std::istringstream in("0 1\n1 2\nbroken line here\n");
+  ASSERT_FALSE(read_edge_list(in, coo));
+  // The two good edges parsed before the error must not leak out.
+  EXPECT_EQ(coo.num_edges(), 1);
+  EXPECT_EQ(coo.num_nodes, 9);
+  EXPECT_EQ(coo.src[0], 7);
+  EXPECT_EQ(coo.dst[0], 8);
 }
 
 }  // namespace

@@ -1,0 +1,186 @@
+// The fault matrix: every named seam, when armed, must leave the system
+// in its documented fallback state — the engine completes the run with
+// the responsible knob degraded and a degradations[] event recorded
+// (las_cluster, tuner_probe, fusion_pass, sim_launch), write_file retries
+// through metrics_write, and dataset_load surfaces a structured error.
+//
+// FaultInjector and MetricsSink are process singletons; each TEST runs in
+// its own process under gtest_discover_tests, so plans cannot leak across
+// tests. Every test still installs its plan explicitly and clears on exit.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "graph/datasets.hpp"
+#include "models/reference.hpp"
+#include "prof/metrics_json.hpp"
+#include "rt/fault.hpp"
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge {
+namespace {
+
+using engine::EngineConfig;
+using engine::OptimizedEngine;
+using kernels::ExecMode;
+
+struct GcnFixture {
+  graph::Dataset data = graph::make_dataset(graph::DatasetId::kCollab, 0.02);
+  models::GcnConfig cfg;
+  models::GcnParams params;
+  models::Matrix x;
+  models::Matrix expect;
+
+  GcnFixture() {
+    cfg.dims = {16, 8, 4};
+    params = models::init_gcn(cfg, 1);
+    x = models::init_features(data.csr.num_nodes, 16, 2);
+    expect = models::gcn_forward_ref(data.csr, x, cfg, params);
+  }
+};
+
+// Arms `plan`, runs GCN under `ecfg`, and asserts the documented fallback:
+// run completed (ok status), numerics intact, `knob` reported degraded,
+// and one injected degradation event recorded against `seam`.
+void expect_degraded_but_correct(const std::string& plan, EngineConfig ecfg,
+                                 std::string_view seam, std::string_view knob) {
+  auto& sink = prof::MetricsSink::instance();
+  sink.clear();
+  ASSERT_TRUE(rt::FaultInjector::instance().set_plan(plan));
+
+  const GcnFixture f;
+  OptimizedEngine e(ecfg);
+  const auto r = e.run_gcn(f.data, {&f.cfg, &f.params, &f.x}, ExecMode::kFull, sim::v100());
+  rt::FaultInjector::instance().clear();
+
+  ASSERT_TRUE(r.status.ok()) << r.status.to_string();
+  EXPECT_TRUE(tensor::allclose(r.output, f.expect, 2e-3f, 2e-4f))
+      << "degraded run must still compute the right answer";
+
+  const auto knobs = e.degraded_knobs();
+  EXPECT_NE(std::find(knobs.begin(), knobs.end(), std::string(knob)), knobs.end())
+      << "expected knob '" << knob << "' in the degraded set";
+
+  ASSERT_GE(sink.degradation_count(), 1u);
+  bool found = false;
+  for (const auto& ev : sink.degradations()) {
+    if (ev.seam == seam && ev.knob == knob) {
+      found = true;
+      EXPECT_TRUE(ev.injected) << "fault-plan failures must be flagged injected";
+      EXPECT_FALSE(ev.action.empty());
+      EXPECT_NE(ev.detail.find("FAULT_INJECTED"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found) << "no degradation event for seam '" << seam << "'";
+  sink.clear();
+}
+
+TEST(FaultMatrix, LasClusterFaultFallsBackToNaturalOrder) {
+  expect_degraded_but_correct("las_cluster", EngineConfig{}, rt::kSeamLasCluster,
+                              rt::kKnobLas);
+}
+
+TEST(FaultMatrix, TunerProbeFaultFallsBackToHeuristicBound) {
+  EngineConfig ecfg;
+  ecfg.auto_tune = true;
+  expect_degraded_but_correct("tuner_probe", ecfg, rt::kSeamTunerProbe,
+                              rt::kKnobAutoTune);
+}
+
+TEST(FaultMatrix, FusionPassFaultFallsBackToUnfusedPipeline) {
+  expect_degraded_but_correct("fusion_pass", EngineConfig{}, rt::kSeamFusionPass,
+                              rt::kKnobAdapter);
+}
+
+TEST(FaultMatrix, SimLaunchFaultFallsBackToConservativeSchedule) {
+  expect_degraded_but_correct("sim_launch", EngineConfig{}, rt::kSeamSimLaunch,
+                              rt::kKnobNeighborGrouping);
+}
+
+TEST(FaultMatrix, PersistentSimLaunchFaultExhaustsTheLadderCleanly) {
+  auto& sink = prof::MetricsSink::instance();
+  sink.clear();
+  ASSERT_TRUE(rt::FaultInjector::instance().set_plan("sim_launch=*"));
+  const GcnFixture f;
+  OptimizedEngine e{EngineConfig{}};
+  const auto r = e.run_gcn(f.data, {&f.cfg, &f.params, &f.x}, ExecMode::kFull, sim::v100());
+  rt::FaultInjector::instance().clear();
+  // Every rung tried, then a structured failure — never a crash or throw.
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_GE(sink.degradation_count(), 2u);
+  sink.clear();
+}
+
+TEST(FaultMatrix, DatasetLoadFaultIsAStructuredError) {
+  ASSERT_TRUE(rt::FaultInjector::instance().set_plan("dataset_load"));
+  const auto r = graph::try_make_dataset(graph::DatasetId::kArxiv, 0.02);
+  rt::FaultInjector::instance().clear();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), rt::StatusCode::kFaultInjected);
+  ASSERT_FALSE(r.status().context().empty());
+  EXPECT_NE(r.status().context()[0].find("try_make_dataset"), std::string::npos);
+  // The seam is consumed: the next load succeeds.
+  EXPECT_TRUE(graph::try_make_dataset(graph::DatasetId::kArxiv, 0.02).ok());
+}
+
+TEST(FaultMatrix, MetricsWriteFaultRetriesAndRecordsTheEvent) {
+  auto& sink = prof::MetricsSink::instance();
+  sink.clear();
+  sink.configure("fault_matrix", 1.0);
+  ASSERT_TRUE(rt::FaultInjector::instance().set_plan("metrics_write"));
+  const std::string path = std::string(::testing::TempDir()) + "/fault_metrics.json";
+  const rt::Status s = sink.write_file(path);
+  rt::FaultInjector::instance().clear();
+  ASSERT_TRUE(s.ok()) << s.to_string();
+  EXPECT_EQ(sink.degradation_count(), 1u);
+  // The retried write serializes after recording, so the file itself
+  // carries the degradation event.
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"knob\":\"metrics_sink\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"action\":\"retry_write\""), std::string::npos);
+  std::remove(path.c_str());
+  sink.clear();
+}
+
+TEST(FaultMatrix, PersistentMetricsWriteFaultSurfacesTheLastError) {
+  auto& sink = prof::MetricsSink::instance();
+  sink.clear();
+  sink.configure("fault_matrix", 1.0);
+  ASSERT_TRUE(rt::FaultInjector::instance().set_plan("metrics_write=*"));
+  const std::string path = std::string(::testing::TempDir()) + "/never_written.json";
+  const rt::Status s = sink.write_file(path);
+  rt::FaultInjector::instance().clear();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), rt::StatusCode::kFaultInjected);
+  sink.clear();
+}
+
+TEST(FaultMatrix, EnginePreflightRejectsCorruptGraph) {
+  GcnFixture f;
+  f.data.csr.col_idx[0] = f.data.csr.num_nodes + 5;  // out-of-range edge
+  OptimizedEngine e{EngineConfig{}};
+  const auto r = e.run_gcn(f.data, {&f.cfg, &f.params, &f.x}, ExecMode::kFull, sim::v100());
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), rt::StatusCode::kFailedPrecondition);
+}
+
+TEST(FaultMatrix, EnginePreflightRejectsNaNFeatures) {
+  GcnFixture f;
+  f.x(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  OptimizedEngine e{EngineConfig{}};
+  const auto r = e.run_gcn(f.data, {&f.cfg, &f.params, &f.x}, ExecMode::kFull, sim::v100());
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.status.code(), rt::StatusCode::kFailedPrecondition);
+  EXPECT_NE(r.status.to_string().find("features"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gnnbridge

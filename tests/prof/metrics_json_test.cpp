@@ -1,4 +1,4 @@
-// Golden test locking the gnnbridge-metrics JSON schema (version 1).
+// Golden test locking the gnnbridge-metrics JSON schema (version 2).
 //
 // The serialized document for a fixed RunRecord must match byte-for-byte:
 // downstream consumers (tools/check_metrics_schema.py, notebook readers)
@@ -57,7 +57,7 @@ RunRecord golden_record() {
 }
 
 constexpr const char* kGolden =
-    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":1,"
+    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":2,"
     "\"experiment\":\"golden\",\"scale\":0.25,\"runs\":["
     "{\"label\":\"gcn/ours/collab\",\"model\":\"gcn\",\"backend\":\"ours\","
     "\"dataset\":\"collab\",\"ms\":1.5,\"oom\":false,"
@@ -70,15 +70,45 @@ constexpr const char* kGolden =
     "\"blocks\":3,\"cycles\":2000000000,\"makespan\":1600000000,"
     "\"balanced\":1200000000,\"l2_hits\":6,\"l2_misses\":2,"
     "\"l2_hit_rate\":0.75,\"dram_bytes\":128,\"flops\":2147483648,"
-    "\"issued_flops\":2147483648,\"mean_active_blocks\":3}]}]}\n";
+    "\"issued_flops\":2147483648,\"mean_active_blocks\":3}]}],"
+    "\"degradations\":[]}\n";
 
-TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion1) {
+TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion2) {
   MetricsSink& sink = MetricsSink::instance();
   sink.clear();
   sink.configure("golden", 0.25);
   sink.record(golden_record());
   EXPECT_EQ(sink.to_json(), kGolden);
   sink.clear();
+}
+
+TEST(MetricsJsonTest, DegradationEventsSerializeIntoTheirArray) {
+  MetricsSink& sink = MetricsSink::instance();
+  sink.clear();
+  sink.configure("degraded", 1.0);
+  rt::DegradationEvent ev;
+  ev.seam = "las_cluster";
+  ev.knob = "las";
+  ev.action = "las->natural_order";
+  ev.detail = "FAULT_INJECTED: injected fault at seam 'las_cluster'";
+  ev.injected = true;
+  sink.record_degradation(ev);
+  EXPECT_EQ(sink.degradation_count(), 1u);
+  const std::string doc = sink.to_json();
+  EXPECT_TRUE(testing::json_valid(doc));
+  EXPECT_NE(doc.find("\"degradations\":[{\"seam\":\"las_cluster\",\"knob\":\"las\","
+                     "\"action\":\"las->natural_order\",\"detail\":\"FAULT_INJECTED: "
+                     "injected fault at seam 'las_cluster'\",\"injected\":true}]"),
+            std::string::npos);
+  sink.clear();
+  EXPECT_EQ(sink.degradation_count(), 0u);
+}
+
+TEST(MetricsJsonTest, MakeDegradationFlagsInjectedFaults) {
+  const rt::Status injected(rt::StatusCode::kFaultInjected, "injected fault");
+  const rt::Status real(rt::StatusCode::kUnavailable, "probe went sideways");
+  EXPECT_TRUE(rt::make_degradation("tuner_probe", "auto_tune", "a->b", injected).injected);
+  EXPECT_FALSE(rt::make_degradation("tuner_probe", "auto_tune", "a->b", real).injected);
 }
 
 TEST(MetricsJsonTest, GoldenDocumentIsValidJson) {
@@ -99,8 +129,9 @@ TEST(MetricsJsonTest, EmptySinkStillEmitsSchemaEnvelope) {
   const std::string doc = sink.to_json();
   EXPECT_TRUE(testing::json_valid(doc));
   EXPECT_NE(doc.find("\"schema\":\"gnnbridge-metrics\""), std::string::npos);
-  EXPECT_NE(doc.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":2"), std::string::npos);
   EXPECT_NE(doc.find("\"runs\":[]"), std::string::npos);
+  EXPECT_NE(doc.find("\"degradations\":[]"), std::string::npos);
 }
 
 TEST(MetricsJsonTest, OomRunSerializesWithEmptyKernels) {

@@ -1,0 +1,109 @@
+// FaultInjector is a process-wide singleton; gtest_discover_tests runs
+// every TEST in its own process, so arming a plan here cannot leak into
+// other tests. Each test still clears the injector on entry for safety
+// when the binary is run manually without a filter.
+#include "rt/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gnnbridge::rt {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().clear(); }
+  void TearDown() override { FaultInjector::instance().clear(); }
+};
+
+TEST_F(FaultTest, KnownSeamsAreKnown) {
+  for (std::string_view seam : kKnownSeams) EXPECT_TRUE(known_seam(seam));
+  EXPECT_FALSE(known_seam("made_up_seam"));
+  EXPECT_FALSE(known_seam(""));
+}
+
+TEST_F(FaultTest, UnarmedSeamNeverFires) {
+  EXPECT_FALSE(FaultInjector::instance().armed(kSeamSimLaunch));
+  EXPECT_FALSE(fire_fault(kSeamSimLaunch).has_value());
+}
+
+TEST_F(FaultTest, SingleShotFiresOnceThenPasses) {
+  auto& inj = FaultInjector::instance();
+  ASSERT_TRUE(inj.set_plan("las_cluster"));
+  EXPECT_TRUE(inj.armed(kSeamLasCluster));
+  const auto fault = inj.fire(kSeamLasCluster);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->code(), StatusCode::kFaultInjected);
+  EXPECT_NE(fault->message().find("las_cluster"), std::string::npos);
+  // The shot is consumed.
+  EXPECT_FALSE(inj.armed(kSeamLasCluster));
+  EXPECT_FALSE(inj.fire(kSeamLasCluster).has_value());
+}
+
+TEST_F(FaultTest, CountedShotsDecrement) {
+  auto& inj = FaultInjector::instance();
+  ASSERT_TRUE(inj.set_plan("tuner_probe=3"));
+  EXPECT_EQ(inj.plan_string(), "tuner_probe=3");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(inj.fire(kSeamTunerProbe).has_value()) << "shot " << i;
+  }
+  EXPECT_FALSE(inj.fire(kSeamTunerProbe).has_value());
+}
+
+TEST_F(FaultTest, StarArmsForever) {
+  auto& inj = FaultInjector::instance();
+  ASSERT_TRUE(inj.set_plan("metrics_write=*"));
+  EXPECT_EQ(inj.plan_string(), "metrics_write=*");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(inj.fire(kSeamMetricsWrite).has_value());
+  }
+  EXPECT_TRUE(inj.armed(kSeamMetricsWrite));
+}
+
+TEST_F(FaultTest, MultiSeamPlansParse) {
+  auto& inj = FaultInjector::instance();
+  ASSERT_TRUE(inj.set_plan(" sim_launch = 2 , fusion_pass "));
+  EXPECT_TRUE(inj.armed(kSeamSimLaunch));
+  EXPECT_TRUE(inj.armed(kSeamFusionPass));
+  EXPECT_EQ(inj.plan_string(), "fusion_pass,sim_launch=2");
+}
+
+TEST_F(FaultTest, BadPlansAreRejectedAndKeepThePreviousPlan) {
+  auto& inj = FaultInjector::instance();
+  ASSERT_TRUE(inj.set_plan("dataset_load"));
+  const Status unknown = inj.set_plan("warp_drive");
+  EXPECT_EQ(unknown.code(), StatusCode::kInvalidArgument);
+  const Status bad_count = inj.set_plan("dataset_load=zero");
+  EXPECT_EQ(bad_count.code(), StatusCode::kInvalidArgument);
+  const Status negative = inj.set_plan("dataset_load=-1");
+  EXPECT_EQ(negative.code(), StatusCode::kInvalidArgument);
+  // The previous good plan survives the failed installs.
+  EXPECT_TRUE(inj.armed(kSeamDatasetLoad));
+}
+
+TEST_F(FaultTest, EmptyPlanDisarmsEverything) {
+  auto& inj = FaultInjector::instance();
+  ASSERT_TRUE(inj.set_plan("las_cluster=*,sim_launch"));
+  ASSERT_TRUE(inj.set_plan(""));
+  EXPECT_EQ(inj.plan_string(), "");
+  for (std::string_view seam : kKnownSeams) EXPECT_FALSE(inj.armed(seam));
+}
+
+TEST_F(FaultTest, RaiseIfArmedThrowsStageFailure) {
+  ASSERT_TRUE(FaultInjector::instance().set_plan("sim_launch"));
+  try {
+    raise_if_armed(kSeamSimLaunch, "unit test site");
+    FAIL() << "expected StageFailure";
+  } catch (const StageFailure& f) {
+    EXPECT_EQ(f.seam(), "sim_launch");
+    EXPECT_EQ(f.status().code(), StatusCode::kFaultInjected);
+    ASSERT_FALSE(f.status().context().empty());
+    EXPECT_EQ(f.status().context()[0], "unit test site");
+  }
+  // Disarmed after the single shot: no throw.
+  raise_if_armed(kSeamSimLaunch, "unit test site");
+}
+
+}  // namespace
+}  // namespace gnnbridge::rt

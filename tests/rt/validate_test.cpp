@@ -1,0 +1,102 @@
+#include "rt/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "tests/testing/util.hpp"
+
+namespace gnnbridge::rt {
+namespace {
+
+TEST(ValidateCsrTest, AcceptsGeneratedGraph) {
+  const graph::Csr g = gnnbridge::testing::random_graph(50, 4.0, 7);
+  EXPECT_TRUE(validate_csr(g));
+}
+
+TEST(ValidateCsrTest, AcceptsEmptyGraph) {
+  graph::Csr g;
+  g.num_nodes = 0;
+  g.row_ptr = {0};
+  EXPECT_TRUE(validate_csr(g));
+}
+
+TEST(ValidateCsrTest, RejectsNegativeNodeCount) {
+  graph::Csr g;
+  g.num_nodes = -3;
+  const Status s = validate_csr(g);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("negative node count"), std::string::npos);
+}
+
+TEST(ValidateCsrTest, RejectsWrongRowPtrLength) {
+  graph::Csr g = gnnbridge::testing::random_graph(10, 3.0, 1);
+  g.row_ptr.pop_back();
+  const Status s = validate_csr(g);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("row_ptr"), std::string::npos);
+}
+
+TEST(ValidateCsrTest, RejectsNonZeroOrigin) {
+  graph::Csr g = gnnbridge::testing::random_graph(10, 3.0, 2);
+  g.row_ptr[0] = 1;
+  EXPECT_EQ(validate_csr(g).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidateCsrTest, RejectsNonMonotoneRowPtr) {
+  graph::Csr g = gnnbridge::testing::random_graph(10, 3.0, 3);
+  ASSERT_GE(g.row_ptr.size(), 3u);
+  g.row_ptr[2] = g.row_ptr[1] + 1000000;  // later entries now look smaller
+  const Status s = validate_csr(g);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("monotone"), std::string::npos);
+}
+
+TEST(ValidateCsrTest, RejectsEdgeCountMismatch) {
+  graph::Csr g = gnnbridge::testing::random_graph(10, 3.0, 4);
+  g.col_idx.push_back(0);  // one more edge than row_ptr accounts for
+  const Status s = validate_csr(g);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("col_idx holds"), std::string::npos);
+}
+
+TEST(ValidateCsrTest, RejectsOutOfRangeColumn) {
+  graph::Csr g = gnnbridge::testing::random_graph(10, 3.0, 5);
+  ASSERT_FALSE(g.col_idx.empty());
+  g.col_idx[0] = 10;  // == num_nodes, one past the last valid id
+  const Status s = validate_csr(g);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("col_idx[0]"), std::string::npos);
+}
+
+TEST(ValidateMatrixTest, AcceptsFiniteMatrix) {
+  const tensor::Matrix m = gnnbridge::testing::random_matrix(5, 7, 1);
+  EXPECT_TRUE(validate_matrix(m));
+}
+
+TEST(ValidateMatrixTest, RejectsNaNWithPosition) {
+  tensor::Matrix m = gnnbridge::testing::random_matrix(5, 7, 2);
+  m(3, 4) = std::numeric_limits<float>::quiet_NaN();
+  const Status s = validate_matrix(m, "features");
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("features has non-finite value at (3, 4)"),
+            std::string::npos);
+}
+
+TEST(ValidateMatrixTest, RejectsInfinity) {
+  tensor::Matrix m = gnnbridge::testing::random_matrix(2, 2, 3);
+  m(0, 0) = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(validate_matrix(m).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ValidateMatrixTest, NamesTheMatrixInTheMessage) {
+  tensor::Matrix m = gnnbridge::testing::random_matrix(1, 1, 4);
+  m(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  const Status s = validate_matrix(m, "weight[0]");
+  EXPECT_NE(s.message().find("weight[0]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gnnbridge::rt

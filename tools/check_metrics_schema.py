@@ -23,7 +23,7 @@ import math
 import sys
 
 SCHEMA_NAME = "gnnbridge-metrics"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 RUN_KEYS = {
     "label": str,
@@ -52,6 +52,13 @@ TOTALS_KEYS = {
     "l2_hit_rate": (int, float),
     "dram_bytes": int,
     "gflops": (int, float),
+}
+DEGRADATION_KEYS = {
+    "seam": str,
+    "knob": str,
+    "action": str,
+    "detail": str,
+    "injected": bool,
 }
 KERNEL_KEYS = {
     "name": str,
@@ -117,7 +124,12 @@ def check_metrics(doc):
             check_keys(k, KERNEL_KEYS, kwhere)
             if not 0.0 <= k["l2_hit_rate"] <= 1.0:
                 raise Invalid(f"{kwhere}.l2_hit_rate out of [0,1]")
-    return len(runs)
+    degradations = doc.get("degradations")
+    if not isinstance(degradations, list):
+        raise Invalid("degradations: expected array (schema v2)")
+    for i, d in enumerate(degradations):
+        check_keys(d, DEGRADATION_KEYS, f"degradations[{i}]")
+    return len(runs), len(degradations)
 
 
 def check_trace(doc):
@@ -164,6 +176,14 @@ def main():
         action="store_true",
         help="validate Chrome-trace files instead of gnnbridge-metrics files",
     )
+    ap.add_argument(
+        "--expect-degradations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="additionally require exactly N degradation events per file "
+        "(fault-injection matrix tests)",
+    )
     args = ap.parse_args()
 
     failed = False
@@ -175,8 +195,19 @@ def main():
                 n = check_trace(doc)
                 print(f"{path}: OK ({n} duration events, B/E balanced)")
             else:
-                n = check_metrics(doc)
-                print(f"{path}: OK ({n} runs, schema v{SCHEMA_VERSION})")
+                n, n_degraded = check_metrics(doc)
+                if (
+                    args.expect_degradations is not None
+                    and n_degraded != args.expect_degradations
+                ):
+                    raise Invalid(
+                        f"degradations: expected {args.expect_degradations} "
+                        f"events, got {n_degraded}"
+                    )
+                print(
+                    f"{path}: OK ({n} runs, {n_degraded} degradations, "
+                    f"schema v{SCHEMA_VERSION})"
+                )
         except (OSError, json.JSONDecodeError, Invalid) as e:
             print(f"{path}: FAIL: {e}", file=sys.stderr)
             failed = True

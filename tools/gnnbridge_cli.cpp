@@ -6,8 +6,11 @@
 //   gnnbridge_cli --model gat --backend dgl --dataset arxiv --full
 //   gnnbridge_cli --model gcn --backend ours --no-las --no-ng --kernels
 //   gnnbridge_cli profile --model gat --backend ours --dataset collab
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -19,6 +22,7 @@
 #include "prof/chrome_trace.hpp"
 #include "prof/metrics_json.hpp"
 #include "prof/span.hpp"
+#include "rt/status.hpp"
 #include "tensor/ops.hpp"
 
 using namespace gnnbridge;
@@ -42,8 +46,11 @@ void usage() {
       "  --full                        run real numerics (default: trace-only)\n"
       "  --heads K                     attention heads for mhgat (default 4)\n"
       "  --kernels                     print the per-kernel breakdown\n"
+      "  --tune                        run the online tuner before executing (ours only)\n"
       "  --no-las / --no-ng / --no-fusion / --no-linear\n"
-      "                                disable individual optimizations (ours only)\n");
+      "                                disable individual optimizations (ours only)\n"
+      "exit status: 0 success, 1 runtime failure (run or output write),\n"
+      "             2 usage error, 3 dataset load failure\n");
 }
 
 graph::DatasetId parse_dataset(const std::string& name) {
@@ -52,6 +59,31 @@ graph::DatasetId parse_dataset(const std::string& name) {
   }
   std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
   std::exit(2);
+}
+
+// Checked replacements for atof/atoi: the whole token must parse and the
+// value must be in range, otherwise we exit with a usage error instead of
+// silently running with 0.
+double parse_double_flag(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: '%s' is not a finite number\n", flag, text);
+    std::exit(2);
+  }
+  return value;
+}
+
+int parse_int_flag(const char* flag, const char* text, long min, long max) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || value < min || value > max) {
+    std::fprintf(stderr, "%s: '%s' is not an integer in [%ld, %ld]\n", flag, text, min, max);
+    std::exit(2);
+  }
+  return static_cast<int>(value);
 }
 
 }  // namespace
@@ -85,9 +117,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--dataset") {
       dataset = next();
     } else if (arg == "--scale") {
-      scale = std::atof(next());
+      scale = parse_double_flag("--scale", next());
     } else if (arg == "--heads") {
-      heads = std::atoi(next());
+      heads = parse_int_flag("--heads", next(), 1, 64);
     } else if (arg == "--trace-out") {
       trace_out = next();
     } else if (arg == "--metrics-out") {
@@ -96,6 +128,8 @@ int main(int argc, char** argv) {
       full = true;
     } else if (arg == "--kernels") {
       show_kernels = true;
+    } else if (arg == "--tune") {
+      ecfg.auto_tune = true;
     } else if (arg == "--no-las") {
       ecfg.use_las = false;
     } else if (arg == "--no-ng") {
@@ -143,7 +177,13 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const graph::Dataset data = graph::make_dataset(parse_dataset(dataset), scale);
+  rt::Result<graph::Dataset> loaded = graph::try_make_dataset(parse_dataset(dataset), scale);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "gnnbridge_cli: dataset load failed: %s\n",
+                 loaded.status().to_string().c_str());
+    return 3;
+  }
+  const graph::Dataset data = std::move(loaded).value();
   std::printf("dataset %s @ scale %.3g: %d nodes, %lld edges (avg deg %.1f, max %lld)\n",
               data.name.c_str(), scale, data.stats.num_nodes,
               static_cast<long long>(data.stats.num_edges), data.stats.avg_degree,
@@ -196,6 +236,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!r.status.ok()) {
+    std::fprintf(stderr, "gnnbridge_cli: run failed: %s\n", r.status.to_string().c_str());
+    return 1;
+  }
+  if (backend_name == "ours") {
+    const auto& eng = static_cast<const engine::OptimizedEngine&>(*backend);
+    const auto knobs = eng.degraded_knobs();
+    if (!knobs.empty()) {
+      std::string joined;
+      for (const auto& k : knobs) joined += (joined.empty() ? "" : " ") + k;
+      std::printf("degraded knobs: %s\n", joined.c_str());
+    }
+  }
+
   const sim::DeviceSpec spec = sim::v100();
   if (profile) {
     prof::MetricsSink& sink = prof::MetricsSink::instance();
@@ -208,8 +262,8 @@ int main(int argc, char** argv) {
                  .oom = r.oom,
                  .stats = r.stats,
                  .spec = spec});
-    if (!sink.write_file(metrics_out)) {
-      std::fprintf(stderr, "failed to write metrics to '%s'\n", metrics_out.c_str());
+    if (rt::Status ws = sink.write_file(metrics_out); !ws.ok()) {
+      std::fprintf(stderr, "gnnbridge_cli: %s\n", ws.to_string().c_str());
       return 1;
     }
     if (!prof::write_chrome_trace_file(trace_out, prof::Tracer::instance().snapshot(),

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under ASan + UBSan.
+#
+#   tools/run_sanitized.sh [extra ctest args...]
+#
+# Uses a dedicated build directory (build-asan) so the instrumented build
+# never pollutes the regular one. The sanitizer list comes from the
+# GNNBRIDGE_SANITIZE cache variable (see the top-level CMakeLists.txt);
+# override with SANITIZE=thread etc. Exits non-zero on any build failure,
+# test failure, or sanitizer report (halt_on_error).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZE="${SANITIZE:-address,undefined}"
+BUILD_DIR="${BUILD_DIR:-build-asan}"
+GENERATOR_FLAGS=()
+command -v ninja >/dev/null 2>&1 && GENERATOR_FLAGS=(-G Ninja)
+
+cmake -B "$BUILD_DIR" -S . "${GENERATOR_FLAGS[@]}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGNNBRIDGE_SANITIZE="$SANITIZE" \
+  -DGNNBRIDGE_BUILD_BENCH=OFF \
+  -DGNNBRIDGE_BUILD_EXAMPLES=ON
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# detect_leaks=0: the process-wide singletons (FaultInjector, the tracer)
+# are intentionally leaked so atexit handlers can still use them; LSan
+# would report exactly those.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+echo "sanitized suite passed (${SANITIZE})"
