@@ -61,10 +61,13 @@ class DatasetCache {
 
 /// Header banner with the experiment id and the generation scale. Also
 /// bootstraps the observability sinks: names the experiment in the metrics
-/// sink (written to $GNNBRIDGE_METRICS_JSON at exit when set) and arms the
+/// sink (written to $GNNBRIDGE_METRICS_JSON at exit when set), stamps the
+/// document's `meta` provenance block (git SHA, ISO timestamp, hostname,
+/// raw GNNBRIDGE_SCALE) at run start rather than at exit, and arms the
 /// span tracer's at-exit Chrome-trace export ($GNNBRIDGE_TRACE_JSON).
 inline void banner(const char* experiment, const char* description) {
   prof::MetricsSink::instance().configure(experiment, dataset_scale());
+  prof::MetricsSink::instance().set_meta(prof::collect_meta());
   prof::install_env_trace_export();
   std::printf("==================================================================\n");
   std::printf("%s — %s\n", experiment, description);

@@ -48,7 +48,7 @@ sim::BlockWork gemm_tile_trace(const sim::Buffer& b_buf, std::uint64_t b_row_byt
   // the difference.
   const double issued = 2.0 * static_cast<double>(kTile) * static_cast<double>(kTile) *
                         static_cast<double>(kdim);
-  blk.compute(useful, issued);
+  blk.compute_tiled(useful, issued);
   blk.extra_cycles = kBlockSetupCycles;
   return blk;
 }
@@ -275,7 +275,7 @@ sim::KernelStats dense_transpose(sim::SimContext& ctx, const TransposeArgs& args
                   out_bytes);
       }
       const double moved = static_cast<double>((i1 - i0) * (j1 - j0));
-      blk.compute(0.0, moved);
+      blk.compute_copy(moved);
       blk.extra_cycles = kBlockSetupCycles;
       k.blocks.push_back(std::move(blk));
     }
@@ -310,7 +310,9 @@ sim::KernelStats col_sum(sim::SimContext& ctx, const ColSumArgs& args) {
     blk.write(args.out->buf, 0, static_cast<std::uint32_t>(n * 4));
     const double work = static_cast<double>((r1 - r0) * n);
     blk.compute(work, work);
-    blk.extra_cycles = kBlockSetupCycles + 2.5 * out_lines;  // atomic merge
+    blk.extra_cycles = kBlockSetupCycles;
+    // Blocks merge partial column sums into the shared output atomically.
+    blk.atomic_merge(2.5 * out_lines, static_cast<std::uint64_t>(n) * 4);
     k.blocks.push_back(std::move(blk));
   }
   return ctx.launch(std::move(k));

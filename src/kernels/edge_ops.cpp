@@ -95,7 +95,8 @@ sim::KernelStats segment_sum(sim::SimContext& ctx, const SegmentSumArgs& args) {
     }
     const double work = static_cast<double>(t.size());
     blk.compute(work, work);
-    blk.extra_cycles = kTaskSetupCycles + (args.atomic_merge ? kAtomicCyclesPerElem : 0.0);
+    blk.extra_cycles = kTaskSetupCycles;
+    if (args.atomic_merge) blk.atomic_merge(kAtomicCyclesPerElem, 4);
     k.blocks.push_back(std::move(blk));
   }
   return ctx.launch(std::move(k));
@@ -122,7 +123,7 @@ sim::KernelStats broadcast_edge(sim::SimContext& ctx, const BroadcastArgs& args)
       for (EdgeId e = t.begin; e < t.end; ++e) (*args.edge_out->host)(e, 0) = v;
     }
     const double work = static_cast<double>(t.size());
-    blk.compute(0.0, work);
+    blk.compute_copy(work);
     blk.extra_cycles = kTaskSetupCycles;
     k.blocks.push_back(std::move(blk));
   }

@@ -55,7 +55,7 @@ sim::KernelStats gather(sim::SimContext& ctx, const GatherArgs& args) {
     blk.extra_cycles = kBlockSetupCycles;
     // Pure data movement; a copy still occupies lanes for one op per elem.
     const double moved = static_cast<double>((end - chunk) * feat);
-    blk.compute(0.0, moved);
+    blk.compute_copy(moved);
     k.blocks.push_back(std::move(blk));
   }
   return ctx.launch(std::move(k));
@@ -99,7 +99,7 @@ sim::KernelStats scatter_reduce(sim::SimContext& ctx, const ScatterArgs& args) {
       blk.read(args.expanded->buf, args.expanded->row_offset(e),
                static_cast<std::uint32_t>(row_bytes));
       blk.write(args.out->buf, args.out->row_offset(v), static_cast<std::uint32_t>(row_bytes));
-      blk.extra_cycles += kAtomicCyclesPerLine * out_lines;
+      blk.atomic_merge(kAtomicCyclesPerLine * out_lines, row_bytes);
       if (full) {
         const float w = ew ? (*ew)(e, 0) : 1.0f;
         auto in = args.expanded->host->row(e);
@@ -180,7 +180,7 @@ sim::KernelStats step_gather(sim::SimContext& ctx, const StepGatherArgs& args) {
     }
     blk.extra_cycles = kBlockSetupCycles;
     const double moved = static_cast<double>((end - chunk) * feat);
-    blk.compute(0.0, moved);
+    blk.compute_copy(moved);
     k.blocks.push_back(std::move(blk));
   }
   return ctx.launch(std::move(k));

@@ -50,14 +50,16 @@ sim::KernelStats gat_edge_fused(sim::SimContext& ctx, const GatEdgeFusedArgs& ar
     }
     if (args.vacc_out) {
       blk.write(args.vacc_out->buf, args.vacc_out->row_offset(t.v), 4);
-      blk.extra_cycles += args.atomic_merge ? kAtomicCyclesPerLine : 0.0;
+      if (args.atomic_merge) blk.atomic_merge(kAtomicCyclesPerLine, 4);
       if (full && args.vacc_out->host) (*args.vacc_out->host)(t.v, 0) += acc;
     }
     // add + leaky (1) + exp (4) per edge; the fused stages hand values
-    // through two adapters instead of global memory.
+    // through two adapters instead of global memory: per-edge scores into
+    // the exp stage, then the running accumulator into the reduce stage.
     const double work = 6.0 * static_cast<double>(t.size());
     blk.compute(work, work);
-    blk.extra_cycles += kTaskSetupCycles + 2.0 * kAdapterCycles;
+    blk.extra_cycles += kTaskSetupCycles;
+    blk.adapter(2.0 * kAdapterCycles, static_cast<std::uint64_t>(t.size()) * 4 + 4);
     k.blocks.push_back(std::move(blk));
   }
   return ctx.launch(std::move(k));
@@ -88,7 +90,9 @@ sim::KernelStats softmax_div_fused(sim::SimContext& ctx, const SoftmaxDivFusedAr
     }
     const double work = static_cast<double>(t.size());
     blk.compute(work, work);
-    blk.extra_cycles = kTaskSetupCycles + kAdapterCycles;
+    blk.extra_cycles = kTaskSetupCycles;
+    // One adapter stages the normalization scalar across the division.
+    blk.adapter(kAdapterCycles, 4);
     k.blocks.push_back(std::move(blk));
   }
   return ctx.launch(std::move(k));
@@ -147,10 +151,13 @@ sim::KernelStats gat_aggregate_fused(sim::SimContext& ctx, const GatAggregateFus
     double useful = 2.0 * static_cast<double>(feat) * static_cast<double>(t.size());
     if (scale) useful += static_cast<double>(t.size());
     blk.compute(useful, useful * pad);
-    blk.extra_cycles = kTaskSetupCycles + kAdapterCycles;
+    blk.extra_cycles = kTaskSetupCycles;
+    // The adapter hands the accumulated output row between the aggregate
+    // and scale stages.
+    blk.adapter(kAdapterCycles, row_bytes);
     if (args.atomic_merge) {
-      blk.extra_cycles +=
-          kAtomicCyclesPerLine * static_cast<double>((row_bytes + line - 1) / line);
+      blk.atomic_merge(kAtomicCyclesPerLine * static_cast<double>((row_bytes + line - 1) / line),
+                       row_bytes);
     }
     k.blocks.push_back(std::move(blk));
   }
@@ -240,10 +247,12 @@ sim::KernelStats aggregate_bias_act_fused(sim::SimContext& ctx,
     double useful = 2.0 * static_cast<double>(feat) * static_cast<double>(t.size());
     if (epilogue) useful += 2.0 * static_cast<double>(feat);
     blk.compute(useful, useful * pad);
-    blk.extra_cycles = kTaskSetupCycles + kAdapterCycles;
+    blk.extra_cycles = kTaskSetupCycles;
+    // The adapter hands the aggregated row to the bias/activation epilogue.
+    blk.adapter(kAdapterCycles, row_bytes);
     if (args.atomic_merge) {
-      blk.extra_cycles +=
-          kAtomicCyclesPerLine * static_cast<double>((row_bytes + line - 1) / line);
+      blk.atomic_merge(kAtomicCyclesPerLine * static_cast<double>((row_bytes + line - 1) / line),
+                       row_bytes);
     }
     k.blocks.push_back(std::move(blk));
   }

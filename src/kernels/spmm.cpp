@@ -79,7 +79,7 @@ sim::KernelStats spmm_node(sim::SimContext& ctx, const SpmmArgs& args) {
     blk.extra_cycles = kTaskSetupCycles;
     if (args.atomic_merge) {
       const double out_lines = static_cast<double>((row_bytes + line - 1) / line);
-      blk.extra_cycles += kAtomicCyclesPerLine * out_lines;
+      blk.atomic_merge(kAtomicCyclesPerLine * out_lines, row_bytes);
     }
     k.blocks.push_back(std::move(blk));
   }

@@ -159,6 +159,11 @@ std::string chrome_trace_json(const std::vector<SpanRecord>& spans,
   w.end_array();
   w.end_object();
   out += '\n';
+  if (w.nonfinite_count() > 0) {
+    std::fprintf(stderr,
+                 "gnnbridge: warning: chrome trace degraded %zu non-finite value(s) to 0\n",
+                 w.nonfinite_count());
+  }
   return out;
 }
 

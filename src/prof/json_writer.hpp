@@ -4,7 +4,8 @@
 // output (the metrics schema is locked by a golden test). This writer
 // handles the whole of what they emit: nested objects/arrays, escaped
 // strings, integers, and doubles printed with %.12g (non-finite values
-// degrade to 0 so the output always parses).
+// degrade to 0 so the output always parses; `nonfinite_count()` reports
+// how many were degraded so the caller can warn instead of hiding them).
 #pragma once
 
 #include <cmath>
@@ -62,7 +63,10 @@ class JsonWriter {
   void value(double d) {
     comma();
     char buf[32];
-    if (!std::isfinite(d)) d = 0.0;
+    if (!std::isfinite(d)) {
+      d = 0.0;
+      ++nonfinite_;
+    }
     std::snprintf(buf, sizeof(buf), "%.12g", d);
     *out_ += buf;
     mark();
@@ -88,6 +92,9 @@ class JsonWriter {
     key(k);
     value(v);
   }
+
+  /// Non-finite doubles degraded to 0 so far.
+  std::size_t nonfinite_count() const { return nonfinite_; }
 
  private:
   // A comma precedes every element after the first of a container, except
@@ -128,6 +135,7 @@ class JsonWriter {
   std::string* out_;
   std::vector<bool> stack_;
   bool pending_key_ = false;
+  std::size_t nonfinite_ = 0;
 };
 
 }  // namespace gnnbridge::prof

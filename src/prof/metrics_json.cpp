@@ -2,7 +2,13 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "prof/gap_report.hpp"
 #include "prof/json_writer.hpp"
 #include "rt/fault.hpp"
 #include "sim/timeline.hpp"
@@ -18,6 +24,13 @@ void write_device(JsonWriter& w, const sim::DeviceSpec& spec) {
   w.kv("clock_ghz", spec.clock_ghz);
   w.kv("l2_bytes", static_cast<std::int64_t>(spec.l2_bytes));
   w.kv("line_bytes", spec.line_bytes);
+  // Cost-model parameters (v3): a reader can re-derive gap attributions
+  // without assuming the default device.
+  w.kv("flops_per_cycle_per_block", spec.flops_per_cycle_per_block);
+  w.kv("l2_hit_cycles_per_line", spec.l2_hit_cycles_per_line);
+  w.kv("dram_cycles_per_line", spec.dram_cycles_per_line);
+  w.kv("kernel_launch_cycles", spec.kernel_launch_cycles);
+  w.kv("framework_overhead_cycles", spec.framework_overhead_cycles);
   w.end_object();
 }
 
@@ -36,6 +49,14 @@ void write_kernel(JsonWriter& w, const sim::KernelStats& k) {
   w.kv("flops", k.flops);
   w.kv("issued_flops", k.issued_flops);
   w.kv("mean_active_blocks", k.timeline.mean_active());
+  w.kv("atomic_cycles", k.atomic_cycles);
+  w.kv("atomic_bytes", k.atomic_bytes);
+  w.kv("adapter_cycles", k.adapter_cycles);
+  w.kv("adapter_bytes", k.adapter_bytes);
+  w.kv("pad_flops", k.pad_flops);
+  w.kv("copy_flops", k.copy_flops);
+  w.kv("tile_flops", k.tile_flops);
+  w.kv("imbalance", k.imbalance());
   w.end_object();
 }
 
@@ -58,9 +79,26 @@ void write_run(JsonWriter& w, const RunRecord& r) {
   w.kv("l2_misses", r.stats.total_misses());
   w.kv("l2_hit_rate", r.stats.l2_hit_rate());
   std::uint64_t dram = 0;
-  for (const auto& k : r.stats.kernels) dram += k.dram_bytes;
+  double issued = 0.0, pad = 0.0, copy = 0.0, tile = 0.0;
+  for (const auto& k : r.stats.kernels) {
+    dram += k.dram_bytes;
+    issued += k.issued_flops;
+    pad += k.pad_flops;
+    copy += k.copy_flops;
+    tile += k.tile_flops;
+  }
   w.kv("dram_bytes", dram);
   w.kv("gflops", r.stats.gflops(r.spec));
+  w.kv("issued_flops", issued);
+  w.kv("global_syncs", r.stats.global_syncs);
+  w.kv("atomic_cycles", r.stats.total_atomic_cycles());
+  w.kv("atomic_bytes", r.stats.total_atomic_bytes());
+  w.kv("adapter_cycles", r.stats.total_adapter_cycles());
+  w.kv("adapter_bytes", r.stats.total_adapter_bytes());
+  w.kv("pad_flops", pad);
+  w.kv("copy_flops", copy);
+  w.kv("tile_flops", tile);
+  w.kv("imbalance", r.stats.imbalance());
   w.end_object();
   w.key("kernels");
   w.begin_array();
@@ -69,7 +107,47 @@ void write_run(JsonWriter& w, const RunRecord& r) {
   w.end_object();
 }
 
+/// First line of `cmd`'s stdout, trimmed; "" on failure.
+std::string capture_line(const char* cmd) {
+#ifdef _WIN32
+  (void)cmd;
+  return {};
+#else
+  std::FILE* pipe = ::popen(cmd, "r");
+  if (!pipe) return {};
+  char buf[256] = {0};
+  std::string line;
+  if (std::fgets(buf, sizeof(buf), pipe)) line = buf;
+  ::pclose(pipe);
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.pop_back();
+  return line;
+#endif
+}
+
 }  // namespace
+
+MetaInfo collect_meta() {
+  MetaInfo meta;
+  if (const char* sha = std::getenv("GNNBRIDGE_GIT_SHA"); sha && *sha) {
+    meta.git_sha = sha;
+  } else if (std::string sha_line = capture_line("git rev-parse --short HEAD 2>/dev/null");
+             !sha_line.empty()) {
+    meta.git_sha = sha_line;
+  }
+  std::time_t now = std::time(nullptr);
+  if (std::tm tm_buf{}; gmtime_r(&now, &tm_buf) != nullptr) {
+    char stamp[32];
+    if (std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm_buf) > 0) {
+      meta.timestamp = stamp;
+    }
+  }
+#ifndef _WIN32
+  char host[256] = {0};
+  if (::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') meta.hostname = host;
+#endif
+  if (const char* scale = std::getenv("GNNBRIDGE_SCALE")) meta.scale_env = scale;
+  return meta;
+}
 
 MetricsSink& MetricsSink::instance() {
   static MetricsSink* sink = new MetricsSink();  // leaked: outlives atexit
@@ -86,6 +164,12 @@ void MetricsSink::configure(std::string experiment, double scale) {
   experiment_ = std::move(experiment);
   scale_ = scale;
   arm_env_write_locked();
+}
+
+void MetricsSink::set_meta(MetaInfo meta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  meta_ = std::move(meta);
+  meta_set_ = true;
 }
 
 void MetricsSink::record(RunRecord rec) {
@@ -140,9 +224,24 @@ std::string MetricsSink::to_json() const {
   w.kv("schema_version", kMetricsSchemaVersion);
   w.kv("experiment", std::string_view(experiment_));
   w.kv("scale", scale_);
+  if (!meta_set_) {
+    meta_ = collect_meta();
+    meta_set_ = true;
+  }
+  w.key("meta");
+  w.begin_object();
+  w.kv("git_sha", std::string_view(meta_.git_sha));
+  w.kv("timestamp", std::string_view(meta_.timestamp));
+  w.kv("hostname", std::string_view(meta_.hostname));
+  w.kv("scale_env", std::string_view(meta_.scale_env));
+  w.end_object();
   w.key("runs");
   w.begin_array();
   for (const auto& r : records_) write_run(w, r);
+  w.end_array();
+  w.key("gap_report");
+  w.begin_array();
+  for (const auto& r : records_) write_gap_breakdown(w, attribute_gaps(r));
   w.end_array();
   w.key("degradations");
   w.begin_array();
@@ -158,6 +257,11 @@ std::string MetricsSink::to_json() const {
   w.end_array();
   w.end_object();
   out += '\n';
+  if (w.nonfinite_count() > 0) {
+    std::fprintf(stderr,
+                 "gnnbridge: warning: metrics document degraded %zu non-finite value(s) to 0\n",
+                 w.nonfinite_count());
+  }
   return out;
 }
 

@@ -10,26 +10,44 @@
 // tools/check_metrics_schema.py; bump kMetricsSchemaVersion on any
 // incompatible change.
 //
-// Schema (gnnbridge-metrics, version 2):
+// Schema (gnnbridge-metrics, version 3):
 //   {
 //     "schema": "gnnbridge-metrics",
-//     "schema_version": 2,
+//     "schema_version": 3,
 //     "experiment": "<banner id>",
 //     "scale": 0.25,
+//     "meta": {"git_sha":"abc1234", "timestamp":"2026-01-01T00:00:00Z",
+//              "hostname":"...", "scale_env":"0.25"},
 //     "runs": [{
 //       "label": "...", "model": "...", "backend": "...", "dataset": "...",
 //       "ms": 1.5, "oom": false,
 //       "device": {"num_sms":80, "max_blocks_per_sm":8, "clock_ghz":1.38,
-//                  "l2_bytes":6291456, "line_bytes":64},
+//                  "l2_bytes":6291456, "line_bytes":64,
+//                  "flops_per_cycle_per_block":16,
+//                  "l2_hit_cycles_per_line":22, "dram_cycles_per_line":63,
+//                  "kernel_launch_cycles":5000,
+//                  "framework_overhead_cycles":0},
 //       "totals": {"cycles":..., "launches":..., "flops":..., "l2_hits":...,
 //                  "l2_misses":..., "l2_hit_rate":..., "dram_bytes":...,
-//                  "gflops":...},
+//                  "gflops":..., "issued_flops":..., "global_syncs":...,
+//                  "atomic_cycles":..., "atomic_bytes":...,
+//                  "adapter_cycles":..., "adapter_bytes":...,
+//                  "pad_flops":..., "copy_flops":..., "tile_flops":...,
+//                  "imbalance":...},
 //       "kernels": [{"name":..., "phase":..., "blocks":..., "cycles":...,
 //                    "makespan":..., "balanced":..., "l2_hits":...,
 //                    "l2_misses":..., "l2_hit_rate":..., "dram_bytes":...,
 //                    "flops":..., "issued_flops":...,
-//                    "mean_active_blocks":...}]
+//                    "mean_active_blocks":..., "atomic_cycles":...,
+//                    "atomic_bytes":..., "adapter_cycles":...,
+//                    "adapter_bytes":..., "pad_flops":..., "copy_flops":...,
+//                    "tile_flops":..., "imbalance":...}]
 //     }],
+//     "gap_report": [{"label":..., "model":..., "backend":..., "dataset":...,
+//                     "total_cycles":..., "attributed_cycles":...,
+//                     "locality":{...}, "imbalance":{...},
+//                     "launch_overhead":{...}, "synchronization":{...},
+//                     "redundancy":{...}}],
 //     "degradations": [{"seam":"las_cluster", "knob":"las",
 //                       "action":"las->natural_order", "detail":"...",
 //                       "injected":true}]
@@ -37,6 +55,10 @@
 // v1 -> v2: added the top-level `degradations` array — one entry per
 // optimization knob the engine (or the sink itself) disabled after a stage
 // failure (DESIGN.md §10).
+// v2 -> v3: added the `meta` provenance block; the device cost-model
+// parameters; per-kernel and total atomic/adapter traffic, redundant-flop
+// causes, global-sync count and imbalance ratio; and the top-level
+// `gap_report` array (one gap attribution per run, DESIGN.md §9).
 #pragma once
 
 #include <mutex>
@@ -50,7 +72,21 @@
 namespace gnnbridge::prof {
 
 inline constexpr const char* kMetricsSchemaName = "gnnbridge-metrics";
-inline constexpr int kMetricsSchemaVersion = 2;
+inline constexpr int kMetricsSchemaVersion = 3;
+
+/// Provenance stamped into every metrics document (`meta` block). The sink
+/// collects defaults lazily at serialization time; tests pin fixed values
+/// via `MetricsSink::set_meta` so golden documents stay byte-stable.
+struct MetaInfo {
+  std::string git_sha = "unknown";   ///< short SHA, or GNNBRIDGE_GIT_SHA
+  std::string timestamp = "unknown"; ///< ISO-8601 UTC
+  std::string hostname = "unknown";
+  std::string scale_env;             ///< raw GNNBRIDGE_SCALE ("" when unset)
+};
+
+/// Collects the default provenance from the environment (git, clock,
+/// hostname, GNNBRIDGE_SCALE).
+MetaInfo collect_meta();
 
 /// One recorded run: a labelled RunStats plus the identifying metadata.
 struct RunRecord {
@@ -75,6 +111,10 @@ class MetricsSink {
   /// Names the experiment (the bench banner id) and the dataset scale for
   /// the emitted document, and arms the at-exit env write.
   void configure(std::string experiment, double scale);
+
+  /// Pins the `meta` provenance block. Without this, `to_json` collects
+  /// the defaults (`collect_meta`) on first serialization.
+  void set_meta(MetaInfo meta);
 
   void record(RunRecord rec);
 
@@ -108,6 +148,8 @@ class MetricsSink {
   mutable std::mutex mu_;
   std::string experiment_ = "unnamed";
   double scale_ = 0.0;
+  mutable MetaInfo meta_;
+  mutable bool meta_set_ = false;
   std::vector<RunRecord> records_;
   std::vector<rt::DegradationEvent> degradations_;
   bool armed_ = false;

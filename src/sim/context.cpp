@@ -85,6 +85,13 @@ const KernelStats& SimContext::launch(Kernel kernel) {
     ks.l2_misses += misses[b];
     ks.flops += blk.flops;
     ks.issued_flops += blk.issued_flops;
+    ks.atomic_cycles += blk.atomic_cycles;
+    ks.atomic_bytes += blk.atomic_bytes;
+    ks.adapter_cycles += blk.adapter_cycles;
+    ks.adapter_bytes += blk.adapter_bytes;
+    ks.pad_flops += blk.pad_flops;
+    ks.copy_flops += blk.copy_flops;
+    ks.tile_flops += blk.tile_flops;
   }
   ks.dram_bytes = ks.l2_misses * static_cast<std::uint64_t>(spec_.line_bytes);
 
@@ -109,6 +116,9 @@ const KernelStats& SimContext::launch(Kernel kernel) {
   span.arg("flops", ks.flops);
 
   stats_.total_cycles += ks.cycles;
+  // Every kernel boundary is a device-wide synchronization point: the host
+  // serializes on the previous launch before issuing the next.
+  stats_.global_syncs += 1;
   stats_.kernels.push_back(std::move(ks));
   return stats_.kernels.back();
 }

@@ -28,12 +28,32 @@ struct KernelStats {
   double flops = 0.0;
   double issued_flops = 0.0;
 
+  /// Atomic-merge serialization cycles and the contended bytes they
+  /// round-trip (what neighbor grouping removes).
+  double atomic_cycles = 0.0;
+  std::uint64_t atomic_bytes = 0;
+  /// Shared-memory/shuffle adapter cycles and staged bytes (what kernel
+  /// fusion pays to avoid global round-trips).
+  double adapter_cycles = 0.0;
+  std::uint64_t adapter_bytes = 0;
+  /// `issued_flops - flops` broken out by cause (see BlockWork).
+  double pad_flops = 0.0;
+  double copy_flops = 0.0;
+  double tile_flops = 0.0;
+
   /// Kernel wall time: launch overhead + block makespan.
   Cycles cycles = 0.0;
   Cycles makespan = 0.0;
   /// Perfect-balance lower bound on the makespan.
   Cycles balanced = 0.0;
   Timeline timeline;
+
+  /// Redundant (issued but not useful) flops.
+  double waste_flops() const { return issued_flops - flops; }
+
+  /// Workload-imbalance ratio: achieved makespan over the perfect-balance
+  /// bound. 1.0 = perfectly balanced; degenerate kernels report 1.0.
+  double imbalance() const { return balanced > 0.0 ? makespan / balanced : 1.0; }
 
   double l2_hit_rate() const {
     const std::uint64_t total = l2_hits + l2_misses;
@@ -50,6 +70,10 @@ struct KernelStats {
 struct RunStats {
   std::vector<KernelStats> kernels;
   Cycles total_cycles = 0.0;
+  /// Device-wide synchronization points. Every kernel boundary is one (the
+  /// host cannot start kernel k+1 before kernel k drains), so the launch
+  /// path bumps this once per kernel.
+  std::uint64_t global_syncs = 0;
 
   int num_launches() const { return static_cast<int>(kernels.size()); }
 
@@ -74,6 +98,40 @@ struct RunStats {
   double l2_hit_rate() const {
     const std::uint64_t total = total_hits() + total_misses();
     return total == 0 ? 0.0 : static_cast<double>(total_hits()) / static_cast<double>(total);
+  }
+
+  double total_atomic_cycles() const {
+    double c = 0.0;
+    for (const auto& k : kernels) c += k.atomic_cycles;
+    return c;
+  }
+
+  std::uint64_t total_atomic_bytes() const {
+    std::uint64_t b = 0;
+    for (const auto& k : kernels) b += k.atomic_bytes;
+    return b;
+  }
+
+  double total_adapter_cycles() const {
+    double c = 0.0;
+    for (const auto& k : kernels) c += k.adapter_cycles;
+    return c;
+  }
+
+  std::uint64_t total_adapter_bytes() const {
+    std::uint64_t b = 0;
+    for (const auto& k : kernels) b += k.adapter_bytes;
+    return b;
+  }
+
+  /// Run-level imbalance ratio: total makespan over total balanced bound.
+  double imbalance() const {
+    Cycles mk = 0.0, bal = 0.0;
+    for (const auto& k : kernels) {
+      mk += k.makespan;
+      bal += k.balanced;
+    }
+    return bal > 0.0 ? mk / bal : 1.0;
   }
 
   /// Sum of cycles of kernels tagged with `phase`.

@@ -1,9 +1,9 @@
-// Golden test locking the gnnbridge-metrics JSON schema (version 2).
+// Golden test locking the gnnbridge-metrics JSON schema (version 3).
 //
 // The serialized document for a fixed RunRecord must match byte-for-byte:
-// downstream consumers (tools/check_metrics_schema.py, notebook readers)
-// parse this schema, so any change here is a compatibility break and must
-// come with a kMetricsSchemaVersion bump.
+// downstream consumers (tools/check_metrics_schema.py, notebook readers,
+// prof::load_metrics_file) parse this schema, so any change here is a
+// compatibility break and must come with a kMetricsSchemaVersion bump.
 #include "prof/metrics_json.hpp"
 
 #include <gtest/gtest.h>
@@ -28,16 +28,24 @@ RunRecord golden_record() {
   k.l2_misses = 2;
   k.dram_bytes = 128;
   k.flops = 2147483648.0;  // 2^31
-  k.issued_flops = 2147483648.0;
+  k.issued_flops = 2147485440.0;  // flops + pad + copy + tile
   k.cycles = 2.0e9;
   k.makespan = 1.6e9;
-  k.balanced = 1.2e9;
+  k.balanced = 8.0e8;  // makespan/balanced == 2 exactly
+  k.atomic_cycles = 256.0;
+  k.atomic_bytes = 64;
+  k.adapter_cycles = 128.0;
+  k.adapter_bytes = 32;
+  k.pad_flops = 1024.0;
+  k.copy_flops = 512.0;
+  k.tile_flops = 256.0;
   k.timeline.add_interval(0.0, 100.0, 2);
   k.timeline.add_interval(100.0, 200.0, 4);  // time-weighted mean: 3
 
   sim::RunStats stats;
   stats.kernels.push_back(k);
   stats.total_cycles = 2.0e9;
+  stats.global_syncs = 1;
 
   sim::DeviceSpec spec;
   spec.num_sms = 2;
@@ -56,27 +64,65 @@ RunRecord golden_record() {
                    .spec = spec};
 }
 
+MetaInfo golden_meta() {
+  return MetaInfo{.git_sha = "deadbee",
+                  .timestamp = "2026-01-01T00:00:00Z",
+                  .hostname = "goldenhost",
+                  .scale_env = "0.25"};
+}
+
+// Gap attribution for golden_record(), derivable by hand:
+//   locality  = l2_misses * (dram - l2hit) / slots = 2 * 41/8   = 10.25
+//   imbalance = makespan - balanced = 1.6e9 - 8e8               = 8e8
+//   launch    = cycles - makespan = 2e9 - 1.6e9                 = 4e8
+//   sync      = atomic + adapter cycles = 256 + 128             = 384
+//   redundancy= (1024 + 512 + 256) / 16 flops-per-cycle         = 112
 constexpr const char* kGolden =
-    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":2,"
-    "\"experiment\":\"golden\",\"scale\":0.25,\"runs\":["
+    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":3,"
+    "\"experiment\":\"golden\",\"scale\":0.25,"
+    "\"meta\":{\"git_sha\":\"deadbee\",\"timestamp\":\"2026-01-01T00:00:00Z\","
+    "\"hostname\":\"goldenhost\",\"scale_env\":\"0.25\"},"
+    "\"runs\":["
     "{\"label\":\"gcn/ours/collab\",\"model\":\"gcn\",\"backend\":\"ours\","
     "\"dataset\":\"collab\",\"ms\":1.5,\"oom\":false,"
     "\"device\":{\"num_sms\":2,\"max_blocks_per_sm\":4,\"clock_ghz\":2,"
-    "\"l2_bytes\":1048576,\"line_bytes\":64},"
+    "\"l2_bytes\":1048576,\"line_bytes\":64,"
+    "\"flops_per_cycle_per_block\":16,\"l2_hit_cycles_per_line\":22,"
+    "\"dram_cycles_per_line\":63,\"kernel_launch_cycles\":5000,"
+    "\"framework_overhead_cycles\":0},"
     "\"totals\":{\"cycles\":2000000000,\"launches\":1,\"flops\":2147483648,"
     "\"l2_hits\":6,\"l2_misses\":2,\"l2_hit_rate\":0.75,\"dram_bytes\":128,"
-    "\"gflops\":2.147483648},"
+    "\"gflops\":2.147483648,\"issued_flops\":2147485440,\"global_syncs\":1,"
+    "\"atomic_cycles\":256,\"atomic_bytes\":64,\"adapter_cycles\":128,"
+    "\"adapter_bytes\":32,\"pad_flops\":1024,\"copy_flops\":512,"
+    "\"tile_flops\":256,\"imbalance\":2},"
     "\"kernels\":[{\"name\":\"spmm_node\",\"phase\":\"aggregation\","
     "\"blocks\":3,\"cycles\":2000000000,\"makespan\":1600000000,"
-    "\"balanced\":1200000000,\"l2_hits\":6,\"l2_misses\":2,"
+    "\"balanced\":800000000,\"l2_hits\":6,\"l2_misses\":2,"
     "\"l2_hit_rate\":0.75,\"dram_bytes\":128,\"flops\":2147483648,"
-    "\"issued_flops\":2147483648,\"mean_active_blocks\":3}]}],"
+    "\"issued_flops\":2147485440,\"mean_active_blocks\":3,"
+    "\"atomic_cycles\":256,\"atomic_bytes\":64,\"adapter_cycles\":128,"
+    "\"adapter_bytes\":32,\"pad_flops\":1024,\"copy_flops\":512,"
+    "\"tile_flops\":256,\"imbalance\":2}]}],"
+    "\"gap_report\":["
+    "{\"label\":\"gcn/ours/collab\",\"model\":\"gcn\",\"backend\":\"ours\","
+    "\"dataset\":\"collab\",\"total_cycles\":2000000000,"
+    "\"attributed_cycles\":1200000506.25,"
+    "\"locality\":{\"cycles\":10.25,\"dram_bytes\":128,\"l2_hit_rate\":0.75},"
+    "\"imbalance\":{\"cycles\":800000000,\"ratio\":2},"
+    "\"launch_overhead\":{\"cycles\":400000000,\"launches\":1},"
+    "\"synchronization\":{\"cycles\":384,\"global_syncs\":1,"
+    "\"atomic_cycles\":256,\"atomic_bytes\":64,\"adapter_cycles\":128,"
+    "\"adapter_bytes\":32},"
+    "\"redundancy\":{\"cycles\":112,\"redundant_flops\":1792,"
+    "\"pad_flops\":1024,\"copy_flops\":512,\"tile_flops\":256}}],"
     "\"degradations\":[]}\n";
 
-TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion2) {
+TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion3) {
   MetricsSink& sink = MetricsSink::instance();
   sink.clear();
   sink.configure("golden", 0.25);
+  sink.set_meta(golden_meta());
   sink.record(golden_record());
   EXPECT_EQ(sink.to_json(), kGolden);
   sink.clear();
@@ -115,6 +161,7 @@ TEST(MetricsJsonTest, GoldenDocumentIsValidJson) {
   MetricsSink& sink = MetricsSink::instance();
   sink.clear();
   sink.configure("golden", 0.25);
+  sink.set_meta(golden_meta());
   sink.record(golden_record());
   const std::string doc = sink.to_json();
   testing::JsonChecker check(doc);
@@ -129,8 +176,10 @@ TEST(MetricsJsonTest, EmptySinkStillEmitsSchemaEnvelope) {
   const std::string doc = sink.to_json();
   EXPECT_TRUE(testing::json_valid(doc));
   EXPECT_NE(doc.find("\"schema\":\"gnnbridge-metrics\""), std::string::npos);
-  EXPECT_NE(doc.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(doc.find("\"meta\":{"), std::string::npos);
   EXPECT_NE(doc.find("\"runs\":[]"), std::string::npos);
+  EXPECT_NE(doc.find("\"gap_report\":[]"), std::string::npos);
   EXPECT_NE(doc.find("\"degradations\":[]"), std::string::npos);
 }
 

@@ -160,6 +160,59 @@ TEST(Context, FarApartBlocksMissWhenCacheTiny) {
   EXPECT_LT(ks.l2_hit_rate(), 0.1);
 }
 
+TEST(Context, AtomicMergeCountsTrafficAndExtendsBlockTime) {
+  SimContext ctx(tiny_device());
+  Kernel k;
+  BlockWork blk;
+  blk.compute(1600.0, 1600.0);  // 100 cycles at 16 flops/cycle
+  blk.atomic_merge(40.0, 256);
+  k.blocks.push_back(blk);
+  const KernelStats& ks = ctx.launch(std::move(k));
+  EXPECT_DOUBLE_EQ(ks.atomic_cycles, 40.0);
+  EXPECT_EQ(ks.atomic_bytes, 256u);
+  EXPECT_NEAR(ks.makespan, 140.0, 1e-6);  // extra_cycles ride on the block
+}
+
+TEST(Context, AdapterCountsTrafficSeparatelyFromAtomics) {
+  SimContext ctx(tiny_device());
+  Kernel k;
+  BlockWork blk;
+  blk.adapter(25.0, 128);
+  k.blocks.push_back(blk);
+  const KernelStats& ks = ctx.launch(std::move(k));
+  EXPECT_DOUBLE_EQ(ks.adapter_cycles, 25.0);
+  EXPECT_EQ(ks.adapter_bytes, 128u);
+  EXPECT_DOUBLE_EQ(ks.atomic_cycles, 0.0);
+  EXPECT_EQ(ks.atomic_bytes, 0u);
+}
+
+TEST(Context, RedundantFlopCausesAreBrokenOut) {
+  SimContext ctx(tiny_device());
+  Kernel k;
+  BlockWork blk;
+  blk.compute(100.0, 160.0);       // 60 pad flops (lane padding)
+  blk.compute_copy(32.0);          // pure data movement
+  blk.compute_tiled(200.0, 256.0); // 56 boundary-tile flops
+  k.blocks.push_back(blk);
+  const KernelStats& ks = ctx.launch(std::move(k));
+  EXPECT_DOUBLE_EQ(ks.pad_flops, 60.0);
+  EXPECT_DOUBLE_EQ(ks.copy_flops, 32.0);
+  EXPECT_DOUBLE_EQ(ks.tile_flops, 56.0);
+  EXPECT_DOUBLE_EQ(ks.flops, 300.0);
+  EXPECT_DOUBLE_EQ(ks.issued_flops, 448.0);
+  EXPECT_DOUBLE_EQ(ks.waste_flops(), 148.0);  // pad + copy + tile
+}
+
+TEST(Context, EveryLaunchIsOneGlobalSync) {
+  SimContext ctx(tiny_device());
+  for (int i = 0; i < 3; ++i) {
+    Kernel k;
+    k.name = "noop";
+    ctx.launch(std::move(k));
+  }
+  EXPECT_EQ(ctx.stats().global_syncs, 3u);
+}
+
 TEST(Context, StatsResetKeepsAllocations) {
   SimContext ctx(tiny_device());
   ctx.mem().alloc("x", 128);

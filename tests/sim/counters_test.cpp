@@ -55,6 +55,53 @@ TEST(RunStatsTest, GflopsZeroCyclesIsZeroNotInf) {
   EXPECT_DOUBLE_EQ(g, 0.0);
 }
 
+TEST(KernelStatsTest, WasteFlopsIsIssuedMinusUseful) {
+  KernelStats k;
+  k.flops = 100.0;
+  k.issued_flops = 160.0;
+  EXPECT_DOUBLE_EQ(k.waste_flops(), 60.0);
+}
+
+TEST(KernelStatsTest, ImbalanceDegenerateBalancedIsOne) {
+  KernelStats k;
+  EXPECT_DOUBLE_EQ(k.imbalance(), 1.0);
+  k.makespan = 300.0;
+  k.balanced = 200.0;
+  EXPECT_DOUBLE_EQ(k.imbalance(), 1.5);
+}
+
+TEST(RunStatsTest, SyncTrafficTotalsAccumulateAcrossKernels) {
+  RunStats r;
+  KernelStats a;
+  a.atomic_cycles = 10.0;
+  a.atomic_bytes = 100;
+  a.adapter_cycles = 5.0;
+  a.adapter_bytes = 50;
+  KernelStats b;
+  b.atomic_cycles = 30.0;
+  b.atomic_bytes = 300;
+  b.adapter_cycles = 15.0;
+  b.adapter_bytes = 150;
+  r.kernels = {a, b};
+  EXPECT_DOUBLE_EQ(r.total_atomic_cycles(), 40.0);
+  EXPECT_EQ(r.total_atomic_bytes(), 400u);
+  EXPECT_DOUBLE_EQ(r.total_adapter_cycles(), 20.0);
+  EXPECT_EQ(r.total_adapter_bytes(), 200u);
+}
+
+TEST(RunStatsTest, RunImbalanceIsMakespanSumOverBalancedSum) {
+  RunStats r;
+  EXPECT_DOUBLE_EQ(r.imbalance(), 1.0);  // degenerate: no kernels
+  KernelStats a;
+  a.makespan = 300.0;
+  a.balanced = 100.0;
+  KernelStats b;
+  b.makespan = 100.0;
+  b.balanced = 100.0;
+  r.kernels = {a, b};
+  EXPECT_DOUBLE_EQ(r.imbalance(), 2.0);
+}
+
 TEST(RunStatsTest, TotalsAccumulateAcrossKernels) {
   RunStats r;
   KernelStats a;

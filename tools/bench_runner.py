@@ -1,0 +1,199 @@
+#!/usr/bin/env python3
+"""Run the gnnbridge bench suite and aggregate a perf trajectory file.
+
+Each bench binary is executed with GNNBRIDGE_METRICS_JSON pointing at a
+scratch file; the emitted gnnbridge-metrics v3 documents (including their
+`gap_report` sections) are flattened into one BENCH_<label>.json trajectory
+file with provenance (git SHA, timestamp, hostname, scale, device spec):
+
+    tools/bench_runner.py --build-dir build --suite smoke --label smoke
+
+The trajectory file is the input of tools/check_perf_regression.py: commit
+one produced at the default scale as bench/baseline.json and every future
+run can be diffed against it metric by metric. The simulator is
+deterministic, so the numbers are exactly reproducible on one toolchain.
+
+Exits 0 when every bench ran and validated, 1 otherwise.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+BENCH_SCHEMA_NAME = "gnnbridge-bench"
+BENCH_SCHEMA_VERSION = 1
+
+# Bench binaries per suite. `smoke` is the ctest-sized subset (seconds at
+# scale 0.05); `full` is every table/figure binary. bench_micro_kernels is
+# excluded: it runs on the google-benchmark harness and records no metrics.
+SUITES = {
+    "smoke": [
+        "bench_fig3_l2_miss",
+        "bench_fig7_overall",
+    ],
+    "full": [
+        "bench_table3_datasets",
+        "bench_fig3_l2_miss",
+        "bench_table4_occupancy",
+        "bench_table5_expansion",
+        "bench_fig4_featlen",
+        "bench_fig7_overall",
+        "bench_fig8_ng_balance",
+        "bench_fig9_locality",
+        "bench_fig10_adapter",
+        "bench_fig11_spfetch",
+        "bench_fig12_tuned",
+        "bench_table6_ablation",
+        "bench_ablation_sim",
+        "bench_online_sampling",
+    ],
+}
+
+# Per-run totals copied into each trajectory entry, plus the five gap
+# attributions (prefixed gap_) pulled from the document's gap_report.
+TOTAL_METRICS = [
+    "cycles",
+    "launches",
+    "flops",
+    "issued_flops",
+    "l2_hits",
+    "l2_misses",
+    "l2_hit_rate",
+    "dram_bytes",
+    "global_syncs",
+    "atomic_cycles",
+    "atomic_bytes",
+    "adapter_cycles",
+    "adapter_bytes",
+    "pad_flops",
+    "copy_flops",
+    "tile_flops",
+    "imbalance",
+]
+GAP_SECTIONS = [
+    "locality",
+    "imbalance",
+    "launch_overhead",
+    "synchronization",
+    "redundancy",
+]
+
+
+def run_bench(binary, scale, metrics_path):
+    """Runs one bench binary and returns its parsed metrics document."""
+    env = dict(os.environ)
+    env["GNNBRIDGE_SCALE"] = repr(scale)
+    env["GNNBRIDGE_METRICS_JSON"] = metrics_path
+    env.pop("GNNBRIDGE_TRACE_JSON", None)
+    env.pop("GNNBRIDGE_FAULT_PLAN", None)
+    proc = subprocess.run(
+        [binary], env=env, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"{binary} exited {proc.returncode}: {proc.stderr.decode(errors='replace')[-500:]}"
+        )
+    with open(metrics_path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def entries_from_doc(bench_name, doc):
+    """Flattens one metrics document into trajectory entries."""
+    gap_by_label = {g["label"]: g for g in doc.get("gap_report", [])}
+    entries = []
+    for run in doc["runs"]:
+        metrics = {}
+        for key in TOTAL_METRICS:
+            if key in run["totals"]:
+                metrics[key] = run["totals"][key]
+        gap = gap_by_label.get(run["label"])
+        if gap is not None:
+            metrics["gap_attributed_cycles"] = gap["attributed_cycles"]
+            for section in GAP_SECTIONS:
+                metrics[f"gap_{section}_cycles"] = gap[section]["cycles"]
+        entries.append(
+            {
+                "bench": bench_name,
+                "label": run["label"],
+                "model": run["model"],
+                "backend": run["backend"],
+                "dataset": run["dataset"],
+                "oom": run["oom"],
+                "metrics": metrics,
+            }
+        )
+    return entries
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build", help="CMake build directory")
+    ap.add_argument("--suite", choices=sorted(SUITES), default="smoke")
+    ap.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="GNNBRIDGE_SCALE for every bench (default 0.05, the baseline scale)",
+    )
+    ap.add_argument("--label", default=None, help="trajectory label (default: suite)")
+    ap.add_argument(
+        "--out", default=None, help="output path (default: BENCH_<label>.json)"
+    )
+    args = ap.parse_args()
+
+    label = args.label or args.suite
+    out_path = args.out or f"BENCH_{label}.json"
+    bench_dir = os.path.join(args.build_dir, "bench")
+
+    binaries = []
+    for name in SUITES[args.suite]:
+        path = os.path.join(bench_dir, name)
+        if not os.path.isfile(path) or not os.access(path, os.X_OK):
+            print(f"bench_runner: missing binary {path}", file=sys.stderr)
+            return 1
+        binaries.append((name, path))
+
+    entries = []
+    meta = None
+    device = None
+    with tempfile.TemporaryDirectory(prefix="gnnbridge_bench_") as tmp:
+        for name, path in binaries:
+            metrics_path = os.path.join(tmp, f"{name}.json")
+            try:
+                doc = run_bench(path, args.scale, metrics_path)
+            except (RuntimeError, OSError, json.JSONDecodeError) as e:
+                print(f"bench_runner: {name}: {e}", file=sys.stderr)
+                return 1
+            if doc.get("schema") != "gnnbridge-metrics":
+                print(f"bench_runner: {name}: not a gnnbridge-metrics file", file=sys.stderr)
+                return 1
+            if meta is None:
+                meta = doc.get("meta")
+            if device is None and doc["runs"]:
+                device = doc["runs"][0]["device"]
+            new = entries_from_doc(name, doc)
+            entries.extend(new)
+            print(f"bench_runner: {name}: {len(new)} runs")
+
+    trajectory = {
+        "schema": BENCH_SCHEMA_NAME,
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "label": label,
+        "suite": args.suite,
+        "scale": args.scale,
+        "meta": meta,
+        "device": device,
+        "entries": entries,
+    }
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(trajectory, f, indent=1, sort_keys=False)
+        f.write("\n")
+    print(f"bench_runner: wrote {out_path} ({len(entries)} entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,7 @@ import math
 import sys
 
 SCHEMA_NAME = "gnnbridge-metrics"
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 RUN_KEYS = {
     "label": str,
@@ -42,6 +42,12 @@ DEVICE_KEYS = {
     "clock_ghz": (int, float),
     "l2_bytes": int,
     "line_bytes": int,
+    # Cost-model parameters (v3): enough to re-derive gap attributions.
+    "flops_per_cycle_per_block": (int, float),
+    "l2_hit_cycles_per_line": (int, float),
+    "dram_cycles_per_line": (int, float),
+    "kernel_launch_cycles": (int, float),
+    "framework_overhead_cycles": (int, float),
 }
 TOTALS_KEYS = {
     "cycles": (int, float),
@@ -52,6 +58,17 @@ TOTALS_KEYS = {
     "l2_hit_rate": (int, float),
     "dram_bytes": int,
     "gflops": (int, float),
+    # v3 gap counters.
+    "issued_flops": (int, float),
+    "global_syncs": int,
+    "atomic_cycles": (int, float),
+    "atomic_bytes": int,
+    "adapter_cycles": (int, float),
+    "adapter_bytes": int,
+    "pad_flops": (int, float),
+    "copy_flops": (int, float),
+    "tile_flops": (int, float),
+    "imbalance": (int, float),
 }
 DEGRADATION_KEYS = {
     "seam": str,
@@ -74,6 +91,58 @@ KERNEL_KEYS = {
     "flops": (int, float),
     "issued_flops": (int, float),
     "mean_active_blocks": (int, float),
+    # v3 gap counters.
+    "atomic_cycles": (int, float),
+    "atomic_bytes": int,
+    "adapter_cycles": (int, float),
+    "adapter_bytes": int,
+    "pad_flops": (int, float),
+    "copy_flops": (int, float),
+    "tile_flops": (int, float),
+    "imbalance": (int, float),
+}
+META_KEYS = {
+    "git_sha": str,
+    "timestamp": str,
+    "hostname": str,
+    "scale_env": str,
+}
+GAP_KEYS = {
+    "label": str,
+    "model": str,
+    "backend": str,
+    "dataset": str,
+    "total_cycles": (int, float),
+    "attributed_cycles": (int, float),
+    "locality": dict,
+    "imbalance": dict,
+    "launch_overhead": dict,
+    "synchronization": dict,
+    "redundancy": dict,
+}
+GAP_SECTION_KEYS = {
+    "locality": {
+        "cycles": (int, float),
+        "dram_bytes": int,
+        "l2_hit_rate": (int, float),
+    },
+    "imbalance": {"cycles": (int, float), "ratio": (int, float)},
+    "launch_overhead": {"cycles": (int, float), "launches": int},
+    "synchronization": {
+        "cycles": (int, float),
+        "global_syncs": int,
+        "atomic_cycles": (int, float),
+        "atomic_bytes": int,
+        "adapter_cycles": (int, float),
+        "adapter_bytes": int,
+    },
+    "redundancy": {
+        "cycles": (int, float),
+        "redundant_flops": (int, float),
+        "pad_flops": (int, float),
+        "copy_flops": (int, float),
+        "tile_flops": (int, float),
+    },
 }
 
 
@@ -109,6 +178,7 @@ def check_metrics(doc):
         raise Invalid("experiment: expected string")
     if not isinstance(doc.get("scale"), (int, float)):
         raise Invalid("scale: expected number")
+    check_keys(doc.get("meta"), META_KEYS, "meta")
     runs = doc.get("runs")
     if not isinstance(runs, list):
         raise Invalid("runs: expected array")
@@ -124,6 +194,21 @@ def check_metrics(doc):
             check_keys(k, KERNEL_KEYS, kwhere)
             if not 0.0 <= k["l2_hit_rate"] <= 1.0:
                 raise Invalid(f"{kwhere}.l2_hit_rate out of [0,1]")
+    gap_report = doc.get("gap_report")
+    if not isinstance(gap_report, list):
+        raise Invalid("gap_report: expected array (schema v3)")
+    if len(gap_report) != len(runs):
+        raise Invalid(
+            f"gap_report: expected one entry per run "
+            f"({len(runs)}), got {len(gap_report)}"
+        )
+    for i, g in enumerate(gap_report):
+        where = f"gap_report[{i}]"
+        check_keys(g, GAP_KEYS, where)
+        for section, spec in GAP_SECTION_KEYS.items():
+            check_keys(g[section], spec, f"{where}.{section}")
+        if not 0.0 <= g["locality"]["l2_hit_rate"] <= 1.0:
+            raise Invalid(f"{where}.locality.l2_hit_rate out of [0,1]")
     degradations = doc.get("degradations")
     if not isinstance(degradations, list):
         raise Invalid("degradations: expected array (schema v2)")

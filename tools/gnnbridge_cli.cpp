@@ -6,6 +6,8 @@
 //   gnnbridge_cli --model gat --backend dgl --dataset arxiv --full
 //   gnnbridge_cli --model gcn --backend ours --no-las --no-ng --kernels
 //   gnnbridge_cli profile --model gat --backend ours --dataset collab
+//   gnnbridge_cli analyze metrics.json
+//   gnnbridge_cli compare baseline_metrics.json optimized_metrics.json
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -13,6 +15,7 @@
 #include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "baselines/dgl.hpp"
 #include "baselines/pyg.hpp"
@@ -20,6 +23,7 @@
 #include "engine/engine.hpp"
 #include "graph/datasets.hpp"
 #include "prof/chrome_trace.hpp"
+#include "prof/gap_report.hpp"
 #include "prof/metrics_json.hpp"
 #include "prof/span.hpp"
 #include "rt/status.hpp"
@@ -32,13 +36,24 @@ namespace {
 void usage() {
   std::printf(
       "usage: gnnbridge_cli [profile] [options]\n"
+      "       gnnbridge_cli analyze METRICS.json\n"
+      "       gnnbridge_cli compare BASELINE.json OPTIMIZED.json\n"
       "  profile                       record a host/sim trace and metrics while running;\n"
       "                                writes Chrome-trace JSON (load in ui.perfetto.dev)\n"
       "                                and gnnbridge-metrics JSON\n"
-      "  --trace-out PATH              trace file (profile mode; default\n"
-      "                                $GNNBRIDGE_TRACE_JSON or gnnbridge_trace.json)\n"
-      "  --metrics-out PATH            metrics file (profile mode; default\n"
-      "                                $GNNBRIDGE_METRICS_JSON or gnnbridge_metrics.json)\n"
+      "  analyze METRICS.json          print the per-gap attribution table (locality,\n"
+      "                                imbalance, launch overhead, synchronization,\n"
+      "                                redundancy) for every run in a metrics file\n"
+      "  compare A.json B.json         diff two metrics files gap by gap: how many\n"
+      "                                cycles/bytes the optimized run (B) recovered\n"
+      "  --metrics PATH                metrics file. Precedence: this flag wins over\n"
+      "                                $GNNBRIDGE_METRICS_JSON, which wins over the\n"
+      "                                default gnnbridge_metrics.json (profile mode)\n"
+      "  --trace PATH                  trace file. Precedence: this flag wins over\n"
+      "                                $GNNBRIDGE_TRACE_JSON, which wins over the\n"
+      "                                default gnnbridge_trace.json (profile mode)\n"
+      "  --trace-out PATH              alias for --trace\n"
+      "  --metrics-out PATH            alias for --metrics\n"
       "  --model gcn|gat|sage|pool|mhgat  model to run (default gcn)\n"
       "  --backend dgl|pyg|roc|ours    framework backend (default ours)\n"
       "  --dataset NAME                arxiv|collab|citation|ddi|protein|ppa|reddit|products\n"
@@ -49,8 +64,69 @@ void usage() {
       "  --tune                        run the online tuner before executing (ours only)\n"
       "  --no-las / --no-ng / --no-fusion / --no-linear\n"
       "                                disable individual optimizations (ours only)\n"
-      "exit status: 0 success, 1 runtime failure (run or output write),\n"
+      "exit status: 0 success, 1 runtime failure (run, output write, or metrics read),\n"
       "             2 usage error, 3 dataset load failure\n");
+}
+
+int cmd_analyze(const std::string& path) {
+  auto loaded = prof::load_metrics_file(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "gnnbridge_cli: %s\n", loaded.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("metrics '%s': experiment '%s', schema v%d, %zu run(s)\n", path.c_str(),
+              loaded->experiment.c_str(), loaded->schema_version, loaded->runs.size());
+  if (loaded->runs.empty()) {
+    std::fprintf(stderr, "gnnbridge_cli: no runs recorded in '%s'\n", path.c_str());
+    return 1;
+  }
+  for (const auto& rec : loaded->runs) {
+    std::fputs(prof::render_gap_table(prof::attribute_gaps(rec)).c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_compare(const std::string& baseline_path, const std::string& optimized_path) {
+  auto base = prof::load_metrics_file(baseline_path);
+  if (!base.ok()) {
+    std::fprintf(stderr, "gnnbridge_cli: %s\n", base.status().to_string().c_str());
+    return 1;
+  }
+  auto opt = prof::load_metrics_file(optimized_path);
+  if (!opt.ok()) {
+    std::fprintf(stderr, "gnnbridge_cli: %s\n", opt.status().to_string().c_str());
+    return 1;
+  }
+  // Pair runs on (model, dataset) — the same workload under two backends
+  // or knob settings is exactly what the gap diff explains. A single run
+  // on each side pairs unconditionally.
+  std::vector<bool> used(opt->runs.size(), false);
+  std::size_t paired = 0;
+  for (const auto& ra : base->runs) {
+    std::size_t match = opt->runs.size();
+    for (std::size_t j = 0; j < opt->runs.size(); ++j) {
+      if (!used[j] && opt->runs[j].model == ra.model && opt->runs[j].dataset == ra.dataset) {
+        match = j;
+        break;
+      }
+    }
+    if (match == opt->runs.size() && base->runs.size() == 1 && opt->runs.size() == 1) {
+      match = 0;
+    }
+    if (match == opt->runs.size()) continue;
+    used[match] = true;
+    ++paired;
+    const auto c = prof::compare_gaps(prof::attribute_gaps(ra),
+                                      prof::attribute_gaps(opt->runs[match]));
+    std::fputs(prof::render_compare_table(c).c_str(), stdout);
+  }
+  if (paired == 0) {
+    std::fprintf(stderr,
+                 "gnnbridge_cli: no runs with matching (model, dataset) between '%s' and '%s'\n",
+                 baseline_path.c_str(), optimized_path.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 graph::DatasetId parse_dataset(const std::string& name) {
@@ -100,6 +176,18 @@ int main(int argc, char** argv) {
   if (argc > 1 && std::strcmp(argv[1], "profile") == 0) {
     profile = true;
     first_arg = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "analyze") == 0) {
+    if (argc != 3) {
+      usage();
+      return 2;
+    }
+    return cmd_analyze(argv[2]);
+  } else if (argc > 1 && std::strcmp(argv[1], "compare") == 0) {
+    if (argc != 4) {
+      usage();
+      return 2;
+    }
+    return cmd_compare(argv[2], argv[3]);
   }
   for (int i = first_arg; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -120,9 +208,9 @@ int main(int argc, char** argv) {
       scale = parse_double_flag("--scale", next());
     } else if (arg == "--heads") {
       heads = parse_int_flag("--heads", next(), 1, 64);
-    } else if (arg == "--trace-out") {
+    } else if (arg == "--trace" || arg == "--trace-out") {
       trace_out = next();
-    } else if (arg == "--metrics-out") {
+    } else if (arg == "--metrics" || arg == "--metrics-out") {
       metrics_out = next();
     } else if (arg == "--full") {
       full = true;
