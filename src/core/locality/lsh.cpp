@@ -4,6 +4,8 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "par/thread_pool.hpp"
+
 namespace gnnbridge::core {
 
 std::vector<CandidatePair> lsh_candidate_pairs(const MinHashSignatures& sigs,
@@ -12,32 +14,47 @@ std::vector<CandidatePair> lsh_candidate_pairs(const MinHashSignatures& sigs,
   const NodeId n = static_cast<NodeId>(
       sigs.sig.size() / static_cast<std::size_t>(std::max(sigs.rows, 1)));
 
-  // Bucket table per band: band-hash -> node list.
+  // Bucket table per band. Bands are independent, so each runs as one
+  // parallel task emitting into its own key vector; the vectors are
+  // concatenated in band order (and the sort+unique below erases even that
+  // ordering), so the output never depends on thread count.
   std::vector<CandidatePair> pairs;
-  std::vector<std::uint64_t> seen;  // packed (a,b) keys for dedup
-  for (int band = 0; band < cfg.bands; ++band) {
-    std::unordered_map<std::uint64_t, std::vector<NodeId>> buckets;
-    buckets.reserve(static_cast<std::size_t>(n));
-    for (NodeId v = 0; v < n; ++v) {
-      // FNV-style combine of the band's signature slots.
-      std::uint64_t h = 0xcbf29ce484222325ull;
-      for (int r = 0; r < cfg.rows_per_band; ++r) {
-        h ^= sigs.at(v, band * cfg.rows_per_band + r);
-        h *= 0x100000001b3ull;
-      }
-      buckets[h].push_back(v);
-    }
-    for (const auto& [h, nodes] : buckets) {
-      if (nodes.size() < 2 || static_cast<int>(nodes.size()) > cfg.max_bucket) continue;
-      for (std::size_t i = 0; i < nodes.size(); ++i) {
-        for (std::size_t j = i + 1; j < nodes.size(); ++j) {
-          const NodeId a = std::min(nodes[i], nodes[j]);
-          const NodeId b = std::max(nodes[i], nodes[j]);
-          seen.push_back((static_cast<std::uint64_t>(a) << 32) | static_cast<std::uint32_t>(b));
+  std::vector<std::vector<std::uint64_t>> band_keys(static_cast<std::size_t>(cfg.bands));
+  par::parallel_chunks(
+      static_cast<std::size_t>(cfg.bands), /*grain=*/1,
+      [&](std::size_t /*chunk*/, std::size_t band_begin, std::size_t band_end) {
+        for (std::size_t bi = band_begin; bi < band_end; ++bi) {
+          const int band = static_cast<int>(bi);
+          std::unordered_map<std::uint64_t, std::vector<NodeId>> buckets;
+          buckets.reserve(static_cast<std::size_t>(n));
+          for (NodeId v = 0; v < n; ++v) {
+            // FNV-style combine of the band's signature slots.
+            std::uint64_t h = 0xcbf29ce484222325ull;
+            for (int r = 0; r < cfg.rows_per_band; ++r) {
+              h ^= sigs.at(v, band * cfg.rows_per_band + r);
+              h *= 0x100000001b3ull;
+            }
+            buckets[h].push_back(v);
+          }
+          std::vector<std::uint64_t>& keys = band_keys[bi];
+          for (const auto& [h, nodes] : buckets) {
+            if (nodes.size() < 2 || static_cast<int>(nodes.size()) > cfg.max_bucket) continue;
+            for (std::size_t i = 0; i < nodes.size(); ++i) {
+              for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+                const NodeId a = std::min(nodes[i], nodes[j]);
+                const NodeId b = std::max(nodes[i], nodes[j]);
+                keys.push_back((static_cast<std::uint64_t>(a) << 32) |
+                               static_cast<std::uint32_t>(b));
+              }
+            }
+          }
         }
-      }
-    }
-  }
+      });
+  std::vector<std::uint64_t> seen;  // packed (a,b) keys for dedup
+  std::size_t total_keys = 0;
+  for (const auto& keys : band_keys) total_keys += keys.size();
+  seen.reserve(total_keys);
+  for (const auto& keys : band_keys) seen.insert(seen.end(), keys.begin(), keys.end());
 
   std::sort(seen.begin(), seen.end());
   seen.erase(std::unique(seen.begin(), seen.end()), seen.end());

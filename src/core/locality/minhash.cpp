@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "par/thread_pool.hpp"
 #include "tensor/rng.hpp"
 
 namespace gnnbridge::core {
@@ -21,22 +22,30 @@ MinHashSignatures minhash_signatures(const Csr& g, int rows, std::uint64_t seed)
     add[static_cast<std::size_t>(r)] = tensor::splitmix64(sm);
   }
 
-  for (NodeId v = 0; v < g.num_nodes; ++v) {
-    auto* sig = &out.sig[static_cast<std::size_t>(v) * static_cast<std::size_t>(rows)];
-    for (NodeId u : g.neighbors(v)) {
-      const std::uint64_t x = static_cast<std::uint64_t>(u) + 1;
-      for (int r = 0; r < rows; ++r) {
-        const std::uint64_t h = mult[static_cast<std::size_t>(r)] * x + add[static_cast<std::size_t>(r)];
-        if (h < sig[r]) sig[r] = h;
-      }
-    }
-    if (g.degree(v) == 0) {
-      // Unique sentinel per node so empty sets never pair with anything.
-      for (int r = 0; r < rows; ++r) {
-        sig[r] = std::numeric_limits<std::uint64_t>::max() - static_cast<std::uint64_t>(v);
-      }
-    }
-  }
+  // Each node owns a disjoint signature row, so node-range chunks write
+  // disjoint memory and the result is independent of thread count.
+  par::parallel_chunks(
+      static_cast<std::size_t>(g.num_nodes), par::kDefaultGrain,
+      [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        for (std::size_t vi = begin; vi < end; ++vi) {
+          const NodeId v = static_cast<NodeId>(vi);
+          auto* sig = &out.sig[vi * static_cast<std::size_t>(rows)];
+          for (NodeId u : g.neighbors(v)) {
+            const std::uint64_t x = static_cast<std::uint64_t>(u) + 1;
+            for (int r = 0; r < rows; ++r) {
+              const std::uint64_t h =
+                  mult[static_cast<std::size_t>(r)] * x + add[static_cast<std::size_t>(r)];
+              if (h < sig[r]) sig[r] = h;
+            }
+          }
+          if (g.degree(v) == 0) {
+            // Unique sentinel per node so empty sets never pair with anything.
+            for (int r = 0; r < rows; ++r) {
+              sig[r] = std::numeric_limits<std::uint64_t>::max() - static_cast<std::uint64_t>(v);
+            }
+          }
+        }
+      });
   return out;
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "par/thread_pool.hpp"
+
 namespace gnnbridge::core {
 
 TuneResult tune_graph_op(const Csr& g, const TuneObjective& measure, TuneConfig base,
@@ -17,11 +19,25 @@ TuneResult tune_graph_op(const Csr& g, const TuneObjective& measure, TuneConfig 
                          : 0.0;
   const EdgeId neutral_bound = std::max<EdgeId>(16, (static_cast<EdgeId>(avg) + 15) / 16 * 16);
 
-  // Returns false when the measurement is unusable (non-finite or
-  // negative); the search stops there and reports through result.error so
-  // a broken objective cannot poison the chosen configuration.
-  auto probe = [&](const TuneConfig& cfg) {
-    const double cycles = measure(cfg);
+  // Candidates within a phase are independent, so their measurements run
+  // in parallel (each probe builds its own simulation context). The
+  // results are then folded strictly in candidate order — round counting,
+  // the first-strictly-lower-wins tie-break and the stop-at-first-bad-
+  // probe semantics are all identical to the sequential search.
+  auto measure_all = [&](const std::vector<TuneConfig>& cfgs) {
+    std::vector<double> cycles(cfgs.size(), 0.0);
+    par::parallel_chunks(cfgs.size(), /*grain=*/1,
+                         [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+                           for (std::size_t i = begin; i < end; ++i) cycles[i] = measure(cfgs[i]);
+                         });
+    return cycles;
+  };
+
+  // Folds one measured probe. Returns false when the measurement is
+  // unusable (non-finite or negative); the search stops there and reports
+  // through result.error so a broken objective cannot poison the chosen
+  // configuration.
+  auto fold = [&](const TuneConfig& cfg, double cycles) {
     ++result.rounds;
     if (!std::isfinite(cycles) || cycles < 0.0) {
       result.error =
@@ -40,36 +56,51 @@ TuneResult tune_graph_op(const Csr& g, const TuneObjective& measure, TuneConfig 
     return true;
   };
 
+  auto run_phase = [&](const std::vector<TuneConfig>& cfgs) {
+    const std::vector<double> cycles = measure_all(cfgs);
+    for (std::size_t i = 0; i < cfgs.size(); ++i) {
+      if (!fold(cfgs[i], cycles[i])) return false;
+    }
+    return true;
+  };
+
   // Phase 1: thread mapping.
+  std::vector<TuneConfig> lane_cfgs;
+  lane_cfgs.reserve(options.lane_candidates.size());
   for (int lanes : options.lane_candidates) {
     TuneConfig cfg = base;
     cfg.lanes = lanes;
     cfg.group_bound = neutral_bound;
-    if (!probe(cfg)) return result;
+    lane_cfgs.push_back(cfg);
   }
+  if (!run_phase(lane_cfgs)) return result;
   const int best_lanes = result.best.lanes;
 
   // Phase 2: grouping bound, best lanes fixed.
   const std::vector<EdgeId> bounds = candidate_group_bounds(g, options.max_bound_rounds);
+  std::vector<TuneConfig> bound_cfgs;
+  bound_cfgs.reserve(bounds.size() + 1);
   for (EdgeId bound : bounds) {
     if (bound == neutral_bound) continue;  // already measured
     TuneConfig cfg = base;
     cfg.lanes = best_lanes;
     cfg.group_bound = bound;
-    if (!probe(cfg)) return result;
+    bound_cfgs.push_back(cfg);
   }
   // Also consider no grouping at all.
   TuneConfig ungrouped = base;
   ungrouped.lanes = best_lanes;
   ungrouped.group_bound = 0;
-  if (!probe(ungrouped)) return result;
+  bound_cfgs.push_back(ungrouped);
+  if (!run_phase(bound_cfgs)) return result;
 
   // Phase 3: toggle the offline schedule on the winner — on graphs whose
   // natural order is already clustered (or whose hubs cluster badly), the
-  // reorder can lose (paper: protein/ddi in Figure 9).
+  // reorder can lose (paper: protein/ddi in Figure 9). Depends on the
+  // phase-2 winner, so it cannot overlap the earlier phases.
   TuneConfig toggled = result.best;
   toggled.use_las = !toggled.use_las;
-  if (!probe(toggled)) return result;
+  if (!run_phase({toggled})) return result;
 
   return result;
 }

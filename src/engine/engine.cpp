@@ -7,6 +7,7 @@
 
 #include "core/spfetch/step_index.hpp"
 #include "engine/tune_helper.hpp"
+#include "par/thread_pool.hpp"
 #include "models/gcn_grad.hpp"
 #include "kernels/dense.hpp"
 #include "kernels/edge_ops.hpp"
@@ -62,13 +63,35 @@ RunResult finish(sim::SimContext& ctx, const sim::DeviceSpec& spec, Matrix outpu
   r.output = std::move(output);
   return r;
 }
+
+/// The tuned configuration resolved by the current attempt, published by
+/// maybe_tune and consumed by effective_lanes/effective_bound/
+/// las_order_for on the same thread. Thread-local (not an engine member)
+/// so concurrent run_batch jobs tuning different graphs never see each
+/// other's knobs; matched by (engine, fingerprint) so a recycled
+/// allocation or another engine instance can never alias it.
+struct ActiveTune {
+  const void* engine = nullptr;
+  graph::GraphFingerprint fp;
+  tensor::Index feat = -1;
+  int lanes = 32;
+  graph::EdgeId bound = 0;
+  bool use_las = true;
+  bool valid = false;
+};
+thread_local ActiveTune t_active_tune;
 }  // namespace
 
 // ---- Graceful degradation (DESIGN.md §10) -----------------------------
 
 rt::Status OptimizedEngine::preflight(const Dataset& data,
                                       const models::Matrix* features) const {
-  if (preflight_graph_ == &data.csr && preflight_feat_ == features) return rt::OkStatus();
+  const graph::GraphFingerprint fp = graph::fingerprint(data.csr);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = preflight_cache_.find(fp);
+    if (it != preflight_cache_.end() && it->second == features) return rt::OkStatus();
+  }
   if (rt::Status s = rt::validate_csr(data.csr); !s.ok()) {
     return std::move(s).with_context("engine preflight");
   }
@@ -77,16 +100,15 @@ rt::Status OptimizedEngine::preflight(const Dataset& data,
       return std::move(s).with_context("engine preflight");
     }
   }
-  preflight_graph_ = &data.csr;
-  preflight_feat_ = features;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  preflight_cache_[fp] = features;
   return rt::OkStatus();
 }
 
 bool OptimizedEngine::degrade_for(const rt::StageFailure& failure) const {
-  const auto disable = [&](bool& flag, bool configured, std::string_view knob,
+  const auto disable = [&](std::atomic<bool>& flag, bool configured, std::string_view knob,
                            std::string_view action) {
-    if (flag || !configured) return false;
-    flag = true;
+    if (!configured || flag.exchange(true)) return false;
     prof::MetricsSink::instance().record_degradation(
         rt::make_degradation(failure.seam(), knob, action, failure.status()));
     std::fprintf(stderr, "gnnbridge: stage '%s' failed (%s); degrading: %s\n",
@@ -148,18 +170,21 @@ auto OptimizedEngine::run_guarded(const Dataset& data, const models::Matrix* fea
 
 std::vector<std::string> OptimizedEngine::degraded_knobs() const {
   std::vector<std::string> knobs;
-  if (las_failed_) knobs.emplace_back(rt::kKnobLas);
-  if (tune_failed_) knobs.emplace_back(rt::kKnobAutoTune);
-  if (adapter_failed_) knobs.emplace_back(rt::kKnobAdapter);
-  if (grouping_failed_) knobs.emplace_back(rt::kKnobNeighborGrouping);
+  if (las_failed_.load()) knobs.emplace_back(rt::kKnobLas);
+  if (tune_failed_.load()) knobs.emplace_back(rt::kKnobAutoTune);
+  if (adapter_failed_.load()) knobs.emplace_back(rt::kKnobAdapter);
+  if (grouping_failed_.load()) knobs.emplace_back(rt::kKnobNeighborGrouping);
   return knobs;
 }
 
 // ---- Knob plumbing ----------------------------------------------------
 
 EdgeId OptimizedEngine::effective_bound(const graph::Csr& csr) const {
-  if (grouping_failed_) return 0;
-  if (cfg_.auto_tune && tuned_graph_ == &csr) return tuned_bound_;
+  if (grouping_failed_.load(std::memory_order_relaxed)) return 0;
+  if (cfg_.auto_tune && t_active_tune.valid && t_active_tune.engine == this &&
+      t_active_tune.fp == graph::fingerprint(csr)) {
+    return t_active_tune.bound;
+  }
   if (!cfg_.use_neighbor_grouping) return 0;
   if (cfg_.group_bound > 0) return cfg_.group_bound;
   const double avg = csr.num_nodes > 0
@@ -169,45 +194,124 @@ EdgeId OptimizedEngine::effective_bound(const graph::Csr& csr) const {
 }
 
 const std::vector<NodeId>* OptimizedEngine::las_order_for(const graph::Csr& csr) const {
-  if (!cfg_.use_las || las_failed_) return nullptr;
-  if (cfg_.auto_tune && tuned_graph_ == &csr && !tuned_las_) return nullptr;
-  if (cfg_.las_order) return cfg_.las_order;
-  if (cached_graph_ != &csr) {
-    prof::Span span("las_schedule", "engine");
-    cached_order_ = core::locality_aware_schedule(csr).order;
-    cached_graph_ = &csr;
-    span.arg("nodes", static_cast<double>(csr.num_nodes));
+  if (!cfg_.use_las || las_failed_.load(std::memory_order_relaxed)) return nullptr;
+  const graph::GraphFingerprint fp = graph::fingerprint(csr);
+  if (cfg_.auto_tune && t_active_tune.valid && t_active_tune.engine == this &&
+      t_active_tune.fp == fp && !t_active_tune.use_las) {
+    return nullptr;
   }
-  return &cached_order_;
+  if (cfg_.las_order) return cfg_.las_order;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = las_cache_.find(fp);
+    if (it != las_cache_.end()) return it->second.get();
+  }
+  // Compute outside the lock (clustering is the expensive part); two
+  // concurrent jobs missing on the same graph compute identical orders and
+  // the first insert wins. Entries are never erased, so the returned raw
+  // pointer stays valid for the engine's lifetime.
+  prof::Span span("las_schedule", "engine");
+  auto order = std::make_shared<const std::vector<NodeId>>(core::locality_aware_schedule(csr).order);
+  span.arg("nodes", static_cast<double>(csr.num_nodes));
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto [it, inserted] = las_cache_.try_emplace(fp, std::move(order));
+  return it->second.get();
 }
 
 int OptimizedEngine::effective_lanes(const graph::Csr& csr) const {
-  if (cfg_.auto_tune && tuned_graph_ == &csr) return tuned_lanes_;
+  if (cfg_.auto_tune && t_active_tune.valid && t_active_tune.engine == this &&
+      t_active_tune.fp == graph::fingerprint(csr)) {
+    return t_active_tune.lanes;
+  }
   return cfg_.lanes;
 }
 
 void OptimizedEngine::maybe_tune(const graph::Csr& csr, tensor::Index feat_len,
                                  const sim::DeviceSpec& spec) const {
-  if (!cfg_.auto_tune || tune_failed_) return;
-  if (tuned_graph_ == &csr && tuned_feat_ == feat_len) return;
+  if (!cfg_.auto_tune || tune_failed_.load(std::memory_order_relaxed)) return;
+  const graph::GraphFingerprint fp = graph::fingerprint(csr);
+  const auto publish = [&](const TunedEntry& e) {
+    t_active_tune = {this, fp, feat_len, e.lanes, e.bound, e.use_las, true};
+  };
+  if (t_active_tune.valid && t_active_tune.engine == this && t_active_tune.fp == fp &&
+      t_active_tune.feat == feat_len) {
+    return;
+  }
+  const TunedKey key{fp, feat_len};
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = tuned_cache_.find(key);
+    if (it != tuned_cache_.end()) {
+      publish(it->second);
+      return;
+    }
+  }
   prof::Span span("auto_tune", "engine");
   span.arg("feat_len", static_cast<double>(feat_len));
-  const core::TuneResult tuned = tune_for(csr, feat_len, spec, cfg_.use_las && !las_failed_);
+  const core::TuneResult tuned =
+      tune_for(csr, feat_len, spec, cfg_.use_las && !las_failed_.load(std::memory_order_relaxed));
   if (!tuned.error.ok()) {
     // A poisoned probe measurement must not pick the configuration: fall
     // back to the heuristic bound and static lanes for good.
-    tune_failed_ = true;
+    tune_failed_.store(true);
     prof::MetricsSink::instance().record_degradation(rt::make_degradation(
         rt::kSeamTunerProbe, rt::kKnobAutoTune, "tuned_bound->heuristic_bound", tuned.error));
     std::fprintf(stderr, "gnnbridge: auto-tune aborted (%s); using heuristic configuration\n",
                  tuned.error.to_string().c_str());
     return;
   }
-  tuned_lanes_ = tuned.best.lanes;
-  tuned_bound_ = tuned.best.group_bound;
-  tuned_las_ = tuned.best.use_las;
-  tuned_graph_ = &csr;
-  tuned_feat_ = feat_len;
+  const TunedEntry entry{tuned.best.lanes, tuned.best.group_bound, tuned.best.use_las};
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto [it, inserted] = tuned_cache_.try_emplace(key, entry);
+  publish(it->second);
+}
+
+std::size_t OptimizedEngine::las_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return las_cache_.size();
+}
+
+std::size_t OptimizedEngine::tuned_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return tuned_cache_.size();
+}
+
+std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs) {
+  std::vector<RunResult> results(jobs.size());
+  // Jobs are independent (model, dataset) configs; each runs its whole
+  // pipeline inline on one pool worker (nested parallel regions detect the
+  // worker and stay serial). Shared memoization is fingerprint-keyed and
+  // mutex-guarded, so results land in job order and match a sequential
+  // loop exactly.
+  par::parallel_chunks(jobs.size(), /*grain=*/1,
+                       [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+                         for (std::size_t i = begin; i < end; ++i) {
+                           const BatchJob& job = jobs[i];
+                           if (!job.data) {
+                             results[i].status = rt::Status(rt::StatusCode::kInvalidArgument,
+                                                            "batch job has no dataset");
+                             continue;
+                           }
+                           if (job.gcn) {
+                             results[i] = run_gcn(*job.data, *job.gcn, job.mode, job.spec);
+                           } else if (job.gat) {
+                             results[i] = run_gat(*job.data, *job.gat, job.mode, job.spec);
+                           } else if (job.sage_lstm) {
+                             results[i] =
+                                 run_sage_lstm(*job.data, *job.sage_lstm, job.mode, job.spec);
+                           } else if (job.sage_pool) {
+                             results[i] =
+                                 run_sage_pool(*job.data, *job.sage_pool, job.mode, job.spec);
+                           } else if (job.multihead_gat) {
+                             results[i] = run_multihead_gat(*job.data, *job.multihead_gat,
+                                                            job.mode, job.spec);
+                           } else {
+                             results[i].status = rt::Status(rt::StatusCode::kInvalidArgument,
+                                                            "batch job has no run request");
+                           }
+                         }
+                       });
+  return results;
 }
 
 core::GroupedTasks OptimizedEngine::build_tasks(const graph::Csr& csr) const {

@@ -12,9 +12,17 @@
 // benchmarks (Figures 8-11, Table 6) sweep.
 #pragma once
 
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
 #include "baselines/backend.hpp"
 #include "core/balance/neighbor_grouping.hpp"
 #include "core/locality/schedule.hpp"
+#include "graph/fingerprint.hpp"
 #include "models/gcn_grad.hpp"
 #include "rt/degrade.hpp"
 
@@ -122,31 +130,85 @@ class OptimizedEngine final : public Backend {
   /// knob names (rt::kKnob*). Sticky for the engine's lifetime.
   std::vector<std::string> degraded_knobs() const;
 
+  /// One independent run request for run_batch: exactly one of the model
+  /// pointers must be set.
+  struct BatchJob {
+    const Dataset* data = nullptr;
+    const GcnRun* gcn = nullptr;
+    const GatRun* gat = nullptr;
+    const SageLstmRun* sage_lstm = nullptr;
+    const baselines::SagePoolRun* sage_pool = nullptr;
+    const baselines::MultiHeadGatRun* multihead_gat = nullptr;
+    ExecMode mode = ExecMode::kSimulateOnly;
+    sim::DeviceSpec spec;
+  };
+
+  /// Runs independent (model, dataset) jobs concurrently on the host
+  /// thread pool, sharing this engine's memoized LAS orders and tuned
+  /// configurations (the caches are fingerprint-keyed and mutex-guarded).
+  /// Results are returned in job order and are identical to running each
+  /// job sequentially.
+  std::vector<RunResult> run_batch(std::span<const BatchJob> jobs);
+
+  /// Cache observability (tests): number of memoized LAS orders / tuned
+  /// configurations. A mutated-then-rerun graph must grow these — the
+  /// stale-pointer regression this engine used to have.
+  std::size_t las_cache_size() const;
+  std::size_t tuned_cache_size() const;
+
  private:
   EngineConfig cfg_;
-  // Cached offline LAS schedule (keyed by graph identity).
-  mutable std::vector<NodeId> cached_order_;
-  mutable const void* cached_graph_ = nullptr;
-  // Cached auto-tune result (keyed by graph identity + feature length).
-  mutable const void* tuned_graph_ = nullptr;
-  mutable tensor::Index tuned_feat_ = -1;
-  mutable int tuned_lanes_ = 32;
-  mutable EdgeId tuned_bound_ = 0;
-  mutable bool tuned_las_ = true;
+
+  /// Cached auto-tune outcome for one (graph fingerprint, feature length).
+  struct TunedEntry {
+    int lanes = 32;
+    EdgeId bound = 0;
+    bool use_las = true;
+  };
+  struct TunedKey {
+    graph::GraphFingerprint fp;
+    tensor::Index feat = -1;
+    friend bool operator==(const TunedKey& a, const TunedKey& b) {
+      return a.fp == b.fp && a.feat == b.feat;
+    }
+  };
+  struct TunedKeyHash {
+    std::size_t operator()(const TunedKey& k) const {
+      return graph::GraphFingerprintHash{}(k.fp) * 1099511628211ull ^
+             static_cast<std::size_t>(k.feat);
+    }
+  };
+
+  // Memoized per-graph artifacts, keyed by content fingerprint so an
+  // in-place mutated (or reallocated-at-the-same-address) graph can never
+  // alias a stale entry. Guarded by cache_mu_; run_batch jobs share them.
+  // LAS orders are held behind shared_ptr and never erased, so the raw
+  // pointers handed to a running attempt stay valid across concurrent
+  // inserts/rehashes.
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<graph::GraphFingerprint,
+                             std::shared_ptr<const std::vector<NodeId>>,
+                             graph::GraphFingerprintHash>
+      las_cache_;
+  mutable std::unordered_map<TunedKey, TunedEntry, TunedKeyHash> tuned_cache_;
+  // Preflight cache: validation is O(N x F); benches rerun identical
+  // inputs thousands of times. Keyed by fingerprint + feature pointer.
+  mutable std::unordered_map<graph::GraphFingerprint, const void*,
+                             graph::GraphFingerprintHash>
+      preflight_cache_;
 
   // Sticky health flags: set when the corresponding stage failed and the
   // degradation ladder disabled its knob; never cleared — a stage that
-  // failed once is not trusted again for this engine's lifetime.
-  mutable bool las_failed_ = false;
-  mutable bool tune_failed_ = false;
-  mutable bool adapter_failed_ = false;
-  mutable bool grouping_failed_ = false;
-  // Preflight cache: validation is O(N x F); benches rerun identical
-  // inputs thousands of times.
-  mutable const void* preflight_graph_ = nullptr;
-  mutable const void* preflight_feat_ = nullptr;
+  // failed once is not trusted again for this engine's lifetime. Atomic so
+  // concurrent batch jobs can degrade without racing.
+  mutable std::atomic<bool> las_failed_{false};
+  mutable std::atomic<bool> tune_failed_{false};
+  mutable std::atomic<bool> adapter_failed_{false};
+  mutable std::atomic<bool> grouping_failed_{false};
 
-  bool adapter_enabled() const { return cfg_.use_adapter && !adapter_failed_; }
+  bool adapter_enabled() const {
+    return cfg_.use_adapter && !adapter_failed_.load(std::memory_order_relaxed);
+  }
 
   /// Input validation run before every attempt (cached by identity).
   rt::Status preflight(const Dataset& data, const models::Matrix* features) const;

@@ -1,0 +1,32 @@
+#include "graph/fingerprint.hpp"
+
+namespace gnnbridge::graph {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  // Fold the value in byte-by-byte so permuted entries hash differently.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffull;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+GraphFingerprint fingerprint(const Csr& g) {
+  GraphFingerprint f;
+  f.num_nodes = g.num_nodes;
+  f.num_edges = g.num_edges();
+  std::uint64_t h = kFnvOffset;
+  for (const EdgeId p : g.row_ptr) h = fnv1a_u64(h, static_cast<std::uint64_t>(p));
+  for (const NodeId c : g.col_idx) h = fnv1a_u64(h, static_cast<std::uint64_t>(c));
+  f.checksum = h;
+  return f;
+}
+
+}  // namespace gnnbridge::graph

@@ -1,0 +1,50 @@
+// Cheap content fingerprint for CSR graphs.
+//
+// The engine memoizes per-graph artifacts (LAS orders, tuned kernel
+// configs). Keying those caches by `&csr` is unsound: a caller can mutate a
+// graph in place or recycle the allocation for a different dataset, and the
+// stale entry silently survives. A fingerprint keys by what the artifact
+// actually depends on — the adjacency structure itself — at O(V + E) cost,
+// far below the O(V·E·F)-ish cost of recomputing an LAS order or a tuning
+// sweep.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "graph/csr.hpp"
+
+namespace gnnbridge::graph {
+
+/// Content-derived identity of a CSR graph: shape plus an FNV-1a style
+/// checksum over row_ptr and col_idx. Equality of fingerprints is
+/// (overwhelmingly) equality of adjacency structure.
+struct GraphFingerprint {
+  NodeId num_nodes = 0;
+  EdgeId num_edges = 0;
+  std::uint64_t checksum = 0;
+
+  friend bool operator==(const GraphFingerprint& a, const GraphFingerprint& b) {
+    return a.num_nodes == b.num_nodes && a.num_edges == b.num_edges &&
+           a.checksum == b.checksum;
+  }
+  friend bool operator!=(const GraphFingerprint& a, const GraphFingerprint& b) {
+    return !(a == b);
+  }
+};
+
+/// Computes the fingerprint of `g`. Deterministic across runs and platforms.
+GraphFingerprint fingerprint(const Csr& g);
+
+/// Hash functor so GraphFingerprint can key unordered_map.
+struct GraphFingerprintHash {
+  std::size_t operator()(const GraphFingerprint& f) const {
+    std::uint64_t h = f.checksum;
+    h ^= static_cast<std::uint64_t>(f.num_nodes) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= static_cast<std::uint64_t>(f.num_edges) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace gnnbridge::graph

@@ -8,6 +8,7 @@
 #include <unistd.h>
 #endif
 
+#include "par/thread_pool.hpp"
 #include "prof/gap_report.hpp"
 #include "prof/json_writer.hpp"
 #include "rt/fault.hpp"
@@ -146,6 +147,7 @@ MetaInfo collect_meta() {
   if (::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') meta.hostname = host;
 #endif
   if (const char* scale = std::getenv("GNNBRIDGE_SCALE")) meta.scale_env = scale;
+  meta.threads = par::max_threads();
   return meta;
 }
 
@@ -234,6 +236,7 @@ std::string MetricsSink::to_json() const {
   w.kv("timestamp", std::string_view(meta_.timestamp));
   w.kv("hostname", std::string_view(meta_.hostname));
   w.kv("scale_env", std::string_view(meta_.scale_env));
+  w.kv("threads", meta_.threads);
   w.end_object();
   w.key("runs");
   w.begin_array();

@@ -17,7 +17,9 @@
 //     "experiment": "<banner id>",
 //     "scale": 0.25,
 //     "meta": {"git_sha":"abc1234", "timestamp":"2026-01-01T00:00:00Z",
-//              "hostname":"...", "scale_env":"0.25"},
+//              "hostname":"...", "scale_env":"0.25", "threads":8},
+//     (meta.threads — the host thread-pool width — is additive within
+//      version 3: all simulated counters are byte-identical at any value)
 //     "runs": [{
 //       "label": "...", "model": "...", "backend": "...", "dataset": "...",
 //       "ms": 1.5, "oom": false,
@@ -82,6 +84,7 @@ struct MetaInfo {
   std::string timestamp = "unknown"; ///< ISO-8601 UTC
   std::string hostname = "unknown";
   std::string scale_env;             ///< raw GNNBRIDGE_SCALE ("" when unset)
+  int threads = 1;                   ///< host pool width (par::max_threads)
 };
 
 /// Collects the default provenance from the environment (git, clock,

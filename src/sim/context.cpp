@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "par/thread_pool.hpp"
 #include "prof/span.hpp"
 #include "rt/fault.hpp"
 #include "sim/scheduler.hpp"
@@ -74,24 +75,55 @@ const KernelStats& SimContext::launch(Kernel kernel) {
   const double bw_share =
       std::clamp(static_cast<double>(n) / spec_.total_block_slots(), 1.0 / 8.0, 1.0);
   std::vector<Cycles> durations(n, 0.0);
-  for (std::size_t b = 0; b < n; ++b) {
-    const auto& blk = kernel.blocks[b];
-    const Cycles compute = blk.issued_flops / spec_.flops_per_cycle_per_block;
-    const Cycles memory = (static_cast<double>(hits[b]) * spec_.l2_hit_cycles_per_line +
-                           static_cast<double>(misses[b]) * spec_.dram_cycles_per_line) *
-                          bw_share;
-    durations[b] = std::max(compute, memory) + blk.extra_cycles;
-    ks.l2_hits += hits[b];
-    ks.l2_misses += misses[b];
-    ks.flops += blk.flops;
-    ks.issued_flops += blk.issued_flops;
-    ks.atomic_cycles += blk.atomic_cycles;
-    ks.atomic_bytes += blk.atomic_bytes;
-    ks.adapter_cycles += blk.adapter_cycles;
-    ks.adapter_bytes += blk.adapter_bytes;
-    ks.pad_flops += blk.pad_flops;
-    ks.copy_flops += blk.copy_flops;
-    ks.tile_flops += blk.tile_flops;
+  // Per-block durations are independent (disjoint writes); the counter
+  // sums accumulate into per-chunk shards merged below in chunk index
+  // order, so the totals are identical at any thread count. (The summed
+  // doubles here are sums of exactly-representable per-block quantities,
+  // so the shard grouping is also exact vs. a sequential fold.)
+  struct CounterShard {
+    std::uint64_t l2_hits = 0, l2_misses = 0;
+    double flops = 0.0, issued_flops = 0.0;
+    double atomic_cycles = 0.0;
+    std::uint64_t atomic_bytes = 0;
+    double adapter_cycles = 0.0;
+    std::uint64_t adapter_bytes = 0;
+    double pad_flops = 0.0, copy_flops = 0.0, tile_flops = 0.0;
+  };
+  const std::vector<CounterShard> shards = par::sharded_chunks<CounterShard>(
+      n, par::kDefaultGrain,
+      [&](CounterShard& shard, std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        for (std::size_t b = begin; b < end; ++b) {
+          const auto& blk = kernel.blocks[b];
+          const Cycles compute = blk.issued_flops / spec_.flops_per_cycle_per_block;
+          const Cycles memory = (static_cast<double>(hits[b]) * spec_.l2_hit_cycles_per_line +
+                                 static_cast<double>(misses[b]) * spec_.dram_cycles_per_line) *
+                                bw_share;
+          durations[b] = std::max(compute, memory) + blk.extra_cycles;
+          shard.l2_hits += hits[b];
+          shard.l2_misses += misses[b];
+          shard.flops += blk.flops;
+          shard.issued_flops += blk.issued_flops;
+          shard.atomic_cycles += blk.atomic_cycles;
+          shard.atomic_bytes += blk.atomic_bytes;
+          shard.adapter_cycles += blk.adapter_cycles;
+          shard.adapter_bytes += blk.adapter_bytes;
+          shard.pad_flops += blk.pad_flops;
+          shard.copy_flops += blk.copy_flops;
+          shard.tile_flops += blk.tile_flops;
+        }
+      });
+  for (const CounterShard& shard : shards) {
+    ks.l2_hits += shard.l2_hits;
+    ks.l2_misses += shard.l2_misses;
+    ks.flops += shard.flops;
+    ks.issued_flops += shard.issued_flops;
+    ks.atomic_cycles += shard.atomic_cycles;
+    ks.atomic_bytes += shard.atomic_bytes;
+    ks.adapter_cycles += shard.adapter_cycles;
+    ks.adapter_bytes += shard.adapter_bytes;
+    ks.pad_flops += shard.pad_flops;
+    ks.copy_flops += shard.copy_flops;
+    ks.tile_flops += shard.tile_flops;
   }
   ks.dram_bytes = ks.l2_misses * static_cast<std::uint64_t>(spec_.line_bytes);
 

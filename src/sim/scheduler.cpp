@@ -30,8 +30,11 @@ ScheduleResult schedule_blocks(std::span<const Cycles> durations, int slots) {
     total += d;
     free_at.push({end, s});
   }
-  result.balanced = total / static_cast<double>(slots);
-  (void)active_slots;
+  // Perfect-balance lower bound over the slots the kernel can actually
+  // occupy: a launch with fewer blocks than slots cannot spread its work
+  // over idle slots, so dividing by all `slots` would understate the bound
+  // (and overstate Figure 8's imbalance headroom).
+  result.balanced = total / static_cast<double>(active_slots);
 
   // Sweep events into piecewise-constant occupancy intervals. Ends sort
   // before starts at equal times so back-to-back blocks on one slot do not

@@ -3,8 +3,9 @@
 // Models the GPU's greedy block dispatcher: blocks launch in order, each
 // taking the first block slot that frees up (the device offers
 // num_sms * max_blocks_per_sm slots). Produces the kernel makespan, the
-// perfectly-balanced lower bound (total work / slots — the "Balanced" bars
-// of Figure 8), and the active-block occupancy timeline (Table 4).
+// perfectly-balanced lower bound (total work / min(slots, blocks) — the
+// "Balanced" bars of Figure 8), and the active-block occupancy timeline
+// (Table 4).
 #pragma once
 
 #include <span>
@@ -18,7 +19,8 @@ namespace gnnbridge::sim {
 struct ScheduleResult {
   /// Wall-clock cycles from first dispatch to last completion.
   Cycles makespan = 0.0;
-  /// sum(durations) / slots — the perfect-load-balance execution time.
+  /// sum(durations) / min(slots, durations.size()) — the
+  /// perfect-load-balance execution time over the occupiable slots.
   Cycles balanced = 0.0;
   /// Active-block count over time.
   Timeline timeline;

@@ -98,6 +98,69 @@ TEST(PairMerging, EveryNodeInExactlyOneCluster) {
   }
 }
 
+TEST(PairMerging, RePosedPairDropsWhenRepresentativesAreDissimilar) {
+  // 0 and 1 share a signature; 2 is unrelated. After {0,1} merges, the
+  // stale pair {1,2} must be re-posed between rep(1) and 2 — whose
+  // estimated similarity is 0 — and dropped, never merged at its original
+  // (now meaningless) similarity.
+  MinHashSignatures s;
+  s.rows = 4;
+  s.sig = {7, 7, 7, 7,      // node 0
+           7, 7, 7, 7,      // node 1
+           9, 10, 11, 12};  // node 2
+  std::vector<CandidatePair> pairs{{0, 1, 0.9}, {1, 2, 0.8}};
+  const Clustering c = merge_pairs(3, pairs, s, {});
+  EXPECT_EQ(c.cluster_of[0], c.cluster_of[1]);
+  EXPECT_NE(c.cluster_of[1], c.cluster_of[2]);
+  EXPECT_EQ(c.num_nontrivial(), 1);
+}
+
+TEST(PairMerging, RePosedPairMergesAtRepresentativeSimilarity) {
+  // Mirror case: the stale endpoint's representative IS similar to the
+  // other node, so the re-posed pair comes back and merges — through the
+  // representative, not the stale node.
+  MinHashSignatures s;
+  s.rows = 4;
+  s.sig.assign(4 * 4, 7);  // everyone similar
+  // {2,3} merges first (highest sim), then {0,1}; the low-sim {1,3} pair
+  // is stale on both ends and must be re-posed between the reps.
+  std::vector<CandidatePair> pairs{{2, 3, 0.95}, {0, 1, 0.9}, {1, 3, 0.2}};
+  const Clustering c = merge_pairs(4, pairs, s, {});
+  EXPECT_EQ(c.cluster_of[0], c.cluster_of[3]);
+  EXPECT_EQ(c.num_nontrivial(), 1);
+  EXPECT_EQ(c.clusters[static_cast<std::size_t>(c.cluster_of[0])].size(), 4u);
+}
+
+TEST(PairMerging, DeterministicUnderShuffledCandidateOrder) {
+  // The queue orders by (similarity, ids) with a full deterministic
+  // tie-break, so the clustering is a function of the pair *set*, not the
+  // order candidates arrive in — including duplicated similarities.
+  tensor::Rng rng(11);
+  std::vector<CandidatePair> pairs;
+  for (int i = 0; i < 300; ++i) {
+    const NodeId a = static_cast<NodeId>(rng.below(64));
+    const NodeId b = static_cast<NodeId>(rng.below(64));
+    if (a == b) continue;
+    // Quantized similarities force plenty of ties.
+    const double sim = 0.1 * static_cast<double>(1 + rng.below(9));
+    pairs.push_back({std::min(a, b), std::max(a, b), sim});
+  }
+  MinHashSignatures s;
+  s.rows = 4;
+  s.sig.assign(64 * 4, 3);  // all-similar: re-posed pairs stay alive
+
+  const Clustering base = merge_pairs(64, pairs, s, {});
+  std::vector<CandidatePair> reversed(pairs.rbegin(), pairs.rend());
+  std::vector<CandidatePair> rotated(pairs.begin() + pairs.size() / 2, pairs.end());
+  rotated.insert(rotated.end(), pairs.begin(), pairs.begin() + pairs.size() / 2);
+  for (const auto& variant : {reversed, rotated}) {
+    const Clustering c = merge_pairs(64, variant, s, {});
+    ASSERT_EQ(c.cluster_of.size(), base.cluster_of.size());
+    EXPECT_EQ(c.cluster_of, base.cluster_of);
+    EXPECT_EQ(c.clusters, base.clusters);
+  }
+}
+
 TEST(PairMerging, DefaultCapIs32) {
   ClusterConfig cfg;
   EXPECT_EQ(cfg.max_cluster_size, 32);

@@ -45,6 +45,57 @@ TEST(AutoTune, NotSlowerThanDefaultsOnSkewedGraph) {
   EXPECT_LT(rb.ms, ra.ms * 1.05);  // tuning must not regress materially
 }
 
+// Regression: the engine used to key its memoized LAS order and tuned
+// configuration by the graph's address (&csr). A dataset mutated or
+// reloaded in place — same address, different content — silently reused
+// the stale schedule. The caches are now keyed by content fingerprint;
+// swapping a different graph into the same Dataset object must retune.
+TEST(AutoTune, MutatedGraphAtSameAddressIsRetuned) {
+  graph::Dataset data = graph::make_dataset(graph::DatasetId::kCollab, 0.02);
+  models::GcnConfig cfg;
+  cfg.dims = {32, 16};
+  const models::GcnParams params = models::init_gcn(cfg, 5);
+
+  // Two cache populations: the default engine memoizes LAS orders; the
+  // auto-tuning engine memoizes tuned configurations (which may well turn
+  // LAS off for a small graph, so its LAS cache is not asserted).
+  OptimizedEngine las_engine;
+  EngineConfig tcfg;
+  tcfg.auto_tune = true;
+  OptimizedEngine tuned_engine(tcfg);
+
+  const auto run_both = [&](const models::Matrix& x) {
+    const auto rl =
+        las_engine.run_gcn(data, {&cfg, &params, &x}, ExecMode::kSimulateOnly, sim::v100());
+    EXPECT_TRUE(rl.status.ok()) << rl.status.to_string();
+    const auto rt =
+        tuned_engine.run_gcn(data, {&cfg, &params, &x}, ExecMode::kSimulateOnly, sim::v100());
+    EXPECT_TRUE(rt.status.ok()) << rt.status.to_string();
+    return rt;
+  };
+
+  const models::Matrix x1 = models::init_features(data.csr.num_nodes, 32, 6);
+  const auto r1 = run_both(x1);
+  EXPECT_EQ(las_engine.las_cache_size(), 1u);
+  EXPECT_EQ(tuned_engine.tuned_cache_size(), 1u);
+
+  // Reload a structurally different graph into the same Dataset object:
+  // `data.csr` keeps its address but now holds different content.
+  data.csr = graph::make_dataset(graph::DatasetId::kArxiv, 0.02).csr;
+  const models::Matrix x2 = models::init_features(data.csr.num_nodes, 32, 6);
+  run_both(x2);
+  EXPECT_EQ(las_engine.las_cache_size(), 2u) << "stale LAS order reused for mutated graph";
+  EXPECT_EQ(tuned_engine.tuned_cache_size(), 2u) << "stale tuned config reused for mutated graph";
+
+  // And the original graph's entries are still valid: rerunning the first
+  // input hits the cache instead of growing it.
+  data.csr = graph::make_dataset(graph::DatasetId::kCollab, 0.02).csr;
+  const auto r3 = run_both(x1);
+  EXPECT_EQ(las_engine.las_cache_size(), 2u);
+  EXPECT_EQ(tuned_engine.tuned_cache_size(), 2u);
+  EXPECT_DOUBLE_EQ(r1.ms, r3.ms);
+}
+
 TEST(AutoTune, TunedConfigCachedAcrossRuns) {
   const graph::Dataset data = graph::make_dataset(graph::DatasetId::kCollab, 0.02);
   models::GcnConfig cfg;

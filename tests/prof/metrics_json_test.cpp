@@ -68,7 +68,8 @@ MetaInfo golden_meta() {
   return MetaInfo{.git_sha = "deadbee",
                   .timestamp = "2026-01-01T00:00:00Z",
                   .hostname = "goldenhost",
-                  .scale_env = "0.25"};
+                  .scale_env = "0.25",
+                  .threads = 8};
 }
 
 // Gap attribution for golden_record(), derivable by hand:
@@ -81,7 +82,7 @@ constexpr const char* kGolden =
     "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":3,"
     "\"experiment\":\"golden\",\"scale\":0.25,"
     "\"meta\":{\"git_sha\":\"deadbee\",\"timestamp\":\"2026-01-01T00:00:00Z\","
-    "\"hostname\":\"goldenhost\",\"scale_env\":\"0.25\"},"
+    "\"hostname\":\"goldenhost\",\"scale_env\":\"0.25\",\"threads\":8},"
     "\"runs\":["
     "{\"label\":\"gcn/ours/collab\",\"model\":\"gcn\",\"backend\":\"ours\","
     "\"dataset\":\"collab\",\"ms\":1.5,\"oom\":false,"

@@ -17,7 +17,17 @@ TEST(Scheduler, SingleBlock) {
   const std::vector<Cycles> d{100.0};
   const ScheduleResult r = schedule_blocks(d, 4);
   EXPECT_DOUBLE_EQ(r.makespan, 100.0);
-  EXPECT_DOUBLE_EQ(r.balanced, 25.0);
+  // One block can only ever occupy one slot: the perfect-balance bound is
+  // the block itself, not total/slots.
+  EXPECT_DOUBLE_EQ(r.balanced, 100.0);
+}
+
+TEST(Scheduler, FewerBlocksThanSlotsBoundsOverOccupiableSlots) {
+  const std::vector<Cycles> d{30.0, 10.0};
+  const ScheduleResult r = schedule_blocks(d, 8);
+  EXPECT_DOUBLE_EQ(r.makespan, 30.0);
+  EXPECT_DOUBLE_EQ(r.balanced, 20.0);  // 40 / min(8, 2)
+  EXPECT_GE(r.makespan, r.balanced);
 }
 
 TEST(Scheduler, PerfectPackingEqualsBalanced) {

@@ -82,11 +82,13 @@ GAP_SECTIONS = [
 ]
 
 
-def run_bench(binary, scale, metrics_path):
+def run_bench(binary, scale, metrics_path, threads=None):
     """Runs one bench binary and returns its parsed metrics document."""
     env = dict(os.environ)
     env["GNNBRIDGE_SCALE"] = repr(scale)
     env["GNNBRIDGE_METRICS_JSON"] = metrics_path
+    if threads is not None:
+        env["GNNBRIDGE_THREADS"] = str(threads)
     env.pop("GNNBRIDGE_TRACE_JSON", None)
     env.pop("GNNBRIDGE_FAULT_PLAN", None)
     proc = subprocess.run(
@@ -138,6 +140,14 @@ def main():
         default=0.05,
         help="GNNBRIDGE_SCALE for every bench (default 0.05, the baseline scale)",
     )
+    ap.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="host threads per bench (sets GNNBRIDGE_THREADS; default: "
+        "inherit the environment, which means hardware concurrency). "
+        "Metrics are byte-identical at any value; only wall time changes.",
+    )
     ap.add_argument("--label", default=None, help="trajectory label (default: suite)")
     ap.add_argument(
         "--out", default=None, help="output path (default: BENCH_<label>.json)"
@@ -163,7 +173,7 @@ def main():
         for name, path in binaries:
             metrics_path = os.path.join(tmp, f"{name}.json")
             try:
-                doc = run_bench(path, args.scale, metrics_path)
+                doc = run_bench(path, args.scale, metrics_path, args.threads)
             except (RuntimeError, OSError, json.JSONDecodeError) as e:
                 print(f"bench_runner: {name}: {e}", file=sys.stderr)
                 return 1
@@ -184,6 +194,7 @@ def main():
         "label": label,
         "suite": args.suite,
         "scale": args.scale,
+        "threads": (meta or {}).get("threads"),
         "meta": meta,
         "device": device,
         "entries": entries,

@@ -106,6 +106,7 @@ META_KEYS = {
     "timestamp": str,
     "hostname": str,
     "scale_env": str,
+    "threads": int,
 }
 GAP_KEYS = {
     "label": str,

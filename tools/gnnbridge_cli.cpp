@@ -22,6 +22,7 @@
 #include "baselines/roc.hpp"
 #include "engine/engine.hpp"
 #include "graph/datasets.hpp"
+#include "par/thread_pool.hpp"
 #include "prof/chrome_trace.hpp"
 #include "prof/gap_report.hpp"
 #include "prof/metrics_json.hpp"
@@ -58,6 +59,9 @@ void usage() {
       "  --backend dgl|pyg|roc|ours    framework backend (default ours)\n"
       "  --dataset NAME                arxiv|collab|citation|ddi|protein|ppa|reddit|products\n"
       "  --scale S                     dataset scale in (0,1] (default 0.1)\n"
+      "  --threads N                   host threads in [1, 4096] (default:\n"
+      "                                $GNNBRIDGE_THREADS, else hardware concurrency);\n"
+      "                                results are byte-identical at any value\n"
       "  --full                        run real numerics (default: trace-only)\n"
       "  --heads K                     attention heads for mhgat (default 4)\n"
       "  --kernels                     print the per-kernel breakdown\n"
@@ -208,6 +212,8 @@ int main(int argc, char** argv) {
       scale = parse_double_flag("--scale", next());
     } else if (arg == "--heads") {
       heads = parse_int_flag("--heads", next(), 1, 64);
+    } else if (arg == "--threads") {
+      par::set_max_threads(parse_int_flag("--threads", next(), 1, 4096));
     } else if (arg == "--trace" || arg == "--trace-out") {
       trace_out = next();
     } else if (arg == "--metrics" || arg == "--metrics-out") {

@@ -1,16 +1,24 @@
 #!/usr/bin/env bash
-# Build and run the tier-1 test suite under ASan + UBSan.
+# Build and run the tier-1 test suite under ASan + UBSan (default) or
+# TSan (--tsan).
 #
-#   tools/run_sanitized.sh [extra ctest args...]
+#   tools/run_sanitized.sh [--tsan] [extra ctest args...]
 #
-# Uses a dedicated build directory (build-asan) so the instrumented build
-# never pollutes the regular one. The sanitizer list comes from the
-# GNNBRIDGE_SANITIZE cache variable (see the top-level CMakeLists.txt);
-# override with SANITIZE=thread etc. Exits non-zero on any build failure,
-# test failure, or sanitizer report (halt_on_error).
+# Uses a dedicated build directory (build-asan / build-tsan) so the
+# instrumented build never pollutes the regular one. The sanitizer list
+# comes from the GNNBRIDGE_SANITIZE cache variable (see the top-level
+# CMakeLists.txt); override with SANITIZE=thread etc. Exits non-zero on
+# any build failure, test failure, or sanitizer report (halt_on_error).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  shift
+  SANITIZE="${SANITIZE:-thread}"
+  BUILD_DIR="${BUILD_DIR:-build-tsan}"
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+fi
 
 SANITIZE="${SANITIZE:-address,undefined}"
 BUILD_DIR="${BUILD_DIR:-build-asan}"
