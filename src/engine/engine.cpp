@@ -80,6 +80,74 @@ struct ActiveTune {
   bool valid = false;
 };
 thread_local ActiveTune t_active_tune;
+
+/// The batch job running on this thread (serving resilience, DESIGN.md
+/// §12). Batch jobs execute whole on one pool worker (nested regions run
+/// inline), so a thread-local is job-confined. While active, the
+/// degradation ladder disables knobs *here* instead of the engine's sticky
+/// atomics — one job's failures never change how a concurrent healthy job
+/// runs, which keeps batch results independent of job interleaving — and
+/// degradation events are buffered for a later flush in job-index order.
+struct ActiveJob {
+  const void* engine = nullptr;
+  bool disable_las = false;
+  bool disable_tune = false;
+  bool disable_adapter = false;
+  bool disable_grouping = false;
+  /// The job carries a private fault plan, so it must not take warm-cache
+  /// shortcuts: a cache hit skips the work (and its fault seams) entirely,
+  /// and warmth depends on which job got there first — thread timing. An
+  /// isolated job recomputes LAS orders and tuned configurations itself,
+  /// making its fault schedule a function of the job alone (§11/§12).
+  bool cache_isolated = false;
+  std::vector<rt::DegradationEvent>* events = nullptr;
+  bool active = false;
+};
+thread_local ActiveJob t_active_job;
+
+bool job_active_for(const void* engine) {
+  return t_active_job.active && t_active_job.engine == engine;
+}
+
+/// RAII install of the per-job ladder, pre-seeded from the breaker's
+/// admission decision (an open breaker routes the job straight to the
+/// last-known-good degraded knob set).
+class JobGuard {
+ public:
+  JobGuard(const void* engine, const rt::BreakerDecision& admission,
+           std::vector<rt::DegradationEvent>* events, bool cache_isolated)
+      : prev_(t_active_job) {
+    ActiveJob job;
+    job.engine = engine;
+    job.events = events;
+    job.active = true;
+    job.cache_isolated = cache_isolated;
+    for (const std::string& knob : admission.disabled_knobs) {
+      if (knob == rt::kKnobLas) job.disable_las = true;
+      if (knob == rt::kKnobAutoTune) job.disable_tune = true;
+      if (knob == rt::kKnobAdapter) job.disable_adapter = true;
+      if (knob == rt::kKnobNeighborGrouping) job.disable_grouping = true;
+    }
+    t_active_job = job;
+  }
+  ~JobGuard() { t_active_job = prev_; }
+  JobGuard(const JobGuard&) = delete;
+  JobGuard& operator=(const JobGuard&) = delete;
+
+  /// Knobs currently off for this job, as metric-schema names — the rung
+  /// the breaker records when the job still fails here.
+  static std::vector<std::string> disabled_knobs() {
+    std::vector<std::string> knobs;
+    if (t_active_job.disable_las) knobs.emplace_back(rt::kKnobLas);
+    if (t_active_job.disable_tune) knobs.emplace_back(rt::kKnobAutoTune);
+    if (t_active_job.disable_adapter) knobs.emplace_back(rt::kKnobAdapter);
+    if (t_active_job.disable_grouping) knobs.emplace_back(rt::kKnobNeighborGrouping);
+    return knobs;
+  }
+
+ private:
+  ActiveJob prev_;
+};
 }  // namespace
 
 // ---- Graceful degradation (DESIGN.md §10) -----------------------------
@@ -106,11 +174,32 @@ rt::Status OptimizedEngine::preflight(const Dataset& data,
 }
 
 bool OptimizedEngine::degrade_for(const rt::StageFailure& failure) const {
+  // Batch jobs walk a job-local ladder: the knob is disabled in the
+  // thread-local ActiveJob (never the engine's sticky atomics) and the
+  // event buffered for a job-order flush. A knob the engine has already
+  // degraded globally counts as unavailable here too.
   const auto disable = [&](std::atomic<bool>& flag, bool configured, std::string_view knob,
                            std::string_view action) {
-    if (!configured || flag.exchange(true)) return false;
-    prof::MetricsSink::instance().record_degradation(
-        rt::make_degradation(failure.seam(), knob, action, failure.status()));
+    if (!configured) return false;
+    const bool job_local = job_active_for(this);
+    if (job_local) {
+      bool* job_flag = nullptr;
+      if (knob == rt::kKnobLas) job_flag = &t_active_job.disable_las;
+      if (knob == rt::kKnobAutoTune) job_flag = &t_active_job.disable_tune;
+      if (knob == rt::kKnobAdapter) job_flag = &t_active_job.disable_adapter;
+      if (knob == rt::kKnobNeighborGrouping) job_flag = &t_active_job.disable_grouping;
+      if (!job_flag || *job_flag || flag.load(std::memory_order_relaxed)) return false;
+      *job_flag = true;
+      if (t_active_job.events) {
+        t_active_job.events->push_back(
+            rt::make_degradation(failure.seam(), knob, action, failure.status()));
+      }
+    } else if (flag.exchange(true)) {
+      return false;
+    } else {
+      prof::MetricsSink::instance().record_degradation(
+          rt::make_degradation(failure.seam(), knob, action, failure.status()));
+    }
     std::fprintf(stderr, "gnnbridge: stage '%s' failed (%s); degrading: %s\n",
                  failure.seam().c_str(), failure.status().to_string().c_str(),
                  std::string(action).c_str());
@@ -159,9 +248,17 @@ auto OptimizedEngine::run_guarded(const Dataset& data, const models::Matrix* fea
   // plans that keep firing while we degrade.
   constexpr int kMaxRounds = 8;
   for (int round = 0; round < kMaxRounds; ++round) {
+    // Deadline/cancel checkpoint between ladder rounds: an expired budget
+    // ends the job here instead of starting another degraded attempt.
+    if (rt::Status s = rt::cancel_checkpoint(); !s.ok()) return fail(std::move(s));
     try {
       return attempt();
     } catch (const rt::StageFailure& failure) {
+      const rt::StatusCode code = failure.status().code();
+      if (code == rt::StatusCode::kDeadlineExceeded || code == rt::StatusCode::kCancelled) {
+        // Terminal: the ladder has no answer to a spent budget.
+        return fail(failure.status());
+      }
       if (!degrade_for(failure)) return fail(failure.status());
     }
   }
@@ -179,9 +276,16 @@ std::vector<std::string> OptimizedEngine::degraded_knobs() const {
 
 // ---- Knob plumbing ----------------------------------------------------
 
+bool OptimizedEngine::adapter_enabled() const {
+  if (job_active_for(this) && t_active_job.disable_adapter) return false;
+  return cfg_.use_adapter && !adapter_failed_.load(std::memory_order_relaxed);
+}
+
 EdgeId OptimizedEngine::effective_bound(const graph::Csr& csr) const {
   if (grouping_failed_.load(std::memory_order_relaxed)) return 0;
-  if (cfg_.auto_tune && t_active_tune.valid && t_active_tune.engine == this &&
+  if (job_active_for(this) && t_active_job.disable_grouping) return 0;
+  if (cfg_.auto_tune && !(job_active_for(this) && t_active_job.disable_tune) &&
+      t_active_tune.valid && t_active_tune.engine == this &&
       t_active_tune.fp == graph::fingerprint(csr)) {
     return t_active_tune.bound;
   }
@@ -195,13 +299,18 @@ EdgeId OptimizedEngine::effective_bound(const graph::Csr& csr) const {
 
 const std::vector<NodeId>* OptimizedEngine::las_order_for(const graph::Csr& csr) const {
   if (!cfg_.use_las || las_failed_.load(std::memory_order_relaxed)) return nullptr;
+  if (job_active_for(this) && t_active_job.disable_las) return nullptr;
   const graph::GraphFingerprint fp = graph::fingerprint(csr);
-  if (cfg_.auto_tune && t_active_tune.valid && t_active_tune.engine == this &&
+  if (cfg_.auto_tune && !(job_active_for(this) && t_active_job.disable_tune) &&
+      t_active_tune.valid && t_active_tune.engine == this &&
       t_active_tune.fp == fp && !t_active_tune.use_las) {
     return nullptr;
   }
   if (cfg_.las_order) return cfg_.las_order;
-  {
+  // Cache-isolated jobs skip the warm-hit shortcut (but still insert: the
+  // computed order is a pure function of the graph, so the entry is
+  // value-identical however it got there).
+  if (!(job_active_for(this) && t_active_job.cache_isolated)) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = las_cache_.find(fp);
     if (it != las_cache_.end()) return it->second.get();
@@ -219,7 +328,8 @@ const std::vector<NodeId>* OptimizedEngine::las_order_for(const graph::Csr& csr)
 }
 
 int OptimizedEngine::effective_lanes(const graph::Csr& csr) const {
-  if (cfg_.auto_tune && t_active_tune.valid && t_active_tune.engine == this &&
+  if (cfg_.auto_tune && !(job_active_for(this) && t_active_job.disable_tune) &&
+      t_active_tune.valid && t_active_tune.engine == this &&
       t_active_tune.fp == graph::fingerprint(csr)) {
     return t_active_tune.lanes;
   }
@@ -229,16 +339,21 @@ int OptimizedEngine::effective_lanes(const graph::Csr& csr) const {
 void OptimizedEngine::maybe_tune(const graph::Csr& csr, tensor::Index feat_len,
                                  const sim::DeviceSpec& spec) const {
   if (!cfg_.auto_tune || tune_failed_.load(std::memory_order_relaxed)) return;
+  if (job_active_for(this) && t_active_job.disable_tune) return;
   const graph::GraphFingerprint fp = graph::fingerprint(csr);
   const auto publish = [&](const TunedEntry& e) {
     t_active_tune = {this, fp, feat_len, e.lanes, e.bound, e.use_las, true};
   };
-  if (t_active_tune.valid && t_active_tune.engine == this && t_active_tune.fp == fp &&
+  // Cache-isolated jobs re-tune every attempt: both the thread-sticky
+  // published entry and the shared cache are warm-state shortcuts whose
+  // availability depends on what ran before on this worker (see ActiveJob).
+  const bool isolated = job_active_for(this) && t_active_job.cache_isolated;
+  if (!isolated && t_active_tune.valid && t_active_tune.engine == this && t_active_tune.fp == fp &&
       t_active_tune.feat == feat_len) {
     return;
   }
   const TunedKey key{fp, feat_len};
-  {
+  if (!isolated) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = tuned_cache_.find(key);
     if (it != tuned_cache_.end()) {
@@ -248,14 +363,31 @@ void OptimizedEngine::maybe_tune(const graph::Csr& csr, tensor::Index feat_len,
   }
   prof::Span span("auto_tune", "engine");
   span.arg("feat_len", static_cast<double>(feat_len));
-  const core::TuneResult tuned =
-      tune_for(csr, feat_len, spec, cfg_.use_las && !las_failed_.load(std::memory_order_relaxed));
+  // Probe launches run outside the job's cancel scope: tuning is engine-
+  // internal cache-amortized work, and which job reaches the cold cache
+  // first depends on thread timing — charging it to that job's deadline or
+  // checkpoint count would break the §11 byte-identical-metrics contract.
+  core::TuneResult tuned;
+  {
+    rt::AdoptScope neutral{rt::ScopeHandle{}};
+    tuned = tune_for(csr, feat_len, spec, cfg_.use_las && !las_failed_.load(std::memory_order_relaxed));
+  }
   if (!tuned.error.ok()) {
     // A poisoned probe measurement must not pick the configuration: fall
-    // back to the heuristic bound and static lanes for good.
-    tune_failed_.store(true);
-    prof::MetricsSink::instance().record_degradation(rt::make_degradation(
-        rt::kSeamTunerProbe, rt::kKnobAutoTune, "tuned_bound->heuristic_bound", tuned.error));
+    // back to the heuristic bound and static lanes — job-locally inside a
+    // batch job (the engine stays trusted for other jobs), for good
+    // otherwise.
+    if (job_active_for(this)) {
+      t_active_job.disable_tune = true;
+      if (t_active_job.events) {
+        t_active_job.events->push_back(rt::make_degradation(
+            rt::kSeamTunerProbe, rt::kKnobAutoTune, "tuned_bound->heuristic_bound", tuned.error));
+      }
+    } else {
+      tune_failed_.store(true);
+      prof::MetricsSink::instance().record_degradation(rt::make_degradation(
+          rt::kSeamTunerProbe, rt::kKnobAutoTune, "tuned_bound->heuristic_bound", tuned.error));
+    }
     std::fprintf(stderr, "gnnbridge: auto-tune aborted (%s); using heuristic configuration\n",
                  tuned.error.to_string().c_str());
     return;
@@ -276,41 +408,164 @@ std::size_t OptimizedEngine::tuned_cache_size() const {
   return tuned_cache_.size();
 }
 
+namespace {
+/// Model tag for the breaker key; nullptr when the job names no model.
+const char* batch_model_name(const OptimizedEngine::BatchJob& job) {
+  if (job.gcn) return "gcn";
+  if (job.gat) return "gat";
+  if (job.sage_lstm) return "sage_lstm";
+  if (job.sage_pool) return "sage_pool";
+  if (job.multihead_gat) return "multihead_gat";
+  return nullptr;
+}
+
+/// Per-job resilience bookkeeping, filled inside the parallel wave and
+/// folded sequentially in job order afterwards.
+struct JobTally {
+  std::uint64_t attempts = 0;
+  std::uint64_t retries = 0;
+  bool ran = false;        ///< the job was valid enough to attempt
+  bool success = false;
+  bool timed_out = false;
+  bool cancelled = false;
+  double backoff_cycles = 0.0;
+  std::uint64_t cancel_points = 0;
+  std::vector<rt::DegradationEvent> events;   ///< buffered, job-local
+  std::vector<std::string> rung;              ///< knobs off when it ended
+};
+}  // namespace
+
 std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs) {
   std::vector<RunResult> results(jobs.size());
-  // Jobs are independent (model, dataset) configs; each runs its whole
-  // pipeline inline on one pool worker (nested parallel regions detect the
-  // worker and stay serial). Shared memoization is fingerprint-keyed and
-  // mutex-guarded, so results land in job order and match a sequential
-  // loop exactly.
+  if (jobs.empty()) return results;
+
+  // --- Sequential admission pre-pass: breaker decisions in job order, so
+  // which job trips/probes/opens the breaker is independent of how the
+  // wave below is scheduled across threads.
+  std::vector<std::string> keys(jobs.size());
+  std::vector<rt::BreakerDecision> admissions(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const char* model = jobs[i].data ? batch_model_name(jobs[i]) : nullptr;
+    if (!model) continue;
+    const graph::GraphFingerprint fp = graph::fingerprint(jobs[i].data->csr);
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(fp.checksum));
+    keys[i] = std::string(model) + "/" + buf;
+    admissions[i] = breaker_.admit(keys[i]);
+  }
+
+  // --- Parallel wave. Jobs are independent (model, dataset) configs; each
+  // runs its whole pipeline inline on one pool worker (nested parallel
+  // regions detect the worker and stay serial) under its own deadline
+  // scope, fault plan, and job-local degradation ladder. Shared
+  // memoization is fingerprint-keyed and mutex-guarded, so results land in
+  // job order and match a sequential loop exactly; a failing, retrying, or
+  // expiring job never blocks a healthy one.
+  std::vector<JobTally> tallies(jobs.size());
+  const auto run_job = [&](std::size_t i) {
+    const BatchJob& job = jobs[i];
+    RunResult& out = results[i];
+    JobTally& tally = tallies[i];
+    if (!job.data) {
+      out.status = rt::Status(rt::StatusCode::kInvalidArgument, "batch job has no dataset");
+      out.attempts = 0;
+      return;
+    }
+    if (!batch_model_name(job)) {
+      out.status = rt::Status(rt::StatusCode::kInvalidArgument, "batch job has no run request");
+      out.attempts = 0;
+      return;
+    }
+    tally.ran = true;
+    rt::CancelScope scope(job.deadline, job.cancel);
+    // Per-job fault plan: thread-confined shot counters, so concurrent
+    // jobs see deterministic fault schedules (the process-wide plan is
+    // suppressed for the job's duration either way).
+    rt::FaultInjector::ScopedJobPlan plan(job.fault_plan);
+    JobGuard guard(this, admissions[i], &tally.events, !job.fault_plan.empty());
+    if (!plan.status().ok()) {
+      out.status = rt::Status(plan.status().code(), plan.status().message())
+                       .with_context("batch job fault plan");
+      out.attempts = 0;
+      tally.cancel_points = scope.checkpoints();
+      return;
+    }
+    const int max_attempts = std::max(1, job.max_attempts);
+    for (int attempt = 1;; ++attempt) {
+      ++tally.attempts;
+      if (job.gcn) {
+        out = run_gcn(*job.data, *job.gcn, job.mode, job.spec);
+      } else if (job.gat) {
+        out = run_gat(*job.data, *job.gat, job.mode, job.spec);
+      } else if (job.sage_lstm) {
+        out = run_sage_lstm(*job.data, *job.sage_lstm, job.mode, job.spec);
+      } else if (job.sage_pool) {
+        out = run_sage_pool(*job.data, *job.sage_pool, job.mode, job.spec);
+      } else {
+        out = run_multihead_gat(*job.data, *job.multihead_gat, job.mode, job.spec);
+      }
+      if (out.status.ok()) {
+        tally.success = true;
+        break;
+      }
+      const rt::StatusCode code = out.status.code();
+      if (code == rt::StatusCode::kDeadlineExceeded) {
+        tally.timed_out = true;
+        break;
+      }
+      if (code == rt::StatusCode::kCancelled) {
+        tally.cancelled = true;
+        break;
+      }
+      if (!rt::retryable(out.status) || attempt >= max_attempts) break;
+      // Deterministic backoff before the retry, charged in sim-time
+      // against the job's own deadline (never a wall-clock sleep).
+      const double backoff = rt::backoff_cycles(cfg_.retry, attempt);
+      tally.backoff_cycles += backoff;
+      rt::charge_sim_cycles(backoff);
+      if (rt::Status s = rt::cancel_checkpoint(); !s.ok()) {
+        const bool deadline = s.code() == rt::StatusCode::kDeadlineExceeded;
+        out.status = std::move(s).with_context("run_batch retry backoff");
+        (deadline ? tally.timed_out : tally.cancelled) = true;
+        break;
+      }
+      ++tally.retries;
+    }
+    out.attempts = static_cast<int>(tally.attempts);
+    out.timed_out = tally.timed_out;
+    tally.rung = JobGuard::disabled_knobs();
+    tally.cancel_points = scope.checkpoints();
+  };
   par::parallel_chunks(jobs.size(), /*grain=*/1,
                        [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
-                         for (std::size_t i = begin; i < end; ++i) {
-                           const BatchJob& job = jobs[i];
-                           if (!job.data) {
-                             results[i].status = rt::Status(rt::StatusCode::kInvalidArgument,
-                                                            "batch job has no dataset");
-                             continue;
-                           }
-                           if (job.gcn) {
-                             results[i] = run_gcn(*job.data, *job.gcn, job.mode, job.spec);
-                           } else if (job.gat) {
-                             results[i] = run_gat(*job.data, *job.gat, job.mode, job.spec);
-                           } else if (job.sage_lstm) {
-                             results[i] =
-                                 run_sage_lstm(*job.data, *job.sage_lstm, job.mode, job.spec);
-                           } else if (job.sage_pool) {
-                             results[i] =
-                                 run_sage_pool(*job.data, *job.sage_pool, job.mode, job.spec);
-                           } else if (job.multihead_gat) {
-                             results[i] = run_multihead_gat(*job.data, *job.multihead_gat,
-                                                            job.mode, job.spec);
-                           } else {
-                             results[i].status = rt::Status(rt::StatusCode::kInvalidArgument,
-                                                            "batch job has no run request");
-                           }
-                         }
+                         for (std::size_t i = begin; i < end; ++i) run_job(i);
                        });
+
+  // --- Sequential fold in job order: degradation events flush to the sink
+  // in a deterministic sequence, breaker outcomes apply in job order, and
+  // the batch's robustness counters accumulate once.
+  prof::RobustnessStats rs;
+  prof::MetricsSink& sink = prof::MetricsSink::instance();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    JobTally& tally = tallies[i];
+    for (rt::DegradationEvent& ev : tally.events) sink.record_degradation(std::move(ev));
+    ++rs.jobs;
+    rs.attempts += tally.attempts;
+    rs.retries += tally.retries;
+    if (tally.timed_out) ++rs.deadline_hits;
+    if (tally.cancelled) ++rs.cancellations;
+    rs.cancel_points += tally.cancel_points;
+    rs.backoff_cycles += tally.backoff_cycles;
+    if (!tally.ran || keys[i].empty()) continue;
+    results[i].breaker_state = std::string(rt::breaker_state_name(admissions[i].state));
+    if (admissions[i].state != rt::BreakerState::kClosed) ++rs.breaker_open_admissions;
+    if (admissions[i].probe) ++rs.breaker_half_open_probes;
+    const rt::CircuitBreaker::OutcomeEffect effect =
+        breaker_.record(keys[i], admissions[i], tally.success, std::move(tally.rung));
+    if (effect.tripped) ++rs.breaker_trips;
+    if (effect.recovered) ++rs.breaker_recoveries;
+  }
+  sink.add_robustness(rs);
   return results;
 }
 

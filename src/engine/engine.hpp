@@ -24,7 +24,10 @@
 #include "core/locality/schedule.hpp"
 #include "graph/fingerprint.hpp"
 #include "models/gcn_grad.hpp"
+#include "rt/breaker.hpp"
+#include "rt/deadline.hpp"
 #include "rt/degrade.hpp"
+#include "rt/retry.hpp"
 
 namespace gnnbridge::engine {
 
@@ -67,6 +70,11 @@ struct EngineConfig {
   /// static fields above (paper §4.4). The tuned configuration is cached
   /// per graph.
   bool auto_tune = false;
+  /// Retry backoff for run_batch jobs that fail with a retryable Status
+  /// (DESIGN.md §12). Backoff is sim-time, charged against the deadline.
+  rt::RetryPolicy retry;
+  /// Per-(model, graph) circuit breaker for run_batch (DESIGN.md §12).
+  rt::BreakerConfig breaker;
 };
 
 /// The optimized engine, with graceful degradation (DESIGN.md §10): every
@@ -141,6 +149,20 @@ class OptimizedEngine final : public Backend {
     const baselines::MultiHeadGatRun* multihead_gat = nullptr;
     ExecMode mode = ExecMode::kSimulateOnly;
     sim::DeviceSpec spec;
+    /// Sim-time budget for the whole job, retries and backoff included;
+    /// expiry surfaces as kDeadlineExceeded with RunResult::timed_out set.
+    rt::Deadline deadline;
+    /// Run attempts before the job's failure is final (>= 1). Only
+    /// retryable failures (rt::classify_for_retry) consume extra attempts.
+    int max_attempts = 1;
+    /// Optional external cancellation; checked at the same cooperative
+    /// checkpoints as the deadline.
+    const rt::CancelToken* cancel = nullptr;
+    /// Per-job fault plan (rt::FaultInjector plan syntax). Applies to this
+    /// job alone — jobs see private shot counters, so a batch behaves
+    /// identically at any thread count. Empty = no injected faults (the
+    /// process-wide plan is suppressed for the job either way).
+    std::string fault_plan;
   };
 
   /// Runs independent (model, dataset) jobs concurrently on the host
@@ -148,7 +170,18 @@ class OptimizedEngine final : public Backend {
   /// configurations (the caches are fingerprint-keyed and mutex-guarded).
   /// Results are returned in job order and are identical to running each
   /// job sequentially.
+  ///
+  /// Resilience (DESIGN.md §12): each job runs under its deadline/cancel
+  /// scope with per-job retry and fault isolation; a failing job never
+  /// blocks healthy ones. Admission and outcomes flow through a
+  /// per-(model, graph-fingerprint) circuit breaker in sequential job
+  /// order, and the batch's robustness counters are folded into
+  /// prof::MetricsSink — all byte-identical at any host thread count.
   std::vector<RunResult> run_batch(std::span<const BatchJob> jobs);
+
+  /// The run_batch circuit breaker (observability for tests and the soak
+  /// driver).
+  const rt::CircuitBreaker& breaker() const { return breaker_; }
 
   /// Cache observability (tests): number of memoized LAS orders / tuned
   /// configurations. A mutated-then-rerun graph must grow these — the
@@ -158,6 +191,10 @@ class OptimizedEngine final : public Backend {
 
  private:
   EngineConfig cfg_;
+  /// Per-(model, graph-fingerprint) breaker shared by every run_batch call
+  /// on this engine (cross-batch memory of failing pairs). Declared after
+  /// cfg_ so it can take its configuration from it.
+  mutable rt::CircuitBreaker breaker_{cfg_.breaker};
 
   /// Cached auto-tune outcome for one (graph fingerprint, feature length).
   struct TunedEntry {
@@ -206,9 +243,11 @@ class OptimizedEngine final : public Backend {
   mutable std::atomic<bool> adapter_failed_{false};
   mutable std::atomic<bool> grouping_failed_{false};
 
-  bool adapter_enabled() const {
-    return cfg_.use_adapter && !adapter_failed_.load(std::memory_order_relaxed);
-  }
+  /// Whether the fused (adapter) pipeline is taken: configuration, the
+  /// sticky engine-wide health flag, and the current batch job's local
+  /// ladder/breaker state all gate it (defined in engine.cpp, where the
+  /// per-job thread-local lives).
+  bool adapter_enabled() const;
 
   /// Input validation run before every attempt (cached by identity).
   rt::Status preflight(const Dataset& data, const models::Matrix* features) const;

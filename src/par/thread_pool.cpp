@@ -6,7 +6,10 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "rt/deadline.hpp"
 
 namespace gnnbridge::par {
 
@@ -72,6 +75,9 @@ struct ThreadPool::Impl {
   const std::function<void(std::size_t)>* body = nullptr;
   std::vector<TaskRange> ranges;  // one per participant (workers + caller)
   int workers_in_region = 0;
+  // The submitter's cancellation scope, adopted by workers for the region
+  // so chunk bodies see the same deadline the submitting job runs under.
+  rt::ScopeHandle scope;
 
   std::mutex err_mu;
   std::exception_ptr first_error;
@@ -116,6 +122,14 @@ struct ThreadPool::Impl {
   }
 
   void run_one(std::size_t task) {
+    // Cancelled scope: skip the chunk and record the cancellation as this
+    // task's failure. A fast non-counting query — only the deterministic
+    // checkpoints inside the body count toward the metrics surface.
+    if (rt::scope_cancelled()) {
+      record_error(task, std::make_exception_ptr(rt::StageFailure(
+                             std::string(rt::kDeadlineStage), rt::scope_status())));
+      return;
+    }
     try {
       (*body)(task);
     } catch (...) {
@@ -129,13 +143,19 @@ struct ThreadPool::Impl {
   // finished before it existed.
   void worker_main(std::size_t participant, std::size_t seen_gen) {
     for (;;) {
+      rt::ScopeHandle region_scope;
       {
         std::unique_lock<std::mutex> lock(mu);
         work_cv.wait(lock, [&] { return stop || job_gen != seen_gen; });
         if (stop) return;
         seen_gen = job_gen;
+        region_scope = scope;
       }
-      participate(participant);
+      {
+        // Run under the submitter's deadline/cancel scope for the region.
+        rt::AdoptScope adopt(region_scope);
+        participate(participant);
+      }
       {
         std::lock_guard<std::mutex> lock(mu);
         if (--workers_in_region == 0) done_cv.notify_all();
@@ -191,7 +211,12 @@ void ThreadPool::run_tasks(std::size_t num_tasks, const std::function<void(std::
       ~Reset() { t_in_region = prev; }
     } reset{t_in_region};
     t_in_region = true;
-    for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+    for (std::size_t i = 0; i < num_tasks; ++i) {
+      if (rt::scope_cancelled()) {
+        throw rt::StageFailure(std::string(rt::kDeadlineStage), rt::scope_status());
+      }
+      fn(i);
+    }
     return;
   }
 
@@ -217,6 +242,7 @@ void ThreadPool::run_tasks(std::size_t num_tasks, const std::function<void(std::
   }
   im.num_tasks = num_tasks;
   im.body = &fn;
+  im.scope = rt::current_scope();
   im.first_error = nullptr;
   im.workers_in_region = want_workers;
   ++im.job_gen;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "prof/tracer.hpp"
+#include "rt/status.hpp"
 #include "sim/counters.hpp"
 #include "sim/device.hpp"
 
@@ -28,10 +29,12 @@ std::string chrome_trace_json(const std::vector<SpanRecord>& spans,
                               const sim::RunStats* sim_stats = nullptr,
                               const sim::DeviceSpec* spec = nullptr);
 
-/// Writes `chrome_trace_json` to `path`. Returns false (and warns on
-/// stderr) when the file cannot be written.
-bool write_chrome_trace_file(const std::string& path, const std::vector<SpanRecord>& spans,
-                             const sim::RunStats* sim_stats = nullptr,
-                             const sim::DeviceSpec* spec = nullptr);
+/// Writes `chrome_trace_json` to `path` crash-safely (temp file + rename;
+/// an interrupted write leaves any previous trace intact). Every I/O step
+/// — open, write, close, rename — is checked; failures return a
+/// kUnavailable Status carrying the path, like MetricsSink::write_file.
+rt::Status write_chrome_trace_file(const std::string& path, const std::vector<SpanRecord>& spans,
+                                   const sim::RunStats* sim_stats = nullptr,
+                                   const sim::DeviceSpec* spec = nullptr);
 
 }  // namespace gnnbridge::prof

@@ -186,6 +186,22 @@ void MetricsSink::record_degradation(rt::DegradationEvent event) {
   arm_env_write_locked();
 }
 
+void MetricsSink::add_robustness(const RobustnessStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  robustness_.jobs += stats.jobs;
+  robustness_.attempts += stats.attempts;
+  robustness_.retries += stats.retries;
+  robustness_.deadline_hits += stats.deadline_hits;
+  robustness_.cancellations += stats.cancellations;
+  robustness_.breaker_trips += stats.breaker_trips;
+  robustness_.breaker_open_admissions += stats.breaker_open_admissions;
+  robustness_.breaker_half_open_probes += stats.breaker_half_open_probes;
+  robustness_.breaker_recoveries += stats.breaker_recoveries;
+  robustness_.cancel_points += stats.cancel_points;
+  robustness_.backoff_cycles += stats.backoff_cycles;
+  arm_env_write_locked();
+}
+
 void MetricsSink::arm_env_write_locked() {
   if (armed_ || !env_path()) return;
   armed_ = true;
@@ -211,10 +227,16 @@ std::vector<rt::DegradationEvent> MetricsSink::degradations() const {
   return degradations_;
 }
 
+RobustnessStats MetricsSink::robustness() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return robustness_;
+}
+
 void MetricsSink::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   records_.clear();
   degradations_.clear();
+  robustness_ = RobustnessStats{};
 }
 
 std::string MetricsSink::to_json() const {
@@ -258,6 +280,20 @@ std::string MetricsSink::to_json() const {
     w.end_object();
   }
   w.end_array();
+  w.key("robustness");
+  w.begin_object();
+  w.kv("jobs", robustness_.jobs);
+  w.kv("attempts", robustness_.attempts);
+  w.kv("retries", robustness_.retries);
+  w.kv("deadline_hits", robustness_.deadline_hits);
+  w.kv("cancellations", robustness_.cancellations);
+  w.kv("breaker_trips", robustness_.breaker_trips);
+  w.kv("breaker_open_admissions", robustness_.breaker_open_admissions);
+  w.kv("breaker_half_open_probes", robustness_.breaker_half_open_probes);
+  w.kv("breaker_recoveries", robustness_.breaker_recoveries);
+  w.kv("cancel_points", robustness_.cancel_points);
+  w.kv("backoff_cycles", robustness_.backoff_cycles);
+  w.end_object();
   w.end_object();
   out += '\n';
   if (w.nonfinite_count() > 0) {
@@ -280,16 +316,26 @@ rt::Status MetricsSink::write_file(const std::string& path) const {
       continue;
     }
     const std::string doc = to_json();
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    // Crash-safe: write the whole document to a sibling temp file, then
+    // rename over the target. A process killed mid-write leaves the
+    // previous metrics file intact; the rename is atomic on POSIX.
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
     if (!f) {
-      std::fprintf(stderr, "gnnbridge: cannot write metrics file '%s'\n", path.c_str());
+      std::fprintf(stderr, "gnnbridge: cannot write metrics file '%s'\n", tmp.c_str());
       return rt::Status(rt::StatusCode::kUnavailable, "cannot open for writing")
           .with_context("MetricsSink::write_file('" + path + "')");
     }
-    const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
-    std::fclose(f);
-    if (!ok) {
-      return rt::Status(rt::StatusCode::kUnavailable, "short write")
+    const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+      std::remove(tmp.c_str());
+      return rt::Status(rt::StatusCode::kUnavailable, wrote ? "close failed" : "short write")
+          .with_context("MetricsSink::write_file('" + path + "')");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      return rt::Status(rt::StatusCode::kUnavailable, "rename into place failed")
           .with_context("MetricsSink::write_file('" + path + "')");
     }
     return rt::OkStatus();

@@ -10,10 +10,10 @@
 // tools/check_metrics_schema.py; bump kMetricsSchemaVersion on any
 // incompatible change.
 //
-// Schema (gnnbridge-metrics, version 3):
+// Schema (gnnbridge-metrics, version 4):
 //   {
 //     "schema": "gnnbridge-metrics",
-//     "schema_version": 3,
+//     "schema_version": 4,
 //     "experiment": "<banner id>",
 //     "scale": 0.25,
 //     "meta": {"git_sha":"abc1234", "timestamp":"2026-01-01T00:00:00Z",
@@ -52,7 +52,12 @@
 //                     "redundancy":{...}}],
 //     "degradations": [{"seam":"las_cluster", "knob":"las",
 //                       "action":"las->natural_order", "detail":"...",
-//                       "injected":true}]
+//                       "injected":true}],
+//     "robustness": {"jobs":..., "attempts":..., "retries":...,
+//                    "deadline_hits":..., "cancellations":...,
+//                    "breaker_trips":..., "breaker_open_admissions":...,
+//                    "breaker_half_open_probes":..., "breaker_recoveries":...,
+//                    "cancel_points":..., "backoff_cycles":...}
 //   }
 // v1 -> v2: added the top-level `degradations` array — one entry per
 // optimization knob the engine (or the sink itself) disabled after a stage
@@ -61,8 +66,14 @@
 // parameters; per-kernel and total atomic/adapter traffic, redundant-flop
 // causes, global-sync count and imbalance ratio; and the top-level
 // `gap_report` array (one gap attribution per run, DESIGN.md §9).
+// v3 -> v4: added the top-level `robustness` block — serving-resilience
+// counters accumulated by OptimizedEngine::run_batch (attempts, retries,
+// deadline hits, cancellations, circuit-breaker activity, cooperative
+// cancellation checkpoints, and sim-cycles spent in retry backoff;
+// DESIGN.md §12). Always present; all-zero when run_batch never ran.
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -74,7 +85,7 @@
 namespace gnnbridge::prof {
 
 inline constexpr const char* kMetricsSchemaName = "gnnbridge-metrics";
-inline constexpr int kMetricsSchemaVersion = 3;
+inline constexpr int kMetricsSchemaVersion = 4;
 
 /// Provenance stamped into every metrics document (`meta` block). The sink
 /// collects defaults lazily at serialization time; tests pin fixed values
@@ -90,6 +101,24 @@ struct MetaInfo {
 /// Collects the default provenance from the environment (git, clock,
 /// hostname, GNNBRIDGE_SCALE).
 MetaInfo collect_meta();
+
+/// Serving-resilience counters (the v4 `robustness` block), accumulated by
+/// OptimizedEngine::run_batch in deterministic job order. All values are
+/// functions of sim-time and job content, never of wall time or the host
+/// thread count.
+struct RobustnessStats {
+  std::uint64_t jobs = 0;            ///< batch jobs submitted
+  std::uint64_t attempts = 0;        ///< run attempts, first tries included
+  std::uint64_t retries = 0;         ///< attempts beyond each job's first
+  std::uint64_t deadline_hits = 0;   ///< jobs that hit kDeadlineExceeded
+  std::uint64_t cancellations = 0;   ///< jobs ended by a CancelToken
+  std::uint64_t breaker_trips = 0;           ///< closed -> open transitions
+  std::uint64_t breaker_open_admissions = 0; ///< jobs admitted while open
+  std::uint64_t breaker_half_open_probes = 0;
+  std::uint64_t breaker_recoveries = 0;      ///< probe successes (-> closed)
+  std::uint64_t cancel_points = 0;   ///< cooperative checkpoints consulted
+  double backoff_cycles = 0.0;       ///< sim-cycles charged as retry backoff
+};
 
 /// One recorded run: a labelled RunStats plus the identifying metadata.
 struct RunRecord {
@@ -125,9 +154,14 @@ class MetricsSink {
   /// failure); serialized into the top-level `degradations` array.
   void record_degradation(rt::DegradationEvent event);
 
+  /// Accumulates run_batch resilience counters (field-wise sum) into the
+  /// document's `robustness` block.
+  void add_robustness(const RobustnessStats& stats);
+
   std::size_t size() const;
   std::size_t degradation_count() const;
   std::vector<rt::DegradationEvent> degradations() const;
+  RobustnessStats robustness() const;
   void clear();
 
   /// Serializes everything recorded so far.
@@ -155,6 +189,7 @@ class MetricsSink {
   mutable bool meta_set_ = false;
   std::vector<RunRecord> records_;
   std::vector<rt::DegradationEvent> degradations_;
+  RobustnessStats robustness_;
   bool armed_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "prof/tracer.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "prof/chrome_trace.hpp"
@@ -20,7 +21,10 @@ bool install_env_trace_export() {
   installed = true;
   std::atexit([] {
     if (const char* p = trace_env_path()) {
-      write_chrome_trace_file(p, Tracer::instance().snapshot());
+      // At exit there is no one left to return the error to; log it.
+      if (rt::Status s = write_chrome_trace_file(p, Tracer::instance().snapshot()); !s.ok()) {
+        std::fprintf(stderr, "gnnbridge: env trace export failed: %s\n", s.to_string().c_str());
+      }
     }
   });
   return true;

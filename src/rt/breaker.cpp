@@ -1,0 +1,99 @@
+#include "rt/breaker.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace gnnbridge::rt {
+
+std::string_view breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "unknown";
+}
+
+BreakerDecision CircuitBreaker::admit(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[key];
+  if (e.state == BreakerState::kClosed) return BreakerDecision{};
+
+  ++e.open_admissions;
+  ++counters_.open_admissions;
+  // At most one probe in flight; while it runs, other admissions keep the
+  // degraded rung (half-open is still "not trusted").
+  if (!e.probe_inflight && cfg_.probe_interval > 0 &&
+      e.open_admissions % cfg_.probe_interval == 0) {
+    e.probe_inflight = true;
+    e.state = BreakerState::kHalfOpen;
+    ++counters_.half_open_probes;
+    return BreakerDecision{BreakerState::kHalfOpen, /*probe=*/true, {}};
+  }
+  return BreakerDecision{e.state, /*probe=*/false, e.rung};
+}
+
+CircuitBreaker::OutcomeEffect CircuitBreaker::record(const std::string& key,
+                                                     const BreakerDecision& decision,
+                                                     bool success,
+                                                     std::vector<std::string> rung_on_failure) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[key];
+  OutcomeEffect effect;
+  if (success) {
+    if (decision.probe) {
+      // The full-optimization probe succeeded: trust the pair again.
+      e = Entry{};
+      ++counters_.recoveries;
+      effect.recovered = true;
+    } else if (e.state == BreakerState::kClosed) {
+      e.consecutive_failures = 0;
+    }
+    // A degraded open-state success is not evidence the full configuration
+    // works; the breaker stays open until a probe proves otherwise.
+    return effect;
+  }
+
+  ++e.consecutive_failures;
+  merge_rung(e.rung, std::move(rung_on_failure));
+  if (decision.probe) {
+    // Probe failed: back to open; the probe schedule restarts.
+    e.probe_inflight = false;
+    e.state = BreakerState::kOpen;
+    e.open_admissions = 0;
+    return effect;
+  }
+  if (e.state == BreakerState::kClosed && e.consecutive_failures >= cfg_.failure_threshold) {
+    e.state = BreakerState::kOpen;
+    e.open_admissions = 0;
+    ++counters_.trips;
+    effect.tripped = true;
+  }
+  return effect;
+}
+
+void CircuitBreaker::merge_rung(std::vector<std::string>& rung, std::vector<std::string> knobs) {
+  for (std::string& knob : knobs) {
+    if (std::find(rung.begin(), rung.end(), knob) == rung.end()) {
+      rung.push_back(std::move(knob));
+    }
+  }
+}
+
+BreakerState CircuitBreaker::state(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+std::size_t CircuitBreaker::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+CircuitBreaker::Counters CircuitBreaker::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace gnnbridge::rt

@@ -1,0 +1,108 @@
+// Per-key circuit breaker (serving resilience, DESIGN.md §12).
+//
+// The engine keys breakers by (model, graph-fingerprint): a pair that
+// keeps failing should stop re-discovering the failure on every request.
+// K consecutive closed-state failures trip the breaker open; while open,
+// jobs are admitted directly at the last-known-good degraded knob set (the
+// "rung" recorded when the breaker tripped) instead of walking the ladder
+// again; every probe_interval-th open admission runs as a half-open probe
+// at full optimization, and a successful probe closes the breaker.
+//
+// Determinism: transitions are driven purely by admission and outcome
+// *counts* — no wall-clock cooldowns — and OptimizedEngine::run_batch
+// calls admit/record from sequential pre-/post-passes in job order, so
+// breaker behaviour (and the metrics it feeds) is byte-identical at any
+// host thread count.
+//
+//            K consecutive failures
+//   CLOSED ─────────────────────────► OPEN ──(every Nth admission)──► HALF_OPEN
+//     ▲                                ▲                                 │
+//     │          probe succeeds        │        probe fails              │
+//     └────────────────────────────────┴─────────────────────────────────┘
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gnnbridge::rt {
+
+struct BreakerConfig {
+  /// Consecutive closed-state failures that trip the breaker open.
+  int failure_threshold = 3;
+  /// Every Nth open admission runs as a half-open probe at full
+  /// optimization (the first N-1 run degraded).
+  int probe_interval = 4;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+/// Stable lower-snake name ("closed" / "open" / "half_open") as recorded
+/// in RunResult::breaker_state.
+std::string_view breaker_state_name(BreakerState state);
+
+/// Admission verdict for one job.
+struct BreakerDecision {
+  BreakerState state = BreakerState::kClosed;
+  /// Half-open probe: run at full optimization to test recovery.
+  bool probe = false;
+  /// Knobs to pre-disable (the last-known-good rung); empty when closed
+  /// or probing.
+  std::vector<std::string> disabled_knobs;
+};
+
+class CircuitBreaker {
+ public:
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(BreakerConfig cfg) : cfg_(cfg) {}
+
+  /// Admission decision for `key`, counting the admission (open
+  /// admissions advance the half-open probe schedule).
+  BreakerDecision admit(const std::string& key);
+
+  /// What folding one outcome changed.
+  struct OutcomeEffect {
+    bool tripped = false;    ///< this failure tripped the breaker open
+    bool recovered = false;  ///< this probe success closed the breaker
+  };
+
+  /// Folds one job outcome back into the breaker. `decision` is what
+  /// `admit` returned for the job; `rung_on_failure` is the degraded knob
+  /// set the job ended at (recorded as the open-state rung).
+  OutcomeEffect record(const std::string& key, const BreakerDecision& decision, bool success,
+                       std::vector<std::string> rung_on_failure);
+
+  BreakerState state(const std::string& key) const;
+
+  /// Number of keys with breaker history.
+  std::size_t size() const;
+
+  struct Counters {
+    std::uint64_t trips = 0;
+    std::uint64_t open_admissions = 0;   ///< admissions while open/half-open
+    std::uint64_t half_open_probes = 0;
+    std::uint64_t recoveries = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct Entry {
+    BreakerState state = BreakerState::kClosed;
+    int consecutive_failures = 0;
+    int open_admissions = 0;  ///< since the last trip (probe scheduling)
+    bool probe_inflight = false;
+    std::vector<std::string> rung;  ///< last-known-good degraded knob set
+  };
+
+  static void merge_rung(std::vector<std::string>& rung, std::vector<std::string> knobs);
+
+  mutable std::mutex mu_;
+  BreakerConfig cfg_;
+  Counters counters_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace gnnbridge::rt

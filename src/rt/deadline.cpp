@@ -1,0 +1,122 @@
+#include "rt/deadline.hpp"
+
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace gnnbridge::rt {
+
+struct CancelToken::State {
+  std::atomic<bool> cancelled{false};
+  mutable std::mutex mu;
+  Status reason;  // set once, before `cancelled` is published
+};
+
+CancelToken::CancelToken() : state_(std::make_shared<State>()) {}
+
+void CancelToken::cancel(Status reason) {
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->cancelled.load(std::memory_order_relaxed)) return;  // first cancel wins
+    state_->reason = std::move(reason);
+  }
+  state_->cancelled.store(true, std::memory_order_release);
+}
+
+bool CancelToken::cancelled() const {
+  return state_->cancelled.load(std::memory_order_acquire);
+}
+
+Status CancelToken::reason() const {
+  if (!cancelled()) return OkStatus();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->reason;
+}
+
+struct CancelScope::Rep {
+  Deadline deadline;
+  std::shared_ptr<CancelToken::State> token;  // null when no token bound
+  double charged = 0.0;                       // owner-thread only
+  std::uint64_t checkpoints = 0;              // owner-thread only
+  // Materialized expiry: written by the owning thread when `charged`
+  // crosses the budget, read by any adopting pool worker.
+  std::atomic<bool> expired{false};
+
+  bool cancelled() const {
+    return expired.load(std::memory_order_acquire) ||
+           (token && token->cancelled.load(std::memory_order_acquire));
+  }
+  Status status() const {
+    if (expired.load(std::memory_order_acquire)) {
+      return Status(StatusCode::kDeadlineExceeded, "sim-time deadline exceeded");
+    }
+    if (token && token->cancelled.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> lock(token->mu);
+      return token->reason;
+    }
+    return OkStatus();
+  }
+};
+
+namespace {
+thread_local CancelScope::Rep* t_scope = nullptr;
+}  // namespace
+
+CancelScope::CancelScope(Deadline deadline, const CancelToken* token)
+    : rep_(std::make_unique<Rep>()) {
+  rep_->deadline = deadline;
+  if (token) rep_->token = token->state_;
+  prev_ = t_scope;
+  t_scope = rep_.get();
+}
+
+CancelScope::~CancelScope() { t_scope = prev_; }
+
+double CancelScope::charged_cycles() const { return rep_->charged; }
+
+std::uint64_t CancelScope::checkpoints() const { return rep_->checkpoints; }
+
+ScopeHandle current_scope() { return ScopeHandle{t_scope}; }
+
+AdoptScope::AdoptScope(ScopeHandle handle) : prev_(t_scope) {
+  t_scope = static_cast<CancelScope::Rep*>(handle.rep);
+}
+
+AdoptScope::~AdoptScope() { t_scope = static_cast<CancelScope::Rep*>(prev_); }
+
+void charge_sim_cycles(double cycles) {
+  CancelScope::Rep* rep = t_scope;
+  if (!rep) return;
+  rep->charged += cycles;
+  if (rep->charged > rep->deadline.budget_cycles) {
+    rep->expired.store(true, std::memory_order_release);
+  }
+}
+
+bool scope_cancelled() {
+  const CancelScope::Rep* rep = t_scope;
+  return rep != nullptr && rep->cancelled();
+}
+
+Status scope_status() {
+  const CancelScope::Rep* rep = t_scope;
+  return rep ? rep->status() : OkStatus();
+}
+
+Status cancel_checkpoint() {
+  CancelScope::Rep* rep = t_scope;
+  if (!rep) return OkStatus();
+  ++rep->checkpoints;
+  return rep->status();
+}
+
+void throw_if_cancelled(std::string_view where) {
+  CancelScope::Rep* rep = t_scope;
+  if (!rep) return;
+  ++rep->checkpoints;
+  if (!rep->cancelled()) return;
+  throw StageFailure(std::string(kDeadlineStage),
+                     rep->status().with_context(std::string(where)));
+}
+
+}  // namespace gnnbridge::rt

@@ -1,0 +1,146 @@
+// Deadlines and cooperative cancellation (serving resilience, DESIGN.md §12).
+//
+// A `Deadline` is a budget of *simulated* cycles — the virtual clock the
+// whole system already agrees on — so expiry is a deterministic function of
+// the work a job performed, never of wall time or the host thread count
+// (the DESIGN.md §11 byte-identical-metrics contract). A `CancelToken` adds
+// external, asynchronous cancellation on top.
+//
+// Both propagate through a thread-local `CancelScope` installed around a
+// job. Work charges cycles at kernel-launch boundaries
+// (`charge_sim_cycles`, called by sim::SimContext::launch) and checks
+// cooperatively at three kinds of boundary:
+//   * sim block-scheduling boundaries — `throw_if_cancelled` at the top of
+//     every SimContext::launch;
+//   * par::ThreadPool task dispatch — the pool hands the submitter's scope
+//     to its workers (`current_scope`/`AdoptScope`) and skips remaining
+//     chunks once the scope is cancelled (`scope_cancelled`);
+//   * engine retry boundaries — `cancel_checkpoint` between
+//     degradation-ladder rounds and between run_batch attempts.
+// An expired deadline surfaces as StatusCode::kDeadlineExceeded, an
+// external cancel as kCancelled; both are fatal (never retried, never
+// degraded — see rt/retry.hpp and OptimizedEngine::run_guarded).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string_view>
+
+#include "rt/status.hpp"
+
+namespace gnnbridge::rt {
+
+/// Stage label carried by the StageFailure thrown at cancellation points.
+/// Not a fault seam: the degradation ladder has no answer to an expired
+/// deadline, so the engine treats it as terminal.
+inline constexpr std::string_view kDeadlineStage = "deadline";
+
+/// A budget of simulated cycles for one job, retries and backoff included.
+/// Default-constructed deadlines are unbounded.
+struct Deadline {
+  double budget_cycles = std::numeric_limits<double>::infinity();
+
+  bool bounded() const { return budget_cycles < std::numeric_limits<double>::infinity(); }
+  static Deadline unbounded() { return {}; }
+  static Deadline cycles(double budget) { return Deadline{budget}; }
+};
+
+/// Shared-state cancellation handle. Copies observe the same state; the
+/// first `cancel` wins and later ones are ignored. Thread-safe.
+class CancelToken {
+ public:
+  CancelToken();
+
+  /// Requests cancellation. Cooperative: running work notices at its next
+  /// checkpoint.
+  void cancel(Status reason = Status(StatusCode::kCancelled, "cancelled by caller"));
+
+  bool cancelled() const;
+
+  /// The cancel reason, or OkStatus when not cancelled.
+  Status reason() const;
+
+ private:
+  friend class CancelScope;
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// Opaque reference to a live CancelScope, used by par::ThreadPool to carry
+/// the submitter's scope onto its workers. Null when no scope is active.
+struct ScopeHandle {
+  void* rep = nullptr;
+};
+
+/// RAII thread-local scope binding a Deadline (and optionally a
+/// CancelToken) to the current thread's work. Non-movable; nest freely —
+/// the innermost scope wins and the previous one is restored on exit.
+/// `charge_sim_cycles` must only be called from the thread that owns the
+/// scope (or currently adopts it); cancellation queries are safe from any
+/// adopting thread.
+class CancelScope {
+ public:
+  explicit CancelScope(Deadline deadline, const CancelToken* token = nullptr);
+  ~CancelScope();
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+  /// Simulated cycles charged against this scope so far.
+  double charged_cycles() const;
+
+  /// Cooperative cancellation checkpoints that consulted this scope
+  /// (counted by `cancel_checkpoint`/`throw_if_cancelled`, not by the
+  /// thread pool's fast-path queries — those may race with stealing and
+  /// the count is part of the deterministic metrics surface).
+  std::uint64_t checkpoints() const;
+
+  /// Implementation record; defined in deadline.cpp (the free functions
+  /// below and AdoptScope reach it through the thread-local slot).
+  struct Rep;
+
+ private:
+  std::unique_ptr<Rep> rep_;
+  Rep* prev_ = nullptr;
+};
+
+/// The current thread's active scope (for handoff to pool workers).
+ScopeHandle current_scope();
+
+/// RAII adoption of another thread's scope (pool workers, for the duration
+/// of one parallel region). A null handle adopts "no scope".
+class AdoptScope {
+ public:
+  explicit AdoptScope(ScopeHandle handle);
+  ~AdoptScope();
+  AdoptScope(const AdoptScope&) = delete;
+  AdoptScope& operator=(const AdoptScope&) = delete;
+
+ private:
+  void* prev_ = nullptr;
+};
+
+/// Charges simulated cycles against the active scope; no-op without one.
+/// Crossing the deadline budget marks the scope expired — noticed at the
+/// next checkpoint. Owner-thread only (see CancelScope).
+void charge_sim_cycles(double cycles);
+
+/// Fast, non-counting query: is the active scope cancelled or expired?
+/// Safe from adopting threads; false without a scope.
+bool scope_cancelled();
+
+/// Non-counting status of the active scope: kDeadlineExceeded, the token's
+/// cancel reason, or OkStatus.
+Status scope_status();
+
+/// Counting checkpoint: records the visit and returns `scope_status()`.
+/// Call at deterministic points only (sim launches, retry boundaries).
+Status cancel_checkpoint();
+
+/// Counting checkpoint that throws StageFailure(kDeadlineStage) with
+/// `where` pushed as context when the scope is cancelled or expired. For
+/// exception-vehicle call chains (the simulator's launch path).
+void throw_if_cancelled(std::string_view where);
+
+}  // namespace gnnbridge::rt

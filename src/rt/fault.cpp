@@ -71,6 +71,10 @@ Status parse_plan(std::string_view plan, std::vector<ParsedArm>& out) {
   return OkStatus();
 }
 
+// Active per-job plan for this thread (see ScopedJobPlan). When non-null,
+// fire()/armed() use it exclusively and never touch the global map or mutex.
+thread_local std::map<std::string, FaultInjector::Arm, std::less<>>* t_job_arms = nullptr;
+
 }  // namespace
 
 bool known_seam(std::string_view seam) {
@@ -119,6 +123,16 @@ void FaultInjector::clear() {
 }
 
 std::optional<Status> FaultInjector::fire(std::string_view seam) {
+  if (t_job_arms) {
+    // Thread-confined per-job plan: no lock, no global state.
+    const auto it = t_job_arms->find(seam);
+    if (it == t_job_arms->end()) return std::nullopt;
+    if (!it->second.always) {
+      if (--it->second.remaining <= 0) t_job_arms->erase(it);
+    }
+    return Status(StatusCode::kFaultInjected,
+                  "injected fault at seam '" + std::string(seam) + "'");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   maybe_load_env_locked();
   const auto it = arms_.find(seam);
@@ -131,9 +145,24 @@ std::optional<Status> FaultInjector::fire(std::string_view seam) {
 }
 
 bool FaultInjector::armed(std::string_view seam) const {
+  if (t_job_arms) return t_job_arms->find(seam) != t_job_arms->end();
   std::lock_guard<std::mutex> lock(mu_);
   const_cast<FaultInjector*>(this)->maybe_load_env_locked();
   return arms_.find(seam) != arms_.end();
+}
+
+FaultInjector::ScopedJobPlan::ScopedJobPlan(std::string_view plan) {
+  std::vector<ParsedArm> parsed;
+  status_ = parse_plan(plan, parsed);
+  if (!status_.ok()) return;
+  for (auto& arm : parsed) arms_[arm.seam] = Arm{arm.remaining, arm.always};
+  prev_ = t_job_arms;
+  t_job_arms = &arms_;
+  active_ = true;
+}
+
+FaultInjector::ScopedJobPlan::~ScopedJobPlan() {
+  if (active_) t_job_arms = prev_;
 }
 
 std::string FaultInjector::plan_string() const {

@@ -66,14 +66,40 @@ class FaultInjector {
   /// Remaining plan in plan syntax ("seam=2,other=*"); empty when disarmed.
   std::string plan_string() const;
 
- private:
-  FaultInjector() = default;
-  void maybe_load_env_locked();
-
   struct Arm {
     int remaining = 0;   // shots left (ignored when always)
     bool always = false;
   };
+
+  /// Per-job fault plan, confined to the installing thread.
+  ///
+  /// While a ScopedJobPlan is active, `fire`/`armed` on that thread consult
+  /// ONLY the job's private arms — never the global plan — so concurrent
+  /// batch jobs cannot race on shared shot counters (each job sees its own
+  /// deterministic fault schedule regardless of how jobs are interleaved
+  /// across pool threads). Scopes nest; the previous plan is restored on
+  /// destruction. A malformed plan leaves the scope inactive (global plan
+  /// still visible) and reports the parse error via `status()`.
+  class ScopedJobPlan {
+   public:
+    explicit ScopedJobPlan(std::string_view plan);
+    ~ScopedJobPlan();
+    ScopedJobPlan(const ScopedJobPlan&) = delete;
+    ScopedJobPlan& operator=(const ScopedJobPlan&) = delete;
+
+    /// OK when the plan parsed and the scope is active.
+    const Status& status() const { return status_; }
+
+   private:
+    std::map<std::string, Arm, std::less<>> arms_;
+    std::map<std::string, Arm, std::less<>>* prev_ = nullptr;
+    bool active_ = false;
+    Status status_;
+  };
+
+ private:
+  FaultInjector() = default;
+  void maybe_load_env_locked();
 
   mutable std::mutex mu_;
   bool env_checked_ = false;

@@ -1,0 +1,75 @@
+// Retry policy: retryability classification + deterministic backoff
+// (serving resilience, DESIGN.md §12).
+//
+// Every StatusCode is *explicitly* classified as retryable or fatal by an
+// exhaustive switch — adding a code without deciding its class is a
+// compile error (-Wswitch under -Werror), and a table test asserts the
+// decisions. Backoff is exponential with seeded multiplicative jitter and
+// is measured in *simulated* cycles: run_batch charges it against the
+// job's deadline through the virtual clock instead of sleeping, so
+// retried runs stay byte-identical at any host thread count.
+#pragma once
+
+#include <cstdint>
+
+#include "rt/status.hpp"
+
+namespace gnnbridge::rt {
+
+enum class RetryClass {
+  kRetryable,  ///< transient — another attempt may succeed
+  kFatal,      ///< deterministic or terminal — retrying cannot help
+};
+
+/// The classification table. Exhaustive by construction: no default case,
+/// so a new StatusCode fails the build until it is classified here.
+constexpr RetryClass classify_for_retry(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return RetryClass::kFatal;  // nothing to retry
+    case StatusCode::kInvalidArgument:
+      return RetryClass::kFatal;  // the same inputs fail the same way
+    case StatusCode::kNotFound:
+      return RetryClass::kFatal;
+    case StatusCode::kDataLoss:
+      return RetryClass::kFatal;
+    case StatusCode::kOutOfRange:
+      return RetryClass::kFatal;
+    case StatusCode::kFailedPrecondition:
+      return RetryClass::kFatal;
+    case StatusCode::kUnavailable:
+      return RetryClass::kRetryable;  // transient dependency failure
+    case StatusCode::kInternal:
+      return RetryClass::kFatal;  // a bug does not heal on retry
+    case StatusCode::kFaultInjected:
+      return RetryClass::kRetryable;  // fault plans model transient faults
+    case StatusCode::kDeadlineExceeded:
+      return RetryClass::kFatal;  // the budget is spent
+    case StatusCode::kCancelled:
+      return RetryClass::kFatal;  // the caller asked us to stop
+  }
+  return RetryClass::kFatal;  // unreachable; the switch above is exhaustive
+}
+
+/// True when another attempt at `status`'s operation may succeed.
+inline bool retryable(const Status& status) {
+  return classify_for_retry(status.code()) == RetryClass::kRetryable;
+}
+
+/// Backoff parameters. All delays are simulated cycles (virtual clock).
+struct RetryPolicy {
+  /// First backoff, before attempt 2 (~36 µs of V100 sim-time).
+  double base_backoff_cycles = 50'000.0;
+  double backoff_multiplier = 2.0;
+  double max_backoff_cycles = 10'000'000.0;
+  /// Jitter seed: backoff is a pure function of (policy, attempt).
+  std::uint64_t seed = 0x6e6e62726964ull;  // "nnbrid"
+};
+
+/// Deterministic backoff charged before retry number `attempt` (1-based:
+/// attempt 1 is the backoff after the first failure). Exponential in
+/// `attempt` with multiplicative jitter in [0.5, 1.0), capped at
+/// max_backoff_cycles.
+double backoff_cycles(const RetryPolicy& policy, int attempt);
+
+}  // namespace gnnbridge::rt

@@ -1,4 +1,4 @@
-// Golden test locking the gnnbridge-metrics JSON schema (version 3).
+// Golden test locking the gnnbridge-metrics JSON schema (version 4).
 //
 // The serialized document for a fixed RunRecord must match byte-for-byte:
 // downstream consumers (tools/check_metrics_schema.py, notebook readers,
@@ -79,7 +79,7 @@ MetaInfo golden_meta() {
 //   sync      = atomic + adapter cycles = 256 + 128             = 384
 //   redundancy= (1024 + 512 + 256) / 16 flops-per-cycle         = 112
 constexpr const char* kGolden =
-    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":3,"
+    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":4,"
     "\"experiment\":\"golden\",\"scale\":0.25,"
     "\"meta\":{\"git_sha\":\"deadbee\",\"timestamp\":\"2026-01-01T00:00:00Z\","
     "\"hostname\":\"goldenhost\",\"scale_env\":\"0.25\",\"threads\":8},"
@@ -117,9 +117,13 @@ constexpr const char* kGolden =
     "\"adapter_bytes\":32},"
     "\"redundancy\":{\"cycles\":112,\"redundant_flops\":1792,"
     "\"pad_flops\":1024,\"copy_flops\":512,\"tile_flops\":256}}],"
-    "\"degradations\":[]}\n";
+    "\"degradations\":[],"
+    "\"robustness\":{\"jobs\":0,\"attempts\":0,\"retries\":0,"
+    "\"deadline_hits\":0,\"cancellations\":0,\"breaker_trips\":0,"
+    "\"breaker_open_admissions\":0,\"breaker_half_open_probes\":0,"
+    "\"breaker_recoveries\":0,\"cancel_points\":0,\"backoff_cycles\":0}}\n";
 
-TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion3) {
+TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion4) {
   MetricsSink& sink = MetricsSink::instance();
   sink.clear();
   sink.configure("golden", 0.25);
@@ -177,11 +181,12 @@ TEST(MetricsJsonTest, EmptySinkStillEmitsSchemaEnvelope) {
   const std::string doc = sink.to_json();
   EXPECT_TRUE(testing::json_valid(doc));
   EXPECT_NE(doc.find("\"schema\":\"gnnbridge-metrics\""), std::string::npos);
-  EXPECT_NE(doc.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":4"), std::string::npos);
   EXPECT_NE(doc.find("\"meta\":{"), std::string::npos);
   EXPECT_NE(doc.find("\"runs\":[]"), std::string::npos);
   EXPECT_NE(doc.find("\"gap_report\":[]"), std::string::npos);
   EXPECT_NE(doc.find("\"degradations\":[]"), std::string::npos);
+  EXPECT_NE(doc.find("\"robustness\":{\"jobs\":0,"), std::string::npos);
 }
 
 TEST(MetricsJsonTest, OomRunSerializesWithEmptyKernels) {

@@ -1,0 +1,168 @@
+// Per-key circuit breaker state machine (DESIGN.md §12): trip on K
+// consecutive closed failures, degraded open admissions at the
+// last-known-good rung, half-open probes on a fixed admission schedule.
+#include "rt/breaker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace gnnbridge::rt {
+namespace {
+
+const std::string kKey = "gcn/deadbeef";
+
+// Drives `breaker` through `n` closed-state failures ending at `rung`.
+void fail_closed(CircuitBreaker& breaker, int n, std::vector<std::string> rung) {
+  for (int i = 0; i < n; ++i) {
+    const BreakerDecision d = breaker.admit(kKey);
+    ASSERT_EQ(d.state, BreakerState::kClosed);
+    breaker.record(kKey, d, /*success=*/false, rung);
+  }
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowTheFailureThreshold) {
+  CircuitBreaker breaker(BreakerConfig{.failure_threshold = 3, .probe_interval = 4});
+  fail_closed(breaker, 2, {"las"});
+  EXPECT_EQ(breaker.state(kKey), BreakerState::kClosed);
+  EXPECT_EQ(breaker.counters().trips, 0u);
+  // Closed admissions carry no pre-disabled knobs.
+  const BreakerDecision d = breaker.admit(kKey);
+  EXPECT_EQ(d.state, BreakerState::kClosed);
+  EXPECT_FALSE(d.probe);
+  EXPECT_TRUE(d.disabled_knobs.empty());
+}
+
+TEST(CircuitBreakerTest, TripsOnTheKthConsecutiveFailure) {
+  CircuitBreaker breaker(BreakerConfig{.failure_threshold = 3, .probe_interval = 4});
+  fail_closed(breaker, 2, {"las"});
+  const BreakerDecision d = breaker.admit(kKey);
+  const auto effect = breaker.record(kKey, d, /*success=*/false, {"las"});
+  EXPECT_TRUE(effect.tripped);
+  EXPECT_FALSE(effect.recovered);
+  EXPECT_EQ(breaker.state(kKey), BreakerState::kOpen);
+  EXPECT_EQ(breaker.counters().trips, 1u);
+}
+
+TEST(CircuitBreakerTest, ClosedSuccessResetsTheFailureStreak) {
+  CircuitBreaker breaker(BreakerConfig{.failure_threshold = 3, .probe_interval = 4});
+  fail_closed(breaker, 2, {"las"});
+  const BreakerDecision ok = breaker.admit(kKey);
+  breaker.record(kKey, ok, /*success=*/true, {});
+  fail_closed(breaker, 2, {"las"});  // streak restarted: still below K
+  EXPECT_EQ(breaker.state(kKey), BreakerState::kClosed);
+  EXPECT_EQ(breaker.counters().trips, 0u);
+}
+
+TEST(CircuitBreakerTest, OpenAdmissionsCarryTheLastKnownGoodRung) {
+  CircuitBreaker breaker(BreakerConfig{.failure_threshold = 2, .probe_interval = 4});
+  // Rungs merge across the failing attempts: the open-state rung is the
+  // union of every knob the failing jobs ended up disabling.
+  {
+    const BreakerDecision d = breaker.admit(kKey);
+    breaker.record(kKey, d, false, {"las"});
+  }
+  {
+    const BreakerDecision d = breaker.admit(kKey);
+    breaker.record(kKey, d, false, {"las", "auto_tune"});
+  }
+  ASSERT_EQ(breaker.state(kKey), BreakerState::kOpen);
+  const BreakerDecision d = breaker.admit(kKey);
+  EXPECT_EQ(d.state, BreakerState::kOpen);
+  EXPECT_FALSE(d.probe);
+  EXPECT_EQ(d.disabled_knobs, (std::vector<std::string>{"las", "auto_tune"}));
+  EXPECT_EQ(breaker.counters().open_admissions, 1u);
+}
+
+TEST(CircuitBreakerTest, EveryNthOpenAdmissionIsAHalfOpenProbe) {
+  CircuitBreaker breaker(BreakerConfig{.failure_threshold = 1, .probe_interval = 3});
+  fail_closed(breaker, 1, {"las"});
+  EXPECT_FALSE(breaker.admit(kKey).probe);  // open admission 1: degraded
+  EXPECT_FALSE(breaker.admit(kKey).probe);  // open admission 2: degraded
+  const BreakerDecision probe = breaker.admit(kKey);  // 3rd: probe
+  EXPECT_TRUE(probe.probe);
+  EXPECT_EQ(probe.state, BreakerState::kHalfOpen);
+  EXPECT_TRUE(probe.disabled_knobs.empty());  // probes run at full optimization
+  EXPECT_EQ(breaker.counters().half_open_probes, 1u);
+  EXPECT_EQ(breaker.state(kKey), BreakerState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, OnlyOneProbeInFlight) {
+  CircuitBreaker breaker(BreakerConfig{.failure_threshold = 1, .probe_interval = 2});
+  fail_closed(breaker, 1, {"las"});
+  (void)breaker.admit(kKey);                          // open admission 1
+  ASSERT_TRUE(breaker.admit(kKey).probe);             // 2nd: probe goes out
+  // While the probe is unresolved, later admissions stay degraded even on
+  // the probe schedule: half-open is still "not trusted".
+  for (int i = 0; i < 4; ++i) {
+    const BreakerDecision d = breaker.admit(kKey);
+    EXPECT_FALSE(d.probe) << "admission " << i;
+    EXPECT_EQ(d.disabled_knobs, (std::vector<std::string>{"las"}));
+  }
+  EXPECT_EQ(breaker.counters().half_open_probes, 1u);
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessClosesTheBreaker) {
+  CircuitBreaker breaker(BreakerConfig{.failure_threshold = 1, .probe_interval = 2});
+  fail_closed(breaker, 1, {"las"});
+  (void)breaker.admit(kKey);
+  const BreakerDecision probe = breaker.admit(kKey);
+  ASSERT_TRUE(probe.probe);
+  const auto effect = breaker.record(kKey, probe, /*success=*/true, {});
+  EXPECT_TRUE(effect.recovered);
+  EXPECT_EQ(breaker.counters().recoveries, 1u);
+  EXPECT_EQ(breaker.state(kKey), BreakerState::kClosed);
+  // Fully reset: the next admission is a plain closed one.
+  const BreakerDecision d = breaker.admit(kKey);
+  EXPECT_EQ(d.state, BreakerState::kClosed);
+  EXPECT_TRUE(d.disabled_knobs.empty());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensAndRestartsTheSchedule) {
+  CircuitBreaker breaker(BreakerConfig{.failure_threshold = 1, .probe_interval = 3});
+  fail_closed(breaker, 1, {"las"});
+  (void)breaker.admit(kKey);
+  (void)breaker.admit(kKey);
+  const BreakerDecision probe = breaker.admit(kKey);
+  ASSERT_TRUE(probe.probe);
+  const auto effect = breaker.record(kKey, probe, /*success=*/false, {"las"});
+  EXPECT_FALSE(effect.recovered);
+  EXPECT_FALSE(effect.tripped);  // already open; a probe failure is not a new trip
+  EXPECT_EQ(breaker.state(kKey), BreakerState::kOpen);
+  // The probe schedule restarts from the failed probe.
+  EXPECT_FALSE(breaker.admit(kKey).probe);
+  EXPECT_FALSE(breaker.admit(kKey).probe);
+  EXPECT_TRUE(breaker.admit(kKey).probe);
+  EXPECT_EQ(breaker.counters().half_open_probes, 2u);
+}
+
+TEST(CircuitBreakerTest, DegradedOpenSuccessIsNotRecoveryEvidence) {
+  CircuitBreaker breaker(BreakerConfig{.failure_threshold = 1, .probe_interval = 4});
+  fail_closed(breaker, 1, {"las"});
+  const BreakerDecision d = breaker.admit(kKey);
+  ASSERT_FALSE(d.probe);
+  const auto effect = breaker.record(kKey, d, /*success=*/true, {});
+  EXPECT_FALSE(effect.recovered);
+  EXPECT_EQ(breaker.state(kKey), BreakerState::kOpen);
+  EXPECT_EQ(breaker.counters().recoveries, 0u);
+}
+
+TEST(CircuitBreakerTest, KeysAreIndependent) {
+  CircuitBreaker breaker(BreakerConfig{.failure_threshold = 1, .probe_interval = 4});
+  fail_closed(breaker, 1, {"las"});
+  EXPECT_EQ(breaker.state(kKey), BreakerState::kOpen);
+  EXPECT_EQ(breaker.state("gat/cafef00d"), BreakerState::kClosed);  // untouched key
+  const BreakerDecision d = breaker.admit("gat/cafef00d");
+  EXPECT_EQ(d.state, BreakerState::kClosed);
+  EXPECT_EQ(breaker.size(), 2u);
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  EXPECT_EQ(breaker_state_name(BreakerState::kClosed), "closed");
+  EXPECT_EQ(breaker_state_name(BreakerState::kOpen), "open");
+  EXPECT_EQ(breaker_state_name(BreakerState::kHalfOpen), "half_open");
+}
+
+}  // namespace
+}  // namespace gnnbridge::rt

@@ -1,0 +1,124 @@
+// Sim-time deadlines and cooperative cancellation (DESIGN.md §12): budgets
+// charged in simulated cycles, expiry noticed at counted checkpoints, and
+// external cancellation via a shared CancelToken.
+#include "rt/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "rt/status.hpp"
+
+namespace gnnbridge::rt {
+namespace {
+
+TEST(DeadlineTest, DefaultConstructedIsUnbounded) {
+  EXPECT_FALSE(Deadline{}.bounded());
+  EXPECT_FALSE(Deadline::unbounded().bounded());
+  EXPECT_TRUE(Deadline::cycles(1.0).bounded());
+}
+
+TEST(CancelScopeTest, NoScopeMeansEveryQueryIsBenign) {
+  charge_sim_cycles(1e18);  // no-op without a scope
+  EXPECT_FALSE(scope_cancelled());
+  EXPECT_TRUE(scope_status().ok());
+  EXPECT_TRUE(cancel_checkpoint().ok());
+  EXPECT_NO_THROW(throw_if_cancelled("nowhere"));
+}
+
+TEST(CancelScopeTest, ChargingPastTheBudgetExpiresAtTheNextCheckpoint) {
+  CancelScope scope(Deadline::cycles(100.0));
+  EXPECT_TRUE(cancel_checkpoint().ok());
+  charge_sim_cycles(100.0);  // exactly at the budget: the job may finish
+  EXPECT_TRUE(cancel_checkpoint().ok());
+  charge_sim_cycles(1.0);  // crossing it expires the scope
+  const Status s = cancel_checkpoint();
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(scope_cancelled());
+  EXPECT_DOUBLE_EQ(scope.charged_cycles(), 101.0);
+}
+
+TEST(CancelScopeTest, CountsCountingCheckpointsOnly) {
+  CancelScope scope(Deadline::cycles(1e9));
+  (void)scope_cancelled();  // fast-path queries are not checkpoints
+  (void)scope_status();
+  EXPECT_EQ(scope.checkpoints(), 0u);
+  (void)cancel_checkpoint();
+  throw_if_cancelled("here");
+  EXPECT_EQ(scope.checkpoints(), 2u);
+}
+
+TEST(CancelScopeTest, ThrowIfCancelledCarriesStageAndContext) {
+  CancelScope scope(Deadline::cycles(1.0));
+  charge_sim_cycles(2.0);
+  try {
+    throw_if_cancelled("SimContext::launch('gemm')");
+    FAIL() << "expected StageFailure";
+  } catch (const StageFailure& failure) {
+    EXPECT_EQ(failure.seam(), kDeadlineStage);
+    EXPECT_EQ(failure.status().code(), StatusCode::kDeadlineExceeded);
+    ASSERT_EQ(failure.status().context().size(), 1u);
+    EXPECT_EQ(failure.status().context()[0], "SimContext::launch('gemm')");
+  }
+}
+
+TEST(CancelScopeTest, TokenCancelSurfacesItsReason) {
+  CancelToken token;
+  CancelScope scope(Deadline::unbounded(), &token);
+  EXPECT_TRUE(cancel_checkpoint().ok());
+  token.cancel(Status(StatusCode::kCancelled, "shed load"));
+  const Status s = cancel_checkpoint();
+  EXPECT_EQ(s.code(), StatusCode::kCancelled);
+  EXPECT_EQ(s.message(), "shed load");
+  // First cancel wins; a second reason is ignored.
+  token.cancel(Status(StatusCode::kCancelled, "other"));
+  EXPECT_EQ(token.reason().message(), "shed load");
+}
+
+TEST(CancelScopeTest, ScopesNestAndRestore) {
+  CancelScope outer(Deadline::cycles(10.0));
+  charge_sim_cycles(4.0);
+  {
+    CancelScope inner(Deadline::cycles(2.0));
+    charge_sim_cycles(3.0);  // only the inner scope expires
+    EXPECT_EQ(cancel_checkpoint().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_DOUBLE_EQ(inner.charged_cycles(), 3.0);
+  }
+  EXPECT_TRUE(cancel_checkpoint().ok());  // outer again: 4 of 10 spent
+  EXPECT_DOUBLE_EQ(outer.charged_cycles(), 4.0);
+}
+
+TEST(CancelScopeTest, AdoptedScopeIsVisibleOnAnotherThread) {
+  CancelToken token;
+  CancelScope scope(Deadline::unbounded(), &token);
+  const ScopeHandle handle = current_scope();
+  token.cancel();
+  bool seen = false;
+  Status status;
+  std::thread worker([&] {
+    EXPECT_FALSE(scope_cancelled());  // worker has no scope of its own
+    AdoptScope adopt(handle);
+    seen = scope_cancelled();
+    status = scope_status();
+  });
+  worker.join();
+  EXPECT_TRUE(seen);
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+}
+
+TEST(CancelScopeTest, NullHandleAdoptsNoScope) {
+  CancelScope scope(Deadline::cycles(1.0));
+  charge_sim_cycles(2.0);
+  EXPECT_TRUE(scope_cancelled());
+  {
+    AdoptScope neutral{ScopeHandle{}};
+    EXPECT_FALSE(scope_cancelled());  // engine-internal work runs unscoped
+    charge_sim_cycles(1e9);           // and charges nothing
+  }
+  EXPECT_TRUE(scope_cancelled());
+  EXPECT_DOUBLE_EQ(scope.charged_cycles(), 2.0);
+}
+
+}  // namespace
+}  // namespace gnnbridge::rt

@@ -23,7 +23,7 @@ import math
 import sys
 
 SCHEMA_NAME = "gnnbridge-metrics"
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 RUN_KEYS = {
     "label": str,
@@ -76,6 +76,20 @@ DEGRADATION_KEYS = {
     "action": str,
     "detail": str,
     "injected": bool,
+}
+# Serving-resilience counters (v4): deadlines, retry/backoff, breaker.
+ROBUSTNESS_KEYS = {
+    "jobs": int,
+    "attempts": int,
+    "retries": int,
+    "deadline_hits": int,
+    "cancellations": int,
+    "breaker_trips": int,
+    "breaker_open_admissions": int,
+    "breaker_half_open_probes": int,
+    "breaker_recoveries": int,
+    "cancel_points": int,
+    "backoff_cycles": (int, float),
 }
 KERNEL_KEYS = {
     "name": str,
@@ -215,6 +229,12 @@ def check_metrics(doc):
         raise Invalid("degradations: expected array (schema v2)")
     for i, d in enumerate(degradations):
         check_keys(d, DEGRADATION_KEYS, f"degradations[{i}]")
+    robustness = doc.get("robustness")
+    check_keys(robustness, ROBUSTNESS_KEYS, "robustness")
+    if robustness["attempts"] < robustness["retries"]:
+        raise Invalid("robustness: attempts < retries")
+    if robustness["backoff_cycles"] < 0:
+        raise Invalid("robustness: negative backoff_cycles")
     return len(runs), len(degradations)
 
 

@@ -8,10 +8,13 @@
 //   gnnbridge_cli profile --model gat --backend ours --dataset collab
 //   gnnbridge_cli analyze metrics.json
 //   gnnbridge_cli compare baseline_metrics.json optimized_metrics.json
+//   GNNBRIDGE_FAULT_PLAN=tuner_probe=3 gnnbridge_cli soak --jobs 10 --deadline-ms 50
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <string>
@@ -27,6 +30,8 @@
 #include "prof/gap_report.hpp"
 #include "prof/metrics_json.hpp"
 #include "prof/span.hpp"
+#include "rt/deadline.hpp"
+#include "rt/fault.hpp"
 #include "rt/status.hpp"
 #include "tensor/ops.hpp"
 
@@ -39,6 +44,7 @@ void usage() {
       "usage: gnnbridge_cli [profile] [options]\n"
       "       gnnbridge_cli analyze METRICS.json\n"
       "       gnnbridge_cli compare BASELINE.json OPTIMIZED.json\n"
+      "       gnnbridge_cli soak [soak options]\n"
       "  profile                       record a host/sim trace and metrics while running;\n"
       "                                writes Chrome-trace JSON (load in ui.perfetto.dev)\n"
       "                                and gnnbridge-metrics JSON\n"
@@ -47,6 +53,18 @@ void usage() {
       "                                redundancy) for every run in a metrics file\n"
       "  compare A.json B.json         diff two metrics files gap by gap: how many\n"
       "                                cycles/bytes the optimized run (B) recovered\n"
+      "  soak                          replay a deterministic job stream through the\n"
+      "                                optimized engine's run_batch under the fault plan\n"
+      "                                in $GNNBRIDGE_FAULT_PLAN (applied per job), with\n"
+      "                                deadlines, retries and the circuit breaker; print\n"
+      "                                a survival summary. Soak options:\n"
+      "                                  --jobs N (default 10), --wave W (default 4),\n"
+      "                                  --scale S (default 0.05),\n"
+      "                                  --deadline-ms D (sim-ms per job; 0 = unbounded),\n"
+      "                                  --max-attempts M (default 2),\n"
+      "                                  --breaker-threshold K (default 3),\n"
+      "                                  --threads N, --metrics PATH, --pin-meta\n"
+      "                                exits 0 only when every job survived\n"
       "  --metrics PATH                metrics file. Precedence: this flag wins over\n"
       "                                $GNNBRIDGE_METRICS_JSON, which wins over the\n"
       "                                default gnnbridge_metrics.json (profile mode)\n"
@@ -166,6 +184,242 @@ int parse_int_flag(const char* flag, const char* text, long min, long max) {
   return static_cast<int>(value);
 }
 
+// One dataset of the soak stream, owning the weights/features its BatchJobs
+// point at (the deque below keeps addresses stable).
+struct SoakDataset {
+  graph::Dataset data;
+  models::GcnConfig gcn_cfg;
+  models::GcnParams gcn_params;
+  models::Matrix gcn_x;
+  baselines::GcnRun gcn;
+  models::GatConfig gat_cfg;
+  models::GatParams gat_params;
+  models::Matrix gat_x;
+  baselines::GatRun gat;
+  models::SagePoolConfig pool_cfg;
+  models::SagePoolParams pool_params;
+  models::Matrix pool_x;
+  baselines::SagePoolRun pool;
+  models::MultiHeadGatConfig mh_cfg;
+  models::MultiHeadGatParams mh_params;
+  models::Matrix mh_x;
+  baselines::MultiHeadGatRun mh;
+};
+
+// `gnnbridge_cli soak`: replay a deterministic (model, dataset) job stream
+// through OptimizedEngine::run_batch in waves, under the fault plan from
+// GNNBRIDGE_FAULT_PLAN (applied per job, so every job sees its own shot
+// counters), with per-job deadlines, retries and the circuit breaker. The
+// headline demo of DESIGN.md §12: with faults armed and deadlines set,
+// every job must still reach a final state.
+int cmd_soak(int argc, char** argv) {
+  int jobs = 10, wave = 4, max_attempts = 2, breaker_threshold = 3;
+  double scale = 0.05, deadline_ms = 0.0;
+  std::string metrics_out;
+  bool pin_meta = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      jobs = parse_int_flag("--jobs", next(), 1, 100000);
+    } else if (arg == "--wave") {
+      wave = parse_int_flag("--wave", next(), 1, 4096);
+    } else if (arg == "--scale") {
+      scale = parse_double_flag("--scale", next());
+    } else if (arg == "--deadline-ms") {
+      deadline_ms = parse_double_flag("--deadline-ms", next());
+    } else if (arg == "--max-attempts") {
+      max_attempts = parse_int_flag("--max-attempts", next(), 1, 64);
+    } else if (arg == "--breaker-threshold") {
+      breaker_threshold = parse_int_flag("--breaker-threshold", next(), 1, 1000);
+    } else if (arg == "--threads") {
+      par::set_max_threads(parse_int_flag("--threads", next(), 1, 4096));
+    } else if (arg == "--metrics" || arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--pin-meta") {
+      pin_meta = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown soak option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (scale <= 0.0 || scale > 1.0) {
+    std::fprintf(stderr, "--scale must be in (0, 1]\n");
+    return 2;
+  }
+  if (deadline_ms < 0.0) {
+    std::fprintf(stderr, "--deadline-ms must be >= 0\n");
+    return 2;
+  }
+
+  // The process-wide injector is disarmed; the plan rides on each BatchJob
+  // instead so concurrent jobs never race on shared shot counters. Validate
+  // it up front for a clean usage error.
+  std::string plan;
+  if (const char* env = std::getenv("GNNBRIDGE_FAULT_PLAN")) plan = env;
+  rt::FaultInjector::instance().clear();
+  if (!plan.empty()) {
+    rt::FaultInjector::ScopedJobPlan probe(plan);
+    if (!probe.status().ok()) {
+      std::fprintf(stderr, "gnnbridge_cli: bad GNNBRIDGE_FAULT_PLAN: %s\n",
+                   probe.status().to_string().c_str());
+      return 2;
+    }
+  }
+
+  const sim::DeviceSpec spec = sim::v100();
+  const graph::DatasetId dataset_ids[] = {graph::DatasetId::kCollab, graph::DatasetId::kCitation};
+  std::deque<SoakDataset> sets;
+  for (graph::DatasetId id : dataset_ids) {
+    rt::Result<graph::Dataset> loaded = graph::try_make_dataset(id, scale);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "gnnbridge_cli: dataset load failed: %s\n",
+                   loaded.status().to_string().c_str());
+      return 3;
+    }
+    SoakDataset& s = sets.emplace_back();
+    s.data = std::move(loaded).value();
+    const int n = s.data.csr.num_nodes;
+    s.gcn_params = models::init_gcn(s.gcn_cfg, 1);
+    s.gcn_x = models::init_features(n, s.gcn_cfg.dims[0], 1);
+    s.gcn = {&s.gcn_cfg, &s.gcn_params, &s.gcn_x};
+    s.gat_params = models::init_gat(s.gat_cfg, 2);
+    s.gat_x = models::init_features(n, s.gat_cfg.dims[0], 2);
+    s.gat = {&s.gat_cfg, &s.gat_params, &s.gat_x};
+    s.pool_params = models::init_sage_pool(s.pool_cfg, 4);
+    s.pool_x = models::init_features(n, s.pool_cfg.in_feat, 4);
+    s.pool = {&s.pool_cfg, &s.pool_params, &s.pool_x};
+    s.mh_params = models::init_multihead_gat(s.mh_cfg, 5);
+    s.mh_x = models::init_features(n, s.mh_cfg.in_feat, 5);
+    s.mh = {&s.mh_cfg, &s.mh_params, &s.mh_x};
+  }
+
+  engine::EngineConfig ecfg;
+  ecfg.auto_tune = true;
+  ecfg.breaker.failure_threshold = breaker_threshold;
+  engine::OptimizedEngine eng(ecfg);
+
+  // The stream cycles models fast and datasets slowly, so consecutive jobs
+  // hit different breaker keys but every (model, dataset) cell recurs.
+  const char* kKinds[] = {"gcn", "gat", "pool", "mhgat"};
+  std::vector<engine::OptimizedEngine::BatchJob> stream(static_cast<std::size_t>(jobs));
+  std::vector<std::string> labels(stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const SoakDataset& s = sets[(i / 4) % sets.size()];
+    engine::OptimizedEngine::BatchJob& job = stream[i];
+    job.data = &s.data;
+    switch (i % 4) {
+      case 0: job.gcn = &s.gcn; break;
+      case 1: job.gat = &s.gat; break;
+      case 2: job.sage_pool = &s.pool; break;
+      default: job.multihead_gat = &s.mh; break;
+    }
+    job.mode = kernels::ExecMode::kSimulateOnly;
+    job.spec = spec;
+    if (deadline_ms > 0.0) {
+      job.deadline = rt::Deadline::cycles(deadline_ms * spec.clock_ghz * 1e6);
+    }
+    job.max_attempts = max_attempts;
+    job.fault_plan = plan;
+    labels[i] = std::string(kKinds[i % 4]) + "/" + s.data.name;
+  }
+
+  prof::MetricsSink& sink = prof::MetricsSink::instance();
+  sink.configure("gnnbridge_cli soak", scale);
+  if (pin_meta) {
+    sink.set_meta(prof::MetaInfo{.git_sha = "fixed",
+                                 .timestamp = "2026-01-01T00:00:00Z",
+                                 .hostname = "fixed",
+                                 .scale_env = "",
+                                 .threads = 0});
+  }
+
+  std::printf("soak: %d job(s) in waves of %d over %zu dataset(s) @ scale %.3g, "
+              "deadline %.3g sim-ms, max attempts %d, plan '%s'\n",
+              jobs, wave, sets.size(), scale, deadline_ms, max_attempts, plan.c_str());
+
+  std::size_t ok = 0, timed_out = 0, cancelled = 0, failed = 0;
+  for (std::size_t start = 0, w = 0; start < stream.size(); start += static_cast<std::size_t>(wave), ++w) {
+    const std::size_t n = std::min(static_cast<std::size_t>(wave), stream.size() - start);
+    const auto results = eng.run_batch(std::span(stream).subspan(start, n));
+    std::size_t wave_ok = 0;
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      const baselines::RunResult& r = results[j];
+      const std::size_t idx = start + j;
+      if (r.status.ok()) {
+        ++ok;
+        ++wave_ok;
+        sink.record({.label = labels[idx] + "/job" + std::to_string(idx),
+                     .model = labels[idx].substr(0, labels[idx].find('/')),
+                     .backend = "ours",
+                     .dataset = stream[idx].data->name,
+                     .ms = r.ms,
+                     .oom = r.oom,
+                     .stats = r.stats,
+                     .spec = spec});
+      } else if (r.timed_out) {
+        ++timed_out;
+      } else if (r.status.code() == rt::StatusCode::kCancelled) {
+        ++cancelled;
+      } else {
+        ++failed;
+      }
+      if (!r.status.ok()) {
+        std::fprintf(stderr, "soak: job %zu (%s, %d attempt(s), breaker %s): %s\n", idx,
+                     labels[idx].c_str(), r.attempts,
+                     r.breaker_state.empty() ? "closed" : r.breaker_state.c_str(),
+                     r.status.to_string().c_str());
+      }
+    }
+    std::printf("wave %zu: %zu/%zu ok\n", w, wave_ok, n);
+  }
+
+  const prof::RobustnessStats rs = sink.robustness();
+  std::printf("robustness: jobs=%llu attempts=%llu retries=%llu deadline_hits=%llu "
+              "cancellations=%llu breaker_trips=%llu open_admissions=%llu "
+              "half_open_probes=%llu recoveries=%llu cancel_points=%llu "
+              "backoff_cycles=%.12g\n",
+              static_cast<unsigned long long>(rs.jobs),
+              static_cast<unsigned long long>(rs.attempts),
+              static_cast<unsigned long long>(rs.retries),
+              static_cast<unsigned long long>(rs.deadline_hits),
+              static_cast<unsigned long long>(rs.cancellations),
+              static_cast<unsigned long long>(rs.breaker_trips),
+              static_cast<unsigned long long>(rs.breaker_open_admissions),
+              static_cast<unsigned long long>(rs.breaker_half_open_probes),
+              static_cast<unsigned long long>(rs.breaker_recoveries),
+              static_cast<unsigned long long>(rs.cancel_points), rs.backoff_cycles);
+
+  if (metrics_out.empty()) {
+    const char* env = prof::MetricsSink::env_path();
+    if (env) metrics_out = env;
+  }
+  if (!metrics_out.empty()) {
+    if (rt::Status ws = sink.write_file(metrics_out); !ws.ok()) {
+      std::fprintf(stderr, "gnnbridge_cli: %s\n", ws.to_string().c_str());
+      return 1;
+    }
+    std::printf("soak: metrics (%zu run%s) -> %s\n", sink.size(), sink.size() == 1 ? "" : "s",
+                metrics_out.c_str());
+  }
+
+  const std::size_t total = stream.size();
+  std::printf("survival: %.1f%% (%zu/%zu ok, %zu timed out, %zu cancelled, %zu failed)\n",
+              100.0 * static_cast<double>(ok) / static_cast<double>(total), ok, total, timed_out,
+              cancelled, failed);
+  return ok == total ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -192,6 +446,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     return cmd_compare(argv[2], argv[3]);
+  } else if (argc > 1 && std::strcmp(argv[1], "soak") == 0) {
+    return cmd_soak(argc, argv);
   }
   for (int i = first_arg; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -360,9 +616,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "gnnbridge_cli: %s\n", ws.to_string().c_str());
       return 1;
     }
-    if (!prof::write_chrome_trace_file(trace_out, prof::Tracer::instance().snapshot(),
-                                       &r.stats, &spec)) {
-      std::fprintf(stderr, "failed to write trace to '%s'\n", trace_out.c_str());
+    if (rt::Status ts = prof::write_chrome_trace_file(trace_out, prof::Tracer::instance().snapshot(),
+                                                      &r.stats, &spec);
+        !ts.ok()) {
+      std::fprintf(stderr, "gnnbridge_cli: %s\n", ts.to_string().c_str());
       return 1;
     }
     std::printf("profile: %zu spans -> %s (open in ui.perfetto.dev or chrome://tracing)\n",

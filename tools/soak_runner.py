@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Soak matrix driver: N jobs x fault-plan matrix -> survival report.
+
+Runs `gnnbridge_cli soak` once per fault plan in the matrix, parses the
+survival summary, and prints a report table. Every plan in the default
+matrix is survivable (the degradation ladder or retry absorbs the
+injected faults), so the expected survival is 100% across the board; any
+lower figure, hang, or non-zero exit fails the run.
+
+With --check-determinism, each plan is additionally run at 1, 2 and 8
+host threads with --pin-meta and the three metrics files are compared
+byte for byte (the DESIGN.md SS11/SS12 contract: robustness counters are
+sim-time functions, never wall-time or thread-count functions).
+
+    tools/soak_runner.py --cli build/tools/gnnbridge_cli --jobs 8
+    tools/soak_runner.py --cli ... --check-determinism --work-dir /tmp/soak
+
+Exits 0 when every cell of the matrix survives (and, if requested, is
+deterministic), 1 otherwise. Wired as the `soak_smoke` ctest entry.
+"""
+
+import argparse
+import filecmp
+import os
+import re
+import subprocess
+import sys
+
+# Plans the resilient engine must absorb without losing a job: no faults,
+# a bounded tuner-probe burst (auto_tune degrades per job), a LAS failure
+# (falls back to natural order), a fusion failure (adapter off), and a
+# two-shot launch failure (two ladder rungs absorb both shots).
+DEFAULT_PLANS = ["", "tuner_probe=3", "las_cluster", "fusion_pass", "sim_launch=2"]
+
+SURVIVAL_RE = re.compile(
+    r"survival: ([0-9.]+)% \((\d+)/(\d+) ok, (\d+) timed out, (\d+) cancelled, (\d+) failed\)"
+)
+
+
+def run_soak(args, plan, threads=None, metrics=None):
+    """One soak run; returns (exit_code, survival_pct, summary_line)."""
+    cmd = [
+        args.cli, "soak",
+        "--jobs", str(args.jobs),
+        "--wave", str(args.wave),
+        "--scale", str(args.scale),
+        "--deadline-ms", str(args.deadline_ms),
+        "--max-attempts", str(args.max_attempts),
+    ]
+    if threads is not None:
+        cmd += ["--threads", str(threads)]
+    if metrics is not None:
+        cmd += ["--metrics", metrics, "--pin-meta"]
+    env = dict(os.environ)
+    env["GNNBRIDGE_FAULT_PLAN"] = plan
+    try:
+        proc = subprocess.run(cmd, env=env, capture_output=True, text=True,
+                              timeout=args.timeout)
+    except subprocess.TimeoutExpired:
+        return None, 0.0, "TIMEOUT (job stream hung)"
+    match = SURVIVAL_RE.search(proc.stdout)
+    if not match:
+        return proc.returncode, 0.0, "no survival summary in output"
+    return proc.returncode, float(match.group(1)), match.group(0)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--cli", required=True, help="path to gnnbridge_cli")
+    ap.add_argument("--jobs", type=int, default=8)
+    ap.add_argument("--wave", type=int, default=4)
+    ap.add_argument("--scale", type=float, default=0.05)
+    ap.add_argument("--deadline-ms", type=float, default=50.0)
+    ap.add_argument("--max-attempts", type=int, default=2)
+    ap.add_argument("--timeout", type=float, default=300.0,
+                    help="per-run wall-clock timeout, seconds")
+    ap.add_argument("--plans", default=None,
+                    help="comma-separated fault-plan matrix "
+                    "(default: the survivable built-in matrix)")
+    ap.add_argument("--check-determinism", action="store_true",
+                    help="re-run each plan at 1/2/8 threads with --pin-meta "
+                    "and byte-compare the metrics files")
+    ap.add_argument("--work-dir", default="soak_runner_out",
+                    help="scratch directory for metrics files")
+    args = ap.parse_args()
+
+    plans = DEFAULT_PLANS if args.plans is None else args.plans.split(",")
+    os.makedirs(args.work_dir, exist_ok=True)
+
+    failed = False
+    print(f"soak matrix: {len(plans)} plan(s) x {args.jobs} jobs "
+          f"(deadline {args.deadline_ms} sim-ms, max attempts {args.max_attempts})")
+    for plan in plans:
+        name = plan or "(no faults)"
+        code, pct, line = run_soak(args, plan)
+        ok = code == 0 and pct == 100.0
+        print(f"  {name:<16} {'OK  ' if ok else 'FAIL'} {line}")
+        if not ok:
+            failed = True
+            continue
+        if args.check_determinism:
+            paths = []
+            for t in (1, 2, 8):
+                path = os.path.join(
+                    args.work_dir, f"plan{plans.index(plan)}_t{t}.json")
+                code, pct, line = run_soak(args, plan, threads=t, metrics=path)
+                if code != 0 or pct != 100.0:
+                    print(f"  {name:<16} FAIL at {t} thread(s): {line}")
+                    failed = True
+                    break
+                paths.append(path)
+            else:
+                if all(filecmp.cmp(paths[0], p, shallow=False) for p in paths[1:]):
+                    print(f"  {name:<16} metrics byte-identical at 1/2/8 threads")
+                else:
+                    print(f"  {name:<16} FAIL: metrics differ across thread counts")
+                    failed = True
+
+    print("soak matrix: FAIL" if failed else "soak matrix: all plans survived")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
