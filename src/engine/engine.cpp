@@ -16,6 +16,9 @@
 #include "kernels/lstm.hpp"
 #include "kernels/sddmm.hpp"
 #include "kernels/spmm.hpp"
+#include "obs/journal.hpp"
+#include "obs/registry.hpp"
+#include "obs/request.hpp"
 #include "prof/metrics_json.hpp"
 #include "prof/span.hpp"
 #include "rt/fault.hpp"
@@ -432,6 +435,7 @@ struct JobTally {
   std::uint64_t cancel_points = 0;
   std::vector<rt::DegradationEvent> events;   ///< buffered, job-local
   std::vector<std::string> rung;              ///< knobs off when it ended
+  std::vector<obs::JournalEvent> journal;     ///< buffered attempt/backoff events
 };
 }  // namespace
 
@@ -454,6 +458,20 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
     admissions[i] = breaker_.admit(keys[i]);
   }
 
+  // Request IDs (DESIGN.md §13): caller-supplied or synthesized from this
+  // engine's batch counter — fixed before the wave so spans and journal
+  // events carry the same ID at any thread count.
+  const std::uint64_t batch_seq = batch_seq_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<std::string> req_ids(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    req_ids[i] = jobs[i].request_id.empty()
+                     ? "req-" + std::to_string(batch_seq) + "-" + std::to_string(i)
+                     : jobs[i].request_id;
+  }
+  // Journal gating is sampled once per batch: events are buffered per job
+  // in the wave and appended (seq assignment) in the sequential fold.
+  const bool journal_on = obs::EventJournal::instance().enabled();
+
   // --- Parallel wave. Jobs are independent (model, dataset) configs; each
   // runs its whole pipeline inline on one pool worker (nested parallel
   // regions detect the worker and stay serial) under its own deadline
@@ -466,6 +484,9 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
     const BatchJob& job = jobs[i];
     RunResult& out = results[i];
     JobTally& tally = tallies[i];
+    // Thread-local request ID: every prof::Span opened below (and any
+    // nested instrumentation) stamps this ID into its record.
+    obs::RequestScope req_scope(req_ids[i]);
     if (!job.data) {
       out.status = rt::Status(rt::StatusCode::kInvalidArgument, "batch job has no dataset");
       out.attempts = 0;
@@ -504,6 +525,16 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
       } else {
         out = run_multihead_gat(*job.data, *job.multihead_gat, job.mode, job.spec);
       }
+      if (journal_on) {
+        obs::JournalEvent ev;
+        ev.type = "attempt";
+        ev.key = keys[i];
+        ev.code = rt::status_code_name(out.status.code());
+        if (!out.status.ok()) ev.detail = out.status.message();
+        ev.attempt = tally.attempts;
+        ev.cycles = out.stats.total_cycles;
+        tally.journal.push_back(std::move(ev));
+      }
       if (out.status.ok()) {
         tally.success = true;
         break;
@@ -522,6 +553,14 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
       // against the job's own deadline (never a wall-clock sleep).
       const double backoff = rt::backoff_cycles(cfg_.retry, attempt);
       tally.backoff_cycles += backoff;
+      if (journal_on) {
+        obs::JournalEvent ev;
+        ev.type = "backoff";
+        ev.key = keys[i];
+        ev.attempt = tally.attempts;
+        ev.cycles = backoff;
+        tally.journal.push_back(std::move(ev));
+      }
       rt::charge_sim_cycles(backoff);
       if (rt::Status s = rt::cancel_checkpoint(); !s.ok()) {
         const bool deadline = s.code() == rt::StatusCode::kDeadlineExceeded;
@@ -542,13 +581,44 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
                        });
 
   // --- Sequential fold in job order: degradation events flush to the sink
-  // in a deterministic sequence, breaker outcomes apply in job order, and
-  // the batch's robustness counters accumulate once.
+  // in a deterministic sequence, breaker outcomes apply in job order, the
+  // batch's robustness counters accumulate once, and the telemetry story —
+  // journal seq numbers and registry observations — lands in job order, so
+  // every export is byte-identical at any host thread count.
   prof::RobustnessStats rs;
   prof::MetricsSink& sink = prof::MetricsSink::instance();
+  obs::EventJournal& journal = obs::EventJournal::instance();
+  obs::TelemetryRegistry& reg = obs::TelemetryRegistry::instance();
+  std::uint64_t jobs_ok = 0;
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     JobTally& tally = tallies[i];
-    for (rt::DegradationEvent& ev : tally.events) sink.record_degradation(std::move(ev));
+    if (journal_on && tally.ran && !keys[i].empty()) {
+      obs::JournalEvent ev;
+      ev.request_id = req_ids[i];
+      ev.type = "admission";
+      ev.key = keys[i];
+      ev.code = rt::breaker_state_name(admissions[i].state);
+      if (admissions[i].probe) ev.detail = "half_open_probe";
+      journal.append(std::move(ev));
+    }
+    if (journal_on) {
+      for (obs::JournalEvent& ev : tally.journal) {
+        ev.request_id = req_ids[i];
+        journal.append(std::move(ev));
+      }
+    }
+    for (rt::DegradationEvent& ev : tally.events) {
+      if (journal_on) {
+        obs::JournalEvent jev;
+        jev.request_id = req_ids[i];
+        jev.type = "degradation";
+        jev.key = ev.seam;
+        jev.code = ev.knob;
+        jev.detail = ev.action;
+        journal.append(std::move(jev));
+      }
+      sink.record_degradation(std::move(ev));
+    }
     ++rs.jobs;
     rs.attempts += tally.attempts;
     rs.retries += tally.retries;
@@ -556,6 +626,26 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
     if (tally.cancelled) ++rs.cancellations;
     rs.cancel_points += tally.cancel_points;
     rs.backoff_cycles += tally.backoff_cycles;
+    if (journal_on) {
+      obs::JournalEvent ev;
+      ev.request_id = req_ids[i];
+      ev.type = "outcome";
+      ev.key = keys[i];
+      ev.code = rt::status_code_name(results[i].status.code());
+      ev.detail = !tally.ran       ? "rejected"
+                  : tally.success  ? "ok"
+                  : tally.timed_out ? "timed_out"
+                  : tally.cancelled ? "cancelled"
+                                    : "failed";
+      ev.attempt = tally.attempts;
+      ev.cycles = results[i].stats.total_cycles;
+      journal.append(std::move(ev));
+    }
+    if (tally.ran) reg.observe("serve.job_attempts", static_cast<double>(tally.attempts));
+    if (tally.success) {
+      ++jobs_ok;
+      reg.observe("serve.job_cycles", results[i].stats.total_cycles);
+    }
     if (!tally.ran || keys[i].empty()) continue;
     results[i].breaker_state = std::string(rt::breaker_state_name(admissions[i].state));
     if (admissions[i].state != rt::BreakerState::kClosed) ++rs.breaker_open_admissions;
@@ -564,8 +654,26 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
         breaker_.record(keys[i], admissions[i], tally.success, std::move(tally.rung));
     if (effect.tripped) ++rs.breaker_trips;
     if (effect.recovered) ++rs.breaker_recoveries;
+    if (journal_on && (effect.tripped || effect.recovered)) {
+      obs::JournalEvent ev;
+      ev.request_id = req_ids[i];
+      ev.type = "breaker";
+      ev.key = keys[i];
+      ev.code = effect.tripped ? "open" : "closed";
+      ev.detail = effect.tripped ? "tripped" : "recovered";
+      journal.append(std::move(ev));
+    }
   }
   sink.add_robustness(rs);
+  reg.counter_add("serve.jobs", rs.jobs);
+  reg.counter_add("serve.jobs_ok", jobs_ok);
+  reg.counter_add("serve.jobs_deadline", rs.deadline_hits);
+  reg.counter_add("serve.jobs_cancelled", rs.cancellations);
+  reg.counter_add("serve.jobs_failed", rs.jobs - jobs_ok - rs.deadline_hits - rs.cancellations);
+  reg.counter_add("serve.attempts", rs.attempts);
+  reg.counter_add("serve.retries", rs.retries);
+  reg.observe("serve.batch_jobs", static_cast<double>(jobs.size()));
+  reg.gauge_set("serve.queue_depth", static_cast<double>(jobs.size()));
   return results;
 }
 

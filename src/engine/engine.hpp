@@ -163,6 +163,10 @@ class OptimizedEngine final : public Backend {
     /// identically at any thread count. Empty = no injected faults (the
     /// process-wide plan is suppressed for the job either way).
     std::string fault_plan;
+    /// Caller-supplied request ID, threaded through spans and the obs::
+    /// event journal (DESIGN.md §13). Empty = the engine synthesizes a
+    /// deterministic "req-<batch>-<index>" ID.
+    std::string request_id;
   };
 
   /// Runs independent (model, dataset) jobs concurrently on the host
@@ -195,6 +199,11 @@ class OptimizedEngine final : public Backend {
   /// on this engine (cross-batch memory of failing pairs). Declared after
   /// cfg_ so it can take its configuration from it.
   mutable rt::CircuitBreaker breaker_{cfg_.breaker};
+
+  /// Monotonic run_batch counter, seed for synthesized request IDs. The
+  /// counter is engine-local, so IDs are deterministic per call sequence
+  /// regardless of host thread count.
+  std::atomic<std::uint64_t> batch_seq_{0};
 
   /// Cached auto-tune outcome for one (graph fingerprint, feature length).
   struct TunedEntry {

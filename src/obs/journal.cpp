@@ -1,0 +1,101 @@
+#include "obs/journal.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "prof/json_writer.hpp"
+
+namespace gnnbridge::obs {
+
+EventJournal& EventJournal::instance() {
+  static EventJournal* journal = new EventJournal();  // leaked: outlives atexit
+  return *journal;
+}
+
+const char* EventJournal::env_path() {
+  const char* env = std::getenv("GNNBRIDGE_EVENT_JOURNAL");
+  return (env && *env) ? env : nullptr;
+}
+
+EventJournal::EventJournal() {
+  if (env_path()) {
+    enabled_.store(true, std::memory_order_relaxed);
+    std::atexit([] {
+      if (const char* path = env_path()) {
+        EventJournal::instance().write_file(path);
+      }
+    });
+  }
+}
+
+std::uint64_t EventJournal::append(JournalEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_++;
+  const std::uint64_t seq = event.seq;
+  events_.push_back(std::move(event));
+  return seq;
+}
+
+std::size_t EventJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<JournalEvent> EventJournal::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void EventJournal::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  next_seq_ = 0;
+}
+
+std::string EventJournal::to_jsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const JournalEvent& ev : events_) {
+    prof::JsonWriter w(&out);
+    w.begin_object();
+    w.kv("seq", ev.seq);
+    w.kv("req", std::string_view(ev.request_id));
+    w.kv("type", std::string_view(ev.type));
+    w.kv("key", std::string_view(ev.key));
+    w.kv("code", std::string_view(ev.code));
+    w.kv("detail", std::string_view(ev.detail));
+    w.kv("attempt", ev.attempt);
+    w.kv("cycles", ev.cycles);
+    w.end_object();
+    out += '\n';
+  }
+  return out;
+}
+
+rt::Status EventJournal::write_file(const std::string& path) const {
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "gnnbridge: cannot write event journal '%s': %s\n", path.c_str(), what);
+    return rt::Status(rt::StatusCode::kUnavailable, what)
+        .with_context("EventJournal::write_file('" + path + "')");
+  };
+  const std::string doc = to_jsonl();
+  // Crash-safe, like MetricsSink::write_file: the whole journal goes to a
+  // sibling temp file first, then an atomic rename — a kill mid-write
+  // never truncates a previously written journal.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) return fail("cannot open for writing");
+  const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return fail(wrote ? "close failed" : "short write");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail("rename into place failed");
+  }
+  return rt::OkStatus();
+}
+
+}  // namespace gnnbridge::obs

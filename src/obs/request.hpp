@@ -1,0 +1,48 @@
+// Request-scoped IDs (DESIGN.md §13).
+//
+// A batch job's request id is threaded down the call stack through a
+// thread-local pointer: OptimizedEngine::run_batch installs a RequestScope
+// around each job (jobs run whole on one pool worker, so a thread-local is
+// job-confined), prof::Span stamps the current id onto every span it
+// records, and the event journal tags every lifecycle event with it — one
+// job's full story is reconstructable by filtering on the id.
+//
+// Header-only and dependency-free so prof/span.hpp (included by every
+// instrumented subsystem) can read the current id without a link
+// dependency on the obs library.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace gnnbridge::obs {
+
+/// The installed request id for this thread; nullptr outside any scope.
+inline const std::string*& current_request_slot() {
+  thread_local const std::string* slot = nullptr;
+  return slot;
+}
+
+/// The current request id, or "" when no scope is installed.
+inline std::string_view current_request_id() {
+  const std::string* slot = current_request_slot();
+  return slot ? std::string_view(*slot) : std::string_view();
+}
+
+/// RAII install of a request id on the current thread. The referenced
+/// string must outlive the scope (run_batch owns the ids for the batch's
+/// duration). Scopes nest; destruction restores the previous id.
+class RequestScope {
+ public:
+  explicit RequestScope(const std::string& id) : prev_(current_request_slot()) {
+    current_request_slot() = &id;
+  }
+  ~RequestScope() { current_request_slot() = prev_; }
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  const std::string* prev_;
+};
+
+}  // namespace gnnbridge::obs

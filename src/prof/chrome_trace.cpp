@@ -75,9 +75,10 @@ void emit_thread_spans(JsonWriter& w, std::vector<const SpanRecord*> spans) {
     w.begin_object();
     event_common(w, s->name, s->category, 'B', static_cast<double>(s->start_us), kHostPid,
                  s->tid);
-    if (!s->args.empty()) {
+    if (!s->args.empty() || !s->request_id.empty()) {
       w.key("args");
       w.begin_object();
+      if (!s->request_id.empty()) w.kv("req", std::string_view(s->request_id));
       for (const auto& [k, v] : s->args) w.kv(k, v);
       w.end_object();
     }

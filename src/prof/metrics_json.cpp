@@ -8,6 +8,7 @@
 #include <unistd.h>
 #endif
 
+#include "obs/registry.hpp"
 #include "par/thread_pool.hpp"
 #include "prof/gap_report.hpp"
 #include "prof/json_writer.hpp"
@@ -233,10 +234,16 @@ RobustnessStats MetricsSink::robustness() const {
 }
 
 void MetricsSink::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  records_.clear();
-  degradations_.clear();
-  robustness_ = RobustnessStats{};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    records_.clear();
+    degradations_.clear();
+    robustness_ = RobustnessStats{};
+  }
+  // The v5 telemetry block snapshots the process-wide registry; clearing
+  // the sink without it would leak one run's telemetry into the next
+  // document (the in-process determinism tests byte-compare exactly that).
+  obs::TelemetryRegistry::instance().clear();
 }
 
 std::string MetricsSink::to_json() const {
@@ -294,6 +301,8 @@ std::string MetricsSink::to_json() const {
   w.kv("cancel_points", robustness_.cancel_points);
   w.kv("backoff_cycles", robustness_.backoff_cycles);
   w.end_object();
+  w.key("telemetry");
+  obs::write_telemetry_json(w, obs::TelemetryRegistry::instance().snapshot());
   w.end_object();
   out += '\n';
   if (w.nonfinite_count() > 0) {

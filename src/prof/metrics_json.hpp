@@ -10,10 +10,10 @@
 // tools/check_metrics_schema.py; bump kMetricsSchemaVersion on any
 // incompatible change.
 //
-// Schema (gnnbridge-metrics, version 4):
+// Schema (gnnbridge-metrics, version 5):
 //   {
 //     "schema": "gnnbridge-metrics",
-//     "schema_version": 4,
+//     "schema_version": 5,
 //     "experiment": "<banner id>",
 //     "scale": 0.25,
 //     "meta": {"git_sha":"abc1234", "timestamp":"2026-01-01T00:00:00Z",
@@ -57,7 +57,13 @@
 //                    "deadline_hits":..., "cancellations":...,
 //                    "breaker_trips":..., "breaker_open_admissions":...,
 //                    "breaker_half_open_probes":..., "breaker_recoveries":...,
-//                    "cancel_points":..., "backoff_cycles":...}
+//                    "cancel_points":..., "backoff_cycles":...},
+//     "telemetry": {"counters":[{"name":"serve.jobs","value":...}],
+//                   "gauges":[{"name":"serve.queue_depth","value":...}],
+//                   "histograms":[{"name":"serve.job_cycles","count":...,
+//                                  "sum":..., "min":..., "max":...,
+//                                  "p50":..., "p90":..., "p99":...,
+//                                  "buckets":[{"le":..., "count":...}]}]}
 //   }
 // v1 -> v2: added the top-level `degradations` array — one entry per
 // optimization knob the engine (or the sink itself) disabled after a stage
@@ -71,6 +77,13 @@
 // deadline hits, cancellations, circuit-breaker activity, cooperative
 // cancellation checkpoints, and sim-cycles spent in retry backoff;
 // DESIGN.md §12). Always present; all-zero when run_batch never ran.
+// v4 -> v5: added the top-level `telemetry` block — a snapshot of the
+// process-wide obs::TelemetryRegistry (named counters, gauges and
+// log-bucketed histograms with p50/p90/p99/max, DESIGN.md §13). Names sort
+// lexicographically and histogram buckets are fixed powers of 2^(1/4), so
+// the block is byte-identical at any host thread count. Always present;
+// empty arrays when nothing was recorded. `clear()` also clears the
+// registry, keeping in-process determinism byte-compares valid.
 #pragma once
 
 #include <cstdint>
@@ -85,7 +98,7 @@
 namespace gnnbridge::prof {
 
 inline constexpr const char* kMetricsSchemaName = "gnnbridge-metrics";
-inline constexpr int kMetricsSchemaVersion = 4;
+inline constexpr int kMetricsSchemaVersion = 5;
 
 /// Provenance stamped into every metrics document (`meta` block). The sink
 /// collects defaults lazily at serialization time; tests pin fixed values

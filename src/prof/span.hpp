@@ -13,6 +13,7 @@
 
 #include <string_view>
 
+#include "obs/request.hpp"
 #include "prof/tracer.hpp"
 
 namespace gnnbridge::prof {
@@ -25,6 +26,8 @@ class Span {
     Tracer& t = Tracer::instance();
     rec_.name.assign(name.data(), name.size());
     rec_.category.assign(category.data(), category.size());
+    const std::string_view req = obs::current_request_id();
+    rec_.request_id.assign(req.data(), req.size());
     rec_.tid = t.thread_id();
     rec_.depth = t.enter_depth();
     rec_.start_us = t.now_us();

@@ -39,6 +39,9 @@ struct SpanRecord {
   int depth = 0;
   std::uint64_t start_us = 0;
   std::uint64_t duration_us = 0;
+  /// The request id installed (obs::RequestScope) when the span opened;
+  /// "" outside any batch job. Lets a trace viewer filter one job's spans.
+  std::string request_id;
   /// Attached counters, e.g. {"cycles", 1.2e6} on a kernel-launch span.
   std::vector<std::pair<std::string, double>> args;
 };

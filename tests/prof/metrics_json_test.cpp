@@ -1,4 +1,4 @@
-// Golden test locking the gnnbridge-metrics JSON schema (version 4).
+// Golden test locking the gnnbridge-metrics JSON schema (version 5).
 //
 // The serialized document for a fixed RunRecord must match byte-for-byte:
 // downstream consumers (tools/check_metrics_schema.py, notebook readers,
@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "obs/registry.hpp"
 #include "sim/counters.hpp"
 #include "sim/device.hpp"
 #include "tests/testing/json.hpp"
@@ -79,7 +80,7 @@ MetaInfo golden_meta() {
 //   sync      = atomic + adapter cycles = 256 + 128             = 384
 //   redundancy= (1024 + 512 + 256) / 16 flops-per-cycle         = 112
 constexpr const char* kGolden =
-    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":4,"
+    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":5,"
     "\"experiment\":\"golden\",\"scale\":0.25,"
     "\"meta\":{\"git_sha\":\"deadbee\",\"timestamp\":\"2026-01-01T00:00:00Z\","
     "\"hostname\":\"goldenhost\",\"scale_env\":\"0.25\",\"threads\":8},"
@@ -121,9 +122,10 @@ constexpr const char* kGolden =
     "\"robustness\":{\"jobs\":0,\"attempts\":0,\"retries\":0,"
     "\"deadline_hits\":0,\"cancellations\":0,\"breaker_trips\":0,"
     "\"breaker_open_admissions\":0,\"breaker_half_open_probes\":0,"
-    "\"breaker_recoveries\":0,\"cancel_points\":0,\"backoff_cycles\":0}}\n";
+    "\"breaker_recoveries\":0,\"cancel_points\":0,\"backoff_cycles\":0},"
+    "\"telemetry\":{\"counters\":[],\"gauges\":[],\"histograms\":[]}}\n";
 
-TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion4) {
+TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion5) {
   MetricsSink& sink = MetricsSink::instance();
   sink.clear();
   sink.configure("golden", 0.25);
@@ -181,12 +183,37 @@ TEST(MetricsJsonTest, EmptySinkStillEmitsSchemaEnvelope) {
   const std::string doc = sink.to_json();
   EXPECT_TRUE(testing::json_valid(doc));
   EXPECT_NE(doc.find("\"schema\":\"gnnbridge-metrics\""), std::string::npos);
-  EXPECT_NE(doc.find("\"schema_version\":4"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":5"), std::string::npos);
   EXPECT_NE(doc.find("\"meta\":{"), std::string::npos);
   EXPECT_NE(doc.find("\"runs\":[]"), std::string::npos);
   EXPECT_NE(doc.find("\"gap_report\":[]"), std::string::npos);
   EXPECT_NE(doc.find("\"degradations\":[]"), std::string::npos);
   EXPECT_NE(doc.find("\"robustness\":{\"jobs\":0,"), std::string::npos);
+  EXPECT_NE(doc.find("\"telemetry\":{\"counters\":[],\"gauges\":[],\"histograms\":[]}"),
+            std::string::npos);
+}
+
+TEST(MetricsJsonTest, TelemetryBlockCarriesRegistryInstruments) {
+  MetricsSink& sink = MetricsSink::instance();
+  sink.clear();  // also clears the telemetry registry
+  sink.configure("telemetry", 1.0);
+  obs::TelemetryRegistry& reg = obs::TelemetryRegistry::instance();
+  reg.counter_add("serve.jobs", 3);
+  reg.gauge_set("serve.queue_depth", 4.0);
+  reg.observe("serve.job_cycles", 1024.0);
+  const std::string doc = sink.to_json();
+  EXPECT_TRUE(testing::json_valid(doc));
+  EXPECT_NE(doc.find("\"counters\":[{\"name\":\"serve.jobs\",\"value\":3}]"), std::string::npos);
+  EXPECT_NE(doc.find("\"gauges\":[{\"name\":\"serve.queue_depth\",\"value\":4}]"),
+            std::string::npos);
+  // Quantiles clamp to the exact tracked max, so a single observation
+  // reports itself at every percentile.
+  EXPECT_NE(doc.find("\"histograms\":[{\"name\":\"serve.job_cycles\",\"count\":1,"
+                     "\"sum\":1024,\"min\":1024,\"max\":1024,\"p50\":1024,\"p90\":1024,"
+                     "\"p99\":1024,\"buckets\":[{\"le\":"),
+            std::string::npos);
+  sink.clear();
+  EXPECT_EQ(reg.histogram_count(), 0u);
 }
 
 TEST(MetricsJsonTest, OomRunSerializesWithEmptyKernels) {

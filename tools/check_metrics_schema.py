@@ -12,6 +12,12 @@ keys, and stack-balanced B/E duration events per (pid, tid) track:
 
     tools/check_metrics_schema.py --trace out/trace.json
 
+With --journal, checks a JSONL event journal instead (the exporter in
+src/obs/journal.cpp): one object per line with the full event key set,
+`seq` strictly increasing from 0, and known event types:
+
+    tools/check_metrics_schema.py --journal out/journal.jsonl
+
 Exits 0 when every file validates, 1 otherwise. Used by the ctest smoke
 entries (tests/CMakeLists.txt) and handy standalone after any bench run
 with GNNBRIDGE_METRICS_JSON / GNNBRIDGE_TRACE_JSON set.
@@ -23,7 +29,7 @@ import math
 import sys
 
 SCHEMA_NAME = "gnnbridge-metrics"
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 RUN_KEYS = {
     "label": str,
@@ -90,6 +96,55 @@ ROBUSTNESS_KEYS = {
     "breaker_recoveries": int,
     "cancel_points": int,
     "backoff_cycles": (int, float),
+}
+# Telemetry registry export (v5): counters, gauges, log-bucketed
+# histograms with headline quantiles (src/obs/registry.hpp).
+TELEMETRY_KEYS = {
+    "counters": list,
+    "gauges": list,
+    "histograms": list,
+}
+TELEMETRY_COUNTER_KEYS = {
+    "name": str,
+    "value": int,
+}
+TELEMETRY_GAUGE_KEYS = {
+    "name": str,
+    "value": (int, float),
+}
+TELEMETRY_HISTOGRAM_KEYS = {
+    "name": str,
+    "count": int,
+    "sum": (int, float),
+    "min": (int, float),
+    "max": (int, float),
+    "p50": (int, float),
+    "p90": (int, float),
+    "p99": (int, float),
+    "buckets": list,
+}
+TELEMETRY_BUCKET_KEYS = {
+    "le": (int, float),
+    "count": int,
+}
+# JSONL event journal (src/obs/journal.cpp): one object per line.
+JOURNAL_EVENT_KEYS = {
+    "seq": int,
+    "req": str,
+    "type": str,
+    "key": str,
+    "code": str,
+    "detail": str,
+    "attempt": int,
+    "cycles": (int, float),
+}
+JOURNAL_EVENT_TYPES = {
+    "admission",
+    "attempt",
+    "backoff",
+    "degradation",
+    "outcome",
+    "breaker",
 }
 KERNEL_KEYS = {
     "name": str,
@@ -235,7 +290,51 @@ def check_metrics(doc):
         raise Invalid("robustness: attempts < retries")
     if robustness["backoff_cycles"] < 0:
         raise Invalid("robustness: negative backoff_cycles")
+    telemetry = doc.get("telemetry")
+    check_keys(telemetry, TELEMETRY_KEYS, "telemetry")
+    for i, c in enumerate(telemetry["counters"]):
+        check_keys(c, TELEMETRY_COUNTER_KEYS, f"telemetry.counters[{i}]")
+    for i, g in enumerate(telemetry["gauges"]):
+        check_keys(g, TELEMETRY_GAUGE_KEYS, f"telemetry.gauges[{i}]")
+    for i, h in enumerate(telemetry["histograms"]):
+        where = f"telemetry.histograms[{i}]"
+        check_keys(h, TELEMETRY_HISTOGRAM_KEYS, where)
+        total = 0
+        for j, b in enumerate(h["buckets"]):
+            check_keys(b, TELEMETRY_BUCKET_KEYS, f"{where}.buckets[{j}]")
+            total += b["count"]
+        if total != h["count"]:
+            raise Invalid(
+                f"{where}: bucket counts sum to {total}, "
+                f"but count is {h['count']}"
+            )
+        if h["count"] > 0 and not h["min"] <= h["p50"] <= h["max"]:
+            raise Invalid(f"{where}: p50 outside [min, max]")
     return len(runs), len(degradations)
+
+
+def check_journal(text):
+    """Validates a JSONL event journal; returns (events, requests)."""
+    next_seq = 0
+    requests = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            raise Invalid(f"line {lineno}: empty line")
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise Invalid(f"line {lineno}: {e}") from e
+        where = f"line {lineno}"
+        check_keys(ev, JOURNAL_EVENT_KEYS, where)
+        if ev["seq"] != next_seq:
+            raise Invalid(f"{where}: seq {ev['seq']}, expected {next_seq}")
+        next_seq += 1
+        if ev["type"] not in JOURNAL_EVENT_TYPES:
+            raise Invalid(f"{where}: unknown event type {ev['type']!r}")
+        if not ev["req"]:
+            raise Invalid(f"{where}: empty request id")
+        requests.add(ev["req"])
+    return next_seq, len(requests)
 
 
 def check_trace(doc):
@@ -283,6 +382,11 @@ def main():
         help="validate Chrome-trace files instead of gnnbridge-metrics files",
     )
     ap.add_argument(
+        "--journal",
+        action="store_true",
+        help="validate JSONL event-journal files instead of metrics files",
+    )
+    ap.add_argument(
         "--expect-degradations",
         type=int,
         default=None,
@@ -292,9 +396,17 @@ def main():
     )
     args = ap.parse_args()
 
+    if args.trace and args.journal:
+        ap.error("--trace and --journal are mutually exclusive")
+
     failed = False
     for path in args.files:
         try:
+            if args.journal:
+                with open(path, encoding="utf-8") as f:
+                    n, n_req = check_journal(f.read())
+                print(f"{path}: OK ({n} events, {n_req} requests, seq contiguous)")
+                continue
             with open(path, encoding="utf-8") as f:
                 doc = json.load(f)
             if args.trace:

@@ -8,6 +8,7 @@
 //   gnnbridge_cli profile --model gat --backend ours --dataset collab
 //   gnnbridge_cli analyze metrics.json
 //   gnnbridge_cli compare baseline_metrics.json optimized_metrics.json
+//   gnnbridge_cli stats metrics.json --prom metrics.prom --journal journal.jsonl
 //   GNNBRIDGE_FAULT_PLAN=tuner_probe=3 gnnbridge_cli soak --jobs 10 --deadline-ms 50
 #include <algorithm>
 #include <cerrno>
@@ -15,8 +16,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <limits>
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -25,9 +29,13 @@
 #include "baselines/roc.hpp"
 #include "engine/engine.hpp"
 #include "graph/datasets.hpp"
+#include "obs/journal.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/registry.hpp"
 #include "par/thread_pool.hpp"
 #include "prof/chrome_trace.hpp"
 #include "prof/gap_report.hpp"
+#include "prof/json_reader.hpp"
 #include "prof/metrics_json.hpp"
 #include "prof/span.hpp"
 #include "rt/deadline.hpp"
@@ -45,6 +53,7 @@ void usage() {
       "       gnnbridge_cli analyze METRICS.json\n"
       "       gnnbridge_cli compare BASELINE.json OPTIMIZED.json\n"
       "       gnnbridge_cli soak [soak options]\n"
+      "       gnnbridge_cli stats METRICS.json [--prom PATH] [--journal JOURNAL.jsonl]\n"
       "  profile                       record a host/sim trace and metrics while running;\n"
       "                                writes Chrome-trace JSON (load in ui.perfetto.dev)\n"
       "                                and gnnbridge-metrics JSON\n"
@@ -63,8 +72,17 @@ void usage() {
       "                                  --deadline-ms D (sim-ms per job; 0 = unbounded),\n"
       "                                  --max-attempts M (default 2),\n"
       "                                  --breaker-threshold K (default 3),\n"
-      "                                  --threads N, --metrics PATH, --pin-meta\n"
+      "                                  --threads N, --metrics PATH, --trace PATH,\n"
+      "                                  --journal PATH (JSONL event journal),\n"
+      "                                  --prom PATH (Prometheus text exposition),\n"
+      "                                  --pin-meta\n"
       "                                exits 0 only when every job survived\n"
+      "  stats METRICS.json            print the telemetry block (counters, gauges,\n"
+      "                                latency histograms with p50/p90/p99) of a\n"
+      "                                schema v5 metrics file; --prom re-renders it\n"
+      "                                as Prometheus text exposition, --journal\n"
+      "                                summarizes an event journal written by soak\n"
+      "                                or $GNNBRIDGE_EVENT_JOURNAL\n"
       "  --metrics PATH                metrics file. Precedence: this flag wins over\n"
       "                                $GNNBRIDGE_METRICS_JSON, which wins over the\n"
       "                                default gnnbridge_metrics.json (profile mode)\n"
@@ -184,6 +202,183 @@ int parse_int_flag(const char* flag, const char* text, long min, long max) {
   return static_cast<int>(value);
 }
 
+/// Output paths shared by every subcommand's arg loop.
+struct CommonArgs {
+  std::string metrics;
+  std::string trace;
+};
+
+/// One handler for the flags every subcommand accepts: --metrics /
+/// --metrics-out, --trace / --trace-out, and --threads (which applies
+/// immediately). Returns true when `arg` was consumed; `next` must yield
+/// the flag's value (exiting with a usage error when absent).
+template <typename Next>
+bool parse_common_flag(const std::string& arg, Next&& next, CommonArgs& out) {
+  if (arg == "--metrics" || arg == "--metrics-out") {
+    out.metrics = next();
+    return true;
+  }
+  if (arg == "--trace" || arg == "--trace-out") {
+    out.trace = next();
+    return true;
+  }
+  if (arg == "--threads") {
+    par::set_max_threads(parse_int_flag("--threads", next(), 1, 4096));
+    return true;
+  }
+  return false;
+}
+
+/// Rebuilds an obs::RegistrySnapshot from a parsed schema v5 `telemetry`
+/// block, so the stats table and the Prometheus re-render share the live
+/// registry's code paths.
+obs::RegistrySnapshot snapshot_from_json(const prof::JsonValue& telemetry) {
+  obs::RegistrySnapshot snap;
+  if (const prof::JsonValue* cs = telemetry.find("counters"); cs && cs->is_array()) {
+    for (const auto& c : cs->items) {
+      snap.counters.emplace_back(c.str_or("name", ""), c.uint_or("value", 0));
+    }
+  }
+  if (const prof::JsonValue* gs = telemetry.find("gauges"); gs && gs->is_array()) {
+    for (const auto& g : gs->items) {
+      snap.gauges.emplace_back(g.str_or("name", ""), g.num_or("value", 0.0));
+    }
+  }
+  if (const prof::JsonValue* hs = telemetry.find("histograms"); hs && hs->is_array()) {
+    for (const auto& h : hs->items) {
+      obs::HistogramSnapshot s;
+      s.count = h.uint_or("count", 0);
+      s.sum = h.num_or("sum", 0.0);
+      s.min = h.num_or("min", 0.0);
+      s.max = h.num_or("max", 0.0);
+      s.p50 = h.num_or("p50", 0.0);
+      s.p90 = h.num_or("p90", 0.0);
+      s.p99 = h.num_or("p99", 0.0);
+      if (const prof::JsonValue* bs = h.find("buckets"); bs && bs->is_array()) {
+        for (const auto& b : bs->items) {
+          s.buckets.emplace_back(b.num_or("le", 0.0), b.uint_or("count", 0));
+        }
+      }
+      snap.histograms.emplace_back(h.str_or("name", ""), std::move(s));
+    }
+  }
+  return snap;
+}
+
+/// `gnnbridge_cli stats`: human-readable view of the telemetry block of a
+/// schema v5 metrics file, with optional Prometheus re-render and event
+/// journal summary.
+int cmd_stats(int argc, char** argv) {
+  std::string metrics_path, prom_out, journal_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--prom") {
+      prom_out = next();
+    } else if (arg == "--journal") {
+      journal_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown stats option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else if (metrics_path.empty()) {
+      metrics_path = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (metrics_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  auto doc = prof::parse_json_file(metrics_path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "gnnbridge_cli: %s\n", doc.status().to_string().c_str());
+    return 1;
+  }
+  const prof::JsonValue* telemetry = doc->find("telemetry");
+  if (!telemetry || !telemetry->is_object()) {
+    std::fprintf(stderr,
+                 "gnnbridge_cli: '%s' has no telemetry block (needs metrics schema v5+, "
+                 "found v%lld)\n",
+                 metrics_path.c_str(), static_cast<long long>(doc->int_or("schema_version", 0)));
+    return 1;
+  }
+  const obs::RegistrySnapshot snap = snapshot_from_json(*telemetry);
+  std::printf("telemetry of '%s' (schema v%lld): %zu counter(s), %zu gauge(s), %zu histogram(s)\n",
+              metrics_path.c_str(), static_cast<long long>(doc->int_or("schema_version", 0)),
+              snap.counters.size(), snap.gauges.size(), snap.histograms.size());
+  if (!snap.counters.empty()) {
+    std::printf("%-28s %16s\n", "counter", "value");
+    for (const auto& [name, value] : snap.counters) {
+      std::printf("%-28s %16llu\n", name.c_str(), static_cast<unsigned long long>(value));
+    }
+  }
+  if (!snap.gauges.empty()) {
+    std::printf("%-28s %16s\n", "gauge", "value");
+    for (const auto& [name, value] : snap.gauges) {
+      std::printf("%-28s %16.6g\n", name.c_str(), value);
+    }
+  }
+  if (!snap.histograms.empty()) {
+    std::printf("%-28s %10s %12s %12s %12s %12s\n", "histogram", "count", "p50", "p90", "p99",
+                "max");
+    for (const auto& [name, h] : snap.histograms) {
+      std::printf("%-28s %10llu %12.6g %12.6g %12.6g %12.6g\n", name.c_str(),
+                  static_cast<unsigned long long>(h.count), h.p50, h.p90, h.p99, h.max);
+    }
+  }
+
+  if (!prom_out.empty()) {
+    if (rt::Status ps = obs::write_prometheus_file(prom_out, snap); !ps.ok()) {
+      std::fprintf(stderr, "gnnbridge_cli: %s\n", ps.to_string().c_str());
+      return 1;
+    }
+    std::printf("stats: prometheus exposition -> %s\n", prom_out.c_str());
+  }
+
+  if (!journal_path.empty()) {
+    std::ifstream in(journal_path);
+    if (!in) {
+      std::fprintf(stderr, "gnnbridge_cli: cannot read journal '%s'\n", journal_path.c_str());
+      return 1;
+    }
+    std::size_t events = 0;
+    std::set<std::string> requests;
+    std::map<std::string, std::size_t> by_type;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      auto ev = prof::parse_json(line);
+      if (!ev.ok()) {
+        std::fprintf(stderr, "gnnbridge_cli: journal '%s' line %zu: %s\n", journal_path.c_str(),
+                     events + 1, ev.status().to_string().c_str());
+        return 1;
+      }
+      ++events;
+      requests.insert(ev->str_or("req", ""));
+      ++by_type[ev->str_or("type", "?")];
+    }
+    std::printf("journal '%s': %zu event(s) across %zu request(s)\n", journal_path.c_str(),
+                events, requests.size());
+    for (const auto& [type, n] : by_type) {
+      std::printf("  %-12s %zu\n", type.c_str(), n);
+    }
+  }
+  return 0;
+}
+
 // One dataset of the soak stream, owning the weights/features its BatchJobs
 // point at (the deque below keeps addresses stable).
 struct SoakDataset {
@@ -215,7 +410,8 @@ struct SoakDataset {
 int cmd_soak(int argc, char** argv) {
   int jobs = 10, wave = 4, max_attempts = 2, breaker_threshold = 3;
   double scale = 0.05, deadline_ms = 0.0;
-  std::string metrics_out;
+  CommonArgs common;
+  std::string journal_out, prom_out;
   bool pin_meta = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -226,7 +422,8 @@ int cmd_soak(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--jobs") {
+    if (parse_common_flag(arg, next, common)) {
+    } else if (arg == "--jobs") {
       jobs = parse_int_flag("--jobs", next(), 1, 100000);
     } else if (arg == "--wave") {
       wave = parse_int_flag("--wave", next(), 1, 4096);
@@ -238,10 +435,10 @@ int cmd_soak(int argc, char** argv) {
       max_attempts = parse_int_flag("--max-attempts", next(), 1, 64);
     } else if (arg == "--breaker-threshold") {
       breaker_threshold = parse_int_flag("--breaker-threshold", next(), 1, 1000);
-    } else if (arg == "--threads") {
-      par::set_max_threads(parse_int_flag("--threads", next(), 1, 4096));
-    } else if (arg == "--metrics" || arg == "--metrics-out") {
-      metrics_out = next();
+    } else if (arg == "--journal") {
+      journal_out = next();
+    } else if (arg == "--prom") {
+      prom_out = next();
     } else if (arg == "--pin-meta") {
       pin_meta = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -253,6 +450,8 @@ int cmd_soak(int argc, char** argv) {
       return 2;
     }
   }
+  if (!journal_out.empty()) obs::EventJournal::instance().set_enabled(true);
+  if (!common.trace.empty()) prof::Tracer::instance().set_enabled(true);
   if (scale <= 0.0 || scale > 1.0) {
     std::fprintf(stderr, "--scale must be in (0, 1]\n");
     return 2;
@@ -400,17 +599,54 @@ int cmd_soak(int argc, char** argv) {
               static_cast<unsigned long long>(rs.breaker_recoveries),
               static_cast<unsigned long long>(rs.cancel_points), rs.backoff_cycles);
 
-  if (metrics_out.empty()) {
+  // Sim-cycle latency percentiles of the successful jobs, from the
+  // telemetry registry the engine's fold filled (tools/soak_runner.py
+  // parses this line).
+  const obs::HistogramSnapshot lat =
+      obs::TelemetryRegistry::instance().histogram_snapshot("serve.job_cycles");
+  std::printf("latency: n=%llu p50=%.12g p90=%.12g p99=%.12g max=%.12g sim-cycles\n",
+              static_cast<unsigned long long>(lat.count), lat.p50, lat.p90, lat.p99, lat.max);
+
+  if (common.metrics.empty()) {
     const char* env = prof::MetricsSink::env_path();
-    if (env) metrics_out = env;
+    if (env) common.metrics = env;
   }
-  if (!metrics_out.empty()) {
-    if (rt::Status ws = sink.write_file(metrics_out); !ws.ok()) {
+  if (!common.metrics.empty()) {
+    if (rt::Status ws = sink.write_file(common.metrics); !ws.ok()) {
       std::fprintf(stderr, "gnnbridge_cli: %s\n", ws.to_string().c_str());
       return 1;
     }
     std::printf("soak: metrics (%zu run%s) -> %s\n", sink.size(), sink.size() == 1 ? "" : "s",
-                metrics_out.c_str());
+                common.metrics.c_str());
+  }
+  if (!journal_out.empty()) {
+    obs::EventJournal& journal = obs::EventJournal::instance();
+    if (rt::Status js = journal.write_file(journal_out); !js.ok()) {
+      std::fprintf(stderr, "gnnbridge_cli: %s\n", js.to_string().c_str());
+      return 1;
+    }
+    std::printf("soak: journal (%zu event%s) -> %s\n", journal.size(),
+                journal.size() == 1 ? "" : "s", journal_out.c_str());
+  }
+  if (!prom_out.empty()) {
+    if (rt::Status ps =
+            obs::write_prometheus_file(prom_out, obs::TelemetryRegistry::instance().snapshot());
+        !ps.ok()) {
+      std::fprintf(stderr, "gnnbridge_cli: %s\n", ps.to_string().c_str());
+      return 1;
+    }
+    std::printf("soak: prometheus exposition -> %s\n", prom_out.c_str());
+  }
+  if (!common.trace.empty()) {
+    if (rt::Status ts = prof::write_chrome_trace_file(common.trace,
+                                                      prof::Tracer::instance().snapshot(),
+                                                      nullptr, nullptr);
+        !ts.ok()) {
+      std::fprintf(stderr, "gnnbridge_cli: %s\n", ts.to_string().c_str());
+      return 1;
+    }
+    std::printf("soak: %zu spans -> %s\n", prof::Tracer::instance().size(),
+                common.trace.c_str());
   }
 
   const std::size_t total = stream.size();
@@ -428,7 +664,7 @@ int main(int argc, char** argv) {
   bool full = false, show_kernels = false, profile = false;
   int heads = 4;
   engine::EngineConfig ecfg;
-  std::string trace_out, metrics_out;
+  CommonArgs common;
 
   int first_arg = 1;
   if (argc > 1 && std::strcmp(argv[1], "profile") == 0) {
@@ -448,6 +684,8 @@ int main(int argc, char** argv) {
     return cmd_compare(argv[2], argv[3]);
   } else if (argc > 1 && std::strcmp(argv[1], "soak") == 0) {
     return cmd_soak(argc, argv);
+  } else if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
+    return cmd_stats(argc, argv);
   }
   for (int i = first_arg; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -458,7 +696,8 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--model") {
+    if (parse_common_flag(arg, next, common)) {
+    } else if (arg == "--model") {
       model = next();
     } else if (arg == "--backend") {
       backend_name = next();
@@ -468,12 +707,6 @@ int main(int argc, char** argv) {
       scale = parse_double_flag("--scale", next());
     } else if (arg == "--heads") {
       heads = parse_int_flag("--heads", next(), 1, 64);
-    } else if (arg == "--threads") {
-      par::set_max_threads(parse_int_flag("--threads", next(), 1, 4096));
-    } else if (arg == "--trace" || arg == "--trace-out") {
-      trace_out = next();
-    } else if (arg == "--metrics" || arg == "--metrics-out") {
-      metrics_out = next();
     } else if (arg == "--full") {
       full = true;
     } else if (arg == "--kernels") {
@@ -502,13 +735,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (profile) {
-    if (trace_out.empty()) {
+    if (common.trace.empty()) {
       const char* env = prof::trace_env_path();
-      trace_out = env ? env : "gnnbridge_trace.json";
+      common.trace = env ? env : "gnnbridge_trace.json";
     }
-    if (metrics_out.empty()) {
+    if (common.metrics.empty()) {
       const char* env = prof::MetricsSink::env_path();
-      metrics_out = env ? env : "gnnbridge_metrics.json";
+      common.metrics = env ? env : "gnnbridge_metrics.json";
     }
     prof::Tracer::instance().set_enabled(true);
   }
@@ -612,20 +845,21 @@ int main(int argc, char** argv) {
                  .oom = r.oom,
                  .stats = r.stats,
                  .spec = spec});
-    if (rt::Status ws = sink.write_file(metrics_out); !ws.ok()) {
+    if (rt::Status ws = sink.write_file(common.metrics); !ws.ok()) {
       std::fprintf(stderr, "gnnbridge_cli: %s\n", ws.to_string().c_str());
       return 1;
     }
-    if (rt::Status ts = prof::write_chrome_trace_file(trace_out, prof::Tracer::instance().snapshot(),
+    if (rt::Status ts = prof::write_chrome_trace_file(common.trace,
+                                                      prof::Tracer::instance().snapshot(),
                                                       &r.stats, &spec);
         !ts.ok()) {
       std::fprintf(stderr, "gnnbridge_cli: %s\n", ts.to_string().c_str());
       return 1;
     }
     std::printf("profile: %zu spans -> %s (open in ui.perfetto.dev or chrome://tracing)\n",
-                prof::Tracer::instance().size(), trace_out.c_str());
+                prof::Tracer::instance().size(), common.trace.c_str());
     std::printf("profile: metrics (%zu run%s) -> %s\n", sink.size(),
-                sink.size() == 1 ? "" : "s", metrics_out.c_str());
+                sink.size() == 1 ? "" : "s", common.metrics.c_str());
   }
   if (r.oom) {
     std::printf("OOM at paper scale: footprint %.1f GB > 32 GB device\n",

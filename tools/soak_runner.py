@@ -8,9 +8,14 @@ injected faults), so the expected survival is 100% across the board; any
 lower figure, hang, or non-zero exit fails the run.
 
 With --check-determinism, each plan is additionally run at 1, 2 and 8
-host threads with --pin-meta and the three metrics files are compared
-byte for byte (the DESIGN.md SS11/SS12 contract: robustness counters are
+host threads with --pin-meta and the three metrics files AND the three
+event-journal files are compared byte for byte (the DESIGN.md SS11-SS13
+contract: robustness counters, telemetry and journal seq numbers are
 sim-time functions, never wall-time or thread-count functions).
+
+Each run's sim-cycle latency percentiles (the `latency:` line the soak
+subcommand prints from the telemetry registry) are surfaced in the
+report table next to the survival figures.
 
     tools/soak_runner.py --cli build/tools/gnnbridge_cli --jobs 8
     tools/soak_runner.py --cli ... --check-determinism --work-dir /tmp/soak
@@ -35,10 +40,14 @@ DEFAULT_PLANS = ["", "tuner_probe=3", "las_cluster", "fusion_pass", "sim_launch=
 SURVIVAL_RE = re.compile(
     r"survival: ([0-9.]+)% \((\d+)/(\d+) ok, (\d+) timed out, (\d+) cancelled, (\d+) failed\)"
 )
+LATENCY_RE = re.compile(
+    r"latency: n=(\d+) p50=([0-9.eE+-]+) p90=([0-9.eE+-]+) p99=([0-9.eE+-]+) "
+    r"max=([0-9.eE+-]+) sim-cycles"
+)
 
 
-def run_soak(args, plan, threads=None, metrics=None):
-    """One soak run; returns (exit_code, survival_pct, summary_line)."""
+def run_soak(args, plan, threads=None, metrics=None, journal=None):
+    """One soak run; returns (exit_code, survival_pct, summary_line, latency)."""
     cmd = [
         args.cli, "soak",
         "--jobs", str(args.jobs),
@@ -51,17 +60,25 @@ def run_soak(args, plan, threads=None, metrics=None):
         cmd += ["--threads", str(threads)]
     if metrics is not None:
         cmd += ["--metrics", metrics, "--pin-meta"]
+    if journal is not None:
+        cmd += ["--journal", journal]
     env = dict(os.environ)
     env["GNNBRIDGE_FAULT_PLAN"] = plan
     try:
         proc = subprocess.run(cmd, env=env, capture_output=True, text=True,
                               timeout=args.timeout)
     except subprocess.TimeoutExpired:
-        return None, 0.0, "TIMEOUT (job stream hung)"
+        return None, 0.0, "TIMEOUT (job stream hung)", None
     match = SURVIVAL_RE.search(proc.stdout)
     if not match:
-        return proc.returncode, 0.0, "no survival summary in output"
-    return proc.returncode, float(match.group(1)), match.group(0)
+        return proc.returncode, 0.0, "no survival summary in output", None
+    lat = LATENCY_RE.search(proc.stdout)
+    latency = None
+    if lat:
+        latency = {"n": int(lat.group(1)), "p50": float(lat.group(2)),
+                   "p90": float(lat.group(3)), "p99": float(lat.group(4)),
+                   "max": float(lat.group(5))}
+    return proc.returncode, float(match.group(1)), match.group(0), latency
 
 
 def main():
@@ -92,29 +109,42 @@ def main():
           f"(deadline {args.deadline_ms} sim-ms, max attempts {args.max_attempts})")
     for plan in plans:
         name = plan or "(no faults)"
-        code, pct, line = run_soak(args, plan)
+        code, pct, line, latency = run_soak(args, plan)
         ok = code == 0 and pct == 100.0
         print(f"  {name:<16} {'OK  ' if ok else 'FAIL'} {line}")
+        if ok and latency:
+            print(f"  {'':<16}      latency p50={latency['p50']:.6g} "
+                  f"p99={latency['p99']:.6g} sim-cycles "
+                  f"(n={latency['n']}, max={latency['max']:.6g})")
         if not ok:
             failed = True
             continue
         if args.check_determinism:
-            paths = []
+            metrics_paths, journal_paths = [], []
             for t in (1, 2, 8):
-                path = os.path.join(
-                    args.work_dir, f"plan{plans.index(plan)}_t{t}.json")
-                code, pct, line = run_soak(args, plan, threads=t, metrics=path)
+                stem = os.path.join(args.work_dir, f"plan{plans.index(plan)}_t{t}")
+                code, pct, line, _ = run_soak(args, plan, threads=t,
+                                              metrics=stem + ".json",
+                                              journal=stem + ".jsonl")
                 if code != 0 or pct != 100.0:
                     print(f"  {name:<16} FAIL at {t} thread(s): {line}")
                     failed = True
                     break
-                paths.append(path)
+                metrics_paths.append(stem + ".json")
+                journal_paths.append(stem + ".jsonl")
             else:
-                if all(filecmp.cmp(paths[0], p, shallow=False) for p in paths[1:]):
-                    print(f"  {name:<16} metrics byte-identical at 1/2/8 threads")
-                else:
-                    print(f"  {name:<16} FAIL: metrics differ across thread counts")
-                    failed = True
+                for what, paths in (("metrics", metrics_paths),
+                                    ("journal", journal_paths)):
+                    if all(filecmp.cmp(paths[0], p, shallow=False)
+                           for p in paths[1:]):
+                        print(f"  {name:<16} {what} byte-identical "
+                              f"at 1/2/8 threads")
+                    else:
+                        print(f"  {name:<16} FAIL: {what} differ "
+                              f"across thread counts")
+                        failed = True
+                if journal_paths:
+                    print(f"  {name:<16} journal -> {journal_paths[0]}")
 
     print("soak matrix: FAIL" if failed else "soak matrix: all plans survived")
     return 1 if failed else 0
