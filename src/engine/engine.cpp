@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
+#include <map>
 #include <type_traits>
 
 #include "core/spfetch/step_index.hpp"
@@ -118,19 +119,24 @@ bool job_active_for(const void* engine) {
 class JobGuard {
  public:
   JobGuard(const void* engine, const rt::BreakerDecision& admission,
-           std::vector<rt::DegradationEvent>* events, bool cache_isolated)
+           std::vector<rt::DegradationEvent>* events, bool cache_isolated,
+           const std::vector<std::string>& job_disable_knobs = {})
       : prev_(t_active_job) {
     ActiveJob job;
     job.engine = engine;
     job.events = events;
     job.active = true;
     job.cache_isolated = cache_isolated;
-    for (const std::string& knob : admission.disabled_knobs) {
+    const auto apply = [&job](const std::string& knob) {
       if (knob == rt::kKnobLas) job.disable_las = true;
       if (knob == rt::kKnobAutoTune) job.disable_tune = true;
       if (knob == rt::kKnobAdapter) job.disable_adapter = true;
       if (knob == rt::kKnobNeighborGrouping) job.disable_grouping = true;
-    }
+    };
+    for (const std::string& knob : admission.disabled_knobs) apply(knob);
+    // Knobs the job itself forces off (e.g. the admission controller's
+    // overload pre-degradation) merge with the breaker's set.
+    for (const std::string& knob : job_disable_knobs) apply(knob);
     t_active_job = job;
   }
   ~JobGuard() { t_active_job = prev_; }
@@ -463,10 +469,16 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
   // events carry the same ID at any thread count.
   const std::uint64_t batch_seq = batch_seq_.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::string> req_ids(jobs.size());
+  std::map<std::string, std::size_t> id_uses;  // duplicate caller IDs, in job order
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     req_ids[i] = jobs[i].request_id.empty()
                      ? "req-" + std::to_string(batch_seq) + "-" + std::to_string(i)
                      : jobs[i].request_id;
+    // Duplicate caller-supplied IDs within the batch would merge unrelated
+    // jobs' spans/journal events under one name; disambiguate occurrences
+    // after the first with a "#<n>" suffix (the first keeps the bare ID).
+    const std::size_t uses = ++id_uses[req_ids[i]];
+    if (uses > 1) req_ids[i] += "#" + std::to_string(uses);
   }
   // Journal gating is sampled once per batch: events are buffered per job
   // in the wave and appended (seq assignment) in the sequential fold.
@@ -503,7 +515,8 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
     // jobs see deterministic fault schedules (the process-wide plan is
     // suppressed for the job's duration either way).
     rt::FaultInjector::ScopedJobPlan plan(job.fault_plan);
-    JobGuard guard(this, admissions[i], &tally.events, !job.fault_plan.empty());
+    JobGuard guard(this, admissions[i], &tally.events, !job.fault_plan.empty(),
+                   job.disable_knobs);
     if (!plan.status().ok()) {
       out.status = rt::Status(plan.status().code(), plan.status().message())
                        .with_context("batch job fault plan");

@@ -165,8 +165,28 @@ class OptimizedEngine final : public Backend {
     std::string fault_plan;
     /// Caller-supplied request ID, threaded through spans and the obs::
     /// event journal (DESIGN.md §13). Empty = the engine synthesizes a
-    /// deterministic "req-<batch>-<index>" ID.
+    /// deterministic "req-<batch>-<index>" ID. Duplicate caller-supplied
+    /// IDs within one batch are disambiguated with "#2"/"#3"... suffixes
+    /// in journal/trace output so events stay attributable.
     std::string request_id;
+    /// Tenant owning this request (serving multi-tenancy, DESIGN.md §14).
+    /// Consumed by serve::AdmissionController for quotas and weighted-fair
+    /// dequeue; the engine itself treats it as opaque. Empty = untenanted.
+    std::string tenant;
+    /// Shedding priority class: 0 = low, 1 = normal, 2 = high. Low classes
+    /// are shed first under overload (serve::Priority has the named values);
+    /// the engine itself ignores it.
+    int priority = 1;
+    /// Sim-time arrival stamp (cycles since stream start), supplied by the
+    /// open-loop load generator. Admission control refills token buckets
+    /// and ages the virtual queue from arrival deltas; the engine itself
+    /// ignores it.
+    double arrival_cycles = 0.0;
+    /// Optimization knobs (rt::kKnob* names) force-disabled for this job
+    /// only, merged with the breaker's half-open degradations in the job's
+    /// admission set. The admission controller pre-degrades host-expensive
+    /// knobs here under sustained overload before shedding escalates.
+    std::vector<std::string> disable_knobs;
   };
 
   /// Runs independent (model, dataset) jobs concurrently on the host

@@ -30,7 +30,10 @@ namespace gnnbridge::obs {
 
 /// One lifecycle event. `seq` is assigned by append(); every other field
 /// is filled by the emitter. Types: "admission", "attempt", "backoff",
-/// "degradation", "outcome", "breaker".
+/// "degradation", "outcome", "breaker", plus the admission-control events
+/// "admission_reject", "quota" and "shed" (serve::AdmissionController,
+/// DESIGN.md §14 — `key` carries the tenant, `cycles` the retry-after
+/// hint).
 struct JournalEvent {
   std::uint64_t seq = 0;
   std::string request_id;

@@ -1,5 +1,6 @@
 #include "prof/metrics_json.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
@@ -203,6 +204,25 @@ void MetricsSink::add_robustness(const RobustnessStats& stats) {
   arm_env_write_locked();
 }
 
+void MetricsSink::add_overload(const OverloadStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  overload_.submitted += stats.submitted;
+  overload_.admitted += stats.admitted;
+  overload_.rejected_queue_full += stats.rejected_queue_full;
+  overload_.rejected_quota += stats.rejected_quota;
+  overload_.rejected_deadline += stats.rejected_deadline;
+  overload_.rejected_memory += stats.rejected_memory;
+  overload_.shed_low += stats.shed_low;
+  overload_.shed_normal += stats.shed_normal;
+  overload_.shed_high += stats.shed_high;
+  overload_.overload_transitions += stats.overload_transitions;
+  overload_.peak_queue_depth = std::max(overload_.peak_queue_depth, stats.peak_queue_depth);
+  overload_.peak_backlog_cycles =
+      std::max(overload_.peak_backlog_cycles, stats.peak_backlog_cycles);
+  overload_.queue_wait_cycles += stats.queue_wait_cycles;
+  arm_env_write_locked();
+}
+
 void MetricsSink::arm_env_write_locked() {
   if (armed_ || !env_path()) return;
   armed_ = true;
@@ -233,12 +253,18 @@ RobustnessStats MetricsSink::robustness() const {
   return robustness_;
 }
 
+OverloadStats MetricsSink::overload() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overload_;
+}
+
 void MetricsSink::clear() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     records_.clear();
     degradations_.clear();
     robustness_ = RobustnessStats{};
+    overload_ = OverloadStats{};
   }
   // The v5 telemetry block snapshots the process-wide registry; clearing
   // the sink without it would leak one run's telemetry into the next
@@ -300,6 +326,22 @@ std::string MetricsSink::to_json() const {
   w.kv("breaker_recoveries", robustness_.breaker_recoveries);
   w.kv("cancel_points", robustness_.cancel_points);
   w.kv("backoff_cycles", robustness_.backoff_cycles);
+  w.end_object();
+  w.key("overload");
+  w.begin_object();
+  w.kv("submitted", overload_.submitted);
+  w.kv("admitted", overload_.admitted);
+  w.kv("rejected_queue_full", overload_.rejected_queue_full);
+  w.kv("rejected_quota", overload_.rejected_quota);
+  w.kv("rejected_deadline", overload_.rejected_deadline);
+  w.kv("rejected_memory", overload_.rejected_memory);
+  w.kv("shed_low", overload_.shed_low);
+  w.kv("shed_normal", overload_.shed_normal);
+  w.kv("shed_high", overload_.shed_high);
+  w.kv("overload_transitions", overload_.overload_transitions);
+  w.kv("peak_queue_depth", overload_.peak_queue_depth);
+  w.kv("peak_backlog_cycles", overload_.peak_backlog_cycles);
+  w.kv("queue_wait_cycles", overload_.queue_wait_cycles);
   w.end_object();
   w.key("telemetry");
   obs::write_telemetry_json(w, obs::TelemetryRegistry::instance().snapshot());

@@ -10,10 +10,10 @@
 // tools/check_metrics_schema.py; bump kMetricsSchemaVersion on any
 // incompatible change.
 //
-// Schema (gnnbridge-metrics, version 5):
+// Schema (gnnbridge-metrics, version 6):
 //   {
 //     "schema": "gnnbridge-metrics",
-//     "schema_version": 5,
+//     "schema_version": 6,
 //     "experiment": "<banner id>",
 //     "scale": 0.25,
 //     "meta": {"git_sha":"abc1234", "timestamp":"2026-01-01T00:00:00Z",
@@ -58,6 +58,12 @@
 //                    "breaker_trips":..., "breaker_open_admissions":...,
 //                    "breaker_half_open_probes":..., "breaker_recoveries":...,
 //                    "cancel_points":..., "backoff_cycles":...},
+//     "overload": {"submitted":..., "admitted":...,
+//                  "rejected_queue_full":..., "rejected_quota":...,
+//                  "rejected_deadline":..., "rejected_memory":...,
+//                  "shed_low":..., "shed_normal":..., "shed_high":...,
+//                  "overload_transitions":..., "peak_queue_depth":...,
+//                  "peak_backlog_cycles":..., "queue_wait_cycles":...},
 //     "telemetry": {"counters":[{"name":"serve.jobs","value":...}],
 //                   "gauges":[{"name":"serve.queue_depth","value":...}],
 //                   "histograms":[{"name":"serve.job_cycles","count":...,
@@ -84,6 +90,13 @@
 // the block is byte-identical at any host thread count. Always present;
 // empty arrays when nothing was recorded. `clear()` also clears the
 // registry, keeping in-process determinism byte-compares valid.
+// v5 -> v6: added the top-level `overload` block — admission-control
+// counters accumulated by serve::AdmissionController in arrival order
+// (submissions, admissions, rejects by cause, sheds by priority class,
+// shed-ladder transitions, peak virtual queue depth/backlog, and total
+// estimated queue wait; DESIGN.md §14). Counts and sums add across serve
+// calls; peaks max-merge. Always present; all-zero when no admission
+// controller ran.
 #pragma once
 
 #include <cstdint>
@@ -98,7 +111,7 @@
 namespace gnnbridge::prof {
 
 inline constexpr const char* kMetricsSchemaName = "gnnbridge-metrics";
-inline constexpr int kMetricsSchemaVersion = 5;
+inline constexpr int kMetricsSchemaVersion = 6;
 
 /// Provenance stamped into every metrics document (`meta` block). The sink
 /// collects defaults lazily at serialization time; tests pin fixed values
@@ -131,6 +144,26 @@ struct RobustnessStats {
   std::uint64_t breaker_recoveries = 0;      ///< probe successes (-> closed)
   std::uint64_t cancel_points = 0;   ///< cooperative checkpoints consulted
   double backoff_cycles = 0.0;       ///< sim-cycles charged as retry backoff
+};
+
+/// Admission-control counters (the v6 `overload` block), accumulated by
+/// serve::AdmissionController in arrival order. Counts and sums merge by
+/// addition; peaks merge by max. Like RobustnessStats, every value is a
+/// function of sim-time and job content only.
+struct OverloadStats {
+  std::uint64_t submitted = 0;            ///< jobs offered to admission
+  std::uint64_t admitted = 0;             ///< jobs that reached the engine
+  std::uint64_t rejected_queue_full = 0;  ///< bounded-queue rejections
+  std::uint64_t rejected_quota = 0;       ///< tenant token-bucket rejections
+  std::uint64_t rejected_deadline = 0;    ///< deadline-infeasible rejections
+  std::uint64_t rejected_memory = 0;      ///< footprint-budget rejections
+  std::uint64_t shed_low = 0;             ///< Priority::kLow jobs shed
+  std::uint64_t shed_normal = 0;          ///< Priority::kNormal jobs shed
+  std::uint64_t shed_high = 0;            ///< always 0 today (kHigh never sheds)
+  std::uint64_t overload_transitions = 0; ///< shed-ladder level increases
+  std::uint64_t peak_queue_depth = 0;     ///< max virtual queue depth (max-merge)
+  double peak_backlog_cycles = 0.0;       ///< max estimated backlog (max-merge)
+  double queue_wait_cycles = 0.0;         ///< summed estimated queue waits
 };
 
 /// One recorded run: a labelled RunStats plus the identifying metadata.
@@ -171,10 +204,15 @@ class MetricsSink {
   /// document's `robustness` block.
   void add_robustness(const RobustnessStats& stats);
 
+  /// Accumulates admission-control counters into the document's `overload`
+  /// block (sums add, peaks max-merge).
+  void add_overload(const OverloadStats& stats);
+
   std::size_t size() const;
   std::size_t degradation_count() const;
   std::vector<rt::DegradationEvent> degradations() const;
   RobustnessStats robustness() const;
+  OverloadStats overload() const;
   void clear();
 
   /// Serializes everything recorded so far.
@@ -203,6 +241,7 @@ class MetricsSink {
   std::vector<RunRecord> records_;
   std::vector<rt::DegradationEvent> degradations_;
   RobustnessStats robustness_;
+  OverloadStats overload_;
   bool armed_ = false;
 };
 

@@ -21,16 +21,35 @@ struct ParsedArm {
   bool always = false;
 };
 
-/// Parses one `seam[=N|*]` entry.
-Status parse_entry(std::string_view entry, ParsedArm& out) {
+std::string known_seam_list() {
+  std::string out;
+  for (std::string_view s : kKnownSeams) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+
+/// "fault plan entry 2 ('=5'): " — every parse diagnostic names the
+/// 1-based entry position and quotes the offending text so a long
+/// comma-separated plan is debuggable from the message alone.
+std::string entry_prefix(int index, std::string_view entry) {
+  return "fault plan entry " + std::to_string(index) + " ('" + std::string(entry) + "'): ";
+}
+
+/// Parses one `seam[=N|*]` entry. `index` is the 1-based position of the
+/// entry in the plan, used only for diagnostics.
+Status parse_entry(std::string_view entry, int index, ParsedArm& out) {
   const std::size_t eq = entry.find('=');
   const std::string_view seam = trim(entry.substr(0, eq));
   if (seam.empty()) {
-    return Status(StatusCode::kInvalidArgument, "empty seam name in fault plan");
+    return Status(StatusCode::kInvalidArgument,
+                  entry_prefix(index, entry) + "empty seam name");
   }
   if (!known_seam(seam)) {
     return Status(StatusCode::kInvalidArgument,
-                  "unknown fault seam '" + std::string(seam) + "'");
+                  entry_prefix(index, entry) + "unknown seam '" + std::string(seam) +
+                      "' (known: " + known_seam_list() + ")");
   }
   out.seam = std::string(seam);
   out.remaining = 1;
@@ -48,8 +67,9 @@ Status parse_entry(std::string_view entry, ParsedArm& out) {
   if (count_str.empty() || end != count_str.c_str() + count_str.size() || n <= 0 ||
       n > 1'000'000) {
     return Status(StatusCode::kInvalidArgument,
-                  "bad fault count '" + count_str + "' for seam '" + out.seam +
-                      "' (want a positive integer or '*')");
+                  entry_prefix(index, entry) + "bad count '" + count_str +
+                      "' for seam '" + out.seam +
+                      "' (want a positive integer <= 1000000 or '*')");
   }
   out.remaining = static_cast<int>(n);
   return OkStatus();
@@ -57,13 +77,15 @@ Status parse_entry(std::string_view entry, ParsedArm& out) {
 
 Status parse_plan(std::string_view plan, std::vector<ParsedArm>& out) {
   std::size_t pos = 0;
+  int index = 0;
   while (pos <= plan.size()) {
     std::size_t comma = plan.find(',', pos);
     if (comma == std::string_view::npos) comma = plan.size();
     const std::string_view entry = trim(plan.substr(pos, comma - pos));
+    ++index;  // empty entries still occupy a position ("a,,b" -> b is entry 3)
     if (!entry.empty()) {
       ParsedArm arm;
-      GNNBRIDGE_RETURN_IF_ERROR(parse_entry(entry, arm));
+      GNNBRIDGE_RETURN_IF_ERROR(parse_entry(entry, index, arm));
       out.push_back(std::move(arm));
     }
     pos = comma + 1;

@@ -47,6 +47,8 @@ constexpr RetryClass classify_for_retry(StatusCode code) {
       return RetryClass::kFatal;  // the budget is spent
     case StatusCode::kCancelled:
       return RetryClass::kFatal;  // the caller asked us to stop
+    case StatusCode::kResourceExhausted:
+      return RetryClass::kRetryable;  // back off for the retry-after hint, then resubmit
   }
   return RetryClass::kFatal;  // unreachable; the switch above is exhaustive
 }

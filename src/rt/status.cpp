@@ -15,6 +15,7 @@ std::string_view status_code_name(StatusCode code) {
     case StatusCode::kFaultInjected: return "FAULT_INJECTED";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -82,6 +82,47 @@ TEST_F(FaultTest, BadPlansAreRejectedAndKeepThePreviousPlan) {
   EXPECT_TRUE(inj.armed(kSeamDatasetLoad));
 }
 
+TEST_F(FaultTest, BadPlanDiagnosticsNameEntryPositionAndOffendingText) {
+  auto& inj = FaultInjector::instance();
+  struct Row {
+    std::string_view plan;
+    std::string_view want_fragment;  // must appear in Status::message()
+  };
+  // The bad-input matrix: each malformed plan yields kInvalidArgument with
+  // a message carrying the 1-based entry position, the offending entry
+  // text, and (for unknown seams) the list of valid seams.
+  const Row kBadPlans[] = {
+      {"=5", "fault plan entry 1 ('=5'): empty seam name"},
+      {"sim_launch,=3", "fault plan entry 2 ('=3'): empty seam name"},
+      {"warp_drive", "fault plan entry 1 ('warp_drive'): unknown seam 'warp_drive'"},
+      {"sim_launch,warp_drive=2",
+       "fault plan entry 2 ('warp_drive=2'): unknown seam 'warp_drive'"},
+      {"dataset_load=zero",
+       "fault plan entry 1 ('dataset_load=zero'): bad count 'zero'"},
+      {"dataset_load=-1", "bad count '-1'"},
+      {"dataset_load=0", "bad count '0'"},
+      {"dataset_load=1000001", "bad count '1000001'"},
+      {"dataset_load=3x", "bad count '3x'"},
+      {"dataset_load=", "bad count ''"},
+      {"dataset_load=**", "bad count '**'"},
+      // Empty entries are skipped but still counted: "b" below is entry 3.
+      {"sim_launch,,warp_drive", "fault plan entry 3 ('warp_drive')"},
+  };
+  for (const Row& row : kBadPlans) {
+    const Status s = inj.set_plan(row.plan);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << "plan: " << row.plan;
+    EXPECT_NE(s.message().find(row.want_fragment), std::string::npos)
+        << "plan: " << row.plan << "\nmessage: " << s.message();
+  }
+  // Unknown-seam diagnostics enumerate the valid seams.
+  const Status unknown = inj.set_plan("warp_drive");
+  EXPECT_NE(unknown.message().find("known: "), std::string::npos) << unknown.message();
+  for (std::string_view seam : kKnownSeams) {
+    EXPECT_NE(unknown.message().find(seam), std::string::npos)
+        << "seam " << seam << " missing from: " << unknown.message();
+  }
+}
+
 TEST_F(FaultTest, EmptyPlanDisarmsEverything) {
   auto& inj = FaultInjector::instance();
   ASSERT_TRUE(inj.set_plan("las_cluster=*,sim_launch"));

@@ -32,6 +32,7 @@ constexpr Row kTable[] = {
     {StatusCode::kFaultInjected, RetryClass::kRetryable},
     {StatusCode::kDeadlineExceeded, RetryClass::kFatal},
     {StatusCode::kCancelled, RetryClass::kFatal},
+    {StatusCode::kResourceExhausted, RetryClass::kRetryable},
 };
 
 // The classification is constexpr: usable in static dispatch decisions.

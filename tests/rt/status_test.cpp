@@ -35,6 +35,9 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_EQ(status_code_name(StatusCode::kUnavailable), "UNAVAILABLE");
   EXPECT_EQ(status_code_name(StatusCode::kInternal), "INTERNAL");
   EXPECT_EQ(status_code_name(StatusCode::kFaultInjected), "FAULT_INJECTED");
+  EXPECT_EQ(status_code_name(StatusCode::kDeadlineExceeded), "DEADLINE_EXCEEDED");
+  EXPECT_EQ(status_code_name(StatusCode::kCancelled), "CANCELLED");
+  EXPECT_EQ(status_code_name(StatusCode::kResourceExhausted), "RESOURCE_EXHAUSTED");
 }
 
 TEST(StatusTest, ContextChainRendersInnermostFirst) {

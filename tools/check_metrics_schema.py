@@ -29,7 +29,7 @@ import math
 import sys
 
 SCHEMA_NAME = "gnnbridge-metrics"
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 RUN_KEYS = {
     "label": str,
@@ -97,6 +97,24 @@ ROBUSTNESS_KEYS = {
     "cancel_points": int,
     "backoff_cycles": (int, float),
 }
+# Admission-control counters (v6): submissions/admissions, rejects by
+# cause, sheds by priority class, shed-ladder transitions, queue peaks
+# (serve::AdmissionController, DESIGN.md §14).
+OVERLOAD_KEYS = {
+    "submitted": int,
+    "admitted": int,
+    "rejected_queue_full": int,
+    "rejected_quota": int,
+    "rejected_deadline": int,
+    "rejected_memory": int,
+    "shed_low": int,
+    "shed_normal": int,
+    "shed_high": int,
+    "overload_transitions": int,
+    "peak_queue_depth": int,
+    "peak_backlog_cycles": (int, float),
+    "queue_wait_cycles": (int, float),
+}
 # Telemetry registry export (v5): counters, gauges, log-bucketed
 # histograms with headline quantiles (src/obs/registry.hpp).
 TELEMETRY_KEYS = {
@@ -145,6 +163,10 @@ JOURNAL_EVENT_TYPES = {
     "degradation",
     "outcome",
     "breaker",
+    # Admission-control events (v6, serve::AdmissionController).
+    "admission_reject",
+    "quota",
+    "shed",
 }
 KERNEL_KEYS = {
     "name": str,
@@ -290,6 +312,26 @@ def check_metrics(doc):
         raise Invalid("robustness: attempts < retries")
     if robustness["backoff_cycles"] < 0:
         raise Invalid("robustness: negative backoff_cycles")
+    overload = doc.get("overload")
+    check_keys(overload, OVERLOAD_KEYS, "overload")
+    if overload["admitted"] > overload["submitted"]:
+        raise Invalid("overload: admitted > submitted")
+    rejected = (
+        overload["rejected_queue_full"]
+        + overload["rejected_quota"]
+        + overload["rejected_deadline"]
+        + overload["rejected_memory"]
+        + overload["shed_low"]
+        + overload["shed_normal"]
+        + overload["shed_high"]
+    )
+    if overload["admitted"] + rejected != overload["submitted"]:
+        raise Invalid(
+            f"overload: admitted ({overload['admitted']}) + rejected "
+            f"({rejected}) != submitted ({overload['submitted']})"
+        )
+    if overload["queue_wait_cycles"] < 0:
+        raise Invalid("overload: negative queue_wait_cycles")
     telemetry = doc.get("telemetry")
     check_keys(telemetry, TELEMETRY_KEYS, "telemetry")
     for i, c in enumerate(telemetry["counters"]):

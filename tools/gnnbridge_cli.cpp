@@ -10,6 +10,7 @@
 //   gnnbridge_cli compare baseline_metrics.json optimized_metrics.json
 //   gnnbridge_cli stats metrics.json --prom metrics.prom --journal journal.jsonl
 //   GNNBRIDGE_FAULT_PLAN=tuner_probe=3 gnnbridge_cli soak --jobs 10 --deadline-ms 50
+//   gnnbridge_cli soak --overload --jobs 48 --offered-x 4
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
@@ -41,6 +42,7 @@
 #include "rt/deadline.hpp"
 #include "rt/fault.hpp"
 #include "rt/status.hpp"
+#include "serve/admission.hpp"
 #include "tensor/ops.hpp"
 
 using namespace gnnbridge;
@@ -77,9 +79,21 @@ void usage() {
       "                                  --prom PATH (Prometheus text exposition),\n"
       "                                  --pin-meta\n"
       "                                exits 0 only when every job survived\n"
+      "  soak --overload               open-loop overload demo: two tenants share one\n"
+      "                                AdmissionController in front of run_batch.\n"
+      "                                t-steady offers ~0.5x capacity at normal priority\n"
+      "                                within its quota; t-burst offers --offered-x R\n"
+      "                                (default 4) times capacity at low priority on a\n"
+      "                                quota sized for R/4 — admission control must shed\n"
+      "                                or quota-reject the excess while the steady tenant\n"
+      "                                sails through. Prints the overload counters,\n"
+      "                                per-tenant verdicts and a shed-rate line; exits 4\n"
+      "                                when the overload contract is violated (a steady\n"
+      "                                job shed/rejected, an accepted job missing its\n"
+      "                                deadline, or the queue bound exceeded)\n"
       "  stats METRICS.json            print the telemetry block (counters, gauges,\n"
       "                                latency histograms with p50/p90/p99) of a\n"
-      "                                schema v5 metrics file; --prom re-renders it\n"
+      "                                schema v6 metrics file; --prom re-renders it\n"
       "                                as Prometheus text exposition, --journal\n"
       "                                summarizes an event journal written by soak\n"
       "                                or $GNNBRIDGE_EVENT_JOURNAL\n"
@@ -105,7 +119,8 @@ void usage() {
       "  --no-las / --no-ng / --no-fusion / --no-linear\n"
       "                                disable individual optimizations (ours only)\n"
       "exit status: 0 success, 1 runtime failure (run, output write, or metrics read),\n"
-      "             2 usage error, 3 dataset load failure\n");
+      "             2 usage error, 3 dataset load failure,\n"
+      "             4 overload contract violation (soak --overload)\n");
 }
 
 int cmd_analyze(const std::string& path) {
@@ -229,7 +244,7 @@ bool parse_common_flag(const std::string& arg, Next&& next, CommonArgs& out) {
   return false;
 }
 
-/// Rebuilds an obs::RegistrySnapshot from a parsed schema v5 `telemetry`
+/// Rebuilds an obs::RegistrySnapshot from a parsed schema v6 `telemetry`
 /// block, so the stats table and the Prometheus re-render share the live
 /// registry's code paths.
 obs::RegistrySnapshot snapshot_from_json(const prof::JsonValue& telemetry) {
@@ -266,7 +281,7 @@ obs::RegistrySnapshot snapshot_from_json(const prof::JsonValue& telemetry) {
 }
 
 /// `gnnbridge_cli stats`: human-readable view of the telemetry block of a
-/// schema v5 metrics file, with optional Prometheus re-render and event
+/// schema v6 metrics file, with optional Prometheus re-render and event
 /// journal summary.
 int cmd_stats(int argc, char** argv) {
   std::string metrics_path, prom_out, journal_path;
@@ -310,7 +325,7 @@ int cmd_stats(int argc, char** argv) {
   const prof::JsonValue* telemetry = doc->find("telemetry");
   if (!telemetry || !telemetry->is_object()) {
     std::fprintf(stderr,
-                 "gnnbridge_cli: '%s' has no telemetry block (needs metrics schema v5+, "
+                 "gnnbridge_cli: '%s' has no telemetry block (needs metrics schema v5+ (v6 current), "
                  "found v%lld)\n",
                  metrics_path.c_str(), static_cast<long long>(doc->int_or("schema_version", 0)));
     return 1;
@@ -401,6 +416,264 @@ struct SoakDataset {
   baselines::MultiHeadGatRun mh;
 };
 
+/// Writes the metrics / journal / Prometheus / trace artifacts both soak
+/// modes share. Returns 0, or 1 when a write failed.
+int flush_soak_artifacts(CommonArgs& common, const std::string& journal_out,
+                         const std::string& prom_out) {
+  prof::MetricsSink& sink = prof::MetricsSink::instance();
+  if (common.metrics.empty()) {
+    const char* env = prof::MetricsSink::env_path();
+    if (env) common.metrics = env;
+  }
+  if (!common.metrics.empty()) {
+    if (rt::Status ws = sink.write_file(common.metrics); !ws.ok()) {
+      std::fprintf(stderr, "gnnbridge_cli: %s\n", ws.to_string().c_str());
+      return 1;
+    }
+    std::printf("soak: metrics (%zu run%s) -> %s\n", sink.size(), sink.size() == 1 ? "" : "s",
+                common.metrics.c_str());
+  }
+  if (!journal_out.empty()) {
+    obs::EventJournal& journal = obs::EventJournal::instance();
+    if (rt::Status js = journal.write_file(journal_out); !js.ok()) {
+      std::fprintf(stderr, "gnnbridge_cli: %s\n", js.to_string().c_str());
+      return 1;
+    }
+    std::printf("soak: journal (%zu event%s) -> %s\n", journal.size(),
+                journal.size() == 1 ? "" : "s", journal_out.c_str());
+  }
+  if (!prom_out.empty()) {
+    if (rt::Status ps =
+            obs::write_prometheus_file(prom_out, obs::TelemetryRegistry::instance().snapshot());
+        !ps.ok()) {
+      std::fprintf(stderr, "gnnbridge_cli: %s\n", ps.to_string().c_str());
+      return 1;
+    }
+    std::printf("soak: prometheus exposition -> %s\n", prom_out.c_str());
+  }
+  if (!common.trace.empty()) {
+    if (rt::Status ts = prof::write_chrome_trace_file(common.trace,
+                                                      prof::Tracer::instance().snapshot(),
+                                                      nullptr, nullptr);
+        !ts.ok()) {
+      std::fprintf(stderr, "gnnbridge_cli: %s\n", ts.to_string().c_str());
+      return 1;
+    }
+    std::printf("soak: %zu spans -> %s\n", prof::Tracer::instance().size(),
+                common.trace.c_str());
+  }
+  return 0;
+}
+
+const char* job_kind_name(const engine::OptimizedEngine::BatchJob& job) {
+  if (job.gcn) return "gcn";
+  if (job.gat) return "gat";
+  if (job.sage_pool) return "pool";
+  if (job.multihead_gat) return "mhgat";
+  return "?";
+}
+
+/// `gnnbridge_cli soak --overload`: the DESIGN.md §14 demo. An open-loop
+/// two-tenant stream is pushed through one AdmissionController at an
+/// aggregate offered load of roughly (0.5 + R)x the virtual server's
+/// capacity. The contract under test: the queue stays bounded, every
+/// accepted job reaches a successful final state, the steady in-quota
+/// tenant is never shed or rejected, and the burst tenant absorbs all of
+/// the shedding. Arrival stamps and ladder thresholds both derive from
+/// serve::estimate_job_cost, and the whole stream goes through a single
+/// serve() call, so every admission decision is made in the same analytic
+/// cost units — byte-identical output at any --threads value.
+int run_overload(int jobs, int wave, double scale, double offered_x, double deadline_ms,
+                 int max_attempts, int breaker_threshold, const std::string& plan,
+                 CommonArgs& common, const std::string& journal_out, const std::string& prom_out,
+                 bool pin_meta, std::deque<SoakDataset>& sets, const sim::DeviceSpec& spec) {
+  engine::EngineConfig ecfg;
+  ecfg.auto_tune = true;
+  ecfg.breaker.failure_threshold = breaker_threshold;
+  engine::OptimizedEngine eng(ecfg);
+
+  // t-steady offers kSteadyRate x capacity; t-burst offers offered_x x
+  // capacity. Job counts are split so both tenants keep arriving over the
+  // same sim horizon (n_burst/offered_x == n_steady/kSteadyRate).
+  const double kSteadyRate = 0.5;
+  const int n_steady =
+      std::max(1, static_cast<int>(static_cast<double>(jobs) / (1.0 + offered_x / kSteadyRate)));
+  const int n_burst = jobs - n_steady;
+
+  auto make_job = [&](int seq) {
+    const SoakDataset& s = sets[(static_cast<std::size_t>(seq) / 4) % sets.size()];
+    engine::OptimizedEngine::BatchJob job;
+    job.data = &s.data;
+    switch (seq % 4) {
+      case 0: job.gcn = &s.gcn; break;
+      case 1: job.gat = &s.gat; break;
+      case 2: job.sage_pool = &s.pool; break;
+      default: job.multihead_gat = &s.mh; break;
+    }
+    job.mode = kernels::ExecMode::kSimulateOnly;
+    job.spec = spec;
+    if (deadline_ms > 0.0) {
+      job.deadline = rt::Deadline::cycles(deadline_ms * spec.clock_ghz * 1e6);
+    }
+    job.max_attempts = max_attempts;
+    job.fault_plan = plan;
+    return job;
+  };
+
+  std::vector<engine::OptimizedEngine::BatchJob> stream;
+  stream.reserve(static_cast<std::size_t>(jobs));
+  double total_est = 0.0;
+  auto push_tenant = [&](const char* tenant, int priority, int count, double offered) {
+    double arrival = 0.0;
+    for (int i = 0; i < count; ++i) {
+      engine::OptimizedEngine::BatchJob job = make_job(i);
+      job.tenant = tenant;
+      job.priority = priority;
+      job.arrival_cycles = arrival;
+      const double est = serve::estimate_job_cost(job);
+      total_est += est;
+      arrival += est / offered;
+      stream.push_back(std::move(job));
+    }
+  };
+  push_tenant("t-steady", static_cast<int>(serve::Priority::kNormal), n_steady, kSteadyRate);
+  push_tenant("t-burst", static_cast<int>(serve::Priority::kLow), n_burst, offered_x);
+  // Merge the two arrival sequences; stable so t-steady wins exact ties.
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const engine::OptimizedEngine::BatchJob& a,
+                      const engine::OptimizedEngine::BatchJob& b) {
+                     return a.arrival_cycles < b.arrival_cycles;
+                   });
+  const double mean_est = total_est / static_cast<double>(jobs);
+
+  // Ladder thresholds and quotas in units of the mean analytic job cost:
+  // pre-degrade at 2 jobs of backlog, shed low-priority work at 4, and
+  // keep the shed-normal rung far out of reach so the in-quota tenant is
+  // protected by a wide margin. t-steady's bucket refills at 1.5x its
+  // offered rate (never the limiter); t-burst's refills at offered_x/4 —
+  // i.e. the default demo runs it at exactly 4x quota.
+  serve::AdmissionConfig cfg;
+  cfg.max_queue_depth = 32;
+  cfg.service_rate = 1.0;
+  cfg.wave_size = static_cast<std::size_t>(wave);
+  cfg.degrade_backlog_cycles = 2.0 * mean_est;
+  cfg.shed_low_backlog_cycles = 4.0 * mean_est;
+  cfg.shed_normal_backlog_cycles = 50.0 * mean_est;
+  cfg.quotas["t-steady"] =
+      serve::TenantQuota{.rate = 1.5 * kSteadyRate, .burst_cycles = 8.0 * mean_est, .weight = 4.0};
+  cfg.quotas["t-burst"] =
+      serve::TenantQuota{.rate = offered_x / 4.0, .burst_cycles = 4.0 * mean_est, .weight = 1.0};
+
+  prof::MetricsSink& sink = prof::MetricsSink::instance();
+  sink.configure("gnnbridge_cli soak --overload", scale);
+  if (pin_meta) {
+    sink.set_meta(prof::MetaInfo{.git_sha = "fixed",
+                                 .timestamp = "2026-01-01T00:00:00Z",
+                                 .hostname = "fixed",
+                                 .scale_env = "",
+                                 .threads = 0});
+  }
+
+  std::printf("soak --overload: %d job(s): t-steady %d @ %.3gx capacity (normal), "
+              "t-burst %d @ %.3gx capacity (low); aggregate ~%.3gx; "
+              "mean est cost %.6g cycles\n",
+              jobs, n_steady, kSteadyRate, n_burst, offered_x, kSteadyRate + offered_x, mean_est);
+
+  serve::AdmissionController ctl(cfg);
+  const serve::ServeResult sr = ctl.serve(eng, stream);
+
+  // Per-tenant verdicts, plus the overload contract checks.
+  struct Tally {
+    std::size_t submitted = 0, admitted = 0, shed = 0, rejected = 0;
+  };
+  std::map<std::string, Tally> tallies;
+  std::vector<std::string> violations;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const engine::OptimizedEngine::BatchJob& job = stream[i];
+    const serve::Decision& d = sr.decisions[i];
+    const baselines::RunResult& r = sr.results[i];
+    Tally& t = tallies[job.tenant];
+    ++t.submitted;
+    const std::string label = std::string(job_kind_name(job)) + "/" + job.data->name;
+    if (d.outcome == serve::Decision::Outcome::kAdmitted) {
+      ++t.admitted;
+      if (r.status.ok()) {
+        sink.record({.label = label + "/" + sr.request_ids[i],
+                     .model = job_kind_name(job),
+                     .backend = "ours",
+                     .dataset = job.data->name,
+                     .ms = r.ms,
+                     .oom = r.oom,
+                     .stats = r.stats,
+                     .spec = spec});
+      } else {
+        violations.push_back("accepted job " + sr.request_ids[i] + " (" + job.tenant + ", " +
+                             label + ") did not finish: " + r.status.to_string());
+      }
+    } else {
+      if (d.outcome == serve::Decision::Outcome::kShed) {
+        ++t.shed;
+      } else {
+        ++t.rejected;
+      }
+      if (job.tenant == std::string("t-steady")) {
+        violations.push_back("in-quota tenant t-steady lost job " + sr.request_ids[i] + " (" +
+                             label + "): " + d.status.to_string());
+      }
+    }
+  }
+  if (sr.stats.peak_queue_depth > static_cast<std::uint64_t>(cfg.max_queue_depth)) {
+    violations.push_back("queue bound exceeded: peak depth " +
+                         std::to_string(sr.stats.peak_queue_depth) + " > " +
+                         std::to_string(cfg.max_queue_depth));
+  }
+
+  const prof::OverloadStats& os = sr.stats;
+  std::printf("overload: submitted=%llu admitted=%llu shed_low=%llu shed_normal=%llu "
+              "quota=%llu queue_full=%llu deadline=%llu memory=%llu transitions=%llu "
+              "peak_depth=%llu peak_backlog=%.12g queue_wait=%.12g\n",
+              static_cast<unsigned long long>(os.submitted),
+              static_cast<unsigned long long>(os.admitted),
+              static_cast<unsigned long long>(os.shed_low),
+              static_cast<unsigned long long>(os.shed_normal),
+              static_cast<unsigned long long>(os.rejected_quota),
+              static_cast<unsigned long long>(os.rejected_queue_full),
+              static_cast<unsigned long long>(os.rejected_deadline),
+              static_cast<unsigned long long>(os.rejected_memory),
+              static_cast<unsigned long long>(os.overload_transitions),
+              static_cast<unsigned long long>(os.peak_queue_depth), os.peak_backlog_cycles,
+              os.queue_wait_cycles);
+  for (const auto& [tenant, t] : tallies) {
+    std::printf("tenant %s: submitted=%zu admitted=%zu shed=%zu rejected=%zu\n", tenant.c_str(),
+                t.submitted, t.admitted, t.shed, t.rejected);
+  }
+  const std::size_t total_shed = os.shed_low + os.shed_normal + os.shed_high;
+  std::printf("shed-rate: %.1f%% (%zu/%d)\n",
+              100.0 * static_cast<double>(total_shed) / static_cast<double>(jobs), total_shed,
+              jobs);
+
+  const obs::HistogramSnapshot qw =
+      obs::TelemetryRegistry::instance().histogram_snapshot("serve.queue_wait_cycles");
+  std::printf("queue-wait: n=%llu p50=%.12g p90=%.12g p99=%.12g max=%.12g sim-cycles\n",
+              static_cast<unsigned long long>(qw.count), qw.p50, qw.p90, qw.p99, qw.max);
+
+  if (int rc = flush_soak_artifacts(common, journal_out, prom_out); rc != 0) return rc;
+
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "soak --overload: contract violation: %s\n", v.c_str());
+  }
+  if (!violations.empty()) {
+    std::printf("overload contract: VIOLATED (%zu violation%s)\n", violations.size(),
+                violations.size() == 1 ? "" : "s");
+    return 4;
+  }
+  std::printf("overload contract: held (steady tenant clean, %llu/%llu accepted ok, "
+              "queue bounded)\n",
+              static_cast<unsigned long long>(os.admitted),
+              static_cast<unsigned long long>(os.submitted));
+  return 0;
+}
+
 // `gnnbridge_cli soak`: replay a deterministic (model, dataset) job stream
 // through OptimizedEngine::run_batch in waves, under the fault plan from
 // GNNBRIDGE_FAULT_PLAN (applied per job, so every job sees its own shot
@@ -409,10 +682,10 @@ struct SoakDataset {
 // every job must still reach a final state.
 int cmd_soak(int argc, char** argv) {
   int jobs = 10, wave = 4, max_attempts = 2, breaker_threshold = 3;
-  double scale = 0.05, deadline_ms = 0.0;
+  double scale = 0.05, deadline_ms = 0.0, offered_x = 4.0;
   CommonArgs common;
   std::string journal_out, prom_out;
-  bool pin_meta = false;
+  bool pin_meta = false, overload = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -441,6 +714,10 @@ int cmd_soak(int argc, char** argv) {
       prom_out = next();
     } else if (arg == "--pin-meta") {
       pin_meta = true;
+    } else if (arg == "--overload") {
+      overload = true;
+    } else if (arg == "--offered-x") {
+      offered_x = parse_double_flag("--offered-x", next());
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -458,6 +735,10 @@ int cmd_soak(int argc, char** argv) {
   }
   if (deadline_ms < 0.0) {
     std::fprintf(stderr, "--deadline-ms must be >= 0\n");
+    return 2;
+  }
+  if (overload && (offered_x <= 0.0 || offered_x > 1000.0)) {
+    std::fprintf(stderr, "--offered-x must be in (0, 1000]\n");
     return 2;
   }
 
@@ -501,6 +782,12 @@ int cmd_soak(int argc, char** argv) {
     s.mh_params = models::init_multihead_gat(s.mh_cfg, 5);
     s.mh_x = models::init_features(n, s.mh_cfg.in_feat, 5);
     s.mh = {&s.mh_cfg, &s.mh_params, &s.mh_x};
+  }
+
+  if (overload) {
+    return run_overload(jobs, wave, scale, offered_x, deadline_ms, max_attempts,
+                        breaker_threshold, plan, common, journal_out, prom_out, pin_meta, sets,
+                        spec);
   }
 
   engine::EngineConfig ecfg;
@@ -607,47 +894,7 @@ int cmd_soak(int argc, char** argv) {
   std::printf("latency: n=%llu p50=%.12g p90=%.12g p99=%.12g max=%.12g sim-cycles\n",
               static_cast<unsigned long long>(lat.count), lat.p50, lat.p90, lat.p99, lat.max);
 
-  if (common.metrics.empty()) {
-    const char* env = prof::MetricsSink::env_path();
-    if (env) common.metrics = env;
-  }
-  if (!common.metrics.empty()) {
-    if (rt::Status ws = sink.write_file(common.metrics); !ws.ok()) {
-      std::fprintf(stderr, "gnnbridge_cli: %s\n", ws.to_string().c_str());
-      return 1;
-    }
-    std::printf("soak: metrics (%zu run%s) -> %s\n", sink.size(), sink.size() == 1 ? "" : "s",
-                common.metrics.c_str());
-  }
-  if (!journal_out.empty()) {
-    obs::EventJournal& journal = obs::EventJournal::instance();
-    if (rt::Status js = journal.write_file(journal_out); !js.ok()) {
-      std::fprintf(stderr, "gnnbridge_cli: %s\n", js.to_string().c_str());
-      return 1;
-    }
-    std::printf("soak: journal (%zu event%s) -> %s\n", journal.size(),
-                journal.size() == 1 ? "" : "s", journal_out.c_str());
-  }
-  if (!prom_out.empty()) {
-    if (rt::Status ps =
-            obs::write_prometheus_file(prom_out, obs::TelemetryRegistry::instance().snapshot());
-        !ps.ok()) {
-      std::fprintf(stderr, "gnnbridge_cli: %s\n", ps.to_string().c_str());
-      return 1;
-    }
-    std::printf("soak: prometheus exposition -> %s\n", prom_out.c_str());
-  }
-  if (!common.trace.empty()) {
-    if (rt::Status ts = prof::write_chrome_trace_file(common.trace,
-                                                      prof::Tracer::instance().snapshot(),
-                                                      nullptr, nullptr);
-        !ts.ok()) {
-      std::fprintf(stderr, "gnnbridge_cli: %s\n", ts.to_string().c_str());
-      return 1;
-    }
-    std::printf("soak: %zu spans -> %s\n", prof::Tracer::instance().size(),
-                common.trace.c_str());
-  }
+  if (int rc = flush_soak_artifacts(common, journal_out, prom_out); rc != 0) return rc;
 
   const std::size_t total = stream.size();
   std::printf("survival: %.1f%% (%zu/%zu ok, %zu timed out, %zu cancelled, %zu failed)\n",

@@ -17,11 +17,21 @@ Each run's sim-cycle latency percentiles (the `latency:` line the soak
 subcommand prints from the telemetry registry) are surfaced in the
 report table next to the survival figures.
 
+With --overload, the fault matrix is replaced by the overload phase: one
+`soak --overload` run at --offered-x times capacity, asserting the CLI's
+contract verdict (exit 0), a shed rate inside [--shed-min, --shed-max]
+percent, and a completely clean steady tenant (no sheds, no rejects) —
+all of the dropped load must land on the out-of-quota burst tenant.
+--check-determinism applies to the overload phase too (metrics AND
+journal byte-compared across 1/2/8 threads).
+
     tools/soak_runner.py --cli build/tools/gnnbridge_cli --jobs 8
     tools/soak_runner.py --cli ... --check-determinism --work-dir /tmp/soak
+    tools/soak_runner.py --cli ... --overload --check-determinism
 
 Exits 0 when every cell of the matrix survives (and, if requested, is
-deterministic), 1 otherwise. Wired as the `soak_smoke` ctest entry.
+deterministic), 1 otherwise. Wired as the `soak_smoke` and
+`soak_overload_smoke` ctest entries.
 """
 
 import argparse
@@ -43,6 +53,10 @@ SURVIVAL_RE = re.compile(
 LATENCY_RE = re.compile(
     r"latency: n=(\d+) p50=([0-9.eE+-]+) p90=([0-9.eE+-]+) p99=([0-9.eE+-]+) "
     r"max=([0-9.eE+-]+) sim-cycles"
+)
+SHED_RATE_RE = re.compile(r"shed-rate: ([0-9.]+)% \((\d+)/(\d+)\)")
+STEADY_RE = re.compile(
+    r"tenant t-steady: submitted=(\d+) admitted=(\d+) shed=(\d+) rejected=(\d+)"
 )
 
 
@@ -81,6 +95,91 @@ def run_soak(args, plan, threads=None, metrics=None, journal=None):
     return proc.returncode, float(match.group(1)), match.group(0), latency
 
 
+def run_overload(args, threads=None, metrics=None, journal=None):
+    """One `soak --overload` run; returns (exit_code, stdout)."""
+    cmd = [
+        args.cli, "soak", "--overload",
+        "--jobs", str(args.jobs),
+        "--wave", str(args.wave),
+        "--scale", str(args.scale),
+        "--offered-x", str(args.offered_x),
+    ]
+    if threads is not None:
+        cmd += ["--threads", str(threads)]
+    if metrics is not None:
+        cmd += ["--metrics", metrics, "--pin-meta"]
+    if journal is not None:
+        cmd += ["--journal", journal]
+    env = dict(os.environ)
+    env.pop("GNNBRIDGE_FAULT_PLAN", None)
+    try:
+        proc = subprocess.run(cmd, env=env, capture_output=True, text=True,
+                              timeout=args.timeout)
+    except subprocess.TimeoutExpired:
+        return None, "TIMEOUT (overload stream hung)"
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check_overload_output(args, code, out):
+    """Asserts one overload run's contract lines; returns a list of errors."""
+    errors = []
+    if code != 0:
+        errors.append(f"exit code {code} (4 = overload contract violation)")
+    shed = SHED_RATE_RE.search(out)
+    if not shed:
+        errors.append("no shed-rate line in output")
+    elif not args.shed_min <= float(shed.group(1)) <= args.shed_max:
+        errors.append(f"shed rate {shed.group(1)}% outside "
+                      f"[{args.shed_min}, {args.shed_max}]%")
+    steady = STEADY_RE.search(out)
+    if not steady:
+        errors.append("no t-steady tenant line in output")
+    elif steady.group(3) != "0" or steady.group(4) != "0":
+        errors.append(f"steady tenant lost work: shed={steady.group(3)} "
+                      f"rejected={steady.group(4)}")
+    if "overload contract: held" not in out:
+        errors.append("CLI did not report the overload contract as held")
+    return errors
+
+
+def overload_phase(args):
+    """The --overload mode: one contract run plus optional determinism."""
+    print(f"overload phase: {args.jobs} jobs at ~{args.offered_x}x capacity, "
+          f"shed-rate bounds [{args.shed_min}, {args.shed_max}]%")
+    code, out = run_overload(args)
+    errors = check_overload_output(args, code, out)
+    for err in errors:
+        print(f"  overload FAIL: {err}")
+    if errors:
+        sys.stdout.write(out)
+        return False
+    shed = SHED_RATE_RE.search(out)
+    steady = STEADY_RE.search(out)
+    print(f"  overload OK: {shed.group(0)}; steady tenant "
+          f"{steady.group(2)}/{steady.group(1)} admitted, 0 lost")
+    if not args.check_determinism:
+        return True
+    metrics_paths, journal_paths = [], []
+    for t in (1, 2, 8):
+        stem = os.path.join(args.work_dir, f"overload_t{t}")
+        code, out = run_overload(args, threads=t, metrics=stem + ".json",
+                                 journal=stem + ".jsonl")
+        errors = check_overload_output(args, code, out)
+        if errors:
+            print(f"  overload FAIL at {t} thread(s): {'; '.join(errors)}")
+            return False
+        metrics_paths.append(stem + ".json")
+        journal_paths.append(stem + ".jsonl")
+    ok = True
+    for what, paths in (("metrics", metrics_paths), ("journal", journal_paths)):
+        if all(filecmp.cmp(paths[0], p, shallow=False) for p in paths[1:]):
+            print(f"  overload {what} byte-identical at 1/2/8 threads")
+        else:
+            print(f"  overload FAIL: {what} differ across thread counts")
+            ok = False
+    return ok
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--cli", required=True, help="path to gnnbridge_cli")
@@ -99,10 +198,25 @@ def main():
                     "and byte-compare the metrics files")
     ap.add_argument("--work-dir", default="soak_runner_out",
                     help="scratch directory for metrics files")
+    ap.add_argument("--overload", action="store_true",
+                    help="run the overload-contract phase instead of the "
+                    "fault matrix")
+    ap.add_argument("--offered-x", type=float, default=4.0,
+                    help="burst tenant's offered load as a multiple of "
+                    "capacity (overload phase)")
+    ap.add_argument("--shed-min", type=float, default=20.0,
+                    help="minimum acceptable overload shed rate, percent")
+    ap.add_argument("--shed-max", type=float, default=90.0,
+                    help="maximum acceptable overload shed rate, percent")
     args = ap.parse_args()
 
     plans = DEFAULT_PLANS if args.plans is None else args.plans.split(",")
     os.makedirs(args.work_dir, exist_ok=True)
+
+    if args.overload:
+        ok = overload_phase(args)
+        print("overload phase: OK" if ok else "overload phase: FAIL")
+        return 0 if ok else 1
 
     failed = False
     print(f"soak matrix: {len(plans)} plan(s) x {args.jobs} jobs "
