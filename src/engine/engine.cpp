@@ -17,9 +17,11 @@
 #include "kernels/lstm.hpp"
 #include "kernels/sddmm.hpp"
 #include "kernels/spmm.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/journal.hpp"
 #include "obs/registry.hpp"
 #include "obs/request.hpp"
+#include "obs/slo.hpp"
 #include "prof/metrics_json.hpp"
 #include "prof/span.hpp"
 #include "rt/fault.hpp"
@@ -438,6 +440,7 @@ struct JobTally {
   bool timed_out = false;
   bool cancelled = false;
   double backoff_cycles = 0.0;
+  double attempt_cycles = 0.0;  ///< sim-cycles across every attempt (retries included)
   std::uint64_t cancel_points = 0;
   std::vector<rt::DegradationEvent> events;   ///< buffered, job-local
   std::vector<std::string> rung;              ///< knobs off when it ended
@@ -481,8 +484,11 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
     if (uses > 1) req_ids[i] += "#" + std::to_string(uses);
   }
   // Journal gating is sampled once per batch: events are buffered per job
-  // in the wave and appended (seq assignment) in the sequential fold.
-  const bool journal_on = obs::EventJournal::instance().enabled();
+  // in the wave and appended (seq assignment) in the sequential fold. An
+  // armed flight recorder keeps event creation on even when the journal
+  // itself is disabled (the ring is fed through EventJournal::append).
+  const bool journal_on = obs::EventJournal::instance().enabled() ||
+                          obs::FlightRecorder::instance().armed();
 
   // --- Parallel wave. Jobs are independent (model, dataset) configs; each
   // runs its whole pipeline inline on one pool worker (nested parallel
@@ -538,6 +544,7 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
       } else {
         out = run_multihead_gat(*job.data, *job.multihead_gat, job.mode, job.spec);
       }
+      tally.attempt_cycles += out.stats.total_cycles;
       if (journal_on) {
         obs::JournalEvent ev;
         ev.type = "attempt";
@@ -639,20 +646,65 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
     if (tally.cancelled) ++rs.cancellations;
     rs.cancel_points += tally.cancel_points;
     rs.backoff_cycles += tally.backoff_cycles;
+    const char* outcome_word = !tally.ran       ? "rejected"
+                               : tally.success  ? "ok"
+                               : tally.timed_out ? "timed_out"
+                               : tally.cancelled ? "cancelled"
+                                                 : "failed";
     if (journal_on) {
       obs::JournalEvent ev;
       ev.request_id = req_ids[i];
       ev.type = "outcome";
       ev.key = keys[i];
       ev.code = rt::status_code_name(results[i].status.code());
-      ev.detail = !tally.ran       ? "rejected"
-                  : tally.success  ? "ok"
-                  : tally.timed_out ? "timed_out"
-                  : tally.cancelled ? "cancelled"
-                                    : "failed";
+      ev.detail = outcome_word;
       ev.attempt = tally.attempts;
       ev.cycles = results[i].stats.total_cycles;
       journal.append(std::move(ev));
+    }
+    // End-to-end critical path (DESIGN.md §15): admission-queue and quota
+    // waits stamped by serve(), every attempt's compute (retries included),
+    // and the backoff charged between attempts. The triage analyzer
+    // re-derives the same total from the individual events and checks they
+    // agree — keep this the sum of the emitted parts.
+    const double e2e_cycles = jobs[i].admission_wait_cycles + jobs[i].quota_wait_cycles +
+                              tally.attempt_cycles + tally.backoff_cycles;
+    if (journal_on) {
+      obs::JournalEvent ev;
+      ev.request_id = req_ids[i];
+      ev.type = "e2e";
+      ev.key = keys[i];
+      ev.code = rt::status_code_name(results[i].status.code());
+      ev.detail = outcome_word;
+      ev.attempt = tally.attempts;
+      ev.cycles = e2e_cycles;
+      journal.append(std::move(ev));
+    }
+    obs::SloTracker& slo = obs::SloTracker::instance();
+    if (slo.enabled()) {
+      const obs::SloOutcome so =
+          slo.record(jobs[i].tenant, jobs[i].arrival_cycles, e2e_cycles, tally.success);
+      if (journal_on && (so.latency_violation || so.failure_violation)) {
+        obs::JournalEvent ev;
+        ev.request_id = req_ids[i];
+        ev.type = "slo_violation";
+        ev.key = jobs[i].tenant;
+        ev.code = so.latency_violation ? "latency" : "failure";
+        ev.detail = so.latency_violation ? "end-to-end over latency objective" : outcome_word;
+        ev.attempt = tally.attempts;
+        ev.cycles = e2e_cycles;
+        journal.append(std::move(ev));
+      }
+      if (journal_on && so.budget_exhausted_now) {
+        obs::JournalEvent ev;
+        ev.request_id = req_ids[i];
+        ev.type = "slo_violation";
+        ev.key = jobs[i].tenant;
+        ev.code = "budget_exhausted";
+        ev.detail = "window " + std::to_string(so.window_index) + " error budget exhausted";
+        ev.cycles = e2e_cycles;
+        journal.append(std::move(ev));
+      }
     }
     if (tally.ran) reg.observe("serve.job_attempts", static_cast<double>(tally.attempts));
     if (tally.success) {

@@ -182,6 +182,13 @@ class OptimizedEngine final : public Backend {
     /// and ages the virtual queue from arrival deltas; the engine itself
     /// ignores it.
     double arrival_cycles = 0.0;
+    /// Sim-cycles the job waited in the admission virtual queue and on
+    /// token-bucket refill before dispatch (stamped by serve(); 0 when the
+    /// batch bypassed admission control). The engine folds them into the
+    /// job's end-to-end critical path (journal "e2e" event, SLO latency);
+    /// it never re-schedules on them.
+    double admission_wait_cycles = 0.0;
+    double quota_wait_cycles = 0.0;
     /// Optimization knobs (rt::kKnob* names) force-disabled for this job
     /// only, merged with the breaker's half-open degradations in the job's
     /// admission set. The admission controller pre-degrades host-expensive

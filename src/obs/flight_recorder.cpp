@@ -1,0 +1,177 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "prof/json_writer.hpp"
+
+namespace gnnbridge::obs {
+namespace {
+
+void write_event_fields(prof::JsonWriter& w, const JournalEvent& ev) {
+  w.kv("seq", ev.seq);
+  w.kv("req", std::string_view(ev.request_id));
+  w.kv("type", std::string_view(ev.type));
+  w.kv("key", std::string_view(ev.key));
+  w.kv("code", std::string_view(ev.code));
+  w.kv("detail", std::string_view(ev.detail));
+  w.kv("attempt", ev.attempt);
+  w.kv("cycles", ev.cycles);
+}
+
+void write_postmortem_file(const std::string& path, const std::string& doc) {
+  const auto fail = [&](const char* what) {
+    std::fprintf(stderr, "gnnbridge: cannot write postmortem '%s': %s\n", path.c_str(), what);
+  };
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (!f) return fail("cannot open for writing");
+  const bool wrote = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return fail(wrote ? "close failed" : "short write");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("rename into place failed");
+  }
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder* recorder = new FlightRecorder();  // leaked: outlives atexit
+  return *recorder;
+}
+
+const char* FlightRecorder::env_path() {
+  const char* env = std::getenv("GNNBRIDGE_FLIGHT_RECORDER");
+  return (env && *env) ? env : nullptr;
+}
+
+FlightRecorder::FlightRecorder() {
+  if (const char* path = env_path()) path_ = path;
+}
+
+bool FlightRecorder::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !path_.empty();
+}
+
+void FlightRecorder::arm(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_ = path;
+}
+
+void FlightRecorder::disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  path_.clear();
+}
+
+void FlightRecorder::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity > 0 ? capacity : 1;
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::size_t FlightRecorder::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::string FlightRecorder::classify_locked(const JournalEvent& event) const {
+  if (event.type == "outcome" && event.detail == "timed_out") return "deadline_miss";
+  if (event.type == "breaker" && event.code == "open") return "breaker_open";
+  if (event.type == "slo_violation" && event.code == "budget_exhausted") {
+    return "slo_budget_exhausted";
+  }
+  if (event.type == "shed") {
+    // Fire exactly on the shed that completes the burst — not on every
+    // shed after it — so one burst produces one dump.
+    std::size_t window = ring_.size() < kShedBurstWindow ? ring_.size() : kShedBurstWindow;
+    std::size_t sheds = 0;
+    for (std::size_t i = ring_.size() - window; i < ring_.size(); ++i) {
+      if (ring_[i].type == "shed") ++sheds;
+    }
+    if (sheds == kShedBurstCount) return "shed_burst";
+  }
+  return "";
+}
+
+void FlightRecorder::record(const JournalEvent& event) {
+  std::string doc;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.push_back(event);
+    while (ring_.size() > capacity_) ring_.pop_front();
+    const std::string kind = classify_locked(event);
+    if (kind.empty()) return;
+    ++dump_count_;
+    last_trigger_ = kind;
+    if (path_.empty()) return;
+    path = path_;
+    doc = postmortem_json_locked(kind, event);
+  }
+  write_postmortem_file(path, doc);
+}
+
+std::deque<JournalEvent> FlightRecorder::ring() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_;
+}
+
+std::uint64_t FlightRecorder::dump_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dump_count_;
+}
+
+std::string FlightRecorder::last_trigger() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_trigger_;
+}
+
+std::string FlightRecorder::postmortem_json(const std::string& trigger_kind,
+                                            const JournalEvent& trigger) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return postmortem_json_locked(trigger_kind, trigger);
+}
+
+std::string FlightRecorder::postmortem_json_locked(const std::string& trigger_kind,
+                                                   const JournalEvent& trigger) const {
+  std::string out;
+  prof::JsonWriter w(&out);
+  w.begin_object();
+  w.kv("schema", "gnnbridge-postmortem");
+  w.kv("schema_version", 1);
+  w.key("trigger");
+  w.begin_object();
+  w.kv("kind", std::string_view(trigger_kind));
+  write_event_fields(w, trigger);
+  w.end_object();
+  w.kv("dump_count", dump_count_);
+  w.kv("ring_capacity", static_cast<std::uint64_t>(capacity_));
+  w.key("events");
+  w.begin_array();
+  for (const JournalEvent& ev : ring_) {
+    w.begin_object();
+    write_event_fields(w, ev);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out += '\n';
+  return out;
+}
+
+void FlightRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  dump_count_ = 0;
+  last_trigger_.clear();
+  capacity_ = kFlightRecorderDefaultCapacity;
+  path_ = env_path() ? env_path() : "";
+}
+
+}  // namespace gnnbridge::obs

@@ -1,0 +1,88 @@
+// Anomaly-triggered flight recorder (DESIGN.md §15).
+//
+// An always-on bounded ring buffer of the most recent journal events.
+// EventJournal::append forwards every event here, so the ring costs O(1)
+// memory regardless of run length and needs no opt-in. When an anomalous
+// event lands — a deadline miss, a breaker opening, a burst of load
+// sheds, or an SLO error budget exhausting — the recorder dumps the ring
+// plus the triggering event as a crash-safe postmortem JSON document
+// ("gnnbridge-postmortem" schema v1, tmp + atomic rename like every
+// other artifact writer).
+//
+// Dumping only happens when the recorder is *armed* with a destination
+// path (GNNBRIDGE_FLIGHT_RECORDER=<path>, the soak CLI's
+// --flight-recorder flag, or arm() from a test); unarmed, triggers are
+// still counted so tests can observe classification without touching the
+// filesystem. Because events reach the ring through the journal's
+// sequential job-order folds, the ring contents — and therefore the
+// postmortem bytes — are identical at any host thread count; repeated
+// triggers overwrite the same path, leaving the *last* anomaly's context
+// on disk, and `dump_count` in the document says how many fired.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "obs/journal.hpp"
+
+namespace gnnbridge::obs {
+
+/// Ring capacity when none is set: enough for several jobs' full
+/// lifecycles around the anomaly without unbounded growth.
+inline constexpr std::size_t kFlightRecorderDefaultCapacity = 256;
+/// Shed-burst trigger: fires when `kShedBurstCount` of the last
+/// `kShedBurstWindow` ring events are sheds.
+inline constexpr std::size_t kShedBurstWindow = 16;
+inline constexpr std::size_t kShedBurstCount = 4;
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  /// True when a postmortem path is set (dumps write to disk).
+  bool armed() const;
+  void arm(const std::string& path);
+  void disarm();
+
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  /// Appends the event to the ring, classifies anomaly triggers, and —
+  /// when one fires while armed — writes the postmortem document.
+  void record(const JournalEvent& event);
+
+  std::deque<JournalEvent> ring() const;
+  std::uint64_t dump_count() const;
+  /// Trigger kind of the most recent anomaly ("deadline_miss",
+  /// "breaker_open", "shed_burst", "slo_budget_exhausted"); empty if none.
+  std::string last_trigger() const;
+
+  /// Renders the postmortem document for the given trigger over the
+  /// current ring (exposed for byte-equality tests).
+  std::string postmortem_json(const std::string& trigger_kind,
+                              const JournalEvent& trigger) const;
+
+  /// Empties the ring and resets triggers; keeps the armed path only if
+  /// it came from the environment (tests call clear() in SetUp).
+  void clear();
+
+  /// The path GNNBRIDGE_FLIGHT_RECORDER points at, or nullptr.
+  static const char* env_path();
+
+ private:
+  FlightRecorder();
+  std::string classify_locked(const JournalEvent& event) const;
+  std::string postmortem_json_locked(const std::string& trigger_kind,
+                                     const JournalEvent& trigger) const;
+
+  mutable std::mutex mu_;
+  std::string path_;
+  std::size_t capacity_ = kFlightRecorderDefaultCapacity;
+  std::deque<JournalEvent> ring_;
+  std::uint64_t dump_count_ = 0;
+  std::string last_trigger_;
+};
+
+}  // namespace gnnbridge::obs

@@ -24,6 +24,12 @@ namespace gnnbridge::obs {
 /// buckets as (upper_bound, count) pairs, and the three headline
 /// quantiles. What the JSON exporter, the Prometheus writer and the stats
 /// CLI all consume.
+///
+/// Empty-histogram contract: with count == 0, every headline statistic —
+/// sum, min, max, p50, p90, p99 — is exactly 0 (never NaN, never a
+/// sentinel) and `buckets` is empty. All exporters render those zeros
+/// as-is; consumers distinguish "no data" from "all-zero data" by
+/// `count`, not by the statistics.
 struct HistogramSnapshot {
   std::uint64_t count = 0;
   double sum = 0.0;

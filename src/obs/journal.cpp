@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/flight_recorder.hpp"
 #include "prof/json_writer.hpp"
 
 namespace gnnbridge::obs {
@@ -29,10 +30,16 @@ EventJournal::EventJournal() {
 }
 
 std::uint64_t EventJournal::append(JournalEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
-  event.seq = next_seq_++;
-  const std::uint64_t seq = event.seq;
-  events_.push_back(std::move(event));
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    event.seq = next_seq_++;
+    seq = event.seq;
+    events_.push_back(event);
+  }
+  // Every journaled event also feeds the always-on flight-recorder ring
+  // (outside the journal lock: the recorder may write a postmortem).
+  FlightRecorder::instance().record(event);
   return seq;
 }
 

@@ -33,7 +33,9 @@ namespace gnnbridge::obs {
 /// "degradation", "outcome", "breaker", plus the admission-control events
 /// "admission_reject", "quota" and "shed" (serve::AdmissionController,
 /// DESIGN.md §14 — `key` carries the tenant, `cycles` the retry-after
-/// hint).
+/// hint), and the critical-path/SLO events "queue_wait", "quota_wait",
+/// "e2e" and "slo_violation" (DESIGN.md §15 — `key` carries the tenant,
+/// `cycles` the waited / end-to-end cycles).
 struct JournalEvent {
   std::uint64_t seq = 0;
   std::string request_id;

@@ -31,6 +31,20 @@ std::string prometheus_name(std::string_view name) {
   return out;
 }
 
+std::string prometheus_escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string render_prometheus(const RegistrySnapshot& snap) {
   std::string out;
   for (const auto& [name, value] : snap.counters) {
@@ -72,14 +86,40 @@ std::string render_prometheus(const RegistrySnapshot& snap) {
   return out;
 }
 
-rt::Status write_prometheus_file(const std::string& path, const RegistrySnapshot& snap) {
+std::string render_prometheus_slo(const SloSnapshot& snap) {
+  if (!snap.enabled || snap.tenants.empty()) return {};
+  std::string out;
+  const auto series = [&](const char* name, const char* type, auto value_of) {
+    out += std::string("# TYPE gnnbridge_slo_") + name + " " + type + "\n";
+    for (const TenantSlo& row : snap.tenants) {
+      out += std::string("gnnbridge_slo_") + name + "{tenant=\"" +
+             prometheus_escape_label_value(row.tenant) + "\"} ";
+      append_number(out, value_of(row));
+      out += '\n';
+    }
+  };
+  series("requests", "counter", [](const TenantSlo& r) { return r.requests; });
+  series("good", "counter", [](const TenantSlo& r) { return r.good; });
+  series("latency_violations", "counter",
+         [](const TenantSlo& r) { return r.latency_violations; });
+  series("failure_violations", "counter",
+         [](const TenantSlo& r) { return r.failure_violations; });
+  series("burn_rate", "gauge", [](const TenantSlo& r) { return r.burn_rate; });
+  series("budget_exhausted", "gauge",
+         [](const TenantSlo& r) { return static_cast<std::uint64_t>(r.budget_exhausted); });
+  return out;
+}
+
+rt::Status write_prometheus_file(const std::string& path, const RegistrySnapshot& snap,
+                                 const SloSnapshot* slo) {
   const auto fail = [&](const char* what) {
     std::fprintf(stderr, "gnnbridge: cannot write prometheus file '%s': %s\n", path.c_str(),
                  what);
     return rt::Status(rt::StatusCode::kUnavailable, what)
         .with_context("write_prometheus_file('" + path + "')");
   };
-  const std::string doc = render_prometheus(snap);
+  std::string doc = render_prometheus(snap);
+  if (slo) doc += render_prometheus_slo(*slo);
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "w");
   if (!f) return fail("cannot open for writing");

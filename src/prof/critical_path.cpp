@@ -1,0 +1,210 @@
+#include "prof/critical_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "prof/json_reader.hpp"
+
+namespace gnnbridge::prof {
+
+namespace {
+
+/// %.6g — compact but deterministic cycle rendering for the table (the
+/// byte-compared artifacts use %.12g; the table is for eyes, the
+/// determinism contract only needs a fixed format).
+std::string fmt_cycles(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void append_col(std::string& out, const std::string& text, int width) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%*s", width, text.c_str());
+  out += buf;
+}
+
+bool label_matches_request(const std::string& label, const std::string& request_id) {
+  if (label == request_id) return true;
+  if (request_id.empty() || label.size() <= request_id.size()) return false;
+  const std::size_t tail = label.size() - request_id.size();
+  return label[tail - 1] == '/' && label.compare(tail, std::string::npos, request_id) == 0;
+}
+
+}  // namespace
+
+rt::Result<std::vector<obs::JournalEvent>> parse_journal_jsonl(std::string_view text) {
+  std::vector<obs::JournalEvent> events;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    rt::Result<JsonValue> parsed = parse_json(line);
+    if (!parsed.ok()) {
+      return rt::Status(parsed.status().code(), parsed.status().message())
+          .with_context("journal line " + std::to_string(line_no));
+    }
+    const JsonValue& v = *parsed;
+    if (!v.is_object()) {
+      return rt::Status(rt::StatusCode::kInvalidArgument, "journal line is not an object")
+          .with_context("journal line " + std::to_string(line_no));
+    }
+    obs::JournalEvent ev;
+    ev.seq = v.uint_or("seq", 0);
+    ev.request_id = v.str_or("req", "");
+    ev.type = v.str_or("type", "");
+    ev.key = v.str_or("key", "");
+    ev.code = v.str_or("code", "");
+    ev.detail = v.str_or("detail", "");
+    ev.attempt = v.uint_or("attempt", 0);
+    ev.cycles = v.num_or("cycles", 0.0);
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+CriticalPathReport analyze_critical_path(const std::vector<obs::JournalEvent>& events,
+                                         const LoadedMetrics* metrics, double tolerance) {
+  CriticalPathReport report;
+  // Per-request scratch not worth exposing: every attempt's compute,
+  // summed — the final attempt's share stays as compute, the rest becomes
+  // degradation overhead (retries that burned cycles without producing
+  // the result).
+  std::vector<double> attempt_sums;
+  std::map<std::string, std::size_t> index;  // request id -> report slot
+
+  const auto slot = [&](const obs::JournalEvent& ev) -> RequestWaterfall& {
+    const auto [it, inserted] = index.try_emplace(ev.request_id, report.requests.size());
+    if (inserted) {
+      report.requests.emplace_back();
+      attempt_sums.push_back(0.0);
+      report.requests.back().request_id = ev.request_id;
+      report.requests.back().first_seq = ev.seq;
+    }
+    return report.requests[it->second];
+  };
+
+  for (const obs::JournalEvent& ev : events) {
+    if (ev.request_id.empty()) continue;
+    RequestWaterfall& r = slot(ev);
+    if (ev.type == "attempt") {
+      attempt_sums[index[ev.request_id]] += ev.cycles;
+    } else if (ev.type == "backoff") {
+      r.backoff_cycles += ev.cycles;
+    } else if (ev.type == "queue_wait") {
+      r.queue_wait_cycles += ev.cycles;
+      if (r.tenant.empty()) r.tenant = ev.key;
+    } else if (ev.type == "quota_wait") {
+      r.quota_wait_cycles += ev.cycles;
+      if (r.tenant.empty()) r.tenant = ev.key;
+    } else if (ev.type == "outcome") {
+      r.outcome = ev.detail;
+      r.compute_cycles = ev.cycles;  // final attempt's cycles
+      r.attempts = ev.attempt;
+    } else if (ev.type == "e2e") {
+      r.end_to_end_cycles = ev.cycles;
+      r.has_e2e = true;
+      if (r.attempts == 0) r.attempts = ev.attempt;
+    } else if (ev.type == "shed") {
+      r.outcome = "shed";
+      if (r.tenant.empty()) r.tenant = ev.key;
+    } else if (ev.type == "quota") {
+      r.outcome = "quota_rejected";
+      if (r.tenant.empty()) r.tenant = ev.key;
+    } else if (ev.type == "admission_reject") {
+      r.outcome = "admission_rejected";
+      if (r.tenant.empty()) r.tenant = ev.key;
+    } else if (ev.type == "slo_violation") {
+      r.slo_violated = true;
+      if (r.tenant.empty()) r.tenant = ev.key;
+    }
+  }
+
+  for (std::size_t i = 0; i < report.requests.size(); ++i) {
+    RequestWaterfall& r = report.requests[i];
+    r.degraded_overhead_cycles = std::max(0.0, attempt_sums[i] - r.compute_cycles);
+    if (metrics) {
+      for (const RunRecord& rec : metrics->runs) {
+        if (!label_matches_request(rec.label, r.request_id)) continue;
+        r.gaps = attribute_gaps(rec);
+        r.has_gaps = true;
+        break;
+      }
+    }
+    if (!r.has_e2e) continue;
+    ++report.invariant_checked;
+    const double rel = std::fabs(r.phase_sum() - r.end_to_end_cycles) /
+                       std::max(std::fabs(r.end_to_end_cycles), 1.0);
+    report.max_invariant_rel_error = std::max(report.max_invariant_rel_error, rel);
+    if (rel > tolerance) ++report.invariant_violations;
+  }
+  return report;
+}
+
+std::string render_waterfall_table(const CriticalPathReport& report, std::size_t top_k) {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "%-20s %-10s %-18s %4s", "request", "tenant", "outcome",
+                "att");
+  out += buf;
+  for (const char* col : {"queue", "quota", "backoff", "degraded", "compute", "e2e"}) {
+    append_col(out, col, 13);
+  }
+  out += '\n';
+  for (const RequestWaterfall& r : report.requests) {
+    std::snprintf(buf, sizeof(buf), "%-20s %-10s %-18s %4llu", r.request_id.c_str(),
+                  r.tenant.empty() ? "-" : r.tenant.c_str(), r.outcome.c_str(),
+                  static_cast<unsigned long long>(r.attempts));
+    out += buf;
+    append_col(out, fmt_cycles(r.queue_wait_cycles), 13);
+    append_col(out, fmt_cycles(r.quota_wait_cycles), 13);
+    append_col(out, fmt_cycles(r.backoff_cycles), 13);
+    append_col(out, fmt_cycles(r.degraded_overhead_cycles), 13);
+    append_col(out, fmt_cycles(r.compute_cycles), 13);
+    append_col(out, r.has_e2e ? fmt_cycles(r.end_to_end_cycles) : "-", 13);
+    if (r.slo_violated) out += "  [slo]";
+    out += '\n';
+    if (r.has_gaps) {
+      const double other = std::max(0.0, r.compute_cycles - r.gaps.attributed_cycles());
+      out += "    gaps: locality " + fmt_cycles(r.gaps.locality_cycles) + " | imbalance " +
+             fmt_cycles(r.gaps.imbalance_cycles) + " | launch " +
+             fmt_cycles(r.gaps.launch_cycles) + " | sync " + fmt_cycles(r.gaps.sync_cycles) +
+             " | redundancy " + fmt_cycles(r.gaps.redundancy_cycles) + " | other " +
+             fmt_cycles(other) + "\n";
+    }
+  }
+
+  // Top-K slowest by end-to-end cycles (requests that reached the engine).
+  std::vector<const RequestWaterfall*> slow;
+  for (const RequestWaterfall& r : report.requests) {
+    if (r.has_e2e) slow.push_back(&r);
+  }
+  std::stable_sort(slow.begin(), slow.end(),
+                   [](const RequestWaterfall* a, const RequestWaterfall* b) {
+                     if (a->end_to_end_cycles != b->end_to_end_cycles) {
+                       return a->end_to_end_cycles > b->end_to_end_cycles;
+                     }
+                     return a->first_seq < b->first_seq;
+                   });
+  if (top_k > 0 && !slow.empty()) {
+    const std::size_t n = std::min(top_k, slow.size());
+    out += "\ntop " + std::to_string(n) + " slowest (end-to-end cycles):\n";
+    for (std::size_t i = 0; i < n; ++i) {
+      const RequestWaterfall& r = *slow[i];
+      std::snprintf(buf, sizeof(buf), "  %2llu. %-20s %13s  (%s)\n",
+                    static_cast<unsigned long long>(i + 1), r.request_id.c_str(),
+                    fmt_cycles(r.end_to_end_cycles).c_str(), r.outcome.c_str());
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace gnnbridge::prof

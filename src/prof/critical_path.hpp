@@ -1,0 +1,85 @@
+// Per-request critical-path analyzer (DESIGN.md §15).
+//
+// Reconstructs each request's sim-time waterfall from the event journal:
+// cycles split into admission-queue wait, quota-refill wait, retry
+// backoff, degradation overhead (earlier failed attempts' compute), and
+// final-attempt engine compute — the last sub-split by the gap_report
+// phases when a metrics document with matching run labels is supplied.
+// The analyzer re-derives each request's end-to-end total from the
+// individual phase events and checks it against the "e2e" event the
+// engine fold emitted from its own bookkeeping; the two are computed from
+// different inputs, so their agreement (within kCriticalPathTolerance,
+// relative) is a real invariant over the serving path, not a tautology.
+//
+// Everything here is a pure function of journal bytes (and optionally
+// metrics bytes), both of which are deterministic at any thread count —
+// so triage output is too. Consumed by `gnnbridge_cli triage`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/journal.hpp"
+#include "prof/gap_report.hpp"
+#include "rt/status.hpp"
+
+namespace gnnbridge::prof {
+
+/// Relative tolerance for the phase-sum == e2e invariant.
+inline constexpr double kCriticalPathTolerance = 1e-6;
+
+/// One request's reconstructed waterfall, phases in serving order.
+struct RequestWaterfall {
+  std::string request_id;
+  std::string tenant;
+  /// Final state: "ok" / "timed_out" / "cancelled" / "failed" /
+  /// "rejected" (engine outcomes), or "shed" / "quota_rejected" /
+  /// "admission_rejected" (never reached the engine), or "incomplete"
+  /// when the journal holds no terminal event for the id.
+  std::string outcome = "incomplete";
+  std::uint64_t attempts = 0;
+  std::uint64_t first_seq = 0;           ///< display/order anchor
+  double queue_wait_cycles = 0.0;        ///< admission virtual-queue wait
+  double quota_wait_cycles = 0.0;        ///< token-bucket refill stall
+  double backoff_cycles = 0.0;           ///< retry backoff charges
+  double degraded_overhead_cycles = 0.0; ///< non-final attempts' compute
+  double compute_cycles = 0.0;           ///< final attempt's compute
+  double end_to_end_cycles = 0.0;        ///< from the engine's "e2e" event
+  bool has_e2e = false;
+  bool slo_violated = false;
+  /// Gap sub-split of compute_cycles, when a metrics run matched.
+  bool has_gaps = false;
+  GapBreakdown gaps;
+
+  double phase_sum() const {
+    return queue_wait_cycles + quota_wait_cycles + backoff_cycles +
+           degraded_overhead_cycles + compute_cycles;
+  }
+};
+
+struct CriticalPathReport {
+  /// First-seq (journal) order — arrival/dispatch order by construction.
+  std::vector<RequestWaterfall> requests;
+  std::uint64_t invariant_checked = 0;    ///< requests with an e2e event
+  std::uint64_t invariant_violations = 0;
+  double max_invariant_rel_error = 0.0;
+};
+
+/// Parses a journal JSONL document (EventJournal::to_jsonl format) back
+/// into events. Fails with the 1-based line number on malformed lines.
+rt::Result<std::vector<obs::JournalEvent>> parse_journal_jsonl(std::string_view text);
+
+/// Builds the per-request report. When `metrics` is non-null, a run whose
+/// label equals the request id — or ends with "/<request id>", the soak
+/// sink-label convention — contributes the gap sub-split of its compute.
+CriticalPathReport analyze_critical_path(const std::vector<obs::JournalEvent>& events,
+                                         const LoadedMetrics* metrics = nullptr,
+                                         double tolerance = kCriticalPathTolerance);
+
+/// Human-readable waterfall table plus a top-`top_k`-slowest section (for
+/// `gnnbridge_cli triage`).
+std::string render_waterfall_table(const CriticalPathReport& report, std::size_t top_k);
+
+}  // namespace gnnbridge::prof

@@ -10,10 +10,10 @@
 // tools/check_metrics_schema.py; bump kMetricsSchemaVersion on any
 // incompatible change.
 //
-// Schema (gnnbridge-metrics, version 6):
+// Schema (gnnbridge-metrics, version 7):
 //   {
 //     "schema": "gnnbridge-metrics",
-//     "schema_version": 6,
+//     "schema_version": 7,
 //     "experiment": "<banner id>",
 //     "scale": 0.25,
 //     "meta": {"git_sha":"abc1234", "timestamp":"2026-01-01T00:00:00Z",
@@ -69,7 +69,14 @@
 //                   "histograms":[{"name":"serve.job_cycles","count":...,
 //                                  "sum":..., "min":..., "max":...,
 //                                  "p50":..., "p90":..., "p99":...,
-//                                  "buckets":[{"le":..., "count":...}]}]}
+//                                  "buckets":[{"le":..., "count":...}]}]},
+//     "slo": {"enabled":false, "latency_objective_cycles":0,
+//             "success_objective":0.99, "window_cycles":0,
+//             "tenants":[{"tenant":..., "requests":..., "good":...,
+//                         "latency_violations":..., "failure_violations":...,
+//                         "violations":..., "windows":..., "window_index":...,
+//                         "window_requests":..., "window_violations":...,
+//                         "burn_rate":..., "budget_exhausted":...}]}
 //   }
 // v1 -> v2: added the top-level `degradations` array — one entry per
 // optimization knob the engine (or the sink itself) disabled after a stage
@@ -97,6 +104,12 @@
 // estimated queue wait; DESIGN.md §14). Counts and sums add across serve
 // calls; peaks max-merge. Always present; all-zero when no admission
 // controller ran.
+// v6 -> v7: added the top-level `slo` block — the obs::SloTracker snapshot
+// (per-tenant request/violation totals, deterministic tumbling sim-time
+// windows keyed by arrival cycles, current-window error-budget burn rate
+// and exhaustion flag; DESIGN.md §15). Always present; disabled with an
+// empty tenant list until the tracker is configured (soak --slo-ms).
+// `clear()` also clears the tracker.
 #pragma once
 
 #include <cstdint>
@@ -111,7 +124,7 @@
 namespace gnnbridge::prof {
 
 inline constexpr const char* kMetricsSchemaName = "gnnbridge-metrics";
-inline constexpr int kMetricsSchemaVersion = 6;
+inline constexpr int kMetricsSchemaVersion = 7;
 
 /// Provenance stamped into every metrics document (`meta` block). The sink
 /// collects defaults lazily at serialization time; tests pin fixed values

@@ -5,8 +5,10 @@
 #include <cstdlib>
 
 #include "graph/fingerprint.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/journal.hpp"
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
 #include "rt/degrade.hpp"
 
 namespace gnnbridge::serve {
@@ -276,13 +278,22 @@ ServeResult AdmissionController::serve(engine::OptimizedEngine& eng,
       const double wait = quota.rate > 0.0
                               ? (d.est_cost_cycles - bucket.tokens) / quota.rate
                               : 0.0;
-      reject(Decision::Outcome::kRejectedQuota,
-             "tenant '" + job.tenant + "' over quota (needs " +
-                 format_cycles(d.est_cost_cycles) + " cost-cycles, has " +
-                 format_cycles(bucket.tokens) + ")",
-             wait);
-      ++stats.rejected_quota;
-      continue;
+      if (quota.rate > 0.0 && quota.max_wait_cycles > 0.0 && wait <= quota.max_wait_cycles) {
+        // Opt-in quota stall (TenantQuota::max_wait_cycles): hold the job
+        // until the bucket refills instead of bouncing it. The stall is
+        // recorded — not just absorbed — so the critical-path analyzer can
+        // price it as quota-wait time. Bucket state is applied at admit,
+        // after the remaining checks, so a later rejection mutates nothing.
+        d.quota_wait_cycles = wait;
+      } else {
+        reject(Decision::Outcome::kRejectedQuota,
+               "tenant '" + job.tenant + "' over quota (needs " +
+                   format_cycles(d.est_cost_cycles) + " cost-cycles, has " +
+                   format_cycles(bucket.tokens) + ")",
+               wait);
+        ++stats.rejected_quota;
+        continue;
+      }
     }
 
     // 4. Deadline feasibility: the estimate alone busts the budget — the
@@ -309,10 +320,18 @@ ServeResult AdmissionController::serve(engine::OptimizedEngine& eng,
       continue;
     }
 
-    // Admit: debit the bucket, advance the virtual server.
-    bucket.tokens -= d.est_cost_cycles;
-    const double start = std::max(busy_until_cycles_, arrival);
-    d.queue_wait_cycles = start - arrival;
+    // Admit: debit the bucket, advance the virtual server. A quota stall
+    // means the job only becomes ready once the bucket has refilled to
+    // exactly its cost — the debit then empties the bucket at that instant.
+    const double ready = arrival + d.quota_wait_cycles;
+    if (d.quota_wait_cycles > 0.0) {
+      bucket.tokens = 0.0;
+      bucket.last_refill_cycles = ready;
+    } else {
+      bucket.tokens -= d.est_cost_cycles;
+    }
+    const double start = std::max(busy_until_cycles_, ready);
+    d.queue_wait_cycles = start - ready;
     stats.queue_wait_cycles += d.queue_wait_cycles;
     busy_until_cycles_ =
         start + (cfg_.service_rate > 0.0 ? d.est_cost_cycles / cfg_.service_rate
@@ -325,14 +344,45 @@ ServeResult AdmissionController::serve(engine::OptimizedEngine& eng,
     ++stats.admitted;
   }
 
-  // --- Sequential journal fold, arrival order: one event per non-admitted
-  // job, emitted before any engine wave so the global seq order is
-  // (rejections, then wave 0 events, wave 1 events, ...) — deterministic.
+  // --- Sequential journal/SLO fold, arrival order: wait events for
+  // admitted jobs and one rejection event per non-admitted job, emitted
+  // before any engine wave so the global seq order is (arrival-pass
+  // events, then wave 0 events, wave 1 events, ...) — deterministic. A
+  // rejected job's serving story ends here, so its SLO outcome (a failure
+  // with zero end-to-end cycles) is recorded here too; admitted jobs are
+  // scored once, by the engine fold, after their e2e cycles are known.
   obs::EventJournal& journal = obs::EventJournal::instance();
-  if (journal.enabled()) {
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      const Decision& d = out.decisions[i];
-      if (d.outcome == Decision::Outcome::kAdmitted) continue;
+  obs::SloTracker& slo = obs::SloTracker::instance();
+  const bool journal_on =
+      journal.enabled() || obs::FlightRecorder::instance().armed();
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Decision& d = out.decisions[i];
+    if (d.outcome == Decision::Outcome::kAdmitted) {
+      if (!journal_on) continue;
+      // Chronological within the job: the quota stall happens at arrival,
+      // the virtual-queue wait between readiness and dispatch. Zero waits
+      // emit nothing, keeping pre-existing journal byte-goldens intact.
+      if (d.quota_wait_cycles > 0.0) {
+        obs::JournalEvent ev;
+        ev.request_id = out.request_ids[i];
+        ev.type = "quota_wait";
+        ev.key = jobs[i].tenant;
+        ev.detail = "token-bucket refill stall";
+        ev.cycles = d.quota_wait_cycles;
+        journal.append(std::move(ev));
+      }
+      if (d.queue_wait_cycles > 0.0) {
+        obs::JournalEvent ev;
+        ev.request_id = out.request_ids[i];
+        ev.type = "queue_wait";
+        ev.key = jobs[i].tenant;
+        ev.detail = "admission virtual-queue wait";
+        ev.cycles = d.queue_wait_cycles;
+        journal.append(std::move(ev));
+      }
+      continue;
+    }
+    if (journal_on) {
       obs::JournalEvent ev;
       ev.request_id = out.request_ids[i];
       ev.type = d.outcome == Decision::Outcome::kShed ? "shed"
@@ -343,6 +393,28 @@ ServeResult AdmissionController::serve(engine::OptimizedEngine& eng,
       ev.detail = d.status.message();
       ev.cycles = d.retry_after_cycles;
       journal.append(std::move(ev));
+    }
+    if (slo.enabled()) {
+      const obs::SloOutcome so =
+          slo.record(jobs[i].tenant, jobs[i].arrival_cycles, 0.0, false);
+      if (journal_on && so.failure_violation) {
+        obs::JournalEvent ev;
+        ev.request_id = out.request_ids[i];
+        ev.type = "slo_violation";
+        ev.key = jobs[i].tenant;
+        ev.code = "failure";
+        ev.detail = "rejected at admission";
+        journal.append(std::move(ev));
+      }
+      if (journal_on && so.budget_exhausted_now) {
+        obs::JournalEvent ev;
+        ev.request_id = out.request_ids[i];
+        ev.type = "slo_violation";
+        ev.key = jobs[i].tenant;
+        ev.code = "budget_exhausted";
+        ev.detail = "window " + std::to_string(so.window_index) + " error budget exhausted";
+        journal.append(std::move(ev));
+      }
     }
   }
 
@@ -380,6 +452,10 @@ ServeResult AdmissionController::serve(engine::OptimizedEngine& eng,
       const std::size_t i = order[start + j].index;
       wave[j] = jobs[i];
       wave[j].request_id = out.request_ids[i];
+      // Stamp the admission-side waits so the engine folds them into the
+      // job's end-to-end critical path (journal "e2e", SLO latency).
+      wave[j].admission_wait_cycles = out.decisions[i].queue_wait_cycles;
+      wave[j].quota_wait_cycles = out.decisions[i].quota_wait_cycles;
       if (out.decisions[i].shed_level >= 1) {
         // Level-1 pre-degradation: run without the host-expensive knobs.
         wave[j].disable_knobs.emplace_back(rt::kKnobAutoTune);
@@ -413,6 +489,9 @@ ServeResult AdmissionController::serve(engine::OptimizedEngine& eng,
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (out.decisions[i].outcome == Decision::Outcome::kAdmitted) {
       reg.observe("serve.queue_wait_cycles", out.decisions[i].queue_wait_cycles);
+      if (out.decisions[i].quota_wait_cycles > 0.0) {
+        reg.observe("serve.quota_wait_cycles", out.decisions[i].quota_wait_cycles);
+      }
     }
   }
   sink.add_overload(stats);

@@ -55,6 +55,13 @@ struct TenantQuota {
   double rate = 1.0;          ///< cost-cycles earned per arrival sim-cycle
   double burst_cycles = 4e9;  ///< bucket capacity (and initial fill)
   double weight = 1.0;        ///< weighted-fair dequeue share
+  /// Longest sim-cycle stall a job may spend waiting for the bucket to
+  /// refill before it is rejected outright. 0 (the default) keeps the
+  /// original semantics: an over-quota job is rejected immediately with a
+  /// retry-after hint. When positive and the refill wait fits, the job is
+  /// admitted instead, the wait lands in Decision::quota_wait_cycles, and
+  /// the critical-path analyzer attributes it as quota-wait time.
+  double max_wait_cycles = 0.0;
 };
 
 struct AdmissionConfig {
@@ -104,6 +111,9 @@ struct Decision {
   double est_bytes = 0.0;
   /// Estimated virtual queue wait (admitted jobs only).
   double queue_wait_cycles = 0.0;
+  /// Token-bucket refill stall taken under TenantQuota::max_wait_cycles
+  /// (admitted jobs only; 0 when the bucket had tokens on arrival).
+  double quota_wait_cycles = 0.0;
   /// Shed-ladder level observed at this job's arrival (0 = normal).
   int shed_level = 0;
 };

@@ -1,0 +1,193 @@
+// Anomaly-triggered flight recorder (DESIGN.md §15): the always-on
+// bounded ring fed by EventJournal::append, the four trigger kinds, the
+// once-per-burst shed trigger, the crash-safe postmortem write, and the
+// byte-determinism of the dumped document.
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/journal.hpp"
+#include "prof/json_reader.hpp"
+
+namespace gnnbridge::obs {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+bool file_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+JournalEvent event(const std::string& type, const std::string& code = "",
+                   const std::string& detail = "") {
+  static std::uint64_t seq = 0;
+  JournalEvent ev;
+  ev.seq = seq++;
+  ev.request_id = "req-" + std::to_string(ev.seq);
+  ev.type = type;
+  ev.key = "tenant-x";
+  ev.code = code;
+  ev.detail = detail;
+  ev.cycles = 10.0;
+  return ev;
+}
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    unsetenv("GNNBRIDGE_FLIGHT_RECORDER");
+    FlightRecorder::instance().clear();
+    EventJournal::instance().clear();
+  }
+  void TearDown() override {
+    FlightRecorder::instance().clear();
+    EventJournal::instance().clear();
+  }
+};
+
+TEST_F(FlightRecorderTest, RingIsAlwaysOnAndBoundedByCapacity) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  EXPECT_FALSE(fr.armed());
+  fr.set_capacity(4);
+  for (int i = 0; i < 10; ++i) fr.record(event("attempt"));
+  const auto ring = fr.ring();
+  ASSERT_EQ(ring.size(), 4u);
+  // Oldest entries evicted first: the ring holds the newest four.
+  EXPECT_EQ(ring.back().seq, ring.front().seq + 3);
+}
+
+TEST_F(FlightRecorderTest, JournalAppendFeedsTheRingEvenWhenJournalDisabled) {
+  EventJournal& journal = EventJournal::instance();
+  EXPECT_FALSE(journal.enabled());
+  journal.append(event("attempt"));
+  EXPECT_EQ(FlightRecorder::instance().ring().size(), 1u);
+}
+
+TEST_F(FlightRecorderTest, TriggersAreCountedEvenWhenUnarmed) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  fr.record(event("outcome", "DEADLINE_EXCEEDED", "timed_out"));
+  EXPECT_EQ(fr.dump_count(), 1u);
+  EXPECT_EQ(fr.last_trigger(), "deadline_miss");
+  fr.record(event("breaker", "open", "threshold reached"));
+  EXPECT_EQ(fr.dump_count(), 2u);
+  EXPECT_EQ(fr.last_trigger(), "breaker_open");
+  fr.record(event("slo_violation", "budget_exhausted", "window 0"));
+  EXPECT_EQ(fr.dump_count(), 3u);
+  EXPECT_EQ(fr.last_trigger(), "slo_budget_exhausted");
+  // Non-anomalous events never trigger.
+  fr.record(event("outcome", "OK", "ok"));
+  fr.record(event("slo_violation", "latency", "late"));
+  EXPECT_EQ(fr.dump_count(), 3u);
+}
+
+TEST_F(FlightRecorderTest, ShedBurstFiresExactlyOncePerBurst) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  fr.record(event("shed"));
+  fr.record(event("attempt"));
+  fr.record(event("shed"));
+  fr.record(event("shed"));
+  EXPECT_EQ(fr.dump_count(), 0u) << "three sheds are not yet a burst";
+  fr.record(event("shed"));
+  EXPECT_EQ(fr.dump_count(), 1u);
+  EXPECT_EQ(fr.last_trigger(), "shed_burst");
+  // The fifth shed sees 5 sheds in the window — past the edge, no re-fire.
+  fr.record(event("shed"));
+  EXPECT_EQ(fr.dump_count(), 1u);
+}
+
+TEST_F(FlightRecorderTest, ArmedTriggerWritesAValidPostmortem) {
+  const std::string path = ::testing::TempDir() + "fr_postmortem.json";
+  std::remove(path.c_str());
+  FlightRecorder& fr = FlightRecorder::instance();
+  fr.arm(path);
+  fr.record(event("attempt"));
+  const JournalEvent trigger = event("outcome", "DEADLINE_EXCEEDED", "timed_out");
+  fr.record(trigger);
+  ASSERT_TRUE(file_exists(path));
+
+  const std::string doc = read_file(path);
+  const auto parsed = prof::parse_json(doc);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->str_or("schema", ""), "gnnbridge-postmortem");
+  EXPECT_EQ(parsed->uint_or("schema_version", 0), 1u);
+  EXPECT_EQ(parsed->uint_or("dump_count", 0), 1u);
+  const prof::JsonValue* trig = parsed->find("trigger");
+  ASSERT_NE(trig, nullptr);
+  EXPECT_EQ(trig->str_or("kind", ""), "deadline_miss");
+  EXPECT_EQ(trig->uint_or("seq", 0), trigger.seq);
+  const prof::JsonValue* events = parsed->find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items.size(), 2u);
+  EXPECT_EQ(events->items.back().str_or("type", ""), "outcome");
+  EXPECT_EQ(doc.back(), '\n');
+  // No stray temp file left behind after the atomic rename.
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, UnarmedTriggerTouchesNothingOnDisk) {
+  const std::string path = ::testing::TempDir() + "fr_unarmed.json";
+  std::remove(path.c_str());
+  FlightRecorder& fr = FlightRecorder::instance();
+  fr.record(event("outcome", "DEADLINE_EXCEEDED", "timed_out"));
+  EXPECT_EQ(fr.dump_count(), 1u);
+  EXPECT_FALSE(file_exists(path));
+}
+
+TEST_F(FlightRecorderTest, PostmortemBytesAreAPureFunctionOfTheRing) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  const JournalEvent a = event("attempt");
+  const JournalEvent trigger = event("breaker", "open", "threshold reached");
+  fr.record(a);
+  fr.record(trigger);
+  const std::string first = fr.postmortem_json("breaker_open", trigger);
+
+  fr.clear();
+  fr.record(a);
+  fr.record(trigger);
+  EXPECT_EQ(fr.postmortem_json("breaker_open", trigger), first);
+  EXPECT_NE(first.find("\"schema\":\"gnnbridge-postmortem\""), std::string::npos);
+  EXPECT_NE(first.find("\"kind\":\"breaker_open\""), std::string::npos);
+}
+
+TEST_F(FlightRecorderTest, RepeatedTriggersOverwriteWithTheLastAnomaly) {
+  const std::string path = ::testing::TempDir() + "fr_overwrite.json";
+  std::remove(path.c_str());
+  FlightRecorder& fr = FlightRecorder::instance();
+  fr.arm(path);
+  fr.record(event("outcome", "DEADLINE_EXCEEDED", "timed_out"));
+  fr.record(event("breaker", "open", "threshold reached"));
+  const auto parsed = prof::parse_json(read_file(path));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->find("trigger")->str_or("kind", ""), "breaker_open");
+  EXPECT_EQ(parsed->uint_or("dump_count", 0), 2u);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightRecorderTest, ClearResetsStateAndDisarmsWithoutEnv) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  fr.arm("/tmp/somewhere.json");
+  fr.set_capacity(2);
+  fr.record(event("outcome", "DEADLINE_EXCEEDED", "timed_out"));
+  fr.clear();
+  EXPECT_FALSE(fr.armed());
+  EXPECT_EQ(fr.capacity(), kFlightRecorderDefaultCapacity);
+  EXPECT_TRUE(fr.ring().empty());
+  EXPECT_EQ(fr.dump_count(), 0u);
+  EXPECT_EQ(fr.last_trigger(), "");
+}
+
+}  // namespace
+}  // namespace gnnbridge::obs

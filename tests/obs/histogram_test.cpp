@@ -130,5 +130,24 @@ TEST(LogHistogramTest, ClearResetsToEmpty) {
   EXPECT_TRUE(h.snapshot().buckets.empty());
 }
 
+TEST(LogHistogramTest, EmptyHistogramContractIsAllZeros) {
+  // The documented empty-histogram contract (histogram.hpp): with
+  // count == 0 every headline statistic is exactly 0 — never NaN, never a
+  // sentinel — and consumers tell "no data" apart by count alone. The
+  // schema validator enforces the same shape on exported documents.
+  const HistogramSnapshot snap = LogHistogram().snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0.0);
+  EXPECT_EQ(snap.min, 0.0);
+  EXPECT_EQ(snap.max, 0.0);
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_EQ(snap.p90, 0.0);
+  EXPECT_EQ(snap.p99, 0.0);
+  EXPECT_TRUE(snap.buckets.empty());
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(LogHistogram().quantile(q), 0.0) << q;
+  }
+}
+
 }  // namespace
 }  // namespace gnnbridge::obs

@@ -1,0 +1,96 @@
+// Prometheus text exposition (DESIGN.md §13/§15): label-value escaping
+// per the exposition-format spec (backslash, double-quote, newline), the
+// per-tenant SLO series, and the empty-snapshot behavior that makes
+// appending the SLO block unconditionally safe.
+#include "obs/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/slo.hpp"
+
+namespace gnnbridge::obs {
+namespace {
+
+TEST(PrometheusEscapeTest, PassesPlainValuesThrough) {
+  EXPECT_EQ(prometheus_escape_label_value("tenant-a"), "tenant-a");
+  EXPECT_EQ(prometheus_escape_label_value(""), "");
+  EXPECT_EQ(prometheus_escape_label_value("utf8 σ ok"), "utf8 σ ok");
+}
+
+TEST(PrometheusEscapeTest, EscapesBackslashQuoteAndNewline) {
+  EXPECT_EQ(prometheus_escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_escape_label_value("line1\nline2"), "line1\\nline2");
+  // A value made entirely of specials: \ " \n -> \\ \" \n (6 chars).
+  EXPECT_EQ(prometheus_escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+}
+
+SloSnapshot snapshot_with(const std::string& tenant) {
+  SloSnapshot snap;
+  snap.enabled = true;
+  TenantSlo row;
+  row.tenant = tenant;
+  row.requests = 10;
+  row.good = 7;
+  row.latency_violations = 2;
+  row.failure_violations = 1;
+  row.burn_rate = 1.5;
+  row.budget_exhausted = true;
+  snap.tenants.push_back(row);
+  return snap;
+}
+
+TEST(PrometheusSloTest, RendersOneSeriesPerMetricPerTenant) {
+  SloSnapshot snap = snapshot_with("t-steady");
+  TenantSlo burst = snap.tenants[0];
+  burst.tenant = "t-burst";
+  burst.budget_exhausted = false;
+  burst.burn_rate = 0.25;
+  snap.tenants.push_back(burst);
+
+  const std::string out = render_prometheus_slo(snap);
+  EXPECT_NE(out.find("# TYPE gnnbridge_slo_requests counter\n"
+                     "gnnbridge_slo_requests{tenant=\"t-steady\"} 10\n"
+                     "gnnbridge_slo_requests{tenant=\"t-burst\"} 10\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("gnnbridge_slo_good{tenant=\"t-steady\"} 7"), std::string::npos);
+  EXPECT_NE(out.find("gnnbridge_slo_latency_violations{tenant=\"t-steady\"} 2"),
+            std::string::npos);
+  EXPECT_NE(out.find("gnnbridge_slo_failure_violations{tenant=\"t-steady\"} 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE gnnbridge_slo_burn_rate gauge\n"
+                     "gnnbridge_slo_burn_rate{tenant=\"t-steady\"} 1.5\n"
+                     "gnnbridge_slo_burn_rate{tenant=\"t-burst\"} 0.25\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("gnnbridge_slo_budget_exhausted{tenant=\"t-steady\"} 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("gnnbridge_slo_budget_exhausted{tenant=\"t-burst\"} 0"),
+            std::string::npos);
+}
+
+TEST(PrometheusSloTest, EscapesHostileTenantNamesInLabels) {
+  // Tenant and model names are caller-supplied strings; quotes,
+  // backslashes and newlines must not corrupt the exposition line.
+  const std::string out =
+      render_prometheus_slo(snapshot_with("evil\"t\\name\nwith specials"));
+  EXPECT_NE(out.find("{tenant=\"evil\\\"t\\\\name\\nwith specials\"}"), std::string::npos)
+      << out;
+  // The raw newline must never appear inside a label value.
+  EXPECT_EQ(out.find("name\nwith"), std::string::npos);
+}
+
+TEST(PrometheusSloTest, DisabledOrEmptySnapshotRendersNothing) {
+  EXPECT_EQ(render_prometheus_slo(SloSnapshot{}), "");
+  SloSnapshot disabled = snapshot_with("t");
+  disabled.enabled = false;
+  EXPECT_EQ(render_prometheus_slo(disabled), "");
+  SloSnapshot empty;
+  empty.enabled = true;
+  EXPECT_EQ(render_prometheus_slo(empty), "");
+}
+
+}  // namespace
+}  // namespace gnnbridge::obs

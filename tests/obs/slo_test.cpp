@@ -1,0 +1,213 @@
+// Per-tenant SLO tracker (DESIGN.md §15): disjoint latency/failure
+// violation classification, deterministic tumbling sim-time windows keyed
+// by arrival stamp, finite error-budget burn rates, the once-per-window
+// budget_exhausted edge, the v7 `slo` JSON block, and the journal
+// round-trip of `slo_violation` events.
+#include "obs/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/journal.hpp"
+#include "prof/critical_path.hpp"
+#include "prof/json_writer.hpp"
+
+namespace gnnbridge::obs {
+namespace {
+
+class SloTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SloTracker::instance().clear(); }
+  void TearDown() override { SloTracker::instance().clear(); }
+};
+
+SloConfig objectives(double latency, double success, double window) {
+  SloConfig cfg;
+  cfg.latency_objective_cycles = latency;
+  cfg.success_objective = success;
+  cfg.window_cycles = window;
+  return cfg;
+}
+
+TEST_F(SloTest, InactiveByDefaultAndRecordIsANoOp) {
+  SloTracker& t = SloTracker::instance();
+  EXPECT_FALSE(t.enabled());
+  const SloOutcome out = t.record("tenant", 0.0, 1e9, false);
+  EXPECT_FALSE(out.failure_violation);
+  EXPECT_TRUE(t.snapshot().tenants.empty());
+}
+
+TEST_F(SloTest, ViolationsAreDisjointAndGoodPlusViolationsSumToRequests) {
+  SloTracker& t = SloTracker::instance();
+  t.configure(objectives(100.0, 0.5, 0.0));
+  // Failure trumps latency: a failed request that was also late counts as
+  // a failure violation only.
+  EXPECT_TRUE(t.record("a", 0.0, 500.0, false).failure_violation);
+  EXPECT_FALSE(t.record("a", 0.0, 500.0, false).latency_violation);
+  EXPECT_TRUE(t.record("a", 0.0, 101.0, true).latency_violation);
+  EXPECT_FALSE(t.record("a", 0.0, 100.0, true).latency_violation);  // at objective = good
+
+  const SloSnapshot snap = t.snapshot();
+  ASSERT_EQ(snap.tenants.size(), 1u);
+  const TenantSlo& row = snap.tenants[0];
+  EXPECT_EQ(row.requests, 4u);
+  EXPECT_EQ(row.good, 1u);
+  EXPECT_EQ(row.failure_violations, 2u);
+  EXPECT_EQ(row.latency_violations, 1u);
+  EXPECT_EQ(row.good + row.latency_violations + row.failure_violations, row.requests);
+}
+
+TEST_F(SloTest, ZeroLatencyObjectiveDisablesTheLatencyCheck) {
+  SloTracker& t = SloTracker::instance();
+  t.configure(objectives(0.0, 0.9, 0.0));
+  EXPECT_FALSE(t.record("a", 0.0, 1e18, true).latency_violation);
+  EXPECT_EQ(t.snapshot().tenants[0].good, 1u);
+}
+
+TEST_F(SloTest, WindowMembershipIsAPureFunctionOfArrival) {
+  SloTracker& t = SloTracker::instance();
+  t.configure(objectives(0.0, 0.5, 1000.0));
+  EXPECT_EQ(t.record("a", 0.0, 1.0, true).window_index, 0u);
+  EXPECT_EQ(t.record("a", 999.0, 1.0, true).window_index, 0u);
+  EXPECT_EQ(t.record("a", 1000.0, 1.0, true).window_index, 1u);
+  EXPECT_EQ(t.record("a", 4500.0, 1.0, true).window_index, 4u);
+
+  const TenantSlo& row = t.snapshot().tenants[0];
+  EXPECT_EQ(row.windows, 3u);       // windows 0, 1, 4 saw traffic
+  EXPECT_EQ(row.window_index, 4u);  // current = highest index
+  EXPECT_EQ(row.window_requests, 1u);
+}
+
+TEST_F(SloTest, SnapshotIsIndependentOfRecordOrder) {
+  SloTracker& t = SloTracker::instance();
+  t.configure(objectives(100.0, 0.5, 1000.0));
+  t.record("b", 1500.0, 50.0, true);
+  t.record("a", 200.0, 500.0, true);
+  t.record("a", 1200.0, 50.0, false);
+  const SloSnapshot fwd = t.snapshot();
+
+  t.clear();
+  t.configure(objectives(100.0, 0.5, 1000.0));
+  t.record("a", 1200.0, 50.0, false);
+  t.record("b", 1500.0, 50.0, true);
+  t.record("a", 200.0, 500.0, true);
+  const SloSnapshot rev = t.snapshot();
+
+  std::string fwd_json, rev_json;
+  {
+    prof::JsonWriter w(&fwd_json);
+    write_slo_json(w, fwd);
+  }
+  {
+    prof::JsonWriter w(&rev_json);
+    write_slo_json(w, rev);
+  }
+  EXPECT_EQ(fwd_json, rev_json);
+  ASSERT_EQ(fwd.tenants.size(), 2u);
+  EXPECT_EQ(fwd.tenants[0].tenant, "a");  // lexicographic order
+  EXPECT_EQ(fwd.tenants[1].tenant, "b");
+}
+
+TEST_F(SloTest, BurnRateIsViolationsOverErrorBudgetAndAlwaysFinite) {
+  SloTracker& t = SloTracker::instance();
+  t.configure(objectives(0.0, 0.5, 0.0));  // budget: half of the window
+  for (int i = 0; i < 8; ++i) t.record("a", 0.0, 1.0, true);
+  t.record("a", 0.0, 1.0, false);
+  t.record("a", 0.0, 1.0, false);
+  // 2 violations against a budget of 0.5 * 10 = 5 requests -> burn 0.4.
+  EXPECT_DOUBLE_EQ(t.snapshot().tenants[0].burn_rate, 0.4);
+
+  // A 100% objective has zero budget; the burn rate degrades to the raw
+  // violation count instead of dividing by zero.
+  t.clear();
+  t.configure(objectives(0.0, 1.0, 0.0));
+  t.record("a", 0.0, 1.0, true);
+  t.record("a", 0.0, 1.0, false);
+  const TenantSlo& row = t.snapshot().tenants[0];
+  EXPECT_DOUBLE_EQ(row.burn_rate, 1.0);
+  EXPECT_TRUE(row.budget_exhausted);
+}
+
+TEST_F(SloTest, BudgetExhaustedFiresOncePerWindowOnTheCrossingRequest) {
+  SloTracker& t = SloTracker::instance();
+  t.configure(objectives(0.0, 0.5, 1000.0));
+  t.record("a", 0.0, 1.0, true);
+  t.record("a", 0.0, 1.0, true);
+  // Two good requests. The budget is half of the window's requests so
+  // far, so violations run 1>1.5? no, 2>2.0? no, 3>2.5? yes — the third
+  // violation crosses; later ones must NOT re-fire (the window latches).
+  EXPECT_FALSE(t.record("a", 0.0, 1.0, false).budget_exhausted_now);
+  EXPECT_FALSE(t.record("a", 0.0, 1.0, false).budget_exhausted_now);
+  EXPECT_TRUE(t.record("a", 0.0, 1.0, false).budget_exhausted_now);
+  EXPECT_FALSE(t.record("a", 0.0, 1.0, false).budget_exhausted_now);
+  EXPECT_TRUE(t.snapshot().tenants[0].budget_exhausted);
+  // A new window gets a fresh budget and its own edge: its very first
+  // violation (1 > 0.5) exhausts it again.
+  EXPECT_TRUE(t.record("a", 1500.0, 1.0, false).budget_exhausted_now);
+}
+
+TEST_F(SloTest, WriteSloJsonEmitsTheV7BlockShape) {
+  SloTracker& t = SloTracker::instance();
+  t.configure(objectives(100.0, 0.75, 50.0));
+  t.record("tenant-a", 10.0, 500.0, true);  // latency violation
+  std::string json;
+  {
+    prof::JsonWriter w(&json);
+    write_slo_json(w, t.snapshot());
+  }
+  EXPECT_EQ(json,
+            "{\"enabled\":true,\"latency_objective_cycles\":100,"
+            "\"success_objective\":0.75,\"window_cycles\":50,"
+            "\"tenants\":[{\"tenant\":\"tenant-a\",\"requests\":1,\"good\":0,"
+            "\"latency_violations\":1,\"failure_violations\":0,\"violations\":1,"
+            "\"windows\":1,\"window_index\":0,\"window_requests\":1,"
+            "\"window_violations\":1,\"burn_rate\":4,\"budget_exhausted\":true}]}");
+}
+
+TEST_F(SloTest, ClearDisarmsAndResetsTheConfig) {
+  SloTracker& t = SloTracker::instance();
+  t.configure(objectives(1.0, 0.5, 2.0));
+  t.record("a", 0.0, 10.0, true);
+  t.clear();
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.config().latency_objective_cycles, 0.0);
+  EXPECT_EQ(t.config().success_objective, 0.99);
+  EXPECT_TRUE(t.snapshot().tenants.empty());
+}
+
+TEST_F(SloTest, SloViolationEventsRoundTripThroughTheJournal) {
+  EventJournal& journal = EventJournal::instance();
+  journal.clear();
+  journal.set_enabled(true);
+
+  JournalEvent ev;
+  ev.request_id = "req-0-3";
+  ev.type = "slo_violation";
+  ev.key = "tenant \"a\"\\burst";  // escaping must survive the round trip
+  ev.code = "budget_exhausted";
+  ev.detail = "window 2 error budget exhausted";
+  ev.attempt = 2;
+  ev.cycles = 1234.5;
+  journal.append(ev);
+
+  const std::string jsonl = journal.to_jsonl();
+  const auto parsed = prof::parse_journal_jsonl(jsonl);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed->size(), 1u);
+  const JournalEvent& back = (*parsed)[0];
+  EXPECT_EQ(back.seq, 0u);
+  EXPECT_EQ(back.request_id, ev.request_id);
+  EXPECT_EQ(back.type, "slo_violation");
+  EXPECT_EQ(back.key, ev.key);
+  EXPECT_EQ(back.code, ev.code);
+  EXPECT_EQ(back.detail, ev.detail);
+  EXPECT_EQ(back.attempt, 2u);
+  EXPECT_DOUBLE_EQ(back.cycles, 1234.5);
+
+  journal.set_enabled(false);
+  journal.clear();
+}
+
+}  // namespace
+}  // namespace gnnbridge::obs

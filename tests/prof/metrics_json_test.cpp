@@ -80,7 +80,7 @@ MetaInfo golden_meta() {
 //   sync      = atomic + adapter cycles = 256 + 128             = 384
 //   redundancy= (1024 + 512 + 256) / 16 flops-per-cycle         = 112
 constexpr const char* kGolden =
-    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":6,"
+    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":7,"
     "\"experiment\":\"golden\",\"scale\":0.25,"
     "\"meta\":{\"git_sha\":\"deadbee\",\"timestamp\":\"2026-01-01T00:00:00Z\","
     "\"hostname\":\"goldenhost\",\"scale_env\":\"0.25\",\"threads\":8},"
@@ -128,9 +128,11 @@ constexpr const char* kGolden =
     "\"shed_low\":0,\"shed_normal\":0,\"shed_high\":0,"
     "\"overload_transitions\":0,\"peak_queue_depth\":0,"
     "\"peak_backlog_cycles\":0,\"queue_wait_cycles\":0},"
-    "\"telemetry\":{\"counters\":[],\"gauges\":[],\"histograms\":[]}}\n";
+    "\"telemetry\":{\"counters\":[],\"gauges\":[],\"histograms\":[]},"
+    "\"slo\":{\"enabled\":false,\"latency_objective_cycles\":0,"
+    "\"success_objective\":0.99,\"window_cycles\":0,\"tenants\":[]}}\n";
 
-TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion6) {
+TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion7) {
   MetricsSink& sink = MetricsSink::instance();
   sink.clear();
   sink.configure("golden", 0.25);
@@ -188,7 +190,7 @@ TEST(MetricsJsonTest, EmptySinkStillEmitsSchemaEnvelope) {
   const std::string doc = sink.to_json();
   EXPECT_TRUE(testing::json_valid(doc));
   EXPECT_NE(doc.find("\"schema\":\"gnnbridge-metrics\""), std::string::npos);
-  EXPECT_NE(doc.find("\"schema_version\":6"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":7"), std::string::npos);
   EXPECT_NE(doc.find("\"meta\":{"), std::string::npos);
   EXPECT_NE(doc.find("\"runs\":[]"), std::string::npos);
   EXPECT_NE(doc.find("\"gap_report\":[]"), std::string::npos);
@@ -197,6 +199,7 @@ TEST(MetricsJsonTest, EmptySinkStillEmitsSchemaEnvelope) {
   EXPECT_NE(doc.find("\"overload\":{\"submitted\":0,"), std::string::npos);
   EXPECT_NE(doc.find("\"telemetry\":{\"counters\":[],\"gauges\":[],\"histograms\":[]}"),
             std::string::npos);
+  EXPECT_NE(doc.find("\"slo\":{\"enabled\":false,"), std::string::npos);
 }
 
 TEST(MetricsJsonTest, OverloadStatsAccumulateWithMaxMergedPeaks) {
@@ -272,10 +275,16 @@ TEST(MetricsJsonTest, OomRunSerializesWithEmptyKernels) {
   EXPECT_TRUE(testing::json_valid(doc));
   EXPECT_NE(doc.find("\"oom\":true"), std::string::npos);
   EXPECT_NE(doc.find("\"kernels\":[]"), std::string::npos);
-  // Degenerate rates serialize as zeros, never NaN/inf.
+  // Degenerate rates serialize as zeros, never NaN/inf. A bare "nan"
+  // substring is legal inside key names (the v7 slo block's "tenants"),
+  // so match the value positions a broken serializer would produce.
   EXPECT_NE(doc.find("\"l2_hit_rate\":0"), std::string::npos);
-  EXPECT_EQ(doc.find("nan"), std::string::npos);
-  EXPECT_EQ(doc.find("inf"), std::string::npos);
+  EXPECT_EQ(doc.find(":nan"), std::string::npos);
+  EXPECT_EQ(doc.find(",nan"), std::string::npos);
+  EXPECT_EQ(doc.find(":inf"), std::string::npos);
+  EXPECT_EQ(doc.find(",inf"), std::string::npos);
+  EXPECT_EQ(doc.find("-nan"), std::string::npos);
+  EXPECT_EQ(doc.find("-inf"), std::string::npos);
   sink.clear();
 }
 

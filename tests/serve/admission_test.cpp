@@ -232,6 +232,43 @@ TEST_F(AdmissionTest, TokenBucketRejectsOverQuotaTenant) {
   EXPECT_EQ(sr2.decisions[0].outcome, Decision::Outcome::kAdmitted);
 }
 
+TEST_F(AdmissionTest, QuotaMaxWaitAdmitsWithAStallInsteadOfRejecting) {
+  obs::EventJournal::instance().set_enabled(true);
+  OptimizedEngine eng;
+  const double est = serve::estimate_job_cost(make_job("t", Priority::kNormal, 0.0));
+  AdmissionConfig cfg = permissive_config();
+  // Bucket starts at 1.5x est; a refill wait up to 0.6x est is absorbed as
+  // a recorded quota stall, anything longer still rejects.
+  cfg.quotas["capped"] = TenantQuota{
+      .rate = 1.0, .burst_cycles = 1.5 * est, .weight = 1.0, .max_wait_cycles = 0.6 * est};
+  AdmissionController ctl(cfg);
+
+  std::vector<BatchJob> jobs = {
+      make_job("capped", Priority::kHigh, 0.0),
+      make_job("capped", Priority::kHigh, 0.0),
+      make_job("capped", Priority::kHigh, 0.0),
+  };
+  const serve::ServeResult sr = ctl.serve(eng, jobs);
+  // Job 0 debits est, leaving 0.5x est. Job 1 needs 0.5x est more — a
+  // 0.5x-est wait fits under max_wait_cycles, so it is admitted with the
+  // stall priced into the decision and the bucket drained at admit.
+  EXPECT_EQ(sr.decisions[0].outcome, Decision::Outcome::kAdmitted);
+  EXPECT_DOUBLE_EQ(sr.decisions[0].quota_wait_cycles, 0.0);
+  ASSERT_EQ(sr.decisions[1].outcome, Decision::Outcome::kAdmitted);
+  EXPECT_DOUBLE_EQ(sr.decisions[1].quota_wait_cycles, 0.5 * est);
+  EXPECT_TRUE(sr.results[1].status.ok()) << sr.results[1].status.to_string();
+  // Job 2 arrives against an empty bucket: a full est-cycle wait exceeds
+  // max_wait_cycles, so the original reject-with-hint semantics apply.
+  ASSERT_EQ(sr.decisions[2].outcome, Decision::Outcome::kRejectedQuota);
+  EXPECT_NE(sr.results[2].status.message().find("over quota"), std::string::npos);
+
+  // The stall is journaled as a "quota_wait" event so the critical-path
+  // analyzer can attribute it.
+  const std::string jsonl = obs::EventJournal::instance().to_jsonl();
+  EXPECT_NE(jsonl.find("\"type\":\"quota_wait\""), std::string::npos) << jsonl;
+  EXPECT_NE(jsonl.find("\"cycles\":" + fmt12g(0.5 * est)), std::string::npos) << jsonl;
+}
+
 TEST_F(AdmissionTest, BoundedQueueRejectsBeyondDepth) {
   OptimizedEngine eng;
   AdmissionConfig cfg = permissive_config();

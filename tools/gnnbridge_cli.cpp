@@ -30,11 +30,14 @@
 #include "baselines/roc.hpp"
 #include "engine/engine.hpp"
 #include "graph/datasets.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/journal.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
 #include "par/thread_pool.hpp"
 #include "prof/chrome_trace.hpp"
+#include "prof/critical_path.hpp"
 #include "prof/gap_report.hpp"
 #include "prof/json_reader.hpp"
 #include "prof/metrics_json.hpp"
@@ -56,6 +59,7 @@ void usage() {
       "       gnnbridge_cli compare BASELINE.json OPTIMIZED.json\n"
       "       gnnbridge_cli soak [soak options]\n"
       "       gnnbridge_cli stats METRICS.json [--prom PATH] [--journal JOURNAL.jsonl]\n"
+      "       gnnbridge_cli triage METRICS.json --journal JOURNAL.jsonl [--top K]\n"
       "  profile                       record a host/sim trace and metrics while running;\n"
       "                                writes Chrome-trace JSON (load in ui.perfetto.dev)\n"
       "                                and gnnbridge-metrics JSON\n"
@@ -77,6 +81,13 @@ void usage() {
       "                                  --threads N, --metrics PATH, --trace PATH,\n"
       "                                  --journal PATH (JSONL event journal),\n"
       "                                  --prom PATH (Prometheus text exposition),\n"
+      "                                  --slo-ms D (per-request latency objective in\n"
+      "                                  sim-ms; arms the per-tenant SLO tracker),\n"
+      "                                  --slo-window-ms W (tumbling SLO window;\n"
+      "                                  0 = one all-time window),\n"
+      "                                  --slo-target P (good fraction, default 0.99),\n"
+      "                                  --flight-recorder PATH (arm the anomaly\n"
+      "                                  flight recorder; postmortem JSON on trigger),\n"
       "                                  --pin-meta\n"
       "                                exits 0 only when every job survived\n"
       "  soak --overload               open-loop overload demo: two tenants share one\n"
@@ -93,10 +104,19 @@ void usage() {
       "                                deadline, or the queue bound exceeded)\n"
       "  stats METRICS.json            print the telemetry block (counters, gauges,\n"
       "                                latency histograms with p50/p90/p99) of a\n"
-      "                                schema v6 metrics file; --prom re-renders it\n"
+      "                                schema v7 metrics file; --prom re-renders it\n"
       "                                as Prometheus text exposition, --journal\n"
       "                                summarizes an event journal written by soak\n"
       "                                or $GNNBRIDGE_EVENT_JOURNAL\n"
+      "  triage METRICS.json --journal JOURNAL.jsonl\n"
+      "                                reconstruct each request's critical-path\n"
+      "                                waterfall (queue wait, quota wait, backoff,\n"
+      "                                degraded attempts, compute with gap sub-split)\n"
+      "                                from a soak journal + metrics pair; print the\n"
+      "                                top --top K slowest requests (default 5) and\n"
+      "                                the per-tenant SLO table, and verify that the\n"
+      "                                phase cycles sum to each request's end-to-end\n"
+      "                                cycles; exits 1 on invariant violation\n"
       "  --metrics PATH                metrics file. Precedence: this flag wins over\n"
       "                                $GNNBRIDGE_METRICS_JSON, which wins over the\n"
       "                                default gnnbridge_metrics.json (profile mode)\n"
@@ -118,8 +138,8 @@ void usage() {
       "  --tune                        run the online tuner before executing (ours only)\n"
       "  --no-las / --no-ng / --no-fusion / --no-linear\n"
       "                                disable individual optimizations (ours only)\n"
-      "exit status: 0 success, 1 runtime failure (run, output write, or metrics read),\n"
-      "             2 usage error, 3 dataset load failure,\n"
+      "exit status: 0 success, 1 runtime failure (run, output write, metrics read, or\n"
+      "             triage invariant violation), 2 usage error, 3 dataset load failure,\n"
       "             4 overload contract violation (soak --overload)\n");
 }
 
@@ -325,7 +345,7 @@ int cmd_stats(int argc, char** argv) {
   const prof::JsonValue* telemetry = doc->find("telemetry");
   if (!telemetry || !telemetry->is_object()) {
     std::fprintf(stderr,
-                 "gnnbridge_cli: '%s' has no telemetry block (needs metrics schema v5+ (v6 current), "
+                 "gnnbridge_cli: '%s' has no telemetry block (needs metrics schema v5+ (v7 current), "
                  "found v%lld)\n",
                  metrics_path.c_str(), static_cast<long long>(doc->int_or("schema_version", 0)));
     return 1;
@@ -394,6 +414,114 @@ int cmd_stats(int argc, char** argv) {
   return 0;
 }
 
+/// `gnnbridge_cli triage`: the serving-side "where did the cycles go"
+/// view. Reconstructs per-request waterfalls from a journal, sub-splits
+/// compute by the metrics file's gap_report runs, prints the per-tenant
+/// SLO table from the v7 `slo` block, and checks the phase-sum == e2e
+/// invariant. Pure function of the two input files, so its stdout is
+/// byte-identical whenever the inputs are.
+int cmd_triage(int argc, char** argv) {
+  std::string metrics_path, journal_path;
+  int top_k = 5;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--journal") {
+      journal_path = next();
+    } else if (arg == "--top") {
+      top_k = parse_int_flag("--top", next(), 0, 100000);
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown triage option '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    } else if (metrics_path.empty()) {
+      metrics_path = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (metrics_path.empty() || journal_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream in(journal_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "gnnbridge_cli: cannot read journal '%s'\n", journal_path.c_str());
+    return 1;
+  }
+  std::string journal_text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+  auto events = prof::parse_journal_jsonl(journal_text);
+  if (!events.ok()) {
+    std::fprintf(stderr, "gnnbridge_cli: journal '%s': %s\n", journal_path.c_str(),
+                 events.status().to_string().c_str());
+    return 1;
+  }
+
+  auto loaded = prof::load_metrics_file(metrics_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "gnnbridge_cli: %s\n", loaded.status().to_string().c_str());
+    return 1;
+  }
+  auto doc = prof::parse_json_file(metrics_path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "gnnbridge_cli: %s\n", doc.status().to_string().c_str());
+    return 1;
+  }
+
+  const prof::CriticalPathReport report = prof::analyze_critical_path(*events, &*loaded);
+  std::printf("triage: %zu event(s), %zu request(s) from '%s' + '%s'\n", events->size(),
+              report.requests.size(), journal_path.c_str(), metrics_path.c_str());
+  std::fputs(prof::render_waterfall_table(report, static_cast<std::size_t>(top_k)).c_str(),
+             stdout);
+
+  // Per-tenant SLO table from the metrics v7 `slo` block.
+  const prof::JsonValue* slo = doc->find("slo");
+  if (slo && slo->is_object() && slo->bool_or("enabled", false) && slo->find("tenants") &&
+      slo->find("tenants")->is_array() && !slo->find("tenants")->items.empty()) {
+    std::printf("\nslo: latency objective %.12g cycles, target %.12g, window %.12g cycles\n",
+                slo->num_or("latency_objective_cycles", 0.0),
+                slo->num_or("success_objective", 0.0), slo->num_or("window_cycles", 0.0));
+    std::printf("%-12s %9s %9s %13s %13s %12s %10s\n", "tenant", "requests", "good",
+                "latency_viol", "failure_viol", "burn_rate", "exhausted");
+    for (const auto& t : slo->find("tenants")->items) {
+      const std::string tenant = t.str_or("tenant", "");
+      std::printf("%-12s %9llu %9llu %13llu %13llu %12.6g %10s\n",
+                  tenant.empty() ? "-" : tenant.c_str(),
+                  static_cast<unsigned long long>(t.uint_or("requests", 0)),
+                  static_cast<unsigned long long>(t.uint_or("good", 0)),
+                  static_cast<unsigned long long>(t.uint_or("latency_violations", 0)),
+                  static_cast<unsigned long long>(t.uint_or("failure_violations", 0)),
+                  t.num_or("burn_rate", 0.0), t.bool_or("budget_exhausted", false) ? "yes" : "no");
+    }
+  } else {
+    std::printf("\nslo: tracker inactive\n");
+  }
+
+  if (report.invariant_violations > 0) {
+    std::printf("critical-path invariant: VIOLATED (%llu of %llu request(s), max rel err %.6g)\n",
+                static_cast<unsigned long long>(report.invariant_violations),
+                static_cast<unsigned long long>(report.invariant_checked),
+                report.max_invariant_rel_error);
+    return 1;
+  }
+  std::printf("critical-path invariant: OK (%llu request(s) checked, max rel err %.6g)\n",
+              static_cast<unsigned long long>(report.invariant_checked),
+              report.max_invariant_rel_error);
+  return 0;
+}
+
 // One dataset of the soak stream, owning the weights/features its BatchJobs
 // point at (the deque below keeps addresses stable).
 struct SoakDataset {
@@ -415,6 +543,31 @@ struct SoakDataset {
   models::Matrix mh_x;
   baselines::MultiHeadGatRun mh;
 };
+
+/// Prints the per-tenant SLO tally both soak modes share, from the
+/// tracker the engine/admission folds filled. No-op when the tracker is
+/// inactive, so pre-existing soak goldens are unchanged without --slo-ms.
+void print_slo_summary() {
+  obs::SloTracker& tracker = obs::SloTracker::instance();
+  if (!tracker.enabled()) return;
+  const obs::SloSnapshot snap = tracker.snapshot();
+  if (snap.tenants.empty()) {
+    std::printf("slo[-]: requests=0 good=0 latency_viol=0 failure_viol=0 windows=0 "
+                "burn=0 exhausted=0\n");
+    return;
+  }
+  for (const obs::TenantSlo& t : snap.tenants) {
+    std::printf("slo[%s]: requests=%llu good=%llu latency_viol=%llu failure_viol=%llu "
+                "windows=%llu burn=%.12g exhausted=%d\n",
+                t.tenant.empty() ? "-" : t.tenant.c_str(),
+                static_cast<unsigned long long>(t.requests),
+                static_cast<unsigned long long>(t.good),
+                static_cast<unsigned long long>(t.latency_violations),
+                static_cast<unsigned long long>(t.failure_violations),
+                static_cast<unsigned long long>(t.windows), t.burn_rate,
+                t.budget_exhausted ? 1 : 0);
+  }
+}
 
 /// Writes the metrics / journal / Prometheus / trace artifacts both soak
 /// modes share. Returns 0, or 1 when a write failed.
@@ -443,8 +596,12 @@ int flush_soak_artifacts(CommonArgs& common, const std::string& journal_out,
                 journal.size() == 1 ? "" : "s", journal_out.c_str());
   }
   if (!prom_out.empty()) {
-    if (rt::Status ps =
-            obs::write_prometheus_file(prom_out, obs::TelemetryRegistry::instance().snapshot());
+    // The SLO series ride along whenever the tracker is armed; the render
+    // helper emits nothing for an inactive snapshot, so passing it
+    // unconditionally keeps the no-SLO exposition byte-identical.
+    const obs::SloSnapshot slo = obs::SloTracker::instance().snapshot();
+    if (rt::Status ps = obs::write_prometheus_file(
+            prom_out, obs::TelemetryRegistry::instance().snapshot(), &slo);
         !ps.ok()) {
       std::fprintf(stderr, "gnnbridge_cli: %s\n", ps.to_string().c_str());
       return 1;
@@ -656,6 +813,7 @@ int run_overload(int jobs, int wave, double scale, double offered_x, double dead
       obs::TelemetryRegistry::instance().histogram_snapshot("serve.queue_wait_cycles");
   std::printf("queue-wait: n=%llu p50=%.12g p90=%.12g p99=%.12g max=%.12g sim-cycles\n",
               static_cast<unsigned long long>(qw.count), qw.p50, qw.p90, qw.p99, qw.max);
+  print_slo_summary();
 
   if (int rc = flush_soak_artifacts(common, journal_out, prom_out); rc != 0) return rc;
 
@@ -683,8 +841,9 @@ int run_overload(int jobs, int wave, double scale, double offered_x, double dead
 int cmd_soak(int argc, char** argv) {
   int jobs = 10, wave = 4, max_attempts = 2, breaker_threshold = 3;
   double scale = 0.05, deadline_ms = 0.0, offered_x = 4.0;
+  double slo_ms = 0.0, slo_window_ms = 0.0, slo_target = 0.99;
   CommonArgs common;
-  std::string journal_out, prom_out;
+  std::string journal_out, prom_out, flight_recorder_out;
   bool pin_meta = false, overload = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -712,6 +871,14 @@ int cmd_soak(int argc, char** argv) {
       journal_out = next();
     } else if (arg == "--prom") {
       prom_out = next();
+    } else if (arg == "--slo-ms") {
+      slo_ms = parse_double_flag("--slo-ms", next());
+    } else if (arg == "--slo-window-ms") {
+      slo_window_ms = parse_double_flag("--slo-window-ms", next());
+    } else if (arg == "--slo-target") {
+      slo_target = parse_double_flag("--slo-target", next());
+    } else if (arg == "--flight-recorder") {
+      flight_recorder_out = next();
     } else if (arg == "--pin-meta") {
       pin_meta = true;
     } else if (arg == "--overload") {
@@ -728,6 +895,7 @@ int cmd_soak(int argc, char** argv) {
     }
   }
   if (!journal_out.empty()) obs::EventJournal::instance().set_enabled(true);
+  if (!flight_recorder_out.empty()) obs::FlightRecorder::instance().arm(flight_recorder_out);
   if (!common.trace.empty()) prof::Tracer::instance().set_enabled(true);
   if (scale <= 0.0 || scale > 1.0) {
     std::fprintf(stderr, "--scale must be in (0, 1]\n");
@@ -735,6 +903,14 @@ int cmd_soak(int argc, char** argv) {
   }
   if (deadline_ms < 0.0) {
     std::fprintf(stderr, "--deadline-ms must be >= 0\n");
+    return 2;
+  }
+  if (slo_ms < 0.0 || slo_window_ms < 0.0) {
+    std::fprintf(stderr, "--slo-ms / --slo-window-ms must be >= 0\n");
+    return 2;
+  }
+  if (slo_target <= 0.0 || slo_target > 1.0) {
+    std::fprintf(stderr, "--slo-target must be in (0, 1]\n");
     return 2;
   }
   if (overload && (offered_x <= 0.0 || offered_x > 1000.0)) {
@@ -758,6 +934,16 @@ int cmd_soak(int argc, char** argv) {
   }
 
   const sim::DeviceSpec spec = sim::v100();
+  // Arm the SLO tracker before any serving traffic. A latency objective of
+  // --slo-ms sim-milliseconds converts through the device clock, matching
+  // the --deadline-ms convention above.
+  if (slo_ms > 0.0 || slo_window_ms > 0.0) {
+    obs::SloConfig slo_cfg;
+    slo_cfg.latency_objective_cycles = slo_ms * spec.clock_ghz * 1e6;
+    slo_cfg.window_cycles = slo_window_ms * spec.clock_ghz * 1e6;
+    slo_cfg.success_objective = slo_target;
+    obs::SloTracker::instance().configure(slo_cfg);
+  }
   const graph::DatasetId dataset_ids[] = {graph::DatasetId::kCollab, graph::DatasetId::kCitation};
   std::deque<SoakDataset> sets;
   for (graph::DatasetId id : dataset_ids) {
@@ -817,6 +1003,9 @@ int cmd_soak(int argc, char** argv) {
     }
     job.max_attempts = max_attempts;
     job.fault_plan = plan;
+    // Stable ID matching the sink-label suffix ("<kind>/<dataset>/job<i>"),
+    // so `triage` can join journal events to gap_report runs.
+    job.request_id = "job" + std::to_string(i);
     labels[i] = std::string(kKinds[i % 4]) + "/" + s.data.name;
   }
 
@@ -893,6 +1082,7 @@ int cmd_soak(int argc, char** argv) {
       obs::TelemetryRegistry::instance().histogram_snapshot("serve.job_cycles");
   std::printf("latency: n=%llu p50=%.12g p90=%.12g p99=%.12g max=%.12g sim-cycles\n",
               static_cast<unsigned long long>(lat.count), lat.p50, lat.p90, lat.p99, lat.max);
+  print_slo_summary();
 
   if (int rc = flush_soak_artifacts(common, journal_out, prom_out); rc != 0) return rc;
 
@@ -933,6 +1123,8 @@ int main(int argc, char** argv) {
     return cmd_soak(argc, argv);
   } else if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
     return cmd_stats(argc, argv);
+  } else if (argc > 1 && std::strcmp(argv[1], "triage") == 0) {
+    return cmd_triage(argc, argv);
   }
   for (int i = first_arg; i < argc; ++i) {
     const std::string arg = argv[i];

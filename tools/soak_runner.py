@@ -11,7 +11,12 @@ With --check-determinism, each plan is additionally run at 1, 2 and 8
 host threads with --pin-meta and the three metrics files AND the three
 event-journal files are compared byte for byte (the DESIGN.md SS11-SS13
 contract: robustness counters, telemetry and journal seq numbers are
-sim-time functions, never wall-time or thread-count functions).
+sim-time functions, never wall-time or thread-count functions). Each
+determinism run also arms the flight recorder and runs `gnnbridge_cli
+triage` on its artifacts: the triage stdout (which asserts the DESIGN.md
+SS15 critical-path invariant) and any postmortem dump are byte-compared
+across thread counts too. With --slo-ms the per-tenant SLO tracker is
+armed for every run, exercising the metrics v7 `slo` block.
 
 Each run's sim-cycle latency percentiles (the `latency:` line the soak
 subcommand prints from the telemetry registry) are surfaced in the
@@ -60,7 +65,8 @@ STEADY_RE = re.compile(
 )
 
 
-def run_soak(args, plan, threads=None, metrics=None, journal=None):
+def run_soak(args, plan, threads=None, metrics=None, journal=None,
+             postmortem=None):
     """One soak run; returns (exit_code, survival_pct, summary_line, latency)."""
     cmd = [
         args.cli, "soak",
@@ -70,12 +76,16 @@ def run_soak(args, plan, threads=None, metrics=None, journal=None):
         "--deadline-ms", str(args.deadline_ms),
         "--max-attempts", str(args.max_attempts),
     ]
+    if args.slo_ms > 0:
+        cmd += ["--slo-ms", str(args.slo_ms)]
     if threads is not None:
         cmd += ["--threads", str(threads)]
     if metrics is not None:
         cmd += ["--metrics", metrics, "--pin-meta"]
     if journal is not None:
         cmd += ["--journal", journal]
+    if postmortem is not None:
+        cmd += ["--flight-recorder", postmortem]
     env = dict(os.environ)
     env["GNNBRIDGE_FAULT_PLAN"] = plan
     try:
@@ -95,7 +105,8 @@ def run_soak(args, plan, threads=None, metrics=None, journal=None):
     return proc.returncode, float(match.group(1)), match.group(0), latency
 
 
-def run_overload(args, threads=None, metrics=None, journal=None):
+def run_overload(args, threads=None, metrics=None, journal=None,
+                 postmortem=None):
     """One `soak --overload` run; returns (exit_code, stdout)."""
     cmd = [
         args.cli, "soak", "--overload",
@@ -104,12 +115,16 @@ def run_overload(args, threads=None, metrics=None, journal=None):
         "--scale", str(args.scale),
         "--offered-x", str(args.offered_x),
     ]
+    if args.slo_ms > 0:
+        cmd += ["--slo-ms", str(args.slo_ms)]
     if threads is not None:
         cmd += ["--threads", str(threads)]
     if metrics is not None:
         cmd += ["--metrics", metrics, "--pin-meta"]
     if journal is not None:
         cmd += ["--journal", journal]
+    if postmortem is not None:
+        cmd += ["--flight-recorder", postmortem]
     env = dict(os.environ)
     env.pop("GNNBRIDGE_FAULT_PLAN", None)
     try:
@@ -118,6 +133,51 @@ def run_overload(args, threads=None, metrics=None, journal=None):
     except subprocess.TimeoutExpired:
         return None, "TIMEOUT (overload stream hung)"
     return proc.returncode, proc.stdout + proc.stderr
+
+
+def run_triage(args, metrics, journal, out_path):
+    """Runs `gnnbridge_cli triage` and captures stdout; returns (code, err)."""
+    cmd = [args.cli, "triage", metrics, "--journal", journal]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=args.timeout)
+    except subprocess.TimeoutExpired:
+        return None, "TIMEOUT (triage hung)"
+    with open(out_path, "w") as f:
+        # The "triage: ... from '<paths>'" header names the per-thread input
+        # files; drop it so the capture is comparable across thread counts.
+        f.write("".join(line for line in proc.stdout.splitlines(keepends=True)
+                        if not line.startswith("triage: ")))
+    if proc.returncode != 0:
+        return proc.returncode, proc.stdout + proc.stderr
+    if "critical-path invariant: OK" not in proc.stdout:
+        return 1, "triage did not report the critical-path invariant as OK"
+    return 0, None
+
+
+def compare_artifacts(name, kinds):
+    """Byte-compares grouped artifact paths; returns True when all match.
+
+    `kinds` is a list of (what, paths); optional artifacts (the flight
+    recorder only dumps on an anomaly) must exist for all thread counts
+    or for none — a mixed set is itself a determinism failure.
+    """
+    ok = True
+    for what, paths in kinds:
+        present = [p for p in paths if os.path.exists(p)]
+        if not present:
+            continue
+        if len(present) != len(paths):
+            print(f"  {name:<16} FAIL: {what} dumped at some thread counts "
+                  f"but not others")
+            ok = False
+            continue
+        if all(filecmp.cmp(paths[0], p, shallow=False) for p in paths[1:]):
+            print(f"  {name:<16} {what} byte-identical at 1/2/8 threads")
+        else:
+            print(f"  {name:<16} FAIL: {what} differ across thread counts")
+            ok = False
+    return ok
 
 
 def check_overload_output(args, code, out):
@@ -159,25 +219,29 @@ def overload_phase(args):
           f"{steady.group(2)}/{steady.group(1)} admitted, 0 lost")
     if not args.check_determinism:
         return True
-    metrics_paths, journal_paths = [], []
+    metrics_paths, journal_paths, postmortem_paths, triage_paths = [], [], [], []
     for t in (1, 2, 8):
         stem = os.path.join(args.work_dir, f"overload_t{t}")
         code, out = run_overload(args, threads=t, metrics=stem + ".json",
-                                 journal=stem + ".jsonl")
+                                 journal=stem + ".jsonl",
+                                 postmortem=stem + ".postmortem.json")
         errors = check_overload_output(args, code, out)
         if errors:
             print(f"  overload FAIL at {t} thread(s): {'; '.join(errors)}")
             return False
+        code, err = run_triage(args, stem + ".json", stem + ".jsonl",
+                               stem + ".triage.txt")
+        if code != 0:
+            print(f"  overload FAIL: triage at {t} thread(s): {err}")
+            return False
         metrics_paths.append(stem + ".json")
         journal_paths.append(stem + ".jsonl")
-    ok = True
-    for what, paths in (("metrics", metrics_paths), ("journal", journal_paths)):
-        if all(filecmp.cmp(paths[0], p, shallow=False) for p in paths[1:]):
-            print(f"  overload {what} byte-identical at 1/2/8 threads")
-        else:
-            print(f"  overload FAIL: {what} differ across thread counts")
-            ok = False
-    return ok
+        postmortem_paths.append(stem + ".postmortem.json")
+        triage_paths.append(stem + ".triage.txt")
+    return compare_artifacts("overload", [("metrics", metrics_paths),
+                                          ("journal", journal_paths),
+                                          ("postmortem", postmortem_paths),
+                                          ("triage", triage_paths)])
 
 
 def main():
@@ -188,6 +252,9 @@ def main():
     ap.add_argument("--scale", type=float, default=0.05)
     ap.add_argument("--deadline-ms", type=float, default=50.0)
     ap.add_argument("--max-attempts", type=int, default=2)
+    ap.add_argument("--slo-ms", type=float, default=0.0,
+                    help="per-request latency objective in sim-ms, passed "
+                    "through as the CLI's --slo-ms (0 = SLO tracker off)")
     ap.add_argument("--timeout", type=float, default=300.0,
                     help="per-run wall-clock timeout, seconds")
     ap.add_argument("--plans", default=None,
@@ -235,28 +302,33 @@ def main():
             continue
         if args.check_determinism:
             metrics_paths, journal_paths = [], []
+            postmortem_paths, triage_paths = [], []
             for t in (1, 2, 8):
                 stem = os.path.join(args.work_dir, f"plan{plans.index(plan)}_t{t}")
                 code, pct, line, _ = run_soak(args, plan, threads=t,
                                               metrics=stem + ".json",
-                                              journal=stem + ".jsonl")
+                                              journal=stem + ".jsonl",
+                                              postmortem=stem + ".postmortem.json")
                 if code != 0 or pct != 100.0:
                     print(f"  {name:<16} FAIL at {t} thread(s): {line}")
                     failed = True
                     break
+                code, err = run_triage(args, stem + ".json", stem + ".jsonl",
+                                       stem + ".triage.txt")
+                if code != 0:
+                    print(f"  {name:<16} FAIL: triage at {t} thread(s): {err}")
+                    failed = True
+                    break
                 metrics_paths.append(stem + ".json")
                 journal_paths.append(stem + ".jsonl")
+                postmortem_paths.append(stem + ".postmortem.json")
+                triage_paths.append(stem + ".triage.txt")
             else:
-                for what, paths in (("metrics", metrics_paths),
-                                    ("journal", journal_paths)):
-                    if all(filecmp.cmp(paths[0], p, shallow=False)
-                           for p in paths[1:]):
-                        print(f"  {name:<16} {what} byte-identical "
-                              f"at 1/2/8 threads")
-                    else:
-                        print(f"  {name:<16} FAIL: {what} differ "
-                              f"across thread counts")
-                        failed = True
+                if not compare_artifacts(name, [("metrics", metrics_paths),
+                                                ("journal", journal_paths),
+                                                ("postmortem", postmortem_paths),
+                                                ("triage", triage_paths)]):
+                    failed = True
                 if journal_paths:
                     print(f"  {name:<16} journal -> {journal_paths[0]}")
 
