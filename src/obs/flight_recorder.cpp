@@ -80,21 +80,31 @@ std::size_t FlightRecorder::capacity() const {
   return capacity_;
 }
 
-std::string FlightRecorder::classify_locked(const JournalEvent& event) const {
+std::string FlightRecorder::classify_locked(const JournalEvent& event) {
   if (event.type == "outcome" && event.detail == "timed_out") return "deadline_miss";
   if (event.type == "breaker" && event.code == "open") return "breaker_open";
   if (event.type == "slo_violation" && event.code == "budget_exhausted") {
     return "slo_budget_exhausted";
   }
   if (event.type == "shed") {
-    // Fire exactly on the shed that completes the burst — not on every
-    // shed after it — so one burst produces one dump.
+    // Rising-edge latch: fire on the shed that completes the burst, stay
+    // silent while the window remains at/above threshold, and re-arm only
+    // once it drains below — so a sustained burst whose in-window count
+    // dips back to exactly the threshold (old sheds aging out) still
+    // produces one dump, not one per recrossing.
     std::size_t window = ring_.size() < kShedBurstWindow ? ring_.size() : kShedBurstWindow;
     std::size_t sheds = 0;
     for (std::size_t i = ring_.size() - window; i < ring_.size(); ++i) {
       if (ring_[i].type == "shed") ++sheds;
     }
-    if (sheds == kShedBurstCount) return "shed_burst";
+    if (sheds >= kShedBurstCount) {
+      if (!shed_burst_latched_) {
+        shed_burst_latched_ = true;
+        return "shed_burst";
+      }
+    } else {
+      shed_burst_latched_ = false;
+    }
   }
   return "";
 }
@@ -114,6 +124,9 @@ void FlightRecorder::record(const JournalEvent& event) {
     path = path_;
     doc = postmortem_json_locked(kind, event);
   }
+  // Serialized: concurrent triggers would otherwise truncate and
+  // interleave the shared `<path>.tmp` staging file.
+  std::lock_guard<std::mutex> write_lock(write_mu_);
   write_postmortem_file(path, doc);
 }
 
@@ -170,6 +183,7 @@ void FlightRecorder::clear() {
   ring_.clear();
   dump_count_ = 0;
   last_trigger_.clear();
+  shed_burst_latched_ = false;
   capacity_ = kFlightRecorderDefaultCapacity;
   path_ = env_path() ? env_path() : "";
 }

@@ -32,8 +32,9 @@ namespace gnnbridge::obs {
 /// Ring capacity when none is set: enough for several jobs' full
 /// lifecycles around the anomaly without unbounded growth.
 inline constexpr std::size_t kFlightRecorderDefaultCapacity = 256;
-/// Shed-burst trigger: fires when `kShedBurstCount` of the last
-/// `kShedBurstWindow` ring events are sheds.
+/// Shed-burst trigger: fires on the rising edge, when the shed count over
+/// the last `kShedBurstWindow` ring events reaches `kShedBurstCount`, and
+/// then latches — no re-fire until the window drains below the threshold.
 inline constexpr std::size_t kShedBurstWindow = 16;
 inline constexpr std::size_t kShedBurstCount = 4;
 
@@ -73,16 +74,24 @@ class FlightRecorder {
 
  private:
   FlightRecorder();
-  std::string classify_locked(const JournalEvent& event) const;
+  /// Non-const: the shed-burst classifier updates the rising-edge latch.
+  std::string classify_locked(const JournalEvent& event);
   std::string postmortem_json_locked(const std::string& trigger_kind,
                                      const JournalEvent& trigger) const;
 
   mutable std::mutex mu_;
+  /// Serializes postmortem file writes (every dump stages through the
+  /// same `<path>.tmp`); held without mu_, so a slow disk never blocks
+  /// ring appends.
+  std::mutex write_mu_;
   std::string path_;
   std::size_t capacity_ = kFlightRecorderDefaultCapacity;
   std::deque<JournalEvent> ring_;
   std::uint64_t dump_count_ = 0;
   std::string last_trigger_;
+  /// True while the shed-burst window is at/above threshold and the dump
+  /// for the current burst has already fired.
+  bool shed_burst_latched_ = false;
 };
 
 }  // namespace gnnbridge::obs

@@ -30,15 +30,18 @@ EventJournal::EventJournal() {
 }
 
 std::uint64_t EventJournal::append(JournalEvent event) {
-  std::uint64_t seq;
-  {
+  std::uint64_t seq = 0;
+  if (enabled()) {
     std::lock_guard<std::mutex> lock(mu_);
     event.seq = next_seq_++;
     seq = event.seq;
     events_.push_back(event);
   }
-  // Every journaled event also feeds the always-on flight-recorder ring
-  // (outside the journal lock: the recorder may write a postmortem).
+  // Every event — stored or not — feeds the always-on flight-recorder
+  // ring (outside the journal lock: the recorder may write a postmortem).
+  // When only the recorder is armed and the journal itself is disabled,
+  // nothing accumulates here: the recorder's bounded ring is the sole
+  // consumer, preserving its O(1)-memory contract.
   FlightRecorder::instance().record(event);
   return seq;
 }

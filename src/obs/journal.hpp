@@ -63,8 +63,10 @@ class EventJournal {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
 
-  /// Appends one event, assigning the next sequence number. Returns the
-  /// assigned seq.
+  /// Appends one event, assigning the next sequence number, and returns
+  /// the assigned seq. When the journal is disabled nothing is stored
+  /// (returns 0); either way the event is forwarded to the FlightRecorder
+  /// ring, so recorder-armed emission never grows journal memory.
   std::uint64_t append(JournalEvent event);
 
   std::size_t size() const;

@@ -275,9 +275,17 @@ ServeResult AdmissionController::serve(engine::OptimizedEngine& eng,
       bucket.last_refill_cycles = arrival;
     }
     if (bucket.tokens < d.est_cost_cycles) {
-      const double wait = quota.rate > 0.0
-                              ? (d.est_cost_cycles - bucket.tokens) / quota.rate
-                              : 0.0;
+      // A prior quota stall commits the bucket until `last_refill_cycles`
+      // — possibly a *future* instant (the earlier job's ready time).
+      // Refill for this job only starts there, so its wait owes the
+      // committed remainder on top of its own refill time; ignoring it
+      // would spend the refill cycles between arrival and the committed
+      // instant twice and over-admit the tenant under overlapping stalls.
+      const double committed = std::max(0.0, bucket.last_refill_cycles - arrival);
+      const double wait =
+          quota.rate > 0.0
+              ? committed + (d.est_cost_cycles - bucket.tokens) / quota.rate
+              : 0.0;
       if (quota.rate > 0.0 && quota.max_wait_cycles > 0.0 && wait <= quota.max_wait_cycles) {
         // Opt-in quota stall (TenantQuota::max_wait_cycles): hold the job
         // until the bucket refills instead of bouncing it. The stall is
@@ -322,7 +330,10 @@ ServeResult AdmissionController::serve(engine::OptimizedEngine& eng,
 
     // Admit: debit the bucket, advance the virtual server. A quota stall
     // means the job only becomes ready once the bucket has refilled to
-    // exactly its cost — the debit then empties the bucket at that instant.
+    // exactly its cost — the debit then empties the bucket at that
+    // instant. Because the stall already includes any committed time,
+    // `ready` never precedes the bucket's previous commitment, so
+    // last_refill_cycles is monotone and refill is never double-spent.
     const double ready = arrival + d.quota_wait_cycles;
     if (d.quota_wait_cycles > 0.0) {
       bucket.tokens = 0.0;

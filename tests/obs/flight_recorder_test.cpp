@@ -73,6 +73,10 @@ TEST_F(FlightRecorderTest, JournalAppendFeedsTheRingEvenWhenJournalDisabled) {
   EXPECT_FALSE(journal.enabled());
   journal.append(event("attempt"));
   EXPECT_EQ(FlightRecorder::instance().ring().size(), 1u);
+  // Recorder-armed-only emission must not accumulate journal memory: the
+  // bounded ring is the sole consumer of disabled-journal appends.
+  EXPECT_EQ(journal.size(), 0u);
+  EXPECT_EQ(journal.to_jsonl(), "");
 }
 
 TEST_F(FlightRecorderTest, TriggersAreCountedEvenWhenUnarmed) {
@@ -105,6 +109,25 @@ TEST_F(FlightRecorderTest, ShedBurstFiresExactlyOncePerBurst) {
   // The fifth shed sees 5 sheds in the window — past the edge, no re-fire.
   fr.record(event("shed"));
   EXPECT_EQ(fr.dump_count(), 1u);
+}
+
+TEST_F(FlightRecorderTest, SustainedBurstStaysLatchedWhenCountReturnsToThreshold) {
+  FlightRecorder& fr = FlightRecorder::instance();
+  for (int i = 0; i < 4; ++i) fr.record(event("shed"));
+  EXPECT_EQ(fr.dump_count(), 1u);
+  // Twelve quiet events fill the 16-slot window, then one more shed ages
+  // the oldest shed out — the in-window count returns to exactly the
+  // threshold without ever draining below it. Still the same burst: the
+  // latch must hold and no second dump may fire.
+  for (int i = 0; i < 12; ++i) fr.record(event("attempt"));
+  fr.record(event("shed"));
+  EXPECT_EQ(fr.dump_count(), 1u) << "re-fired mid-burst on a threshold recross";
+  // Once the window drains below the threshold the latch re-arms, and a
+  // genuinely new burst produces its own dump.
+  for (int i = 0; i < 16; ++i) fr.record(event("attempt"));
+  for (int i = 0; i < 4; ++i) fr.record(event("shed"));
+  EXPECT_EQ(fr.dump_count(), 2u);
+  EXPECT_EQ(fr.last_trigger(), "shed_burst");
 }
 
 TEST_F(FlightRecorderTest, ArmedTriggerWritesAValidPostmortem) {

@@ -63,8 +63,16 @@ JournalEvent sample_event(const std::string& req, const std::string& type) {
 
 class JournalTest : public ::testing::Test {
  protected:
-  void SetUp() override { EventJournal::instance().clear(); }
-  void TearDown() override { EventJournal::instance().clear(); }
+  // append() only stores while the journal is enabled (disabled appends
+  // just feed the flight recorder), so the storage tests arm it here.
+  void SetUp() override {
+    EventJournal::instance().clear();
+    EventJournal::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    EventJournal::instance().clear();
+    EventJournal::instance().set_enabled(EventJournal::env_path() != nullptr);
+  }
 };
 
 TEST_F(JournalTest, AppendAssignsContiguousSeqAndClearResets) {

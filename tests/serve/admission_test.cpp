@@ -257,16 +257,51 @@ TEST_F(AdmissionTest, QuotaMaxWaitAdmitsWithAStallInsteadOfRejecting) {
   ASSERT_EQ(sr.decisions[1].outcome, Decision::Outcome::kAdmitted);
   EXPECT_DOUBLE_EQ(sr.decisions[1].quota_wait_cycles, 0.5 * est);
   EXPECT_TRUE(sr.results[1].status.ok()) << sr.results[1].status.to_string();
-  // Job 2 arrives against an empty bucket: a full est-cycle wait exceeds
-  // max_wait_cycles, so the original reject-with-hint semantics apply.
+  // Job 2 arrives against an empty bucket that job 1's stall has already
+  // committed until 0.5x est: its wait owes that committed remainder plus
+  // a full est-cycle refill — 1.5x est, over max_wait_cycles, so the
+  // original reject-with-hint semantics apply (and the hint prices the
+  // commitment, not just this job's own refill).
   ASSERT_EQ(sr.decisions[2].outcome, Decision::Outcome::kRejectedQuota);
   EXPECT_NE(sr.results[2].status.message().find("over quota"), std::string::npos);
+  EXPECT_DOUBLE_EQ(sr.decisions[2].retry_after_cycles, 1.5 * est);
 
   // The stall is journaled as a "quota_wait" event so the critical-path
   // analyzer can attribute it.
   const std::string jsonl = obs::EventJournal::instance().to_jsonl();
   EXPECT_NE(jsonl.find("\"type\":\"quota_wait\""), std::string::npos) << jsonl;
   EXPECT_NE(jsonl.find("\"cycles\":" + fmt12g(0.5 * est)), std::string::npos) << jsonl;
+}
+
+TEST_F(AdmissionTest, OverlappingQuotaStallsQueueAfterEachOther) {
+  OptimizedEngine eng;
+  const double est = serve::estimate_job_cost(make_job("t", Priority::kNormal, 0.0));
+  AdmissionConfig cfg = permissive_config();
+  cfg.quotas["capped"] = TenantQuota{
+      .rate = 1.0, .burst_cycles = 1.5 * est, .weight = 1.0, .max_wait_cycles = 3.0 * est};
+  AdmissionController ctl(cfg);
+
+  std::vector<BatchJob> jobs = {
+      make_job("capped", Priority::kHigh, 0.0),
+      make_job("capped", Priority::kHigh, 0.0),
+      make_job("capped", Priority::kHigh, 0.0),
+      make_job("capped", Priority::kHigh, 0.0),
+  };
+  const serve::ServeResult sr = ctl.serve(eng, jobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    ASSERT_EQ(sr.decisions[i].outcome, Decision::Outcome::kAdmitted) << "job " << i;
+  }
+  // Job 0 debits est from the 1.5x-est bucket without stalling. Every
+  // later job arrives (at cycle 0) against a bucket already committed
+  // until the previous job's ready instant, so the stalls must queue
+  // after each other — each exactly one full est-cycle refill longer than
+  // the last. If the commitment were ignored, the refill between arrival
+  // and the committed instant would be spent twice and jobs 2/3 would
+  // understate their waits (1x/1x est instead of 1.5x/2.5x).
+  EXPECT_DOUBLE_EQ(sr.decisions[0].quota_wait_cycles, 0.0);
+  EXPECT_DOUBLE_EQ(sr.decisions[1].quota_wait_cycles, 0.5 * est);
+  EXPECT_DOUBLE_EQ(sr.decisions[2].quota_wait_cycles, 1.5 * est);
+  EXPECT_DOUBLE_EQ(sr.decisions[3].quota_wait_cycles, 2.5 * est);
 }
 
 TEST_F(AdmissionTest, BoundedQueueRejectsBeyondDepth) {
