@@ -7,6 +7,7 @@
 #include <type_traits>
 
 #include "core/spfetch/step_index.hpp"
+#include "engine/engine_internal.hpp"
 #include "engine/tune_helper.hpp"
 #include "par/thread_pool.hpp"
 #include "models/gcn_grad.hpp"
@@ -34,41 +35,9 @@ namespace k = gnnbridge::kernels;
 using baselines::Matrix;
 
 namespace {
-struct Workspace {
-  std::deque<Matrix> pool;
-  k::FeatureMat mat(sim::SimContext& ctx, models::Index rows, models::Index cols,
-                    const char* label) {
-    pool.emplace_back(rows, cols);
-    return k::device_mat(ctx, pool.back(), label);
-  }
-  k::FeatureMat from(sim::SimContext& ctx, const Matrix& m, const char* label) {
-    pool.push_back(m);
-    return k::device_mat(ctx, pool.back(), label);
-  }
-  k::FeatureMat from_vec(sim::SimContext& ctx, const std::vector<float>& v, const char* label) {
-    pool.emplace_back(static_cast<models::Index>(v.size()), 1,
-                      std::vector<float>(v.begin(), v.end()));
-    return k::device_mat(ctx, pool.back(), label);
-  }
-};
-
-/// The engine's handwritten kernels are driven by a thin C++ launcher
-/// wrapped in PyTorch; per-kernel host overhead is a fraction of the
-/// baselines' per-op dispatch.
-constexpr sim::Cycles kEngineOverheadCycles = 4000.0;
-
-sim::DeviceSpec with_engine_overhead(sim::DeviceSpec spec) {
-  spec.framework_overhead_cycles = kEngineOverheadCycles;
-  return spec;
-}
-
-RunResult finish(sim::SimContext& ctx, const sim::DeviceSpec& spec, Matrix output) {
-  RunResult r;
-  r.stats = ctx.stats();
-  r.ms = spec.millis(r.stats.total_cycles);
-  r.output = std::move(output);
-  return r;
-}
+using detail::Workspace;
+using detail::finish;
+using detail::with_engine_overhead;
 
 /// The tuned configuration resolved by the current attempt, published by
 /// maybe_tune and consumed by effective_lanes/effective_bound/
@@ -292,12 +261,16 @@ bool OptimizedEngine::adapter_enabled() const {
   return cfg_.use_adapter && !adapter_failed_.load(std::memory_order_relaxed);
 }
 
-EdgeId OptimizedEngine::effective_bound(const graph::Csr& csr) const {
+EdgeId OptimizedEngine::effective_bound(const graph::Csr& csr, tensor::Index feat) const {
   if (grouping_failed_.load(std::memory_order_relaxed)) return 0;
   if (job_active_for(this) && t_active_job.disable_grouping) return 0;
+  // Tuned knobs are per-(graph, feature width): a tune published for one
+  // width must not configure a run at another (graph::fingerprint is
+  // topology-only, so the fingerprint alone cannot tell them apart).
   if (cfg_.auto_tune && !(job_active_for(this) && t_active_job.disable_tune) &&
       t_active_tune.valid && t_active_tune.engine == this &&
-      t_active_tune.fp == graph::fingerprint(csr)) {
+      t_active_tune.fp == graph::fingerprint(csr) &&
+      (feat < 0 || t_active_tune.feat == feat)) {
     return t_active_tune.bound;
   }
   if (!cfg_.use_neighbor_grouping) return 0;
@@ -308,13 +281,15 @@ EdgeId OptimizedEngine::effective_bound(const graph::Csr& csr) const {
   return std::max<EdgeId>(16, (static_cast<EdgeId>(avg) + 15) / 16 * 16);
 }
 
-const std::vector<NodeId>* OptimizedEngine::las_order_for(const graph::Csr& csr) const {
+const std::vector<NodeId>* OptimizedEngine::las_order_for(const graph::Csr& csr,
+                                                          tensor::Index feat) const {
   if (!cfg_.use_las || las_failed_.load(std::memory_order_relaxed)) return nullptr;
   if (job_active_for(this) && t_active_job.disable_las) return nullptr;
   const graph::GraphFingerprint fp = graph::fingerprint(csr);
   if (cfg_.auto_tune && !(job_active_for(this) && t_active_job.disable_tune) &&
       t_active_tune.valid && t_active_tune.engine == this &&
-      t_active_tune.fp == fp && !t_active_tune.use_las) {
+      t_active_tune.fp == fp && (feat < 0 || t_active_tune.feat == feat) &&
+      !t_active_tune.use_las) {
     return nullptr;
   }
   if (cfg_.las_order) return cfg_.las_order;
@@ -338,10 +313,11 @@ const std::vector<NodeId>* OptimizedEngine::las_order_for(const graph::Csr& csr)
   return it->second.get();
 }
 
-int OptimizedEngine::effective_lanes(const graph::Csr& csr) const {
+int OptimizedEngine::effective_lanes(const graph::Csr& csr, tensor::Index feat) const {
   if (cfg_.auto_tune && !(job_active_for(this) && t_active_job.disable_tune) &&
       t_active_tune.valid && t_active_tune.engine == this &&
-      t_active_tune.fp == graph::fingerprint(csr)) {
+      t_active_tune.fp == graph::fingerprint(csr) &&
+      (feat < 0 || t_active_tune.feat == feat)) {
     return t_active_tune.lanes;
   }
   return cfg_.lanes;
@@ -742,11 +718,11 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
   return results;
 }
 
-core::GroupedTasks OptimizedEngine::build_tasks(const graph::Csr& csr) const {
-  const std::vector<NodeId>* order = las_order_for(csr);
+core::GroupedTasks OptimizedEngine::build_tasks(const graph::Csr& csr, tensor::Index feat) const {
+  const std::vector<NodeId>* order = las_order_for(csr, feat);
   prof::Span span("neighbor_grouping", "engine");
   core::GroupedTasks grouped = core::neighbor_group_tasks(
-      csr, effective_bound(csr),
+      csr, effective_bound(csr, feat),
       order ? std::span<const NodeId>(*order) : std::span<const NodeId>());
   span.arg("tasks", static_cast<double>(grouped.tasks.size()));
   return grouped;
@@ -760,15 +736,19 @@ RunResult OptimizedEngine::run_gcn(const Dataset& data, const GcnRun& run, ExecM
 
 RunResult OptimizedEngine::gcn_attempt(const Dataset& data, const GcnRun& run, ExecMode mode,
                                        const sim::DeviceSpec& spec) {
+  if (const int nshards = resolved_shards(); nshards > 1) {
+    return gcn_attempt_sharded(data, run, mode, spec, nshards);
+  }
   prof::Span span("OptimizedEngine::run_gcn", "engine");
   // Fusion gate: the fused pipeline is only taken when the fusion
   // machinery works; an injected fusion_pass fault degrades to unfused.
   if (adapter_enabled()) rt::raise_if_armed(rt::kSeamFusionPass, "run_gcn fusion gate");
-  if (run.cfg->dims.size() > 1) maybe_tune(data.csr, run.cfg->dims[1], spec);
+  const tensor::Index feat = run.cfg->dims.size() > 1 ? run.cfg->dims[1] : -1;
+  if (feat >= 0) maybe_tune(data.csr, feat, spec);
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;
   const auto gdev = k::device_graph(ctx, data.csr, "csr");
-  const core::GroupedTasks grouped = build_tasks(data.csr);
+  const core::GroupedTasks grouped = build_tasks(data.csr, feat);
   const auto norm = ws.from_vec(ctx, models::gcn_edge_norm(data.csr), "gcn_norm");
 
   k::FeatureMat h = ws.from(ctx, *run.features, "x");
@@ -794,7 +774,7 @@ RunResult OptimizedEngine::gcn_attempt(const Dataset& data, const GcnRun& run, E
                                         .out = &agg,
                                         .relu = !last,
                                         .epilogue_inline = inline_ok,
-                                        .lanes = effective_lanes(data.csr),
+                                        .lanes = effective_lanes(data.csr, feat),
                                         .atomic_merge = grouped.any_split,
                                         .mode = mode});
       if (!inline_ok) {
@@ -808,7 +788,7 @@ RunResult OptimizedEngine::gcn_attempt(const Dataset& data, const GcnRun& run, E
                        .src = &t,
                        .edge_weight = &norm,
                        .out = &agg,
-                       .lanes = effective_lanes(data.csr),
+                       .lanes = effective_lanes(data.csr, feat),
                        .atomic_merge = grouped.any_split,
                        .mode = mode};
       k::spmm_node(ctx, spmm);
@@ -843,10 +823,16 @@ OptimizedEngine::TrainResult OptimizedEngine::train_gcn_attempt(
     const models::Matrix& target, float lr, ExecMode mode, const sim::DeviceSpec& spec,
     models::GcnGrads* grads_out) {
   prof::Span span("OptimizedEngine::train_gcn_step", "engine");
+  // Training tunes for (and consumes tunes at) the first layer's output
+  // width, mirroring the forward entry point — a tune published by an
+  // inference run at a different width must not configure this step.
+  const tensor::Index feat =
+      params.weight.empty() ? -1 : params.weight[0].cols();
+  if (feat >= 0) maybe_tune(data.csr, feat, spec);
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;
   const auto gdev = k::device_graph(ctx, data.csr, "csr");
-  const core::GroupedTasks grouped = build_tasks(data.csr);
+  const core::GroupedTasks grouped = build_tasks(data.csr, feat);
   const auto norm = ws.from_vec(ctx, models::gcn_edge_norm(data.csr), "gcn_norm");
   const bool full = mode == ExecMode::kFull;
   const std::size_t layers = params.weight.size();
@@ -873,7 +859,7 @@ OptimizedEngine::TrainResult OptimizedEngine::train_gcn_attempt(
                                       .out = &h_next,
                                       .relu = !last,
                                       .epilogue_inline = !grouped.any_split,
-                                      .lanes = effective_lanes(data.csr),
+                                      .lanes = effective_lanes(data.csr, feat),
                                       .atomic_merge = grouped.any_split,
                                       .mode = mode});
     if (grouped.any_split) {
@@ -919,7 +905,7 @@ OptimizedEngine::TrainResult OptimizedEngine::train_gcn_attempt(
                      .src = &d_h,
                      .edge_weight = &norm,
                      .out = &d_t,
-                     .lanes = effective_lanes(data.csr),
+                     .lanes = effective_lanes(data.csr, feat),
                      .atomic_merge = grouped.any_split,
                      .mode = mode,
                      .name = "aggregate_backward",
@@ -985,13 +971,17 @@ RunResult OptimizedEngine::run_gat(const Dataset& data, const GatRun& run, ExecM
 
 RunResult OptimizedEngine::gat_attempt(const Dataset& data, const GatRun& run, ExecMode mode,
                                        const sim::DeviceSpec& spec) {
+  if (const int nshards = resolved_shards(); nshards > 1) {
+    return gat_attempt_sharded(data, run, mode, spec, nshards);
+  }
   prof::Span span("OptimizedEngine::run_gat", "engine");
   if (adapter_enabled()) rt::raise_if_armed(rt::kSeamFusionPass, "run_gat fusion gate");
-  if (run.cfg->dims.size() > 1) maybe_tune(data.csr, run.cfg->dims[1], spec);
+  const tensor::Index feat = run.cfg->dims.size() > 1 ? run.cfg->dims[1] : -1;
+  if (feat >= 0) maybe_tune(data.csr, feat, spec);
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;
   const auto gdev = k::device_graph(ctx, data.csr, "csr");
-  const core::GroupedTasks grouped = build_tasks(data.csr);
+  const core::GroupedTasks grouped = build_tasks(data.csr, feat);
   const graph::EdgeId num_edges = data.csr.num_edges();
   const float alpha = run.cfg->leaky_alpha;
 
@@ -1031,7 +1021,7 @@ RunResult OptimizedEngine::gat_attempt(const Dataset& data, const GatRun& run, E
                                    .vacc = &vacc,
                                    .out = &agg,
                                    .scale_inline = true,
-                                   .lanes = effective_lanes(data.csr),
+                                   .lanes = effective_lanes(data.csr, feat),
                                    .atomic_merge = grouped.any_split,
                                    .mode = mode});
     } else if (adapter_enabled()) {
@@ -1059,7 +1049,7 @@ RunResult OptimizedEngine::gat_attempt(const Dataset& data, const GatRun& run, E
                                    .edge_weight = &e,
                                    .vacc = nullptr,
                                    .out = &agg,
-                                   .lanes = effective_lanes(data.csr),
+                                   .lanes = effective_lanes(data.csr, feat),
                                    .atomic_merge = grouped.any_split,
                                    .mode = mode});
     } else {
@@ -1105,7 +1095,7 @@ RunResult OptimizedEngine::gat_attempt(const Dataset& data, const GatRun& run, E
                        .src = &t,
                        .edge_weight = &e,
                        .out = &agg,
-                       .lanes = effective_lanes(data.csr),
+                       .lanes = effective_lanes(data.csr, feat),
                        .atomic_merge = grouped.any_split,
                        .mode = mode,
                        .name = "u_mul_e_sum"};
@@ -1139,11 +1129,12 @@ RunResult OptimizedEngine::multihead_gat_attempt(const Dataset& data,
   // directly into their column slice of the concatenated destination on a
   // real GPU (strided epilogue stores) — per-head buffers here carry the
   // identical traffic.
-  maybe_tune(data.csr, run.cfg->head_dim, spec);
+  const tensor::Index feat = run.cfg->head_dim;
+  maybe_tune(data.csr, feat, spec);
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;
   const auto gdev = k::device_graph(ctx, data.csr, "csr");
-  const core::GroupedTasks grouped = build_tasks(data.csr);
+  const core::GroupedTasks grouped = build_tasks(data.csr, feat);
   const graph::EdgeId num_edges = data.csr.num_edges();
   const float alpha = run.cfg->leaky_alpha;
 
@@ -1180,7 +1171,7 @@ RunResult OptimizedEngine::multihead_gat_attempt(const Dataset& data,
                                  .vacc = &vacc,
                                  .out = &agg,
                                  .scale_inline = true,
-                                 .lanes = effective_lanes(data.csr),
+                                 .lanes = effective_lanes(data.csr, feat),
                                  .atomic_merge = grouped.any_split,
                                  .mode = mode});
     if (mode == ExecMode::kFull) {
@@ -1205,11 +1196,12 @@ RunResult OptimizedEngine::sage_pool_attempt(const Dataset& data,
                                              const baselines::SagePoolRun& run, ExecMode mode,
                                              const sim::DeviceSpec& spec) {
   prof::Span span("OptimizedEngine::run_sage_pool", "engine");
-  maybe_tune(data.csr, run.cfg->pool_dim, spec);
+  const tensor::Index feat = run.cfg->pool_dim;
+  maybe_tune(data.csr, feat, spec);
   sim::SimContext ctx(with_engine_overhead(spec));
   Workspace ws;
   const auto gdev = k::device_graph(ctx, data.csr, "csr");
-  const core::GroupedTasks grouped = build_tasks(data.csr);
+  const core::GroupedTasks grouped = build_tasks(data.csr, feat);
 
   auto x = ws.from(ctx, *run.features, "x");
   auto w_pool = ws.from(ctx, run.params->w_pool, "w_pool");
@@ -1228,7 +1220,7 @@ RunResult OptimizedEngine::sage_pool_attempt(const Dataset& data,
                    .src = &t,
                    .out = &pooled,
                    .reduce = k::Reduce::kMax,
-                   .lanes = effective_lanes(data.csr),
+                   .lanes = effective_lanes(data.csr, feat),
                    .atomic_merge = grouped.any_split,
                    .mode = mode,
                    .name = "max_aggregate"};

@@ -29,6 +29,10 @@
 #include "rt/degrade.hpp"
 #include "rt/retry.hpp"
 
+namespace gnnbridge::shard {
+struct Partition;
+}  // namespace gnnbridge::shard
+
 namespace gnnbridge::engine {
 
 using baselines::Backend;
@@ -70,6 +74,15 @@ struct EngineConfig {
   /// static fields above (paper §4.4). The tuned configuration is cached
   /// per graph.
   bool auto_tune = false;
+  /// Partitioned execution (DESIGN.md §16): number of edge-cut shards the
+  /// GCN/GAT pipelines split the graph across, each simulated on its own
+  /// device with per-layer ghost-feature exchanges. 0 = inherit the
+  /// GNNBRIDGE_SHARDS environment variable (default 1); 1 = the ordinary
+  /// single-device path; values are clamped to the node count. Sharded
+  /// outputs are bit-identical to the unsharded engine; the exchange cost
+  /// surfaces as the inter-shard-traffic gap. Models other than GCN/GAT
+  /// run unsharded regardless.
+  int shards = 0;
   /// Retry backoff for run_batch jobs that fail with a retryable Status
   /// (DESIGN.md §12). Backoff is sim-time, charged against the deadline.
   rt::RetryPolicy retry;
@@ -128,11 +141,20 @@ class OptimizedEngine final : public Backend {
 
   /// The task list this configuration produces for a graph — the
   /// composition of neighbor grouping and the LAS order. Exposed for the
-  /// kernel-level benchmarks.
-  core::GroupedTasks build_tasks(const graph::Csr& csr) const;
+  /// kernel-level benchmarks. `feat` is the feature width the tasks will
+  /// run at: tuned knobs are per-(graph, width), so a published tune for a
+  /// different width must not leak into this task list (-1 = accept any
+  /// width, the pre-tuning behaviour).
+  core::GroupedTasks build_tasks(const graph::Csr& csr, tensor::Index feat = -1) const;
 
-  /// Effective grouping bound for a graph under this configuration.
-  EdgeId effective_bound(const graph::Csr& csr) const;
+  /// Effective grouping bound for a graph under this configuration at
+  /// feature width `feat` (-1 = accept a tune for any width).
+  EdgeId effective_bound(const graph::Csr& csr, tensor::Index feat = -1) const;
+
+  /// The shard count this engine's GCN/GAT pipelines will execute with:
+  /// cfg.shards, or the GNNBRIDGE_SHARDS environment variable when
+  /// cfg.shards == 0 (malformed values warn once and fall back to 1).
+  int resolved_shards() const;
 
   /// Knobs the degradation ladder has disabled so far, as metric-schema
   /// knob names (rt::kKnob*). Sticky for the engine's lifetime.
@@ -219,6 +241,7 @@ class OptimizedEngine final : public Backend {
   /// stale-pointer regression this engine used to have.
   std::size_t las_cache_size() const;
   std::size_t tuned_cache_size() const;
+  std::size_t shard_plan_cache_size() const;
 
  private:
   EngineConfig cfg_;
@@ -252,6 +275,21 @@ class OptimizedEngine final : public Backend {
     }
   };
 
+  /// Key for the memoized shard plans: content fingerprint + shard count.
+  struct ShardPlanKey {
+    graph::GraphFingerprint fp;
+    int k = 1;
+    friend bool operator==(const ShardPlanKey& a, const ShardPlanKey& b) {
+      return a.fp == b.fp && a.k == b.k;
+    }
+  };
+  struct ShardPlanKeyHash {
+    std::size_t operator()(const ShardPlanKey& k) const {
+      return graph::GraphFingerprintHash{}(k.fp) * 1099511628211ull ^
+             static_cast<std::size_t>(k.k);
+    }
+  };
+
   // Memoized per-graph artifacts, keyed by content fingerprint so an
   // in-place mutated (or reallocated-at-the-same-address) graph can never
   // alias a stale entry. Guarded by cache_mu_; run_batch jobs share them.
@@ -264,6 +302,12 @@ class OptimizedEngine final : public Backend {
                              graph::GraphFingerprintHash>
       las_cache_;
   mutable std::unordered_map<TunedKey, TunedEntry, TunedKeyHash> tuned_cache_;
+  // Shard plans are deterministic pure functions of (graph, k); entries are
+  // held behind shared_ptr and never erased, so concurrent jobs can keep
+  // using a plan across rehashes (same lifetime rule as las_cache_).
+  mutable std::unordered_map<ShardPlanKey, std::shared_ptr<const shard::Partition>,
+                             ShardPlanKeyHash>
+      shard_cache_;
   // Preflight cache: validation is O(N x F); benches rerun identical
   // inputs thousands of times. Keyed by fingerprint + feature pointer.
   mutable std::unordered_map<graph::GraphFingerprint, const void*,
@@ -303,6 +347,16 @@ class OptimizedEngine final : public Backend {
                         const sim::DeviceSpec& spec);
   RunResult gat_attempt(const Dataset& data, const GatRun& run, ExecMode mode,
                         const sim::DeviceSpec& spec);
+  // Partitioned variants (engine_shard.cpp): K simulated devices, per-layer
+  // ghost exchange, bit-identical outputs (DESIGN.md §16).
+  RunResult gcn_attempt_sharded(const Dataset& data, const GcnRun& run, ExecMode mode,
+                                const sim::DeviceSpec& spec, int shards);
+  RunResult gat_attempt_sharded(const Dataset& data, const GatRun& run, ExecMode mode,
+                                const sim::DeviceSpec& spec, int shards);
+  /// Memoized partition for (graph, k); computed on miss, never evicted.
+  /// Raises rt::StageFailure(kSeamShardPartition) when partitioning fails
+  /// (e.g. a corrupt CSR) so run_guarded can surface it.
+  std::shared_ptr<const shard::Partition> shard_plan_for(const graph::Csr& csr, int k) const;
   RunResult multihead_gat_attempt(const Dataset& data, const baselines::MultiHeadGatRun& run,
                                   ExecMode mode, const sim::DeviceSpec& spec);
   RunResult sage_pool_attempt(const Dataset& data, const baselines::SagePoolRun& run,
@@ -314,10 +368,11 @@ class OptimizedEngine final : public Backend {
                                 ExecMode mode, const sim::DeviceSpec& spec,
                                 models::GcnGrads* grads_out);
 
-  const std::vector<NodeId>* las_order_for(const graph::Csr& csr) const;
+  const std::vector<NodeId>* las_order_for(const graph::Csr& csr, tensor::Index feat = -1) const;
 
-  /// Lanes per feature row after optional auto-tuning.
-  int effective_lanes(const graph::Csr& csr) const;
+  /// Lanes per feature row after optional auto-tuning (at width `feat`;
+  /// -1 = accept a tune for any width).
+  int effective_lanes(const graph::Csr& csr, tensor::Index feat = -1) const;
 
   /// When auto_tune is set, runs (or recalls) the tuner for
   /// (csr, feat_len) and overwrites the schedule knobs used by

@@ -1,0 +1,56 @@
+// Helpers shared by the engine's translation units (engine.cpp and
+// engine_shard.cpp). Internal — not part of the public engine API.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "baselines/backend.hpp"
+#include "kernels/common.hpp"
+#include "sim/context.hpp"
+
+namespace gnnbridge::engine::detail {
+
+namespace k = gnnbridge::kernels;
+
+/// Owns the host matrices backing a pipeline's device mats. A deque keeps
+/// element addresses stable across growth, so FeatureMat::host pointers
+/// taken earlier stay valid.
+struct Workspace {
+  std::deque<baselines::Matrix> pool;
+  k::FeatureMat mat(sim::SimContext& ctx, models::Index rows, models::Index cols,
+                    const char* label) {
+    pool.emplace_back(rows, cols);
+    return k::device_mat(ctx, pool.back(), label);
+  }
+  k::FeatureMat from(sim::SimContext& ctx, const baselines::Matrix& m, const char* label) {
+    pool.push_back(m);
+    return k::device_mat(ctx, pool.back(), label);
+  }
+  k::FeatureMat from_vec(sim::SimContext& ctx, const std::vector<float>& v, const char* label) {
+    pool.emplace_back(static_cast<models::Index>(v.size()), 1,
+                      std::vector<float>(v.begin(), v.end()));
+    return k::device_mat(ctx, pool.back(), label);
+  }
+};
+
+/// The engine's handwritten kernels are driven by a thin C++ launcher
+/// wrapped in PyTorch; per-kernel host overhead is a fraction of the
+/// baselines' per-op dispatch.
+constexpr sim::Cycles kEngineOverheadCycles = 4000.0;
+
+inline sim::DeviceSpec with_engine_overhead(sim::DeviceSpec spec) {
+  spec.framework_overhead_cycles = kEngineOverheadCycles;
+  return spec;
+}
+
+inline baselines::RunResult finish(sim::SimContext& ctx, const sim::DeviceSpec& spec,
+                                   baselines::Matrix output) {
+  baselines::RunResult r;
+  r.stats = ctx.stats();
+  r.ms = spec.millis(r.stats.total_cycles);
+  r.output = std::move(output);
+  return r;
+}
+
+}  // namespace gnnbridge::engine::detail

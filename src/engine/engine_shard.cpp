@@ -1,0 +1,650 @@
+// Partitioned (multi-shard) execution for the optimized engine
+// (DESIGN.md §16).
+//
+// The graph is split into K edge-cut shards (shard::partition_graph); each
+// shard runs on its own simulated device (one SimContext per shard, warm
+// L2 across layers) and the shards execute concurrently as host pool jobs.
+// A GNN layer becomes three steps:
+//
+//   Phase A  (parallel)  dense transform of the shard's *owned* rows;
+//   Exchange (barrier)   ghost rows of the transformed features are copied
+//                        from their owning shard and priced against the
+//                        inter-shard link (DeviceSpec::exchange_*);
+//   Phase B  (parallel)  aggregation over the shard-local CSR — owned rows
+//                        read local + freshly-exchanged ghost rows.
+//
+// Correctness contract: outputs are bit-identical to the unsharded engine.
+// Every kernel here accumulates per output row in within-row CSR edge
+// order, the shard-local CSR preserves exactly that order (only column ids
+// are remapped), dense ops are row-independent, and the exchange copies
+// identical float bytes — so each owned row sees the same additions in the
+// same order as the single-device run.
+//
+// Accounting contract: the merged RunStats advance the clock by the
+// *slowest shard* per phase (shards run concurrently) plus the exchange
+// cost; per-shard kernel records are appended in shard order, so the
+// metrics surface is byte-identical at any host thread count. Shard bodies
+// run under a neutral cancel scope — the parent charges the phase makespan
+// and checks cancellation at the (deterministic) barriers, keeping
+// deadline behaviour independent of how pool workers interleave.
+//
+// Scope: GCN and GAT inference. Training, GraphSAGE and multi-head GAT
+// run unsharded regardless of the shard count.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/balance/neighbor_grouping.hpp"
+#include "engine/engine.hpp"
+#include "engine/engine_internal.hpp"
+#include "kernels/dense.hpp"
+#include "kernels/edge_ops.hpp"
+#include "kernels/fused.hpp"
+#include "kernels/sddmm.hpp"
+#include "kernels/spmm.hpp"
+#include "models/common.hpp"
+#include "par/thread_pool.hpp"
+#include "prof/span.hpp"
+#include "rt/fault.hpp"
+#include "shard/partition.hpp"
+#include "tensor/activations.hpp"
+
+namespace gnnbridge::engine {
+
+namespace k = gnnbridge::kernels;
+using baselines::Matrix;
+using detail::Workspace;
+using detail::with_engine_overhead;
+
+namespace {
+
+/// Per-shard execution state, persistent across layers (one simulated
+/// device each; the L2 stays warm layer to layer, like the unsharded
+/// engine's single context).
+struct ShardExec {
+  const shard::Shard* sh = nullptr;
+  std::unique_ptr<sim::SimContext> ctx;
+  Workspace ws;
+  k::GraphOnDevice gdev;
+  core::GroupedTasks grouped;
+  k::FeatureMat norm;  ///< GCN only: local gather of the global edge norm
+  k::FeatureMat h;     ///< activations, [num_local, F]
+  sim::Cycles last_total = 0.0;
+};
+
+/// Phase makespan: max over shards of the cycles accrued since the last
+/// snapshot (the merged clock advances by the slowest shard; they run
+/// concurrently). Advances the snapshots.
+sim::Cycles take_phase_span(std::vector<ShardExec>& shards) {
+  sim::Cycles span = 0.0;
+  for (ShardExec& se : shards) {
+    const sim::Cycles cur = se.ctx->stats().total_cycles;
+    span = std::max(span, cur - se.last_total);
+    se.last_total = cur;
+  }
+  return span;
+}
+
+/// Runs `body(s)` for every shard concurrently on the host pool. Bodies
+/// adopt a neutral cancel scope: they only touch their own shard's
+/// SimContext, and the *parent* charges the phase makespan at the barrier
+/// (pool workers neither own the caller's deadline scope nor may charge
+/// it). Exceptions (e.g. injected sim_launch faults) surface as the
+/// lowest shard index's failure, matching a sequential loop.
+template <typename Body>
+void parallel_shards(std::size_t shard_count, Body&& body) {
+  par::parallel_chunks(shard_count, /*grain=*/1,
+                       [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+                         rt::AdoptScope neutral{rt::ScopeHandle{}};
+                         for (std::size_t s = begin; s < end; ++s) body(s);
+                       });
+}
+
+/// Shard-local LAS order: the global order filtered to the shard's owned
+/// rows (mapped to local ids), with ghost rows appended in ascending order
+/// — neighbor_group_tasks requires a full permutation of the local rows.
+std::vector<graph::NodeId> local_order(const shard::Partition& p, int s,
+                                       const std::vector<graph::NodeId>& owned_local,
+                                       const std::vector<graph::NodeId>& global_order) {
+  const shard::Shard& sh = p.shards[static_cast<std::size_t>(s)];
+  std::vector<graph::NodeId> order;
+  order.reserve(static_cast<std::size_t>(sh.local.num_nodes));
+  for (const graph::NodeId v : global_order) {
+    if (p.assign[static_cast<std::size_t>(v)] == s) {
+      order.push_back(owned_local[static_cast<std::size_t>(v)]);
+    }
+  }
+  for (graph::NodeId g = sh.num_owned(); g < sh.local.num_nodes; ++g) order.push_back(g);
+  return order;
+}
+
+/// Drops the zero-size tasks neighbor grouping emits for ghost rows:
+/// ghosts are read, never aggregated, so their epilogue writes would be
+/// pure overhead the unsharded run does not pay. Owned zero-degree rows
+/// keep their (zero-size) tasks — the unsharded task list has them too.
+void drop_ghost_tasks(core::GroupedTasks& grouped, graph::NodeId num_owned) {
+  grouped.tasks.erase(std::remove_if(grouped.tasks.begin(), grouped.tasks.end(),
+                                     [num_owned](const k::Task& t) { return t.v >= num_owned; }),
+                      grouped.tasks.end());
+}
+
+/// A FeatureMat view restricted to the first `rows` rows of `m` (same
+/// buffer, same host matrix). Kernels size their traces from the view;
+/// host math that consumes the backing Matrix wholesale (dense_gemm) still
+/// sees every row, which is exactly what the transform wants: the sim
+/// prices owned rows only, while ghost rows of the host product are
+/// computed as a side effect and then overwritten by the exchange.
+k::FeatureMat top_rows(const k::FeatureMat& m, tensor::Index rows) {
+  k::FeatureMat v = m;
+  v.rows = rows;
+  return v;
+}
+
+/// Ghost-exchange pricing for one layer: every shard pulls its ghost rows
+/// (`row_bytes` each) from the owners over the inter-shard link, then all
+/// shards rendezvous once.
+sim::Cycles exchange_cost(const sim::DeviceSpec& spec, std::uint64_t ghost_rows,
+                          std::uint64_t row_bytes) {
+  const auto line = static_cast<std::uint64_t>(spec.line_bytes);
+  const std::uint64_t lines_per_row = line > 0 ? (row_bytes + line - 1) / line : 0;
+  return spec.exchange_sync_cycles +
+         static_cast<double>(ghost_rows * lines_per_row) * spec.exchange_cycles_per_line;
+}
+
+/// Copies each shard's ghost rows of the per-shard matrices `mats` from
+/// the owning shard's owned rows (host values; kFull only — traces are
+/// value-independent).
+void exchange_ghosts(const shard::Partition& p, std::vector<k::FeatureMat>& mats) {
+  for (std::size_t s = 0; s < p.shards.size(); ++s) {
+    const shard::Shard& sh = p.shards[s];
+    const graph::NodeId own = sh.num_owned();
+    for (std::size_t gi = 0; gi < sh.ghosts.size(); ++gi) {
+      const auto owner = static_cast<std::size_t>(sh.ghost_owner[gi]);
+      const auto src = mats[owner].host->row(sh.ghost_owner_row[gi]);
+      auto dst = mats[s].host->row(own + static_cast<graph::NodeId>(gi));
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+}
+
+/// Owned-local row of every global node (the owned lists partition the
+/// node set, so one vector serves all shards).
+std::vector<graph::NodeId> owned_local_rows(const shard::Partition& p, graph::NodeId num_nodes) {
+  std::vector<graph::NodeId> owned_local(static_cast<std::size_t>(num_nodes), 0);
+  for (const shard::Shard& sh : p.shards) {
+    for (std::size_t r = 0; r < sh.owned.size(); ++r) {
+      owned_local[static_cast<std::size_t>(sh.owned[r])] = static_cast<graph::NodeId>(r);
+    }
+  }
+  return owned_local;
+}
+
+/// Per-shard device/task setup shared by GCN and GAT: context, local CSR,
+/// task list (grouping bound + LAS order restricted to the shard, ghost
+/// tasks dropped), and the initial activations with input features
+/// replicated to ghost rows (so layer 0 needs no extra exchange for them).
+void init_shard(ShardExec& se, const shard::Shard& sh, const sim::DeviceSpec& spec,
+                const shard::Partition& p, int s, graph::EdgeId bound,
+                const std::vector<graph::NodeId>& owned_local,
+                const std::vector<graph::NodeId>* las, const Matrix& x) {
+  se.sh = &sh;
+  se.ctx = std::make_unique<sim::SimContext>(with_engine_overhead(spec));
+  se.gdev = k::device_graph(*se.ctx, sh.local, "csr");
+  if (las) {
+    const std::vector<graph::NodeId> order = local_order(p, s, owned_local, *las);
+    se.grouped = core::neighbor_group_tasks(sh.local, bound, order);
+  } else {
+    se.grouped = core::neighbor_group_tasks(sh.local, bound);
+  }
+  drop_ghost_tasks(se.grouped, sh.num_owned());
+  se.h = se.ws.mat(*se.ctx, sh.local.num_nodes, x.cols(), "x");
+  for (graph::NodeId r = 0; r < sh.num_owned(); ++r) {
+    const auto src = x.row(sh.owned[static_cast<std::size_t>(r)]);
+    auto dst = se.h.host->row(r);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  for (std::size_t gi = 0; gi < sh.ghosts.size(); ++gi) {
+    const auto src = x.row(sh.ghosts[gi]);
+    auto dst = se.h.host->row(sh.num_owned() + static_cast<graph::NodeId>(gi));
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+}
+
+/// Gathers the owned rows of every shard's final activations back into
+/// global row order.
+Matrix gather_output(const std::vector<ShardExec>& shards, graph::NodeId num_nodes) {
+  Matrix out(num_nodes, shards[0].h.cols);
+  for (const ShardExec& se : shards) {
+    const shard::Shard& sh = *se.sh;
+    for (graph::NodeId r = 0; r < sh.num_owned(); ++r) {
+      const auto src = se.h.host->row(r);
+      auto dst = out.row(sh.owned[static_cast<std::size_t>(r)]);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return out;
+}
+
+/// Merges per-shard counters into the final run stats: kernel records
+/// append in shard order (deterministic at any thread count), sync counts
+/// add, exchange rendezvous count as global syncs, and the clock is the
+/// phase-makespan sum accumulated by the caller.
+RunResult merge_shards(std::vector<ShardExec>& shards, const sim::DeviceSpec& spec,
+                       sim::RunStats accum, sim::Cycles total, Matrix output) {
+  for (const ShardExec& se : shards) {
+    const sim::RunStats& st = se.ctx->stats();
+    accum.kernels.insert(accum.kernels.end(), st.kernels.begin(), st.kernels.end());
+    accum.global_syncs += st.global_syncs;
+  }
+  accum.global_syncs += accum.exchange_syncs;
+  accum.total_cycles = total;
+  accum.shards = static_cast<int>(shards.size());
+  RunResult r;
+  r.stats = std::move(accum);
+  r.ms = spec.millis(r.stats.total_cycles);
+  r.output = std::move(output);
+  return r;
+}
+
+}  // namespace
+
+int OptimizedEngine::resolved_shards() const {
+  if (cfg_.shards > 0) return cfg_.shards;
+  // Read once per process: a mid-run environment change must not make two
+  // halves of one experiment disagree about the execution mode.
+  static const int env_shards = [] {
+    const char* s = std::getenv("GNNBRIDGE_SHARDS");
+    if (!s || !*s) return 1;
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || v < 1 || v > 4096) {
+      std::fprintf(stderr,
+                   "gnnbridge: ignoring invalid GNNBRIDGE_SHARDS='%s' "
+                   "(want an integer in [1, 4096]); running unsharded\n",
+                   s);
+      return 1;
+    }
+    return static_cast<int>(v);
+  }();
+  return env_shards;
+}
+
+std::shared_ptr<const shard::Partition> OptimizedEngine::shard_plan_for(const graph::Csr& csr,
+                                                                        int k) const {
+  const ShardPlanKey key{graph::fingerprint(csr), k};
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = shard_cache_.find(key);
+    if (it != shard_cache_.end()) return it->second;
+  }
+  // Compute outside the lock (mirrors las_order_for): the partition is a
+  // pure function of (graph, k), so concurrent misses compute identical
+  // plans and the first insert wins.
+  prof::Span span("shard_partition", "engine");
+  rt::raise_if_armed(rt::kSeamShardPartition, "shard_plan_for");
+  shard::PartitionConfig pcfg;
+  pcfg.shards = k;
+  rt::Result<shard::Partition> part = shard::partition_graph(csr, pcfg);
+  if (!part.ok()) {
+    throw rt::StageFailure(std::string(rt::kSeamShardPartition),
+                           rt::Status(part.status()).with_context("shard_plan_for"));
+  }
+  span.arg("shards", static_cast<double>(part->k));
+  span.arg("cut_edges", static_cast<double>(part->cut_edges));
+  span.arg("ghosts", static_cast<double>(part->total_ghosts));
+  auto plan = std::make_shared<const shard::Partition>(*std::move(part));
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  auto [it, inserted] = shard_cache_.try_emplace(key, std::move(plan));
+  return it->second;
+}
+
+std::size_t OptimizedEngine::shard_plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return shard_cache_.size();
+}
+
+RunResult OptimizedEngine::gcn_attempt_sharded(const Dataset& data, const GcnRun& run,
+                                               ExecMode mode, const sim::DeviceSpec& spec,
+                                               int shards) {
+  prof::Span span("OptimizedEngine::run_gcn_sharded", "engine");
+  span.arg("shards", static_cast<double>(shards));
+  const bool fused = adapter_enabled();
+  if (fused) rt::raise_if_armed(rt::kSeamFusionPass, "run_gcn fusion gate");
+  const tensor::Index feat = run.cfg->dims.size() > 1 ? run.cfg->dims[1] : -1;
+  if (feat >= 0) maybe_tune(data.csr, feat, spec);
+
+  const std::shared_ptr<const shard::Partition> plan = shard_plan_for(data.csr, shards);
+  const shard::Partition& p = *plan;
+  const auto nshards = static_cast<std::size_t>(p.k);
+  const bool full = mode == ExecMode::kFull;
+
+  // Knobs resolved on the parent thread: effective_* and the LAS order
+  // consult thread-local tune/job state that pool workers cannot see.
+  const EdgeId bound = effective_bound(data.csr, feat);
+  const int lanes = effective_lanes(data.csr, feat);
+  const std::vector<NodeId>* las = las_order_for(data.csr, feat);
+
+  const std::vector<NodeId> owned_local = owned_local_rows(p, data.csr.num_nodes);
+  const std::vector<float> norm_global = models::gcn_edge_norm(data.csr);
+
+  std::vector<ShardExec> se(nshards);
+  for (std::size_t s = 0; s < nshards; ++s) {
+    const shard::Shard& sh = p.shards[s];
+    init_shard(se[s], sh, spec, p, static_cast<int>(s), bound, owned_local, las, *run.features);
+    // The GCN edge norm uses *global* degrees; gather it through the local
+    // edge -> global edge map so every local edge carries the exact float
+    // the unsharded run multiplies with.
+    std::vector<float> norm_loc(sh.edge_origin.size());
+    for (std::size_t i = 0; i < sh.edge_origin.size(); ++i) {
+      norm_loc[i] = norm_global[static_cast<std::size_t>(sh.edge_origin[i])];
+    }
+    se[s].norm = se[s].ws.from_vec(*se[s].ctx, norm_loc, "gcn_norm");
+  }
+
+  sim::RunStats accum;
+  sim::Cycles total = 0.0;
+  const auto ghost_rows = static_cast<std::uint64_t>(p.total_ghosts);
+
+  for (std::size_t l = 0; l < run.params->weight.size(); ++l) {
+    const bool last = l + 1 == run.params->weight.size();
+    const Matrix& wl = run.params->weight[l];
+    const Matrix& bl = run.params->bias[l];
+    const auto f_out = static_cast<tensor::Index>(wl.cols());
+
+    // Parent-side allocations (SimContext/Workspace are single-threaded;
+    // only kernel launches run inside the parallel phases).
+    std::vector<k::FeatureMat> wdev(nshards), bdev(nshards), tloc(nshards), agg(nshards);
+    for (std::size_t s = 0; s < nshards; ++s) {
+      wdev[s] = se[s].ws.from(*se[s].ctx, wl, "w");
+      bdev[s] = se[s].ws.from(*se[s].ctx, bl, "b");
+      tloc[s] = se[s].ws.mat(*se[s].ctx, se[s].sh->local.num_nodes, f_out, "transformed");
+      agg[s] = se[s].ws.mat(*se[s].ctx, se[s].sh->local.num_nodes, f_out, "aggregated");
+    }
+
+    // ---- Phase A: transform the owned rows. The gemm's A and C are
+    // owned-row views: each device transforms only the nodes it owns;
+    // ghost rows of the transformed features arrive via the exchange.
+    parallel_shards(nshards, [&](std::size_t s) {
+      k::FeatureMat hview = top_rows(se[s].h, se[s].sh->num_owned());
+      k::FeatureMat tview = top_rows(tloc[s], se[s].sh->num_owned());
+      k::dense_gemm(*se[s].ctx, {.a = &hview, .b = &wdev[s], .c = &tview, .mode = mode});
+    });
+    sim::Cycles phase = take_phase_span(se);
+    total += phase;
+    rt::charge_sim_cycles(phase);
+    rt::throw_if_cancelled("sharded gcn transform");
+
+    // ---- Exchange: ghost rows of the transformed features.
+    if (full) exchange_ghosts(p, tloc);
+    const auto row_bytes = static_cast<std::uint64_t>(f_out) * 4;
+    const sim::Cycles xcyc = exchange_cost(spec, ghost_rows, row_bytes);
+    total += xcyc;
+    accum.exchange_cycles += xcyc;
+    accum.exchange_syncs += 1;
+    accum.ghost_bytes += ghost_rows * row_bytes;
+    rt::charge_sim_cycles(xcyc);
+    rt::throw_if_cancelled("sharded gcn exchange");
+
+    // ---- Phase B: aggregation over the shard-local graph (same kernel
+    // selection as the unsharded attempt).
+    parallel_shards(nshards, [&](std::size_t s) {
+      const core::GroupedTasks& grouped = se[s].grouped;
+      if (fused) {
+        const bool inline_ok = !grouped.any_split;
+        k::aggregate_bias_act_fused(*se[s].ctx, {.graph = &se[s].gdev,
+                                                 .tasks = grouped.tasks,
+                                                 .feat = &tloc[s],
+                                                 .edge_weight = &se[s].norm,
+                                                 .bias = &bdev[s],
+                                                 .out = &agg[s],
+                                                 .relu = !last,
+                                                 .epilogue_inline = inline_ok,
+                                                 .lanes = lanes,
+                                                 .atomic_merge = grouped.any_split,
+                                                 .mode = mode});
+        if (!inline_ok) {
+          k::bias_act_kernel(*se[s].ctx,
+                             {.bias = &bdev[s], .mat = &agg[s], .relu = !last, .mode = mode});
+        }
+      } else {
+        k::SpmmArgs spmm{.graph = &se[s].gdev,
+                         .tasks = grouped.tasks,
+                         .src = &tloc[s],
+                         .edge_weight = &se[s].norm,
+                         .out = &agg[s],
+                         .lanes = lanes,
+                         .atomic_merge = grouped.any_split,
+                         .mode = mode};
+        k::spmm_node(*se[s].ctx, spmm);
+        k::bias_act_kernel(*se[s].ctx, {.bias = &bdev[s], .mat = &agg[s], .relu = false,
+                                        .mode = mode, .name = "bias_add"});
+        if (!last) {
+          k::dense_map(*se[s].ctx, {.in = &agg[s],
+                                    .out = &agg[s],
+                                    .fn = [](float x) { return x > 0.0f ? x : 0.0f; },
+                                    .flops_per_elem = 1.0,
+                                    .mode = mode,
+                                    .name = "relu"});
+        }
+      }
+    });
+    phase = take_phase_span(se);
+    total += phase;
+    rt::charge_sim_cycles(phase);
+    rt::throw_if_cancelled("sharded gcn aggregate");
+
+    for (std::size_t s = 0; s < nshards; ++s) se[s].h = agg[s];
+  }
+
+  return merge_shards(se, spec, std::move(accum), total,
+                      full ? gather_output(se, data.csr.num_nodes) : Matrix());
+}
+
+RunResult OptimizedEngine::gat_attempt_sharded(const Dataset& data, const GatRun& run,
+                                               ExecMode mode, const sim::DeviceSpec& spec,
+                                               int shards) {
+  prof::Span span("OptimizedEngine::run_gat_sharded", "engine");
+  span.arg("shards", static_cast<double>(shards));
+  const bool fused = adapter_enabled();
+  if (fused) rt::raise_if_armed(rt::kSeamFusionPass, "run_gat fusion gate");
+  const tensor::Index feat = run.cfg->dims.size() > 1 ? run.cfg->dims[1] : -1;
+  if (feat >= 0) maybe_tune(data.csr, feat, spec);
+
+  const std::shared_ptr<const shard::Partition> plan = shard_plan_for(data.csr, shards);
+  const shard::Partition& p = *plan;
+  const auto nshards = static_cast<std::size_t>(p.k);
+  const bool full = mode == ExecMode::kFull;
+  const bool linear = fused && cfg_.use_linear;
+  const float alpha = run.cfg->leaky_alpha;
+
+  const EdgeId bound = effective_bound(data.csr, feat);
+  const int lanes = effective_lanes(data.csr, feat);
+  const std::vector<NodeId>* las = las_order_for(data.csr, feat);
+
+  const std::vector<NodeId> owned_local = owned_local_rows(p, data.csr.num_nodes);
+
+  std::vector<ShardExec> se(nshards);
+  for (std::size_t s = 0; s < nshards; ++s) {
+    init_shard(se[s], p.shards[s], spec, p, static_cast<int>(s), bound, owned_local, las,
+               *run.features);
+  }
+
+  sim::RunStats accum;
+  sim::Cycles total = 0.0;
+  const auto ghost_rows = static_cast<std::uint64_t>(p.total_ghosts);
+
+  for (std::size_t l = 0; l < run.params->weight.size(); ++l) {
+    const bool last = l + 1 == run.params->weight.size();
+    const Matrix& wl = run.params->weight[l];
+    const auto f_out = static_cast<tensor::Index>(wl.cols());
+
+    std::vector<k::FeatureMat> wdev(nshards), aldev(nshards), ardev(nshards), tloc(nshards),
+        asrc(nshards), adst(nshards), e(nshards), vacc(nshards), agg(nshards);
+    for (std::size_t s = 0; s < nshards; ++s) {
+      const tensor::Index n_loc = se[s].sh->local.num_nodes;
+      wdev[s] = se[s].ws.from(*se[s].ctx, wl, "w");
+      aldev[s] = se[s].ws.from(*se[s].ctx, run.params->att_l[l], "att_l");
+      ardev[s] = se[s].ws.from(*se[s].ctx, run.params->att_r[l], "att_r");
+      tloc[s] = se[s].ws.mat(*se[s].ctx, n_loc, f_out, "transformed");
+      asrc[s] = se[s].ws.mat(*se[s].ctx, n_loc, 1, "att_src");
+      adst[s] = se[s].ws.mat(*se[s].ctx, n_loc, 1, "att_dst");
+      e[s] = se[s].ws.mat(*se[s].ctx, static_cast<tensor::Index>(se[s].sh->local.num_edges()), 1,
+                          "e");
+      vacc[s] = se[s].ws.mat(*se[s].ctx, n_loc, 1, "v_acc");
+      agg[s] = se[s].ws.mat(*se[s].ctx, n_loc, f_out, "aggregated");
+    }
+
+    // ---- Phase A: transform the owned rows.
+    parallel_shards(nshards, [&](std::size_t s) {
+      k::FeatureMat hview = top_rows(se[s].h, se[s].sh->num_owned());
+      k::FeatureMat tview = top_rows(tloc[s], se[s].sh->num_owned());
+      k::dense_gemm(*se[s].ctx, {.a = &hview, .b = &wdev[s], .c = &tview, .mode = mode});
+    });
+    sim::Cycles phase = take_phase_span(se);
+    total += phase;
+    rt::charge_sim_cycles(phase);
+    rt::throw_if_cancelled("sharded gat transform");
+
+    // ---- Exchange: ghost rows of the transformed features. The per-node
+    // attention scalars are then recomputed locally over ghost rows
+    // (row_dot below runs on all local rows): row_dot is row-independent,
+    // so the replicated compute is bit-identical to the owner's — and the
+    // exchange ships one F-float row per ghost instead of F + 2 scalars.
+    if (full) exchange_ghosts(p, tloc);
+    const auto row_bytes = static_cast<std::uint64_t>(f_out) * 4;
+    const sim::Cycles xcyc = exchange_cost(spec, ghost_rows, row_bytes);
+    total += xcyc;
+    accum.exchange_cycles += xcyc;
+    accum.exchange_syncs += 1;
+    accum.ghost_bytes += ghost_rows * row_bytes;
+    rt::charge_sim_cycles(xcyc);
+    rt::throw_if_cancelled("sharded gat exchange");
+
+    // ---- Phase B: attention scores + aggregation on the local graph
+    // (same kernel selection as the unsharded attempt).
+    parallel_shards(nshards, [&](std::size_t s) {
+      const core::GroupedTasks& grouped = se[s].grouped;
+      k::row_dot(*se[s].ctx, {.feat = &tloc[s], .vec = &aldev[s], .out = &asrc[s], .mode = mode});
+      k::row_dot(*se[s].ctx, {.feat = &tloc[s], .vec = &ardev[s], .out = &adst[s], .mode = mode});
+      if (linear) {
+        k::gat_edge_fused(*se[s].ctx, {.graph = &se[s].gdev,
+                                       .tasks = grouped.tasks,
+                                       .att_src = &asrc[s],
+                                       .att_dst = &adst[s],
+                                       .edge_out = &e[s],
+                                       .vacc_out = &vacc[s],
+                                       .leaky_alpha = alpha,
+                                       .atomic_merge = grouped.any_split,
+                                       .mode = mode});
+        k::gat_aggregate_fused(*se[s].ctx, {.graph = &se[s].gdev,
+                                            .tasks = grouped.tasks,
+                                            .feat = &tloc[s],
+                                            .edge_weight = &e[s],
+                                            .vacc = &vacc[s],
+                                            .out = &agg[s],
+                                            .scale_inline = true,
+                                            .lanes = lanes,
+                                            .atomic_merge = grouped.any_split,
+                                            .mode = mode});
+      } else if (fused) {
+        k::gat_edge_fused(*se[s].ctx, {.graph = &se[s].gdev,
+                                       .tasks = grouped.tasks,
+                                       .att_src = &asrc[s],
+                                       .att_dst = &adst[s],
+                                       .edge_out = &e[s],
+                                       .vacc_out = nullptr,
+                                       .leaky_alpha = alpha,
+                                       .mode = mode});
+        k::segment_sum(*se[s].ctx, {.graph = &se[s].gdev,
+                                    .tasks = grouped.tasks,
+                                    .edge_val = &e[s],
+                                    .node_out = &vacc[s],
+                                    .atomic_merge = grouped.any_split,
+                                    .mode = mode});
+        k::softmax_div_fused(*se[s].ctx, {.graph = &se[s].gdev, .tasks = grouped.tasks,
+                                          .vacc = &vacc[s], .edge = &e[s], .mode = mode});
+        k::gat_aggregate_fused(*se[s].ctx, {.graph = &se[s].gdev,
+                                            .tasks = grouped.tasks,
+                                            .feat = &tloc[s],
+                                            .edge_weight = &e[s],
+                                            .vacc = nullptr,
+                                            .out = &agg[s],
+                                            .lanes = lanes,
+                                            .atomic_merge = grouped.any_split,
+                                            .mode = mode});
+      } else {
+        k::u_add_v(*se[s].ctx, {.graph = &se[s].gdev,
+                                .tasks = grouped.tasks,
+                                .src_scalar = &asrc[s],
+                                .dst_scalar = &adst[s],
+                                .edge_out = &e[s],
+                                .mode = mode});
+        k::edge_map(*se[s].ctx,
+                    {.in = &e[s],
+                     .out = &e[s],
+                     .fn = [alpha](float x) { return tensor::leaky_relu_scalar(x, alpha); },
+                     .flops_per_elem = 1.0,
+                     .mode = mode,
+                     .name = "leaky_relu"});
+        k::edge_map(*se[s].ctx, {.in = &e[s],
+                                 .out = &e[s],
+                                 .fn = [](float x) { return std::exp(x); },
+                                 .flops_per_elem = 4.0,
+                                 .mode = mode,
+                                 .name = "exp"});
+        k::segment_sum(*se[s].ctx, {.graph = &se[s].gdev,
+                                    .tasks = grouped.tasks,
+                                    .edge_val = &e[s],
+                                    .node_out = &vacc[s],
+                                    .atomic_merge = grouped.any_split,
+                                    .mode = mode});
+        k::FeatureMat eacc = se[s].ws.mat(
+            *se[s].ctx, static_cast<tensor::Index>(se[s].sh->local.num_edges()), 1, "e_acc");
+        k::broadcast_edge(*se[s].ctx, {.graph = &se[s].gdev, .tasks = grouped.tasks,
+                                       .node_val = &vacc[s], .edge_out = &eacc, .mode = mode});
+        k::edge_binary(*se[s].ctx,
+                       {.a = &e[s],
+                        .b = &eacc,
+                        .out = &e[s],
+                        .fn = [](float x, float acc) { return acc != 0.0f ? x / acc : 0.0f; },
+                        .flops_per_elem = 1.0,
+                        .mode = mode,
+                        .name = "softmax_div"});
+        k::SpmmArgs spmm{.graph = &se[s].gdev,
+                         .tasks = grouped.tasks,
+                         .src = &tloc[s],
+                         .edge_weight = &e[s],
+                         .out = &agg[s],
+                         .lanes = lanes,
+                         .atomic_merge = grouped.any_split,
+                         .mode = mode,
+                         .name = "u_mul_e_sum"};
+        k::spmm_node(*se[s].ctx, spmm);
+      }
+      if (!last) {
+        k::dense_map(*se[s].ctx, {.in = &agg[s],
+                                  .out = &agg[s],
+                                  .fn = [](float x) { return x > 0.0f ? x : 0.0f; },
+                                  .flops_per_elem = 1.0,
+                                  .mode = mode,
+                                  .name = "relu"});
+      }
+    });
+    phase = take_phase_span(se);
+    total += phase;
+    rt::charge_sim_cycles(phase);
+    rt::throw_if_cancelled("sharded gat aggregate");
+
+    for (std::size_t s = 0; s < nshards; ++s) se[s].h = agg[s];
+  }
+
+  return merge_shards(se, spec, std::move(accum), total,
+                      full ? gather_output(se, data.csr.num_nodes) : Matrix());
+}
+
+}  // namespace gnnbridge::engine

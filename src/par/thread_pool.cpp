@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
@@ -27,7 +28,12 @@ int env_or_hardware() {
       const long n = std::strtol(env, &end, 10);
       if (end != env && *end == '\0' && n >= 1 && n <= 4096) return static_cast<int>(n);
       // Malformed values fall through to the hardware default rather than
-      // silently serializing.
+      // silently serializing — but say so once, or a typo'd 0/-1/garbage
+      // value silently runs at a different width than the user asked for.
+      std::fprintf(stderr,
+                   "gnnbridge: ignoring invalid GNNBRIDGE_THREADS='%s' (want an "
+                   "integer in [1, 4096]); using hardware concurrency\n",
+                   env);
     }
     return hardware_default();
   }();

@@ -59,6 +59,13 @@ GapBreakdown attribute_gaps(const sim::RunStats& stats, const sim::DeviceSpec& s
   g.sync_cycles = g.atomic_cycles + g.adapter_cycles;
   g.redundancy_cycles =
       (g.pad_flops + g.copy_flops + g.tile_flops) / spec.flops_per_cycle_per_block;
+  // The exchange cost is charged directly in cycles by the engine's
+  // sharded pipelines (sync latency + line transfers), so it needs no
+  // re-pricing here.
+  g.inter_shard_cycles = stats.exchange_cycles;
+  g.ghost_bytes = stats.ghost_bytes;
+  g.exchange_syncs = stats.exchange_syncs;
+  g.shards = stats.shards;
   return g;
 }
 
@@ -81,6 +88,7 @@ GapComparison compare_gaps(const GapBreakdown& baseline, const GapBreakdown& opt
       {"launch_overhead", baseline.launch_cycles, optimized.launch_cycles},
       {"synchronization", baseline.sync_cycles, optimized.sync_cycles},
       {"redundancy", baseline.redundancy_cycles, optimized.redundancy_cycles},
+      {"inter_shard_traffic", baseline.inter_shard_cycles, optimized.inter_shard_cycles},
   };
   c.total = {"total", baseline.total_cycles, optimized.total_cycles};
   return c;
@@ -127,6 +135,13 @@ void write_gap_breakdown(JsonWriter& w, const GapBreakdown& g) {
   w.kv("copy_flops", g.copy_flops);
   w.kv("tile_flops", g.tile_flops);
   w.end_object();
+  w.key("inter_shard_traffic");
+  w.begin_object();
+  w.kv("cycles", g.inter_shard_cycles);
+  w.kv("ghost_bytes", g.ghost_bytes);
+  w.kv("exchange_syncs", g.exchange_syncs);
+  w.kv("shards", static_cast<std::int64_t>(g.shards));
+  w.end_object();
   w.end_object();
 }
 
@@ -153,6 +168,10 @@ std::string render_gap_table(const GapBreakdown& g) {
   appendf(out, "  %-18s%16.1f%7.1f%%  pad=%.3g copy=%.3g tile=%.3g flops\n", "redundancy",
           g.redundancy_cycles, pct_of(g.redundancy_cycles, g.total_cycles), g.pad_flops,
           g.copy_flops, g.tile_flops);
+  appendf(out, "  %-18s%16.1f%7.1f%%  shards=%d ghost_bytes=%llu exchanges=%llu\n",
+          "inter-shard", g.inter_shard_cycles, pct_of(g.inter_shard_cycles, g.total_cycles),
+          g.shards, static_cast<unsigned long long>(g.ghost_bytes),
+          static_cast<unsigned long long>(g.exchange_syncs));
   if (g.attributed_cycles() > g.total_cycles) {
     out +=
         "  note: per-block gap costs overlap in wall time (blocks run concurrently),\n"
@@ -278,6 +297,11 @@ rt::Result<LoadedMetrics> load_metrics_file(const std::string& path) {
       // v2 documents predate the counter; every launch is one sync.
       rec.stats.global_syncs =
           totals->uint_or("global_syncs", static_cast<std::uint64_t>(rec.stats.kernels.size()));
+      // Partitioned-execution counters (v8; zero / 1 shard before that).
+      rec.stats.ghost_bytes = totals->uint_or("ghost_bytes", 0);
+      rec.stats.exchange_syncs = totals->uint_or("exchange_syncs", 0);
+      rec.stats.exchange_cycles = totals->num_or("exchange_cycles", 0.0);
+      rec.stats.shards = static_cast<int>(totals->int_or("shards", 1));
     }
     m.runs.push_back(std::move(rec));
   }

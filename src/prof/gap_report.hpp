@@ -25,6 +25,10 @@
 //   redundancy      (issued - useful) flops converted at the device's
 //                   per-block flop throughput, broken out by cause
 //                   (lane padding / pure copies / boundary tiles).
+//   inter_shard_traffic  cycles charged for the per-layer ghost-feature
+//                   exchanges of partitioned execution (DESIGN.md §16):
+//                   exchange sync latency + ghost bytes over the
+//                   inter-shard link. Zero for unsharded runs.
 #pragma once
 
 #include <cstdint>
@@ -72,17 +76,22 @@ struct GapBreakdown {
   double copy_flops = 0.0;
   double tile_flops = 0.0;
 
-  /// Cycles the five gaps claim together. Less than total_cycles; the
+  double inter_shard_cycles = 0.0;
+  std::uint64_t ghost_bytes = 0;
+  std::uint64_t exchange_syncs = 0;
+  int shards = 1;
+
+  /// Cycles the six gaps claim together. Less than total_cycles; the
   /// remainder is useful work (and attribution overlap is possible when a
   /// block hides sync latency under memory time — this is an attribution,
   /// not a partition).
   double attributed_cycles() const {
     return locality_cycles + imbalance_cycles + launch_cycles + sync_cycles +
-           redundancy_cycles;
+           redundancy_cycles + inter_shard_cycles;
   }
 };
 
-/// Prices the five gaps for one run.
+/// Prices the six gaps for one run.
 GapBreakdown attribute_gaps(const sim::RunStats& stats, const sim::DeviceSpec& spec);
 
 /// Same, carrying the run's identity from a sink record.
@@ -100,13 +109,13 @@ struct GapDelta {
   }
 };
 
-/// Baseline-vs-optimized comparison: the five per-gap cycle deltas plus
+/// Baseline-vs-optimized comparison: the six per-gap cycle deltas plus
 /// the headline totals.
 struct GapComparison {
   GapBreakdown baseline;
   GapBreakdown optimized;
-  /// locality, imbalance, launch_overhead, synchronization, redundancy —
-  /// in that order.
+  /// locality, imbalance, launch_overhead, synchronization, redundancy,
+  /// inter_shard_traffic — in that order.
   std::vector<GapDelta> gaps;
   GapDelta total;
 

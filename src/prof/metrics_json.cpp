@@ -103,6 +103,10 @@ void write_run(JsonWriter& w, const RunRecord& r) {
   w.kv("copy_flops", copy);
   w.kv("tile_flops", tile);
   w.kv("imbalance", r.stats.imbalance());
+  w.kv("ghost_bytes", r.stats.ghost_bytes);
+  w.kv("exchange_syncs", r.stats.exchange_syncs);
+  w.kv("exchange_cycles", r.stats.exchange_cycles);
+  w.kv("shards", static_cast<std::int64_t>(r.stats.shards));
   w.end_object();
   w.key("kernels");
   w.begin_array();

@@ -10,7 +10,7 @@
 // tools/check_metrics_schema.py; bump kMetricsSchemaVersion on any
 // incompatible change.
 //
-// Schema (gnnbridge-metrics, version 7):
+// Schema (gnnbridge-metrics, version 8):
 //   {
 //     "schema": "gnnbridge-metrics",
 //     "schema_version": 7,
@@ -35,7 +35,8 @@
 //                  "atomic_cycles":..., "atomic_bytes":...,
 //                  "adapter_cycles":..., "adapter_bytes":...,
 //                  "pad_flops":..., "copy_flops":..., "tile_flops":...,
-//                  "imbalance":...},
+//                  "imbalance":..., "ghost_bytes":..., "exchange_syncs":...,
+//                  "exchange_cycles":..., "shards":...},
 //       "kernels": [{"name":..., "phase":..., "blocks":..., "cycles":...,
 //                    "makespan":..., "balanced":..., "l2_hits":...,
 //                    "l2_misses":..., "l2_hit_rate":..., "dram_bytes":...,
@@ -49,7 +50,7 @@
 //                     "total_cycles":..., "attributed_cycles":...,
 //                     "locality":{...}, "imbalance":{...},
 //                     "launch_overhead":{...}, "synchronization":{...},
-//                     "redundancy":{...}}],
+//                     "redundancy":{...}, "inter_shard_traffic":{...}}],
 //     "degradations": [{"seam":"las_cluster", "knob":"las",
 //                       "action":"las->natural_order", "detail":"...",
 //                       "injected":true}],
@@ -110,6 +111,12 @@
 // and exhaustion flag; DESIGN.md §15). Always present; disabled with an
 // empty tenant list until the tracker is configured (soak --slo-ms).
 // `clear()` also clears the tracker.
+// v7 -> v8: additive — `totals` gained the partitioned-execution counters
+// `ghost_bytes`, `exchange_syncs`, `exchange_cycles` and `shards`
+// (DESIGN.md §16; all zero / shards=1 for unsharded runs), and each
+// `gap_report` entry gained the sixth gap `inter_shard_traffic`
+// ({cycles, ghost_bytes, exchange_syncs, shards}) pricing the per-layer
+// ghost-feature exchanges between edge-cut shards.
 #pragma once
 
 #include <cstdint>
@@ -124,7 +131,7 @@
 namespace gnnbridge::prof {
 
 inline constexpr const char* kMetricsSchemaName = "gnnbridge-metrics";
-inline constexpr int kMetricsSchemaVersion = 7;
+inline constexpr int kMetricsSchemaVersion = 8;
 
 /// Provenance stamped into every metrics document (`meta` block). The sink
 /// collects defaults lazily at serialization time; tests pin fixed values

@@ -33,10 +33,11 @@ inline constexpr std::string_view kSeamTunerProbe = "tuner_probe";      ///< eng
 inline constexpr std::string_view kSeamFusionPass = "fusion_pass";      ///< adapter/fusion availability
 inline constexpr std::string_view kSeamSimLaunch = "sim_launch";        ///< sim::SimContext::launch
 inline constexpr std::string_view kSeamMetricsWrite = "metrics_write";  ///< prof::MetricsSink::write_file
+inline constexpr std::string_view kSeamShardPartition = "shard_partition";  ///< shard::partition_graph via engine
 
-inline constexpr std::array<std::string_view, 6> kKnownSeams = {
-    kSeamDatasetLoad, kSeamLasCluster, kSeamTunerProbe,
-    kSeamFusionPass,  kSeamSimLaunch,  kSeamMetricsWrite,
+inline constexpr std::array<std::string_view, 7> kKnownSeams = {
+    kSeamDatasetLoad, kSeamLasCluster,   kSeamTunerProbe,    kSeamFusionPass,
+    kSeamSimLaunch,   kSeamMetricsWrite, kSeamShardPartition,
 };
 
 /// True when `seam` is one of kKnownSeams.

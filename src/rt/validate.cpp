@@ -55,6 +55,55 @@ Status validate_csr(const graph::Csr& g) {
   return OkStatus();
 }
 
+namespace {
+
+/// Shared row-bounds check behind checked_degree/checked_neighbors.
+/// Returns ok when row `v` is fully addressable: v in range, row_ptr big
+/// enough, 0 <= row_ptr[v] <= row_ptr[v+1] <= col_idx.size().
+Status check_row(const graph::Csr& g, graph::NodeId v) {
+  if (v < 0 || v >= g.num_nodes) {
+    return Status(StatusCode::kOutOfRange,
+                  format("node %d out of [0, %d)", v, g.num_nodes));
+  }
+  const std::size_t vi = static_cast<std::size_t>(v);
+  if (g.row_ptr.size() < vi + 2) {
+    return Status(StatusCode::kFailedPrecondition,
+                  format("row_ptr has %zu entries, node %d needs %zu",
+                         g.row_ptr.size(), v, vi + 2));
+  }
+  const graph::EdgeId begin = g.row_ptr[vi];
+  const graph::EdgeId end = g.row_ptr[vi + 1];
+  if (begin < 0 || end < begin) {
+    return Status(StatusCode::kFailedPrecondition,
+                  format("row_ptr not monotone at node %d: [%lld, %lld)", v,
+                         static_cast<long long>(begin), static_cast<long long>(end)));
+  }
+  if (static_cast<std::size_t>(end) > g.col_idx.size()) {
+    return Status(StatusCode::kFailedPrecondition,
+                  format("row %d ends at %lld but col_idx holds %zu edges", v,
+                         static_cast<long long>(end), g.col_idx.size()));
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<graph::EdgeId> checked_degree(const graph::Csr& g, graph::NodeId v) {
+  if (Status s = check_row(g, v); !s.ok()) return std::move(s).with_context("checked_degree");
+  const std::size_t vi = static_cast<std::size_t>(v);
+  return g.row_ptr[vi + 1] - g.row_ptr[vi];
+}
+
+Result<std::span<const graph::NodeId>> checked_neighbors(const graph::Csr& g, graph::NodeId v) {
+  if (Status s = check_row(g, v); !s.ok()) {
+    return std::move(s).with_context("checked_neighbors");
+  }
+  const std::size_t vi = static_cast<std::size_t>(v);
+  return std::span<const graph::NodeId>{
+      g.col_idx.data() + g.row_ptr[vi],
+      static_cast<std::size_t>(g.row_ptr[vi + 1] - g.row_ptr[vi])};
+}
+
 Status validate_matrix(const tensor::Matrix& m, std::string_view what) {
   const std::string name(what);
   if (m.rows() < 0 || m.cols() < 0) {

@@ -75,6 +75,20 @@ struct RunStats {
   /// path bumps this once per kernel.
   std::uint64_t global_syncs = 0;
 
+  // ---- Partitioned execution (DESIGN.md §16). Zero/1 for the ordinary
+  // single-device path; the engine's sharded GCN/GAT pipelines fill them
+  // when EngineConfig::shards > 1.
+  /// Ghost-feature bytes moved between shards by the per-layer exchanges.
+  std::uint64_t ghost_bytes = 0;
+  /// Exchange barriers executed (one per layer per exchange step).
+  std::uint64_t exchange_syncs = 0;
+  /// Cycles charged for the exchanges (sync latency + interconnect
+  /// transfer time); included in total_cycles and priced as the
+  /// inter-shard-traffic gap.
+  Cycles exchange_cycles = 0.0;
+  /// Shard count the run executed with (1 = unsharded).
+  int shards = 1;
+
   int num_launches() const { return static_cast<int>(kernels.size()); }
 
   double total_flops() const {

@@ -56,6 +56,17 @@ struct DeviceSpec {
   /// here; baseline backends raise it, the fused engine keeps it at zero.
   Cycles framework_overhead_cycles = 0.0;
 
+  /// Device-level cost of moving one cache line of ghost features between
+  /// shards (partitioned execution, DESIGN.md §16). Device-level, not
+  /// per-block: the exchange is a bulk transfer, not a co-resident kernel.
+  /// HBM at full device bandwidth would be dram_cycles_per_line /
+  /// total_block_slots ~ 0.1 cycles/line; an NVLink-class inter-shard link
+  /// runs ~6x slower.
+  Cycles exchange_cycles_per_line = 0.6;
+  /// Fixed latency of one exchange barrier (rendezvous + transfer setup),
+  /// comparable to a kernel launch.
+  Cycles exchange_sync_cycles = 5000.0;
+
   /// Total block slots available at once.
   int total_block_slots() const { return num_sms * max_blocks_per_sm; }
 

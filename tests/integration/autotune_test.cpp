@@ -112,5 +112,44 @@ TEST(AutoTune, TunedConfigCachedAcrossRuns) {
   EXPECT_DOUBLE_EQ(r1.ms, r2.ms);
 }
 
+// Regression: graph::fingerprint hashes topology only, and the tuned-knob
+// cache used to be keyed by it alone — so a second model with a different
+// feature width on the same graph was served knobs (lane width, LAS bound)
+// tuned for the first width. The cache key now carries the aggregated
+// feature length (dims[1], the width aggregation actually runs at); same
+// graph + new width must retune, and re-running either width must hit its
+// own entry.
+TEST(AutoTune, SameGraphDifferentFeatureWidthIsRetuned) {
+  const graph::Dataset data = graph::make_dataset(graph::DatasetId::kCollab, 0.02);
+  EngineConfig ecfg;
+  ecfg.auto_tune = true;
+  OptimizedEngine e(ecfg);
+
+  const auto run_width = [&](tensor::Index hidden, int seed) {
+    models::GcnConfig cfg;
+    cfg.dims = {32, hidden};
+    const models::GcnParams params = models::init_gcn(cfg, seed);
+    const models::Matrix x = models::init_features(data.csr.num_nodes, 32, seed + 1);
+    const auto r = e.run_gcn(data, {&cfg, &params, &x}, ExecMode::kSimulateOnly, sim::v100());
+    EXPECT_TRUE(r.status.ok()) << r.status.to_string();
+    return r;
+  };
+
+  // Hidden widths no other test tunes on this graph: the thread-sticky
+  // published entry (t_active_tune) outlives engines, and a recycled heap
+  // address plus an already-tuned (graph, width) pair would short-circuit
+  // before this engine's own cache is populated.
+  const auto r24 = run_width(24, 6);
+  EXPECT_EQ(e.tuned_cache_size(), 1u);
+  run_width(96, 8);
+  EXPECT_EQ(e.tuned_cache_size(), 2u)
+      << "feature width ignored: 96-wide run served the 24-wide tuned knobs";
+  // Both entries stay live: re-running the first width hits its own cache
+  // entry (identical clock) instead of growing or clobbering the table.
+  const auto again = run_width(24, 6);
+  EXPECT_EQ(e.tuned_cache_size(), 2u);
+  EXPECT_DOUBLE_EQ(r24.ms, again.ms);
+}
+
 }  // namespace
 }  // namespace gnnbridge

@@ -73,7 +73,8 @@ TEST_F(SloTest, WindowMembershipIsAPureFunctionOfArrival) {
   EXPECT_EQ(t.record("a", 1000.0, 1.0, true).window_index, 1u);
   EXPECT_EQ(t.record("a", 4500.0, 1.0, true).window_index, 4u);
 
-  const TenantSlo& row = t.snapshot().tenants[0];
+  const SloSnapshot snap = t.snapshot();
+  const TenantSlo& row = snap.tenants[0];
   EXPECT_EQ(row.windows, 3u);       // windows 0, 1, 4 saw traffic
   EXPECT_EQ(row.window_index, 4u);  // current = highest index
   EXPECT_EQ(row.window_requests, 1u);
@@ -124,7 +125,8 @@ TEST_F(SloTest, BurnRateIsViolationsOverErrorBudgetAndAlwaysFinite) {
   t.configure(objectives(0.0, 1.0, 0.0));
   t.record("a", 0.0, 1.0, true);
   t.record("a", 0.0, 1.0, false);
-  const TenantSlo& row = t.snapshot().tenants[0];
+  const SloSnapshot snap = t.snapshot();
+  const TenantSlo& row = snap.tenants[0];
   EXPECT_DOUBLE_EQ(row.burn_rate, 1.0);
   EXPECT_TRUE(row.budget_exhausted);
 }

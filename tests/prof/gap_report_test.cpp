@@ -97,7 +97,7 @@ TEST(GapReportTest, EmptyRunAttributesNothing) {
   EXPECT_EQ(g.launches, 0);
 }
 
-TEST(GapReportTest, CompareOrdersTheFiveGapsAndComputesRecovery) {
+TEST(GapReportTest, CompareOrdersTheSixGapsAndComputesRecovery) {
   GapBreakdown base = attribute_gaps(golden_record());
   GapBreakdown opt = base;
   opt.locality_cycles = 0.25;
@@ -107,17 +107,19 @@ TEST(GapReportTest, CompareOrdersTheFiveGapsAndComputesRecovery) {
   opt.redundancy_cycles = 28.0;
   opt.total_cycles = 1.0e9;
   const GapComparison c = compare_gaps(base, opt);
-  ASSERT_EQ(c.gaps.size(), 5u);
+  ASSERT_EQ(c.gaps.size(), 6u);
   EXPECT_EQ(c.gaps[0].gap, "locality");
   EXPECT_EQ(c.gaps[1].gap, "imbalance");
   EXPECT_EQ(c.gaps[2].gap, "launch_overhead");
   EXPECT_EQ(c.gaps[3].gap, "synchronization");
   EXPECT_EQ(c.gaps[4].gap, "redundancy");
+  EXPECT_EQ(c.gaps[5].gap, "inter_shard_traffic");
   EXPECT_DOUBLE_EQ(c.gaps[0].recovered(), 10.0);
   EXPECT_DOUBLE_EQ(c.gaps[1].recovered(), 6.0e8);
   EXPECT_DOUBLE_EQ(c.gaps[1].recovered_frac(), 0.75);
   EXPECT_DOUBLE_EQ(c.gaps[3].recovered(), 288.0);
   EXPECT_DOUBLE_EQ(c.gaps[4].recovered(), 84.0);
+  EXPECT_DOUBLE_EQ(c.gaps[5].recovered(), 0.0);  // unsharded golden record
   EXPECT_DOUBLE_EQ(c.total.recovered(), 1.0e9);
   EXPECT_DOUBLE_EQ(c.speedup(), 2.0);
 }
@@ -131,7 +133,8 @@ TEST(GapReportTest, RenderedTablesNameEveryGap) {
   const GapBreakdown g = attribute_gaps(golden_record());
   const std::string table = render_gap_table(g);
   for (const char* gap :
-       {"locality", "imbalance", "launch overhead", "synchronization", "redundancy"}) {
+       {"locality", "imbalance", "launch overhead", "synchronization", "redundancy",
+        "inter-shard"}) {
     EXPECT_NE(table.find(gap), std::string::npos) << gap << "\n" << table;
   }
   const std::string cmp = render_compare_table(compare_gaps(g, g));

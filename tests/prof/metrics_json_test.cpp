@@ -80,7 +80,7 @@ MetaInfo golden_meta() {
 //   sync      = atomic + adapter cycles = 256 + 128             = 384
 //   redundancy= (1024 + 512 + 256) / 16 flops-per-cycle         = 112
 constexpr const char* kGolden =
-    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":7,"
+    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":8,"
     "\"experiment\":\"golden\",\"scale\":0.25,"
     "\"meta\":{\"git_sha\":\"deadbee\",\"timestamp\":\"2026-01-01T00:00:00Z\","
     "\"hostname\":\"goldenhost\",\"scale_env\":\"0.25\",\"threads\":8},"
@@ -97,7 +97,8 @@ constexpr const char* kGolden =
     "\"gflops\":2.147483648,\"issued_flops\":2147485440,\"global_syncs\":1,"
     "\"atomic_cycles\":256,\"atomic_bytes\":64,\"adapter_cycles\":128,"
     "\"adapter_bytes\":32,\"pad_flops\":1024,\"copy_flops\":512,"
-    "\"tile_flops\":256,\"imbalance\":2},"
+    "\"tile_flops\":256,\"imbalance\":2,\"ghost_bytes\":0,"
+    "\"exchange_syncs\":0,\"exchange_cycles\":0,\"shards\":1},"
     "\"kernels\":[{\"name\":\"spmm_node\",\"phase\":\"aggregation\","
     "\"blocks\":3,\"cycles\":2000000000,\"makespan\":1600000000,"
     "\"balanced\":800000000,\"l2_hits\":6,\"l2_misses\":2,"
@@ -117,7 +118,9 @@ constexpr const char* kGolden =
     "\"atomic_cycles\":256,\"atomic_bytes\":64,\"adapter_cycles\":128,"
     "\"adapter_bytes\":32},"
     "\"redundancy\":{\"cycles\":112,\"redundant_flops\":1792,"
-    "\"pad_flops\":1024,\"copy_flops\":512,\"tile_flops\":256}}],"
+    "\"pad_flops\":1024,\"copy_flops\":512,\"tile_flops\":256},"
+    "\"inter_shard_traffic\":{\"cycles\":0,\"ghost_bytes\":0,"
+    "\"exchange_syncs\":0,\"shards\":1}}],"
     "\"degradations\":[],"
     "\"robustness\":{\"jobs\":0,\"attempts\":0,\"retries\":0,"
     "\"deadline_hits\":0,\"cancellations\":0,\"breaker_trips\":0,"
@@ -132,7 +135,7 @@ constexpr const char* kGolden =
     "\"slo\":{\"enabled\":false,\"latency_objective_cycles\":0,"
     "\"success_objective\":0.99,\"window_cycles\":0,\"tenants\":[]}}\n";
 
-TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion7) {
+TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion8) {
   MetricsSink& sink = MetricsSink::instance();
   sink.clear();
   sink.configure("golden", 0.25);
@@ -190,7 +193,7 @@ TEST(MetricsJsonTest, EmptySinkStillEmitsSchemaEnvelope) {
   const std::string doc = sink.to_json();
   EXPECT_TRUE(testing::json_valid(doc));
   EXPECT_NE(doc.find("\"schema\":\"gnnbridge-metrics\""), std::string::npos);
-  EXPECT_NE(doc.find("\"schema_version\":7"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":8"), std::string::npos);
   EXPECT_NE(doc.find("\"meta\":{"), std::string::npos);
   EXPECT_NE(doc.find("\"runs\":[]"), std::string::npos);
   EXPECT_NE(doc.find("\"gap_report\":[]"), std::string::npos);

@@ -72,6 +72,11 @@ TOTAL_METRICS = [
     "copy_flops",
     "tile_flops",
     "imbalance",
+    # v8 partitioned-execution counters.
+    "ghost_bytes",
+    "exchange_syncs",
+    "exchange_cycles",
+    "shards",
 ]
 GAP_SECTIONS = [
     "locality",
@@ -79,16 +84,19 @@ GAP_SECTIONS = [
     "launch_overhead",
     "synchronization",
     "redundancy",
+    "inter_shard_traffic",
 ]
 
 
-def run_bench(binary, scale, metrics_path, threads=None):
+def run_bench(binary, scale, metrics_path, threads=None, shards=None):
     """Runs one bench binary and returns its parsed metrics document."""
     env = dict(os.environ)
     env["GNNBRIDGE_SCALE"] = repr(scale)
     env["GNNBRIDGE_METRICS_JSON"] = metrics_path
     if threads is not None:
         env["GNNBRIDGE_THREADS"] = str(threads)
+    if shards is not None:
+        env["GNNBRIDGE_SHARDS"] = str(shards)
     env.pop("GNNBRIDGE_TRACE_JSON", None)
     env.pop("GNNBRIDGE_FAULT_PLAN", None)
     proc = subprocess.run(
@@ -148,11 +156,27 @@ def main():
         "inherit the environment, which means hardware concurrency). "
         "Metrics are byte-identical at any value; only wall time changes.",
     )
+    ap.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="edge-cut shards per run (sets GNNBRIDGE_SHARDS; default: "
+        "inherit the environment, which means unsharded). Outputs stay "
+        "bit-identical; the exchange counters become nonzero.",
+    )
     ap.add_argument("--label", default=None, help="trajectory label (default: suite)")
     ap.add_argument(
         "--out", default=None, help="output path (default: BENCH_<label>.json)"
     )
     args = ap.parse_args()
+    # argparse's type=int happily accepts 0 and negatives, and the C++ side
+    # would silently fall back to its default — fail loudly here instead.
+    if args.threads is not None and not 1 <= args.threads <= 4096:
+        ap.error(f"--threads must be in [1, 4096], got {args.threads}")
+    if args.shards is not None and not 1 <= args.shards <= 4096:
+        ap.error(f"--shards must be in [1, 4096], got {args.shards}")
+    if not 0.0 < args.scale <= 1.0:
+        ap.error(f"--scale must be in (0, 1], got {args.scale}")
 
     label = args.label or args.suite
     out_path = args.out or f"BENCH_{label}.json"
@@ -173,7 +197,7 @@ def main():
         for name, path in binaries:
             metrics_path = os.path.join(tmp, f"{name}.json")
             try:
-                doc = run_bench(path, args.scale, metrics_path, args.threads)
+                doc = run_bench(path, args.scale, metrics_path, args.threads, args.shards)
             except (RuntimeError, OSError, json.JSONDecodeError) as e:
                 print(f"bench_runner: {name}: {e}", file=sys.stderr)
                 return 1

@@ -40,7 +40,7 @@ import math
 import sys
 
 SCHEMA_NAME = "gnnbridge-metrics"
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 POSTMORTEM_SCHEMA_NAME = "gnnbridge-postmortem"
 POSTMORTEM_SCHEMA_VERSION = 1
 
@@ -88,6 +88,11 @@ TOTALS_KEYS = {
     "copy_flops": (int, float),
     "tile_flops": (int, float),
     "imbalance": (int, float),
+    # v8 partitioned-execution counters (DESIGN.md §16).
+    "ghost_bytes": int,
+    "exchange_syncs": int,
+    "exchange_cycles": (int, float),
+    "shards": int,
 }
 DEGRADATION_KEYS = {
     "seam": str,
@@ -258,6 +263,7 @@ GAP_KEYS = {
     "launch_overhead": dict,
     "synchronization": dict,
     "redundancy": dict,
+    "inter_shard_traffic": dict,
 }
 GAP_SECTION_KEYS = {
     "locality": {
@@ -281,6 +287,13 @@ GAP_SECTION_KEYS = {
         "pad_flops": (int, float),
         "copy_flops": (int, float),
         "tile_flops": (int, float),
+    },
+    # v8: per-layer ghost-feature exchange of partitioned execution.
+    "inter_shard_traffic": {
+        "cycles": (int, float),
+        "ghost_bytes": int,
+        "exchange_syncs": int,
+        "shards": int,
     },
 }
 
@@ -334,6 +347,10 @@ def check_metrics(doc):
         check_keys(run["totals"], TOTALS_KEYS, f"{where}.totals")
         if not 0.0 <= run["totals"]["l2_hit_rate"] <= 1.0:
             raise Invalid(f"{where}.totals.l2_hit_rate out of [0,1]")
+        if run["totals"]["shards"] < 1:
+            raise Invalid(f"{where}.totals.shards must be >= 1")
+        if run["totals"]["shards"] == 1 and run["totals"]["ghost_bytes"] != 0:
+            raise Invalid(f"{where}.totals: unsharded run with ghost traffic")
         for j, k in enumerate(run["kernels"]):
             kwhere = f"{where}.kernels[{j}]"
             check_keys(k, KERNEL_KEYS, kwhere)

@@ -132,6 +132,10 @@ void usage() {
       "  --threads N                   host threads in [1, 4096] (default:\n"
       "                                $GNNBRIDGE_THREADS, else hardware concurrency);\n"
       "                                results are byte-identical at any value\n"
+      "  --shards K                    partition the graph into K edge-cut shards with\n"
+      "                                per-layer ghost exchange (ours only; default:\n"
+      "                                $GNNBRIDGE_SHARDS, else 1 = unsharded); outputs\n"
+      "                                stay bit-identical to the unsharded engine\n"
       "  --full                        run real numerics (default: trace-only)\n"
       "  --heads K                     attention heads for mhgat (default 4)\n"
       "  --kernels                     print the per-kernel breakdown\n"
@@ -241,12 +245,13 @@ int parse_int_flag(const char* flag, const char* text, long min, long max) {
 struct CommonArgs {
   std::string metrics;
   std::string trace;
+  int shards = 0;  // 0 = unset: EngineConfig falls back to $GNNBRIDGE_SHARDS
 };
 
 /// One handler for the flags every subcommand accepts: --metrics /
-/// --metrics-out, --trace / --trace-out, and --threads (which applies
-/// immediately). Returns true when `arg` was consumed; `next` must yield
-/// the flag's value (exiting with a usage error when absent).
+/// --metrics-out, --trace / --trace-out, --shards, and --threads (which
+/// applies immediately). Returns true when `arg` was consumed; `next` must
+/// yield the flag's value (exiting with a usage error when absent).
 template <typename Next>
 bool parse_common_flag(const std::string& arg, Next&& next, CommonArgs& out) {
   if (arg == "--metrics" || arg == "--metrics-out") {
@@ -259,6 +264,10 @@ bool parse_common_flag(const std::string& arg, Next&& next, CommonArgs& out) {
   }
   if (arg == "--threads") {
     par::set_max_threads(parse_int_flag("--threads", next(), 1, 4096));
+    return true;
+  }
+  if (arg == "--shards") {
+    out.shards = parse_int_flag("--shards", next(), 1, 4096);
     return true;
   }
   return false;
@@ -647,6 +656,7 @@ int run_overload(int jobs, int wave, double scale, double offered_x, double dead
   engine::EngineConfig ecfg;
   ecfg.auto_tune = true;
   ecfg.breaker.failure_threshold = breaker_threshold;
+  ecfg.shards = common.shards;
   engine::OptimizedEngine eng(ecfg);
 
   // t-steady offers kSteadyRate x capacity; t-burst offers offered_x x
@@ -979,6 +989,7 @@ int cmd_soak(int argc, char** argv) {
   engine::EngineConfig ecfg;
   ecfg.auto_tune = true;
   ecfg.breaker.failure_threshold = breaker_threshold;
+  ecfg.shards = common.shards;
   engine::OptimizedEngine eng(ecfg);
 
   // The stream cycles models fast and datasets slowly, so consecutive jobs
@@ -1185,6 +1196,7 @@ int main(int argc, char** argv) {
     prof::Tracer::instance().set_enabled(true);
   }
 
+  ecfg.shards = common.shards;
   std::unique_ptr<baselines::Backend> backend;
   if (backend_name == "dgl") {
     backend = std::make_unique<baselines::DglBackend>();

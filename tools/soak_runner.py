@@ -276,6 +276,19 @@ def main():
     ap.add_argument("--shed-max", type=float, default=90.0,
                     help="maximum acceptable overload shed rate, percent")
     args = ap.parse_args()
+    # type=int/float accept zeros and negatives that the CLI would either
+    # reject later or (for env-derived knobs) silently ignore — make every
+    # out-of-range value a loud exit-2 usage error up front.
+    if args.jobs < 1:
+        ap.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.wave < 1:
+        ap.error(f"--wave must be >= 1, got {args.wave}")
+    if not 0.0 < args.scale <= 1.0:
+        ap.error(f"--scale must be in (0, 1], got {args.scale}")
+    if args.deadline_ms < 0.0:
+        ap.error(f"--deadline-ms must be >= 0, got {args.deadline_ms}")
+    if args.max_attempts < 1:
+        ap.error(f"--max-attempts must be >= 1, got {args.max_attempts}")
 
     plans = DEFAULT_PLANS if args.plans is None else args.plans.split(",")
     os.makedirs(args.work_dir, exist_ok=True)
