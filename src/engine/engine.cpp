@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <deque>
 #include <map>
+#include <optional>
 #include <type_traits>
 
 #include "core/spfetch/step_index.hpp"
@@ -69,6 +70,7 @@ struct ActiveJob {
   bool disable_tune = false;
   bool disable_adapter = false;
   bool disable_grouping = false;
+  bool disable_sharding = false;
   /// The job carries a private fault plan, so it must not take warm-cache
   /// shortcuts: a cache hit skips the work (and its fault seams) entirely,
   /// and warmth depends on which job got there first — thread timing. An
@@ -103,6 +105,7 @@ class JobGuard {
       if (knob == rt::kKnobAutoTune) job.disable_tune = true;
       if (knob == rt::kKnobAdapter) job.disable_adapter = true;
       if (knob == rt::kKnobNeighborGrouping) job.disable_grouping = true;
+      if (knob == rt::kKnobSharding) job.disable_sharding = true;
     };
     for (const std::string& knob : admission.disabled_knobs) apply(knob);
     // Knobs the job itself forces off (e.g. the admission controller's
@@ -122,13 +125,30 @@ class JobGuard {
     if (t_active_job.disable_tune) knobs.emplace_back(rt::kKnobAutoTune);
     if (t_active_job.disable_adapter) knobs.emplace_back(rt::kKnobAdapter);
     if (t_active_job.disable_grouping) knobs.emplace_back(rt::kKnobNeighborGrouping);
+    if (t_active_job.disable_sharding) knobs.emplace_back(rt::kKnobSharding);
     return knobs;
   }
 
  private:
   ActiveJob prev_;
 };
+
+/// The run's recovery tally (see detail::RecoveryScope). Thread-local like
+/// ActiveJob: a run executes whole on one thread, so both batch jobs and
+/// direct runs see exactly their own tally.
+thread_local detail::RecoveryTally* t_recovery = nullptr;
 }  // namespace
+
+namespace detail {
+RecoveryTally* active_recovery() { return t_recovery; }
+
+bool cache_isolated_active(const void* engine) {
+  return job_active_for(engine) && t_active_job.cache_isolated;
+}
+
+RecoveryScope::RecoveryScope(RecoveryTally* tally) : prev_(t_recovery) { t_recovery = tally; }
+RecoveryScope::~RecoveryScope() { t_recovery = prev_; }
+}  // namespace detail
 
 // ---- Graceful degradation (DESIGN.md §10) -----------------------------
 
@@ -168,6 +188,7 @@ bool OptimizedEngine::degrade_for(const rt::StageFailure& failure) const {
       if (knob == rt::kKnobAutoTune) job_flag = &t_active_job.disable_tune;
       if (knob == rt::kKnobAdapter) job_flag = &t_active_job.disable_adapter;
       if (knob == rt::kKnobNeighborGrouping) job_flag = &t_active_job.disable_grouping;
+      if (knob == rt::kKnobSharding) job_flag = &t_active_job.disable_sharding;
       if (!job_flag || *job_flag || flag.load(std::memory_order_relaxed)) return false;
       *job_flag = true;
       if (t_active_job.events) {
@@ -206,6 +227,28 @@ bool OptimizedEngine::degrade_for(const rt::StageFailure& failure) const {
                    "fused->unfused_pipeline") ||
            disable(las_failed_, cfg_.use_las, rt::kKnobLas, "las->natural_order");
   }
+  if (seam == rt::kSeamShardCompute || seam == rt::kSeamShardExchange) {
+    // The final rung of shard recovery (DESIGN.md §17): the per-shard
+    // attempt budget is spent, so the whole run falls back to the
+    // unsharded single-device pipeline. The run still succeeds — outputs
+    // are bit-identical either way — so the breaker never sees a failure.
+    const bool stepped =
+        disable(sharding_failed_, resolved_shards() > 1, rt::kKnobSharding, "sharded->unsharded");
+    if (stepped) {
+      if (detail::RecoveryTally* tally = detail::active_recovery()) {
+        ++tally->fallback_unsharded;
+        if (tally->journal) {
+          obs::JournalEvent ev;
+          ev.type = "shard_fallback";
+          ev.key = seam;
+          ev.code = std::string(rt::kKnobSharding);
+          ev.detail = "sharded->unsharded";
+          tally->journal->push_back(std::move(ev));
+        }
+      }
+    }
+    return stepped;
+  }
   return false;
 }
 
@@ -224,7 +267,29 @@ auto OptimizedEngine::run_guarded(const Dataset& data, const models::Matrix* fea
     return r;
   };
   if (rt::Status s = preflight(data, features); !s.ok()) return fail(std::move(s));
-  // The ladder holds at most four knobs; a few spare rounds absorb fault
+  // Direct (non-batch) runs get a run-local recovery tally here and flush
+  // it straight into the metrics sink on exit; batch jobs install theirs
+  // in run_batch and fold it in job order instead (t_recovery already set).
+  detail::RecoveryTally direct_tally;
+  struct DirectRecovery {
+    detail::RecoveryTally* tally = nullptr;
+    std::optional<detail::RecoveryScope> scope;
+    ~DirectRecovery() {
+      if (tally && tally->any()) {
+        prof::RecoveryStats rs;
+        rs.shard_retries = tally->shard_retries;
+        rs.shards_reexecuted = tally->shards_reexecuted;
+        rs.fallback_unsharded = tally->fallback_unsharded;
+        rs.wasted_cycles = tally->wasted_cycles;
+        prof::MetricsSink::instance().add_recovery(rs);
+      }
+    }
+  } direct;
+  if (!detail::active_recovery()) {
+    direct.tally = &direct_tally;
+    direct.scope.emplace(&direct_tally);
+  }
+  // The ladder holds at most five knobs; a few spare rounds absorb fault
   // plans that keep firing while we degrade.
   constexpr int kMaxRounds = 8;
   for (int round = 0; round < kMaxRounds; ++round) {
@@ -251,7 +316,13 @@ std::vector<std::string> OptimizedEngine::degraded_knobs() const {
   if (tune_failed_.load()) knobs.emplace_back(rt::kKnobAutoTune);
   if (adapter_failed_.load()) knobs.emplace_back(rt::kKnobAdapter);
   if (grouping_failed_.load()) knobs.emplace_back(rt::kKnobNeighborGrouping);
+  if (sharding_failed_.load()) knobs.emplace_back(rt::kKnobSharding);
   return knobs;
+}
+
+bool OptimizedEngine::sharding_enabled() const {
+  if (job_active_for(this) && t_active_job.disable_sharding) return false;
+  return !sharding_failed_.load(std::memory_order_relaxed);
 }
 
 // ---- Knob plumbing ----------------------------------------------------
@@ -421,6 +492,7 @@ struct JobTally {
   std::vector<rt::DegradationEvent> events;   ///< buffered, job-local
   std::vector<std::string> rung;              ///< knobs off when it ended
   std::vector<obs::JournalEvent> journal;     ///< buffered attempt/backoff events
+  engine::detail::RecoveryTally recovery;     ///< shard-recovery counters (§17)
 };
 }  // namespace
 
@@ -506,6 +578,25 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
       tally.cancel_points = scope.checkpoints();
       return;
     }
+    // Shard-recovery tally for this job (DESIGN.md §17): the sharded
+    // pipelines and the degradation ladder report into it, with journal
+    // events buffered alongside the attempt events so the sequential fold
+    // interleaves them in emission order. The fire listener additionally
+    // records every armed-seam shot as a "fault_injected" event — the
+    // per-job plan is thread-confined, so every fire lands on this worker.
+    tally.recovery.journal = journal_on ? &tally.journal : nullptr;
+    detail::RecoveryScope recovery_scope(&tally.recovery);
+    const rt::FaultFireListener on_fire = +[](void* ctx, std::string_view seam, int shot) {
+      auto* buffered = static_cast<std::vector<obs::JournalEvent>*>(ctx);
+      obs::JournalEvent ev;
+      ev.type = "fault_injected";
+      ev.key = std::string(seam);
+      ev.code = rt::status_code_name(rt::StatusCode::kFaultInjected);
+      ev.attempt = static_cast<std::uint64_t>(shot) + 1;
+      buffered->push_back(std::move(ev));
+    };
+    rt::ScopedFireListener fire_listener(journal_on ? on_fire : nullptr,
+                                         journal_on ? &tally.journal : nullptr);
     const int max_attempts = std::max(1, job.max_attempts);
     for (int attempt = 1;; ++attempt) {
       ++tally.attempts;
@@ -582,6 +673,7 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
   // journal seq numbers and registry observations — lands in job order, so
   // every export is byte-identical at any host thread count.
   prof::RobustnessStats rs;
+  prof::RecoveryStats recov;
   prof::MetricsSink& sink = prof::MetricsSink::instance();
   obs::EventJournal& journal = obs::EventJournal::instance();
   obs::TelemetryRegistry& reg = obs::TelemetryRegistry::instance();
@@ -622,6 +714,22 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
     if (tally.cancelled) ++rs.cancellations;
     rs.cancel_points += tally.cancel_points;
     rs.backoff_cycles += tally.backoff_cycles;
+    recov.shard_retries += tally.recovery.shard_retries;
+    recov.shards_reexecuted += tally.recovery.shards_reexecuted;
+    recov.fallback_unsharded += tally.recovery.fallback_unsharded;
+    recov.wasted_cycles += tally.recovery.wasted_cycles;
+    // Per-tenant recovery counters (DESIGN.md §17): only materialized when
+    // the job actually recovered, so fault-free telemetry is unchanged.
+    if (!jobs[i].tenant.empty() && tally.recovery.any()) {
+      if (tally.recovery.shard_retries > 0) {
+        reg.counter_add("serve.tenant." + jobs[i].tenant + ".shard_retries",
+                        tally.recovery.shard_retries);
+      }
+      if (tally.recovery.fallback_unsharded > 0) {
+        reg.counter_add("serve.tenant." + jobs[i].tenant + ".shard_fallbacks",
+                        tally.recovery.fallback_unsharded);
+      }
+    }
     const char* outcome_word = !tally.ran       ? "rejected"
                                : tally.success  ? "ok"
                                : tally.timed_out ? "timed_out"
@@ -706,6 +814,17 @@ std::vector<RunResult> OptimizedEngine::run_batch(std::span<const BatchJob> jobs
     }
   }
   sink.add_robustness(rs);
+  // Recovery counters fold in even when all-zero (the v9 block is always
+  // present), but the named telemetry counters only appear once a shard
+  // actually recovered — fault-free documents stay byte-identical.
+  sink.add_recovery(recov);
+  if (recov.shard_retries > 0) reg.counter_add("serve.shard_retries", recov.shard_retries);
+  if (recov.shards_reexecuted > 0) {
+    reg.counter_add("serve.shards_reexecuted", recov.shards_reexecuted);
+  }
+  if (recov.fallback_unsharded > 0) {
+    reg.counter_add("serve.shard_fallbacks", recov.fallback_unsharded);
+  }
   reg.counter_add("serve.jobs", rs.jobs);
   reg.counter_add("serve.jobs_ok", jobs_ok);
   reg.counter_add("serve.jobs_deadline", rs.deadline_hits);
@@ -736,7 +855,7 @@ RunResult OptimizedEngine::run_gcn(const Dataset& data, const GcnRun& run, ExecM
 
 RunResult OptimizedEngine::gcn_attempt(const Dataset& data, const GcnRun& run, ExecMode mode,
                                        const sim::DeviceSpec& spec) {
-  if (const int nshards = resolved_shards(); nshards > 1) {
+  if (const int nshards = resolved_shards(); nshards > 1 && sharding_enabled()) {
     return gcn_attempt_sharded(data, run, mode, spec, nshards);
   }
   prof::Span span("OptimizedEngine::run_gcn", "engine");
@@ -971,7 +1090,7 @@ RunResult OptimizedEngine::run_gat(const Dataset& data, const GatRun& run, ExecM
 
 RunResult OptimizedEngine::gat_attempt(const Dataset& data, const GatRun& run, ExecMode mode,
                                        const sim::DeviceSpec& spec) {
-  if (const int nshards = resolved_shards(); nshards > 1) {
+  if (const int nshards = resolved_shards(); nshards > 1 && sharding_enabled()) {
     return gat_attempt_sharded(data, run, mode, spec, nshards);
   }
   prof::Span span("OptimizedEngine::run_gat", "engine");

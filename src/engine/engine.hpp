@@ -322,12 +322,19 @@ class OptimizedEngine final : public Backend {
   mutable std::atomic<bool> tune_failed_{false};
   mutable std::atomic<bool> adapter_failed_{false};
   mutable std::atomic<bool> grouping_failed_{false};
+  mutable std::atomic<bool> sharding_failed_{false};
 
   /// Whether the fused (adapter) pipeline is taken: configuration, the
   /// sticky engine-wide health flag, and the current batch job's local
   /// ladder/breaker state all gate it (defined in engine.cpp, where the
   /// per-job thread-local lives).
   bool adapter_enabled() const;
+
+  /// Whether the sharded GCN/GAT pipelines are taken: gated by the sticky
+  /// engine-wide health flag and the current batch job's ladder state
+  /// (defined in engine.cpp, where the per-job thread-local lives). The
+  /// final rung of shard recovery (DESIGN.md §17) turns this off.
+  bool sharding_enabled() const;
 
   /// Input validation run before every attempt (cached by identity).
   rt::Status preflight(const Dataset& data, const models::Matrix* features) const;

@@ -2,16 +2,60 @@
 // engine_shard.cpp). Internal — not part of the public engine API.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <vector>
 
 #include "baselines/backend.hpp"
 #include "kernels/common.hpp"
+#include "obs/journal.hpp"
 #include "sim/context.hpp"
 
 namespace gnnbridge::engine::detail {
 
 namespace k = gnnbridge::kernels;
+
+/// Shard-recovery accounting for one run (DESIGN.md §17), thread-local via
+/// RecoveryScope so the sharded pipelines and the degradation ladder can
+/// report into it from anywhere under the run. It survives across ladder
+/// rounds within run_guarded: an abandoned sharded attempt's retries stay
+/// counted after the fallback-to-unsharded rung succeeds.
+struct RecoveryTally {
+  std::uint64_t shard_retries = 0;       ///< granted retry decisions
+  std::uint64_t shards_reexecuted = 0;   ///< shard phase bodies re-executed
+  std::uint64_t fallback_unsharded = 0;  ///< sharded->unsharded ladder steps
+  double wasted_cycles = 0.0;            ///< cycles of failed attempts/redos
+  /// Buffered journal events ("shard_retry"/"shard_fallback"), interleaved
+  /// with the owning batch job's attempt events and flushed by run_batch's
+  /// sequential fold. Null for direct (non-batch) runs, which surface
+  /// recovery through the metrics sink only.
+  std::vector<obs::JournalEvent>* journal = nullptr;
+
+  bool any() const { return shard_retries != 0 || fallback_unsharded != 0; }
+};
+
+/// The tally installed for the current thread's run; nullptr when none.
+RecoveryTally* active_recovery();
+
+/// True when the calling thread runs a cache-isolated batch job of
+/// `engine` (any job with a fault plan re-derives warm state every
+/// attempt; see ActiveJob in engine.cpp). Exposed so engine_shard.cpp can
+/// apply the same warm-hit skip to the memoized shard-plan cache.
+bool cache_isolated_active(const void* engine);
+
+/// RAII installer for the thread-local recovery tally (nests; restores the
+/// previous tally on destruction). run_batch installs one per job around
+/// the attempt loop; run_guarded installs one for direct runs.
+class RecoveryScope {
+ public:
+  explicit RecoveryScope(RecoveryTally* tally);
+  ~RecoveryScope();
+  RecoveryScope(const RecoveryScope&) = delete;
+  RecoveryScope& operator=(const RecoveryScope&) = delete;
+
+ private:
+  RecoveryTally* prev_;
+};
 
 /// Owns the host matrices backing a pipeline's device mats. A deque keeps
 /// element addresses stable across growth, so FeatureMat::host pointers

@@ -28,6 +28,18 @@
 // and checks cancellation at the (deterministic) barriers, keeping
 // deadline behaviour independent of how pool workers interleave.
 //
+// Recovery contract (DESIGN.md §17): each shard is a failure domain. The
+// shard_compute seam fires inside one shard's per-layer phase body and the
+// shard_exchange seam in the per-layer ghost exchange; decisions are drawn
+// on the parent thread in shard order, so the fault schedule is a function
+// of the plan alone, never of pool scheduling. A failed shard is
+// re-executed in place — phase bodies fully overwrite their outputs from
+// inputs the phase never mutates, so a redo is bit-identical to a clean
+// run — up to kShardAttemptBudget attempts per shard per phase; the failed
+// attempts' cycles stay priced into the clock (wasted work is real work).
+// A spent budget raises StageFailure(seam) and the degradation ladder
+// falls back to the unsharded pipeline, whose output is bit-identical too.
+//
 // Scope: GCN and GAT inference. Training, GraphSAGE and multi-head GAT
 // run unsharded regardless of the shard count.
 #include <algorithm>
@@ -36,6 +48,8 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -51,6 +65,7 @@
 #include "par/thread_pool.hpp"
 #include "prof/span.hpp"
 #include "rt/fault.hpp"
+#include "rt/retry.hpp"
 #include "shard/partition.hpp"
 #include "tensor/activations.hpp"
 
@@ -103,6 +118,86 @@ void parallel_shards(std::size_t shard_count, Body&& body) {
                          rt::AdoptScope neutral{rt::ScopeHandle{}};
                          for (std::size_t s = begin; s < end; ++s) body(s);
                        });
+}
+
+// ---- Shard-level recovery (DESIGN.md §17) -----------------------------
+
+/// Attempts one shard phase body (or one exchange) may take before the
+/// ladder falls back to unsharded execution: the initial execution plus
+/// two retries.
+constexpr int kShardAttemptBudget = 3;
+
+/// Prices one failed shard attempt: its cycles are already in the shard's
+/// own SimContext (and thus the phase makespan), so they only need to be
+/// tagged as recovery waste in the run's stats and the active tally.
+void note_wasted(sim::RunStats& accum, sim::Cycles wasted) {
+  accum.recovery_wasted_cycles += wasted;
+  if (detail::RecoveryTally* tally = detail::active_recovery()) {
+    tally->wasted_cycles += static_cast<double>(wasted);
+  }
+}
+
+/// Records one granted retry decision (a shard re-execution or an exchange
+/// redo) in the run's stats and the active tally, buffering a
+/// "shard_retry" journal event for batch jobs. `attempt` is the 1-based
+/// index of the attempt that just failed; `wasted` its priced cycles.
+void note_retry(sim::RunStats& accum, std::string_view seam, std::string what, int attempt,
+                sim::Cycles wasted, bool reexecution) {
+  ++accum.shard_retries;
+  if (reexecution) ++accum.shards_reexecuted;
+  if (detail::RecoveryTally* tally = detail::active_recovery()) {
+    ++tally->shard_retries;
+    if (reexecution) ++tally->shards_reexecuted;
+    if (tally->journal) {
+      obs::JournalEvent ev;
+      ev.type = "shard_retry";
+      ev.key = std::string(seam);
+      ev.detail = std::move(what);
+      ev.attempt = static_cast<std::uint64_t>(attempt);
+      ev.cycles = static_cast<double>(wasted);
+      tally->journal->push_back(std::move(ev));
+    }
+  }
+}
+
+/// One parallel phase with shard-level recovery. shard_compute decisions
+/// are pre-drawn on the parent in shard order — deterministic at any host
+/// thread count — and every body runs regardless (a doomed shard's work is
+/// wasted-but-priced, like a real mid-kernel fault). Failed shards are
+/// then re-executed sequentially on the parent, in shard order, under a
+/// neutral cancel scope (the caller charges the phase makespan at the
+/// barrier); bodies fully overwrite their outputs from inputs the phase
+/// never mutates, so a redo is bit-identical to a clean run. A
+/// non-retryable failure or a spent attempt budget raises StageFailure so
+/// the ladder can fall back to unsharded execution.
+template <typename Body>
+void phase_with_recovery(std::vector<ShardExec>& se, std::size_t nshards, std::size_t layer,
+                         const char* phase_name, sim::RunStats& accum, Body&& body) {
+  std::vector<std::optional<rt::Status>> fail(nshards);
+  std::vector<sim::Cycles> start(nshards);
+  for (std::size_t s = 0; s < nshards; ++s) {
+    fail[s] = rt::fire_fault(rt::kSeamShardCompute);
+    start[s] = se[s].ctx->stats().total_cycles;
+  }
+  parallel_shards(nshards, body);
+  for (std::size_t s = 0; s < nshards; ++s) {
+    for (int attempt = 1; fail[s]; ++attempt) {
+      const sim::Cycles wasted = se[s].ctx->stats().total_cycles - start[s];
+      note_wasted(accum, wasted);
+      const std::string what = "layer=" + std::to_string(layer) + " phase=" + phase_name +
+                               " shard=" + std::to_string(s);
+      if (!rt::retryable(*fail[s]) || attempt >= kShardAttemptBudget) {
+        throw rt::StageFailure(
+            std::string(rt::kSeamShardCompute),
+            std::move(*fail[s]).with_context(what + ": shard attempt budget spent"));
+      }
+      note_retry(accum, rt::kSeamShardCompute, what, attempt, wasted, /*reexecution=*/true);
+      start[s] = se[s].ctx->stats().total_cycles;
+      fail[s] = rt::fire_fault(rt::kSeamShardCompute);
+      rt::AdoptScope neutral{rt::ScopeHandle{}};
+      body(s);
+    }
+  }
 }
 
 /// Shard-local LAS order: the global order filtered to the shard's owned
@@ -170,6 +265,36 @@ void exchange_ghosts(const shard::Partition& p, std::vector<k::FeatureMat>& mats
       std::copy(src.begin(), src.end(), dst.begin());
     }
   }
+}
+
+/// One layer's ghost exchange with recovery. The shard_exchange seam fires
+/// on the parent (the exchange is a barrier; the parent owns it); a failed
+/// attempt prices a full exchange — the rendezvous happened and the
+/// payload moved before it was found torn — and the copy is withheld until
+/// an attempt succeeds (the copies themselves are idempotent either way).
+/// Budget exhaustion raises StageFailure(shard_exchange) for the ladder.
+void exchange_with_recovery(const shard::Partition& p, std::vector<k::FeatureMat>& mats,
+                            bool full, const sim::DeviceSpec& spec, std::uint64_t ghost_rows,
+                            std::uint64_t row_bytes, std::size_t layer, sim::RunStats& accum,
+                            sim::Cycles& total) {
+  const sim::Cycles xcyc = exchange_cost(spec, ghost_rows, row_bytes);
+  for (int attempt = 1;; ++attempt) {
+    std::optional<rt::Status> fault = rt::fire_fault(rt::kSeamShardExchange);
+    total += xcyc;
+    accum.exchange_cycles += xcyc;
+    accum.exchange_syncs += 1;
+    accum.ghost_bytes += ghost_rows * row_bytes;
+    rt::charge_sim_cycles(xcyc);
+    if (!fault) break;
+    note_wasted(accum, xcyc);
+    const std::string what = "layer=" + std::to_string(layer) + " exchange";
+    if (!rt::retryable(*fault) || attempt >= kShardAttemptBudget) {
+      throw rt::StageFailure(std::string(rt::kSeamShardExchange),
+                             std::move(*fault).with_context(what + ": exchange retry budget spent"));
+    }
+    note_retry(accum, rt::kSeamShardExchange, what, attempt, xcyc, /*reexecution=*/false);
+  }
+  if (full) exchange_ghosts(p, mats);
 }
 
 /// Owned-local row of every global node (the owned lists partition the
@@ -277,7 +402,12 @@ int OptimizedEngine::resolved_shards() const {
 std::shared_ptr<const shard::Partition> OptimizedEngine::shard_plan_for(const graph::Csr& csr,
                                                                         int k) const {
   const ShardPlanKey key{graph::fingerprint(csr), k};
-  {
+  // Cache-isolated jobs (any job with a fault plan) skip the warm-hit
+  // shortcut: an armed shard_partition seam must fire on *this* attempt's
+  // partition instead of being absorbed by a neighbor's memoized plan. A
+  // fault-injected partition is never cached — the seam raises below,
+  // before the insert — so the cache only ever holds clean plans.
+  if (!detail::cache_isolated_active(this)) {
     std::lock_guard<std::mutex> lock(cache_mu_);
     auto it = shard_cache_.find(key);
     if (it != shard_cache_.end()) return it->second;
@@ -369,7 +499,7 @@ RunResult OptimizedEngine::gcn_attempt_sharded(const Dataset& data, const GcnRun
     // ---- Phase A: transform the owned rows. The gemm's A and C are
     // owned-row views: each device transforms only the nodes it owns;
     // ghost rows of the transformed features arrive via the exchange.
-    parallel_shards(nshards, [&](std::size_t s) {
+    phase_with_recovery(se, nshards, l, "transform", accum, [&](std::size_t s) {
       k::FeatureMat hview = top_rows(se[s].h, se[s].sh->num_owned());
       k::FeatureMat tview = top_rows(tloc[s], se[s].sh->num_owned());
       k::dense_gemm(*se[s].ctx, {.a = &hview, .b = &wdev[s], .c = &tview, .mode = mode});
@@ -380,19 +510,13 @@ RunResult OptimizedEngine::gcn_attempt_sharded(const Dataset& data, const GcnRun
     rt::throw_if_cancelled("sharded gcn transform");
 
     // ---- Exchange: ghost rows of the transformed features.
-    if (full) exchange_ghosts(p, tloc);
     const auto row_bytes = static_cast<std::uint64_t>(f_out) * 4;
-    const sim::Cycles xcyc = exchange_cost(spec, ghost_rows, row_bytes);
-    total += xcyc;
-    accum.exchange_cycles += xcyc;
-    accum.exchange_syncs += 1;
-    accum.ghost_bytes += ghost_rows * row_bytes;
-    rt::charge_sim_cycles(xcyc);
+    exchange_with_recovery(p, tloc, full, spec, ghost_rows, row_bytes, l, accum, total);
     rt::throw_if_cancelled("sharded gcn exchange");
 
     // ---- Phase B: aggregation over the shard-local graph (same kernel
     // selection as the unsharded attempt).
-    parallel_shards(nshards, [&](std::size_t s) {
+    phase_with_recovery(se, nshards, l, "aggregate", accum, [&](std::size_t s) {
       const core::GroupedTasks& grouped = se[s].grouped;
       if (fused) {
         const bool inline_ok = !grouped.any_split;
@@ -500,7 +624,7 @@ RunResult OptimizedEngine::gat_attempt_sharded(const Dataset& data, const GatRun
     }
 
     // ---- Phase A: transform the owned rows.
-    parallel_shards(nshards, [&](std::size_t s) {
+    phase_with_recovery(se, nshards, l, "transform", accum, [&](std::size_t s) {
       k::FeatureMat hview = top_rows(se[s].h, se[s].sh->num_owned());
       k::FeatureMat tview = top_rows(tloc[s], se[s].sh->num_owned());
       k::dense_gemm(*se[s].ctx, {.a = &hview, .b = &wdev[s], .c = &tview, .mode = mode});
@@ -515,19 +639,13 @@ RunResult OptimizedEngine::gat_attempt_sharded(const Dataset& data, const GatRun
     // (row_dot below runs on all local rows): row_dot is row-independent,
     // so the replicated compute is bit-identical to the owner's — and the
     // exchange ships one F-float row per ghost instead of F + 2 scalars.
-    if (full) exchange_ghosts(p, tloc);
     const auto row_bytes = static_cast<std::uint64_t>(f_out) * 4;
-    const sim::Cycles xcyc = exchange_cost(spec, ghost_rows, row_bytes);
-    total += xcyc;
-    accum.exchange_cycles += xcyc;
-    accum.exchange_syncs += 1;
-    accum.ghost_bytes += ghost_rows * row_bytes;
-    rt::charge_sim_cycles(xcyc);
+    exchange_with_recovery(p, tloc, full, spec, ghost_rows, row_bytes, l, accum, total);
     rt::throw_if_cancelled("sharded gat exchange");
 
     // ---- Phase B: attention scores + aggregation on the local graph
     // (same kernel selection as the unsharded attempt).
-    parallel_shards(nshards, [&](std::size_t s) {
+    phase_with_recovery(se, nshards, l, "aggregate", accum, [&](std::size_t s) {
       const core::GroupedTasks& grouped = se[s].grouped;
       k::row_dot(*se[s].ctx, {.feat = &tloc[s], .vec = &aldev[s], .out = &asrc[s], .mode = mode});
       k::row_dot(*se[s].ctx, {.feat = &tloc[s], .vec = &ardev[s], .out = &adst[s], .mode = mode});

@@ -86,6 +86,10 @@ std::string FlightRecorder::classify_locked(const JournalEvent& event) {
   if (event.type == "slo_violation" && event.code == "budget_exhausted") {
     return "slo_budget_exhausted";
   }
+  // Shard recovery exhausted its per-shard attempt budget and the run fell
+  // back to unsharded execution (DESIGN.md §17): the run still succeeds,
+  // but the capacity the sharding bought is gone — postmortem-worthy.
+  if (event.type == "shard_fallback") return "shard_fallback";
   if (event.type == "shed") {
     // Rising-edge latch: fire on the shed that completes the burst, stay
     // silent while the window remains at/above threshold, and re-arm only

@@ -57,7 +57,8 @@ class FlightRecorder {
   std::deque<JournalEvent> ring() const;
   std::uint64_t dump_count() const;
   /// Trigger kind of the most recent anomaly ("deadline_miss",
-  /// "breaker_open", "shed_burst", "slo_budget_exhausted"); empty if none.
+  /// "breaker_open", "shed_burst", "slo_budget_exhausted",
+  /// "shard_fallback"); empty if none.
   std::string last_trigger() const;
 
   /// Renders the postmortem document for the given trigger over the

@@ -33,9 +33,13 @@ namespace gnnbridge::obs {
 /// "degradation", "outcome", "breaker", plus the admission-control events
 /// "admission_reject", "quota" and "shed" (serve::AdmissionController,
 /// DESIGN.md §14 — `key` carries the tenant, `cycles` the retry-after
-/// hint), and the critical-path/SLO events "queue_wait", "quota_wait",
+/// hint), the critical-path/SLO events "queue_wait", "quota_wait",
 /// "e2e" and "slo_violation" (DESIGN.md §15 — `key` carries the tenant,
-/// `cycles` the waited / end-to-end cycles).
+/// `cycles` the waited / end-to-end cycles), and the shard-recovery events
+/// "fault_injected" (`key` the seam, `attempt` the 1-based shot index),
+/// "shard_retry" (`key` the seam, `detail` the layer/phase/shard, `cycles`
+/// the wasted failed-attempt cycles) and "shard_fallback" (`key` the seam,
+/// `code` the disabled knob; DESIGN.md §17).
 struct JournalEvent {
   std::uint64_t seq = 0;
   std::string request_id;

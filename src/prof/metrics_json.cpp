@@ -228,6 +228,15 @@ void MetricsSink::add_overload(const OverloadStats& stats) {
   arm_env_write_locked();
 }
 
+void MetricsSink::add_recovery(const RecoveryStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recovery_.shard_retries += stats.shard_retries;
+  recovery_.shards_reexecuted += stats.shards_reexecuted;
+  recovery_.fallback_unsharded += stats.fallback_unsharded;
+  recovery_.wasted_cycles += stats.wasted_cycles;
+  arm_env_write_locked();
+}
+
 void MetricsSink::arm_env_write_locked() {
   if (armed_ || !env_path()) return;
   armed_ = true;
@@ -263,6 +272,11 @@ OverloadStats MetricsSink::overload() const {
   return overload_;
 }
 
+RecoveryStats MetricsSink::recovery() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovery_;
+}
+
 void MetricsSink::clear() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -270,6 +284,7 @@ void MetricsSink::clear() {
     degradations_.clear();
     robustness_ = RobustnessStats{};
     overload_ = OverloadStats{};
+    recovery_ = RecoveryStats{};
   }
   // The v5 telemetry block snapshots the process-wide registry; clearing
   // the sink without it would leak one run's telemetry into the next
@@ -349,6 +364,13 @@ std::string MetricsSink::to_json() const {
   w.kv("peak_queue_depth", overload_.peak_queue_depth);
   w.kv("peak_backlog_cycles", overload_.peak_backlog_cycles);
   w.kv("queue_wait_cycles", overload_.queue_wait_cycles);
+  w.end_object();
+  w.key("recovery");
+  w.begin_object();
+  w.kv("shard_retries", recovery_.shard_retries);
+  w.kv("shards_reexecuted", recovery_.shards_reexecuted);
+  w.kv("fallback_unsharded", recovery_.fallback_unsharded);
+  w.kv("wasted_cycles", recovery_.wasted_cycles);
   w.end_object();
   w.key("telemetry");
   obs::write_telemetry_json(w, obs::TelemetryRegistry::instance().snapshot());

@@ -10,7 +10,7 @@
 // tools/check_metrics_schema.py; bump kMetricsSchemaVersion on any
 // incompatible change.
 //
-// Schema (gnnbridge-metrics, version 8):
+// Schema (gnnbridge-metrics, version 9):
 //   {
 //     "schema": "gnnbridge-metrics",
 //     "schema_version": 7,
@@ -65,6 +65,8 @@
 //                  "shed_low":..., "shed_normal":..., "shed_high":...,
 //                  "overload_transitions":..., "peak_queue_depth":...,
 //                  "peak_backlog_cycles":..., "queue_wait_cycles":...},
+//     "recovery": {"shard_retries":..., "shards_reexecuted":...,
+//                  "fallback_unsharded":..., "wasted_cycles":...},
 //     "telemetry": {"counters":[{"name":"serve.jobs","value":...}],
 //                   "gauges":[{"name":"serve.queue_depth","value":...}],
 //                   "histograms":[{"name":"serve.job_cycles","count":...,
@@ -117,6 +119,14 @@
 // `gap_report` entry gained the sixth gap `inter_shard_traffic`
 // ({cycles, ghost_bytes, exchange_syncs, shards}) pricing the per-layer
 // ghost-feature exchanges between edge-cut shards.
+// v8 -> v9: additive — new top-level `recovery` block (shard-level failure
+// recovery, DESIGN.md §17): per-shard retry decisions, shard phase bodies
+// re-executed after a shard_compute fault, sharded->unsharded ladder
+// fallbacks, and the sim-cycles wasted on failed attempts (already priced
+// into the runs' total_cycles). Always present; all-zero for fault-free
+// processes. The event journal gained three additive event types
+// (`fault_injected`, `shard_retry`, `shard_fallback`) and the flight
+// recorder a `shard_fallback` postmortem trigger.
 #pragma once
 
 #include <cstdint>
@@ -131,7 +141,7 @@
 namespace gnnbridge::prof {
 
 inline constexpr const char* kMetricsSchemaName = "gnnbridge-metrics";
-inline constexpr int kMetricsSchemaVersion = 8;
+inline constexpr int kMetricsSchemaVersion = 9;
 
 /// Provenance stamped into every metrics document (`meta` block). The sink
 /// collects defaults lazily at serialization time; tests pin fixed values
@@ -186,6 +196,19 @@ struct OverloadStats {
   double queue_wait_cycles = 0.0;         ///< summed estimated queue waits
 };
 
+/// Shard-level recovery counters (the v9 `recovery` block), accumulated by
+/// OptimizedEngine runs in deterministic order (DESIGN.md §17). Counters
+/// include attempts abandoned by the degradation ladder, so they can
+/// exceed what the successful runs' RunStats report. All values are
+/// functions of sim-time and the fault plan, never of wall time or the
+/// host thread count.
+struct RecoveryStats {
+  std::uint64_t shard_retries = 0;      ///< per-shard retry decisions taken
+  std::uint64_t shards_reexecuted = 0;  ///< shard phase bodies re-executed
+  std::uint64_t fallback_unsharded = 0; ///< sharded->unsharded ladder steps
+  double wasted_cycles = 0.0;           ///< sim-cycles of failed attempts/redos
+};
+
 /// One recorded run: a labelled RunStats plus the identifying metadata.
 struct RunRecord {
   std::string label;
@@ -228,11 +251,16 @@ class MetricsSink {
   /// block (sums add, peaks max-merge).
   void add_overload(const OverloadStats& stats);
 
+  /// Accumulates shard-recovery counters (field-wise sum) into the
+  /// document's `recovery` block.
+  void add_recovery(const RecoveryStats& stats);
+
   std::size_t size() const;
   std::size_t degradation_count() const;
   std::vector<rt::DegradationEvent> degradations() const;
   RobustnessStats robustness() const;
   OverloadStats overload() const;
+  RecoveryStats recovery() const;
   void clear();
 
   /// Serializes everything recorded so far.
@@ -262,6 +290,7 @@ class MetricsSink {
   std::vector<rt::DegradationEvent> degradations_;
   RobustnessStats robustness_;
   OverloadStats overload_;
+  RecoveryStats recovery_;
   bool armed_ = false;
 };
 

@@ -19,6 +19,7 @@ inline constexpr std::string_view kKnobAutoTune = "auto_tune";
 inline constexpr std::string_view kKnobAdapter = "adapter";
 inline constexpr std::string_view kKnobNeighborGrouping = "neighbor_grouping";
 inline constexpr std::string_view kKnobMetricsSink = "metrics_sink";
+inline constexpr std::string_view kKnobSharding = "sharding";
 
 /// One recorded step down the degradation ladder.
 struct DegradationEvent {

@@ -97,6 +97,16 @@ Status parse_plan(std::string_view plan, std::vector<ParsedArm>& out) {
 // fire()/armed() use it exclusively and never touch the global map or mutex.
 thread_local std::map<std::string, FaultInjector::Arm, std::less<>>* t_job_arms = nullptr;
 
+// Active fire listener for this thread (see ScopedFireListener). Invoked
+// outside the injector's lock so a listener may call back into the
+// injector (e.g. to read plan_string) without deadlocking.
+thread_local FaultFireListener t_fire_fn = nullptr;
+thread_local void* t_fire_ctx = nullptr;
+
+void notify_fired(std::string_view seam, int shot) {
+  if (t_fire_fn) t_fire_fn(t_fire_ctx, seam, shot);
+}
+
 }  // namespace
 
 bool known_seam(std::string_view seam) {
@@ -104,6 +114,13 @@ bool known_seam(std::string_view seam) {
     if (s == seam) return true;
   }
   return false;
+}
+
+std::string_view seam_description(std::string_view seam) {
+  for (const SeamInfo& info : kSeamTable) {
+    if (info.name == seam) return info.description;
+  }
+  return {};
 }
 
 FaultInjector& FaultInjector::instance() {
@@ -149,19 +166,26 @@ std::optional<Status> FaultInjector::fire(std::string_view seam) {
     // Thread-confined per-job plan: no lock, no global state.
     const auto it = t_job_arms->find(seam);
     if (it == t_job_arms->end()) return std::nullopt;
+    const int shot = it->second.fired++;
     if (!it->second.always) {
       if (--it->second.remaining <= 0) t_job_arms->erase(it);
     }
+    notify_fired(seam, shot);
     return Status(StatusCode::kFaultInjected,
                   "injected fault at seam '" + std::string(seam) + "'");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  maybe_load_env_locked();
-  const auto it = arms_.find(seam);
-  if (it == arms_.end()) return std::nullopt;
-  if (!it->second.always) {
-    if (--it->second.remaining <= 0) arms_.erase(it);
+  int shot = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    maybe_load_env_locked();
+    const auto it = arms_.find(seam);
+    if (it == arms_.end()) return std::nullopt;
+    shot = it->second.fired++;
+    if (!it->second.always) {
+      if (--it->second.remaining <= 0) arms_.erase(it);
+    }
   }
+  notify_fired(seam, shot);
   return Status(StatusCode::kFaultInjected,
                 "injected fault at seam '" + std::string(seam) + "'");
 }
@@ -185,6 +209,17 @@ FaultInjector::ScopedJobPlan::ScopedJobPlan(std::string_view plan) {
 
 FaultInjector::ScopedJobPlan::~ScopedJobPlan() {
   if (active_) t_job_arms = prev_;
+}
+
+ScopedFireListener::ScopedFireListener(FaultFireListener fn, void* ctx)
+    : prev_fn_(t_fire_fn), prev_ctx_(t_fire_ctx) {
+  t_fire_fn = fn;
+  t_fire_ctx = ctx;
+}
+
+ScopedFireListener::~ScopedFireListener() {
+  t_fire_fn = prev_fn_;
+  t_fire_ctx = prev_ctx_;
 }
 
 std::string FaultInjector::plan_string() const {

@@ -34,14 +34,62 @@ inline constexpr std::string_view kSeamFusionPass = "fusion_pass";      ///< ada
 inline constexpr std::string_view kSeamSimLaunch = "sim_launch";        ///< sim::SimContext::launch
 inline constexpr std::string_view kSeamMetricsWrite = "metrics_write";  ///< prof::MetricsSink::write_file
 inline constexpr std::string_view kSeamShardPartition = "shard_partition";  ///< shard::partition_graph via engine
+inline constexpr std::string_view kSeamShardCompute = "shard_compute";      ///< per-shard pool-job phase body
+inline constexpr std::string_view kSeamShardExchange = "shard_exchange";    ///< per-layer ghost-feature exchange
 
-inline constexpr std::array<std::string_view, 7> kKnownSeams = {
-    kSeamDatasetLoad, kSeamLasCluster,   kSeamTunerProbe,    kSeamFusionPass,
-    kSeamSimLaunch,   kSeamMetricsWrite, kSeamShardPartition,
+inline constexpr std::array<std::string_view, 9> kKnownSeams = {
+    kSeamDatasetLoad, kSeamLasCluster,   kSeamTunerProbe,
+    kSeamFusionPass,  kSeamSimLaunch,    kSeamMetricsWrite,
+    kSeamShardPartition, kSeamShardCompute, kSeamShardExchange,
 };
+
+/// One row of the seam table: the plan-syntax name plus a one-line
+/// human description of where the seam fires and what absorbs it.
+/// `gnnbridge_cli faults` prints this table so fault plans can be
+/// written without a source read.
+struct SeamInfo {
+  std::string_view name;
+  std::string_view description;
+};
+
+inline constexpr std::array<SeamInfo, 9> kSeamTable = {{
+    {kSeamDatasetLoad, "graph/io loaders and make_dataset; no ladder, surfaces as a load error"},
+    {kSeamLasCluster, "locality-aware scheduling pass; ladder falls back to natural row order"},
+    {kSeamTunerProbe, "auto-tuner aggregation probe; ladder disables auto-tuning for the run"},
+    {kSeamFusionPass, "adapter/fusion availability check; ladder disables the fused adapter"},
+    {kSeamSimLaunch, "sim::SimContext::launch; ladder walks grouping -> adapter -> LAS"},
+    {kSeamMetricsWrite, "prof::MetricsSink::write_file; absorbed by the 3-attempt write retry"},
+    {kSeamShardPartition, "shard::partition_graph via the engine plan cache; retry re-partitions"},
+    {kSeamShardCompute, "inside one shard's per-layer phase body; shard is re-executed in place"},
+    {kSeamShardExchange, "per-layer ghost-feature exchange; exchange is retried, then unsharded"},
+}};
+
+/// One-line description for a known seam; empty view when unknown.
+std::string_view seam_description(std::string_view seam);
 
 /// True when `seam` is one of kKnownSeams.
 bool known_seam(std::string_view seam);
+
+/// Thread-local observer invoked whenever an armed seam fires on the
+/// calling thread. `shot` is the 0-based index of the consumed shot for
+/// that seam within the active plan (job-local or global). Installed via
+/// ScopedFireListener; used to surface `fault_injected` journal events
+/// without coupling rt to the observability layer.
+using FaultFireListener = void (*)(void* ctx, std::string_view seam, int shot);
+
+/// RAII installer for the thread-local fire listener. Nests; restores
+/// the previous listener on destruction.
+class ScopedFireListener {
+ public:
+  ScopedFireListener(FaultFireListener fn, void* ctx);
+  ~ScopedFireListener();
+  ScopedFireListener(const ScopedFireListener&) = delete;
+  ScopedFireListener& operator=(const ScopedFireListener&) = delete;
+
+ private:
+  FaultFireListener prev_fn_;
+  void* prev_ctx_;
+};
 
 /// Process-wide fault-plan registry. Thread-safe.
 class FaultInjector {
@@ -70,6 +118,7 @@ class FaultInjector {
   struct Arm {
     int remaining = 0;   // shots left (ignored when always)
     bool always = false;
+    int fired = 0;       // shots already consumed (the next shot's index)
   };
 
   /// Per-job fault plan, confined to the installing thread.

@@ -477,10 +477,17 @@ ServeResult AdmissionController::serve(engine::OptimizedEngine& eng,
     for (std::size_t j = 0; j < n; ++j) {
       const std::size_t i = order[start + j].index;
       // Warm the cost cache from measured cycles so later admissions use
-      // real numbers instead of the analytic estimate.
+      // real numbers instead of the analytic estimate. Cycles spent on
+      // failed shard attempts (DESIGN.md §17) are excluded: they are
+      // priced into this run's clock, but a future fault-free run of the
+      // same job costs only the clean work — counting the waste would
+      // double-charge every later admission for one unlucky run.
       if (wave_results[j].status.ok()) {
         const std::string key = cost_key(jobs[i]);
-        if (!key.empty()) cost_cache_[key] = wave_results[j].stats.total_cycles;
+        if (!key.empty()) {
+          cost_cache_[key] = wave_results[j].stats.total_cycles -
+                             wave_results[j].stats.recovery_wasted_cycles;
+        }
       }
       out.results[i] = std::move(wave_results[j]);
     }

@@ -89,6 +89,19 @@ struct RunStats {
   /// Shard count the run executed with (1 = unsharded).
   int shards = 1;
 
+  // ---- Shard-level recovery (DESIGN.md §17). Zero for fault-free runs;
+  // the sharded pipelines fill them when a shard-scoped seam fires and the
+  // run recovers by re-executing only the failed shard(s).
+  /// Per-shard retry decisions taken (one per re-execution or exchange redo).
+  std::uint64_t shard_retries = 0;
+  /// Distinct shard phase bodies re-executed after a shard_compute fault.
+  std::uint64_t shards_reexecuted = 0;
+  /// 1 when the run fell back from sharded to unsharded execution.
+  std::uint64_t fallback_unsharded = 0;
+  /// Cycles spent on failed shard attempts and redone exchanges; already
+  /// included in total_cycles (wasted work is priced into the sim clock).
+  Cycles recovery_wasted_cycles = 0.0;
+
   int num_launches() const { return static_cast<int>(kernels.size()); }
 
   double total_flops() const {

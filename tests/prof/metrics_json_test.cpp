@@ -80,7 +80,7 @@ MetaInfo golden_meta() {
 //   sync      = atomic + adapter cycles = 256 + 128             = 384
 //   redundancy= (1024 + 512 + 256) / 16 flops-per-cycle         = 112
 constexpr const char* kGolden =
-    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":8,"
+    "{\"schema\":\"gnnbridge-metrics\",\"schema_version\":9,"
     "\"experiment\":\"golden\",\"scale\":0.25,"
     "\"meta\":{\"git_sha\":\"deadbee\",\"timestamp\":\"2026-01-01T00:00:00Z\","
     "\"hostname\":\"goldenhost\",\"scale_env\":\"0.25\",\"threads\":8},"
@@ -131,11 +131,13 @@ constexpr const char* kGolden =
     "\"shed_low\":0,\"shed_normal\":0,\"shed_high\":0,"
     "\"overload_transitions\":0,\"peak_queue_depth\":0,"
     "\"peak_backlog_cycles\":0,\"queue_wait_cycles\":0},"
+    "\"recovery\":{\"shard_retries\":0,\"shards_reexecuted\":0,"
+    "\"fallback_unsharded\":0,\"wasted_cycles\":0},"
     "\"telemetry\":{\"counters\":[],\"gauges\":[],\"histograms\":[]},"
     "\"slo\":{\"enabled\":false,\"latency_objective_cycles\":0,"
     "\"success_objective\":0.99,\"window_cycles\":0,\"tenants\":[]}}\n";
 
-TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion8) {
+TEST(MetricsJsonTest, GoldenDocumentMatchesSchemaVersion9) {
   MetricsSink& sink = MetricsSink::instance();
   sink.clear();
   sink.configure("golden", 0.25);
@@ -193,7 +195,7 @@ TEST(MetricsJsonTest, EmptySinkStillEmitsSchemaEnvelope) {
   const std::string doc = sink.to_json();
   EXPECT_TRUE(testing::json_valid(doc));
   EXPECT_NE(doc.find("\"schema\":\"gnnbridge-metrics\""), std::string::npos);
-  EXPECT_NE(doc.find("\"schema_version\":8"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\":9"), std::string::npos);
   EXPECT_NE(doc.find("\"meta\":{"), std::string::npos);
   EXPECT_NE(doc.find("\"runs\":[]"), std::string::npos);
   EXPECT_NE(doc.find("\"gap_report\":[]"), std::string::npos);

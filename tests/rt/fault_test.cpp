@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace gnnbridge::rt {
 namespace {
@@ -144,6 +146,37 @@ TEST_F(FaultTest, RaiseIfArmedThrowsStageFailure) {
   }
   // Disarmed after the single shot: no throw.
   raise_if_armed(kSeamSimLaunch, "unit test site");
+}
+
+TEST_F(FaultTest, SeamTableCoversEveryKnownSeam) {
+  ASSERT_EQ(kSeamTable.size(), kKnownSeams.size());
+  for (std::string_view seam : kKnownSeams) {
+    EXPECT_FALSE(seam_description(seam).empty()) << seam;
+  }
+  EXPECT_TRUE(seam_description("no_such_seam").empty());
+  // Table order matches the canonical seam list (the CLI prints it as-is).
+  for (std::size_t i = 0; i < kKnownSeams.size(); ++i) {
+    EXPECT_EQ(kSeamTable[i].name, kKnownSeams[i]);
+  }
+}
+
+TEST_F(FaultTest, FireListenerObservesEveryConsumedShot) {
+  auto& inj = FaultInjector::instance();
+  ASSERT_TRUE(inj.set_plan("shard_compute=2"));
+  struct Seen {
+    std::vector<std::pair<std::string, int>> shots;
+  } seen;
+  ScopedFireListener listen(
+      [](void* ctx, std::string_view seam, int shot) {
+        static_cast<Seen*>(ctx)->shots.emplace_back(std::string(seam), shot);
+      },
+      &seen);
+  EXPECT_TRUE(inj.fire(kSeamShardCompute).has_value());
+  EXPECT_TRUE(inj.fire(kSeamShardCompute).has_value());
+  EXPECT_FALSE(inj.fire(kSeamShardCompute).has_value());  // spent: no callback
+  ASSERT_EQ(seen.shots.size(), 2u);
+  EXPECT_EQ(seen.shots[0], (std::pair<std::string, int>{"shard_compute", 0}));
+  EXPECT_EQ(seen.shots[1], (std::pair<std::string, int>{"shard_compute", 1}));
 }
 
 }  // namespace

@@ -40,7 +40,7 @@ import math
 import sys
 
 SCHEMA_NAME = "gnnbridge-metrics"
-SCHEMA_VERSION = 8
+SCHEMA_VERSION = 9
 POSTMORTEM_SCHEMA_NAME = "gnnbridge-postmortem"
 POSTMORTEM_SCHEMA_VERSION = 1
 
@@ -133,6 +133,15 @@ OVERLOAD_KEYS = {
     "peak_backlog_cycles": (int, float),
     "queue_wait_cycles": (int, float),
 }
+# Shard-recovery counters (v9): granted shard retries, in-place shard
+# re-executions, fallbacks to the unsharded pipeline, and the sim-cycles
+# burnt in failed shard attempts (DESIGN.md §17).
+RECOVERY_KEYS = {
+    "shard_retries": int,
+    "shards_reexecuted": int,
+    "fallback_unsharded": int,
+    "wasted_cycles": (int, float),
+}
 # Telemetry registry export (v5): counters, gauges, log-bucketed
 # histograms with headline quantiles (src/obs/registry.hpp).
 TELEMETRY_KEYS = {
@@ -190,6 +199,10 @@ JOURNAL_EVENT_TYPES = {
     "quota_wait",
     "e2e",
     "slo_violation",
+    # Shard-recovery events (v9, DESIGN.md §17).
+    "fault_injected",
+    "shard_retry",
+    "shard_fallback",
 }
 # Per-tenant SLO block (v7, obs::SloTracker, DESIGN.md §15).
 SLO_KEYS = {
@@ -219,6 +232,7 @@ POSTMORTEM_TRIGGER_KINDS = {
     "breaker_open",
     "shed_burst",
     "slo_budget_exhausted",
+    "shard_fallback",
 }
 KERNEL_KEYS = {
     "name": str,
@@ -402,6 +416,12 @@ def check_metrics(doc):
         )
     if overload["queue_wait_cycles"] < 0:
         raise Invalid("overload: negative queue_wait_cycles")
+    recovery = doc.get("recovery")
+    check_keys(recovery, RECOVERY_KEYS, "recovery")
+    if recovery["shards_reexecuted"] > recovery["shard_retries"]:
+        raise Invalid("recovery: shards_reexecuted > shard_retries")
+    if recovery["wasted_cycles"] < 0:
+        raise Invalid("recovery: negative wasted_cycles")
     telemetry = doc.get("telemetry")
     check_keys(telemetry, TELEMETRY_KEYS, "telemetry")
     for i, c in enumerate(telemetry["counters"]):

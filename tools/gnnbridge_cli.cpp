@@ -58,6 +58,7 @@ void usage() {
       "       gnnbridge_cli analyze METRICS.json\n"
       "       gnnbridge_cli compare BASELINE.json OPTIMIZED.json\n"
       "       gnnbridge_cli soak [soak options]\n"
+      "       gnnbridge_cli faults\n"
       "       gnnbridge_cli stats METRICS.json [--prom PATH] [--journal JOURNAL.jsonl]\n"
       "       gnnbridge_cli triage METRICS.json --journal JOURNAL.jsonl [--top K]\n"
       "  profile                       record a host/sim trace and metrics while running;\n"
@@ -102,6 +103,20 @@ void usage() {
       "                                when the overload contract is violated (a steady\n"
       "                                job shed/rejected, an accepted job missing its\n"
       "                                deadline, or the queue bound exceeded)\n"
+      "  soak --chaos                  chaos sweep over every fault seam (DESIGN.md §17):\n"
+      "                                a fixed schedule of fault-plan cells runs the same\n"
+      "                                GCN/GAT job set on a fresh engine per cell — the\n"
+      "                                degradation-ladder seams unsharded, the shard seams\n"
+      "                                at K=4, dataset_load/metrics_write via the global\n"
+      "                                injector — and checks the recovery contract: every\n"
+      "                                job survives, shard-seam and control cells\n"
+      "                                reproduce the fault-free outputs bit for bit,\n"
+      "                                ladder cells stay numerically correct, retries and\n"
+      "                                fallbacks surface in stats/journal, and the\n"
+      "                                critical-path phase sums hold; exits 5 on any\n"
+      "                                contract violation\n"
+      "  faults                        print the fault-seam table (plan-syntax name plus\n"
+      "                                where each seam fires and what absorbs it)\n"
       "  stats METRICS.json            print the telemetry block (counters, gauges,\n"
       "                                latency histograms with p50/p90/p99) of a\n"
       "                                schema v7 metrics file; --prom re-renders it\n"
@@ -144,7 +159,8 @@ void usage() {
       "                                disable individual optimizations (ours only)\n"
       "exit status: 0 success, 1 runtime failure (run, output write, metrics read, or\n"
       "             triage invariant violation), 2 usage error, 3 dataset load failure,\n"
-      "             4 overload contract violation (soak --overload)\n");
+      "             4 overload contract violation (soak --overload),\n"
+      "             5 chaos contract violation (soak --chaos)\n");
 }
 
 int cmd_analyze(const std::string& path) {
@@ -531,6 +547,21 @@ int cmd_triage(int argc, char** argv) {
   return 0;
 }
 
+/// `gnnbridge_cli faults`: print the seam table from rt/fault.hpp — the
+/// plan-syntax name of every fault seam plus where it fires and what
+/// absorbs it — so fault plans can be written without a source read.
+int cmd_faults() {
+  std::printf("fault seams (arm via GNNBRIDGE_FAULT_PLAN=\"seam\", \"seam=N\" or \"seam=*\"):\n");
+  for (const rt::SeamInfo& s : rt::kSeamTable) {
+    std::printf("  %-16.*s %.*s\n", static_cast<int>(s.name.size()), s.name.data(),
+                static_cast<int>(s.description.size()), s.description.data());
+  }
+  std::printf("plan entries are comma-separated; an armed seam fails its next N shots\n"
+              "(every shot with '*') and then passes. soak applies the plan per job, so\n"
+              "each job sees its own shot counters; `soak --chaos` sweeps all of them.\n");
+  return 0;
+}
+
 // One dataset of the soak stream, owning the weights/features its BatchJobs
 // point at (the deque below keeps addresses stable).
 struct SoakDataset {
@@ -842,6 +873,281 @@ int run_overload(int jobs, int wave, double scale, double offered_x, double dead
   return 0;
 }
 
+/// `gnnbridge_cli soak --chaos`: the DESIGN.md §17 recovery-contract
+/// sweep. A fixed schedule of fault-plan cells covers every seam in
+/// rt::kSeamTable: the degradation-ladder seams on the unsharded engine,
+/// the three shard seams at K=4 (single-shot, multi-shot and persistent
+/// arms), and the two out-of-engine seams (dataset_load, metrics_write)
+/// through the process-wide injector. Every cell runs the same GCN/GAT
+/// job set on a fresh engine in ExecMode::kFull and is held to the
+/// documented contract: every job reaches an ok final state, shard-seam
+/// and control cells reproduce the fault-free reference outputs bit for
+/// bit, ladder cells stay numerically correct, retries and fallbacks
+/// surface in RunStats and the journal, and the critical-path phase-sum
+/// invariant holds across the whole journal. The schedule is fixed and
+/// the engine deterministic, so stdout and every artifact are
+/// byte-identical at any --threads value. Exits 5 on any violation.
+int run_chaos(double scale, int breaker_threshold, const std::string& env_plan,
+              CommonArgs& common, const std::string& journal_out, const std::string& prom_out,
+              bool pin_meta, std::deque<SoakDataset>& sets, const sim::DeviceSpec& spec) {
+  // The journal backs the fallback and phase-sum checks, so chaos mode
+  // records it even without --journal; the file itself is still only
+  // written when the flag asks for it.
+  obs::EventJournal::instance().set_enabled(true);
+  if (!env_plan.empty()) {
+    std::printf("soak --chaos: ignoring GNNBRIDGE_FAULT_PLAN='%s' (the chaos schedule "
+                "arms its own per-cell plans)\n",
+                env_plan.c_str());
+  }
+
+  prof::MetricsSink& sink = prof::MetricsSink::instance();
+  sink.configure("gnnbridge_cli soak --chaos", scale);
+  if (pin_meta) {
+    sink.set_meta(prof::MetaInfo{.git_sha = "fixed",
+                                 .timestamp = "2026-01-01T00:00:00Z",
+                                 .hostname = "fixed",
+                                 .scale_env = "",
+                                 .threads = 0});
+  }
+
+  struct ChaosCell {
+    const char* plan;      // per-job fault plan ("" = fault-free control)
+    int shards;            // engine shard count for the cell
+    int max_attempts;      // batch retry budget (shard_partition needs 2)
+    bool bit_identical;    // outputs must match the reference byte for byte
+    bool expect_retry;     // every job must report stats.shard_retries > 0
+    bool expect_fallback;  // every job must journal one shard_fallback
+  };
+  // The ladder seams get their documented single-shot and multi-shot
+  // arms; persistent ladder arms (las_cluster=*, sim_launch=*) are the
+  // documented ladder-exhaustion failures, so they are deliberately
+  // absent. The shard seams get single-shot, multi-shot and persistent
+  // arms — persistent is the fallback-to-unsharded rung.
+  const ChaosCell cells[] = {
+      {"", 1, 1, true, false, false},
+      {"", 4, 1, true, false, false},
+      {"las_cluster=1", 1, 1, false, false, false},
+      // Two shots exhaust the job-local ladder (the tuner probe and the
+      // run each reach the LAS pass once); the second batch attempt's
+      // fresh ladder absorbs the spent plan — batch-retry coverage.
+      {"las_cluster=2", 1, 2, false, false, false},
+      {"tuner_probe=1", 1, 1, false, false, false},
+      {"tuner_probe=3", 1, 1, false, false, false},
+      {"fusion_pass=1", 1, 1, false, false, false},
+      {"fusion_pass=*", 1, 1, false, false, false},
+      {"sim_launch=1", 1, 1, false, false, false},
+      {"sim_launch=2", 1, 1, false, false, false},
+      {"shard_partition=1", 4, 2, true, false, false},
+      {"shard_compute=1", 4, 1, true, true, false},
+      {"shard_compute=2", 4, 1, true, true, false},
+      {"shard_compute=*", 4, 1, true, false, true},
+      {"shard_exchange=1", 4, 1, true, true, false},
+      {"shard_exchange=*", 4, 1, true, false, true},
+  };
+  const std::size_t ncells = sizeof(cells) / sizeof(cells[0]);
+
+  // Every cell replays the same GCN/GAT jobs (the two models the sharded
+  // pipelines cover) across all soak datasets, in ExecMode::kFull so the
+  // outputs are byte-comparable.
+  auto make_jobs = [&](const char* plan, int max_attempts, const std::string& id_prefix) {
+    std::vector<engine::OptimizedEngine::BatchJob> jobs;
+    for (std::size_t d = 0; d < sets.size(); ++d) {
+      for (int kind = 0; kind < 2; ++kind) {
+        engine::OptimizedEngine::BatchJob& job = jobs.emplace_back();
+        job.data = &sets[d].data;
+        if (kind == 0) {
+          job.gcn = &sets[d].gcn;
+        } else {
+          job.gat = &sets[d].gat;
+        }
+        job.mode = kernels::ExecMode::kFull;
+        job.spec = spec;
+        job.max_attempts = max_attempts;
+        job.fault_plan = plan;
+        job.request_id = id_prefix + "-job" + std::to_string(jobs.size() - 1);
+      }
+    }
+    return jobs;
+  };
+  auto bytes_equal = [](const models::Matrix& a, const models::Matrix& b) {
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data(), b.data(),
+                       static_cast<std::size_t>(a.size()) * sizeof(float)) == 0;
+  };
+
+  std::printf("soak --chaos: %zu cell(s) x %zu job(s) @ scale %.3g, shard seams at K=4\n",
+              ncells, sets.size() * 2, scale);
+
+  // Fault-free reference outputs from an unsharded engine. The §16/§17
+  // contracts promise the sharded control and every shard-seam recovery
+  // reproduce these bit for bit; ladder cells must stay allclose.
+  std::vector<models::Matrix> reference;
+  {
+    engine::EngineConfig ref_cfg;
+    ref_cfg.auto_tune = true;
+    ref_cfg.breaker.failure_threshold = breaker_threshold;
+    ref_cfg.shards = 1;
+    engine::OptimizedEngine ref_eng(ref_cfg);
+    const auto jobs = make_jobs("", 1, "ref");
+    const auto results = ref_eng.run_batch(jobs);
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      if (!results[j].status.ok()) {
+        std::fprintf(stderr, "soak --chaos: fault-free reference job %zu (%s/%s) failed: %s\n",
+                     j, job_kind_name(jobs[j]), jobs[j].data->name.c_str(),
+                     results[j].status.to_string().c_str());
+        return 1;
+      }
+      reference.push_back(results[j].output);
+    }
+  }
+
+  std::vector<std::string> violations;
+  std::size_t jobs_run = 0;
+  for (std::size_t c = 0; c < ncells; ++c) {
+    const ChaosCell& cell = cells[c];
+    const std::string cell_name = cell.plan[0] != '\0'
+                                      ? std::string(cell.plan)
+                                      : (cell.shards > 1 ? "control(K=4)" : "control");
+    // Fresh engine per cell: no ladder, breaker or cache state crosses
+    // cell boundaries, so each cell is its own failure-domain experiment.
+    engine::EngineConfig ecfg;
+    ecfg.auto_tune = true;
+    ecfg.breaker.failure_threshold = breaker_threshold;
+    ecfg.shards = cell.shards;
+    engine::OptimizedEngine eng(ecfg);
+
+    const auto jobs = make_jobs(cell.plan, cell.max_attempts, "c" + std::to_string(c));
+    const std::size_t journal_before = obs::EventJournal::instance().size();
+    const auto results = eng.run_batch(jobs);
+    jobs_run += results.size();
+
+    const std::size_t violations_before = violations.size();
+    std::uint64_t cell_retries = 0;
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      const baselines::RunResult& r = results[j];
+      const std::string label = cell_name + " " + job_kind_name(jobs[j]) + "/" +
+                                jobs[j].data->name;
+      if (!r.status.ok()) {
+        violations.push_back(label + ": job did not survive: " + r.status.to_string());
+        continue;
+      }
+      if (cell.bit_identical) {
+        if (!bytes_equal(r.output, reference[j])) {
+          violations.push_back(label + ": output differs from the fault-free reference");
+        }
+      } else if (!tensor::allclose(r.output, reference[j], 2e-3f, 2e-4f)) {
+        violations.push_back(label + ": degraded output is numerically wrong");
+      }
+      if (cell.expect_retry && r.stats.shard_retries == 0) {
+        violations.push_back(label + ": expected shard retries, stats report none");
+      }
+      cell_retries += r.stats.shard_retries;
+    }
+    if (cell.expect_fallback) {
+      const auto events = obs::EventJournal::instance().snapshot();
+      std::size_t fallbacks = 0;
+      for (std::size_t e = journal_before; e < events.size(); ++e) {
+        if (events[e].type == "shard_fallback") ++fallbacks;
+      }
+      if (fallbacks != results.size()) {
+        violations.push_back(cell_name + ": expected " + std::to_string(results.size()) +
+                             " shard_fallback event(s), journal has " +
+                             std::to_string(fallbacks));
+      }
+    }
+    std::printf("chaos cell %2zu/%zu: %-18s shards=%d attempts=%d shard_retries=%llu: %s\n",
+                c + 1, ncells, cell_name.c_str(), cell.shards, cell.max_attempts,
+                static_cast<unsigned long long>(cell_retries),
+                violations.size() == violations_before ? "ok" : "VIOLATED");
+  }
+
+  // The two seams outside the engine, exercised through the process-wide
+  // injector exactly as the seam table documents them: dataset_load is
+  // fail-stop with a structured error and a consumed shot; metrics_write
+  // is absorbed by the sink's 3-attempt write retry.
+  rt::FaultInjector& injector = rt::FaultInjector::instance();
+  if (rt::Status ps = injector.set_plan("dataset_load=1"); !ps.ok()) {
+    violations.push_back("dataset_load=1: plan rejected: " + ps.to_string());
+  } else {
+    const auto faulted = graph::try_make_dataset(graph::DatasetId::kArxiv, scale);
+    const auto reload = graph::try_make_dataset(graph::DatasetId::kArxiv, scale);
+    injector.clear();
+    if (faulted.ok() || faulted.status().code() != rt::StatusCode::kFaultInjected) {
+      violations.push_back("dataset_load=1: expected a structured kFaultInjected load error");
+    }
+    if (!reload.ok()) {
+      violations.push_back("dataset_load=1: reload after the consumed shot failed: " +
+                           reload.status().to_string());
+    }
+    std::printf("chaos seam dataset_load=1: structured load error, reload ok\n");
+  }
+  if (rt::Status ps = injector.set_plan("metrics_write=1"); !ps.ok()) {
+    violations.push_back("metrics_write=1: plan rejected: " + ps.to_string());
+  } else {
+    const std::string probe = "gnnbridge_chaos_probe_metrics.json";
+    const rt::Status ws = sink.write_file(probe);
+    injector.clear();
+    std::remove(probe.c_str());
+    if (!ws.ok()) {
+      violations.push_back("metrics_write=1: write retry did not absorb the fault: " +
+                           ws.to_string());
+    }
+    std::printf("chaos seam metrics_write=1: write retried through the injected fault\n");
+  }
+
+  // Whole-journal checks: every armed seam must have journalled its
+  // fault_injected fire, and the §15 phase-sum invariant must survive
+  // recovery (retried shards and fallback rounds are part of the attempt
+  // cycles, never unaccounted time).
+  {
+    const std::vector<obs::JournalEvent> events = obs::EventJournal::instance().snapshot();
+    std::size_t fires = 0;
+    for (const obs::JournalEvent& ev : events) {
+      if (ev.type == "fault_injected") ++fires;
+    }
+    if (fires == 0) {
+      violations.push_back("journal recorded no fault_injected events across the sweep");
+    }
+    const prof::CriticalPathReport report = prof::analyze_critical_path(events);
+    if (report.invariant_checked == 0) {
+      violations.push_back("phase-sum check: journal produced no e2e events");
+    } else if (report.invariant_violations > 0) {
+      violations.push_back("phase-sum invariant violated for " +
+                           std::to_string(report.invariant_violations) + " of " +
+                           std::to_string(report.invariant_checked) + " request(s)");
+    }
+    std::printf("chaos journal: %zu event(s), %llu fault fire(s), phase sums checked for "
+                "%llu request(s)\n",
+                events.size(), static_cast<unsigned long long>(fires),
+                static_cast<unsigned long long>(report.invariant_checked));
+  }
+
+  const prof::RecoveryStats recov = sink.recovery();
+  std::printf("recovery: shard_retries=%llu shards_reexecuted=%llu fallback_unsharded=%llu "
+              "wasted_cycles=%.12g\n",
+              static_cast<unsigned long long>(recov.shard_retries),
+              static_cast<unsigned long long>(recov.shards_reexecuted),
+              static_cast<unsigned long long>(recov.fallback_unsharded), recov.wasted_cycles);
+  if (recov.shard_retries == 0 || recov.fallback_unsharded == 0) {
+    violations.push_back("sink recovery counters did not register the injected shard faults");
+  }
+
+  if (int rc = flush_soak_artifacts(common, journal_out, prom_out); rc != 0) return rc;
+
+  for (const std::string& v : violations) {
+    std::fprintf(stderr, "soak --chaos: contract violation: %s\n", v.c_str());
+  }
+  if (!violations.empty()) {
+    std::printf("chaos contract: VIOLATED (%zu violation%s)\n", violations.size(),
+                violations.size() == 1 ? "" : "s");
+    return 5;
+  }
+  std::printf("chaos contract: held (%zu cell(s), %zu job(s), %zu/%zu seams exercised, "
+              "shard recovery bit-identical)\n",
+              ncells, jobs_run, rt::kKnownSeams.size(), rt::kKnownSeams.size());
+  return 0;
+}
+
 // `gnnbridge_cli soak`: replay a deterministic (model, dataset) job stream
 // through OptimizedEngine::run_batch in waves, under the fault plan from
 // GNNBRIDGE_FAULT_PLAN (applied per job, so every job sees its own shot
@@ -854,7 +1160,7 @@ int cmd_soak(int argc, char** argv) {
   double slo_ms = 0.0, slo_window_ms = 0.0, slo_target = 0.99;
   CommonArgs common;
   std::string journal_out, prom_out, flight_recorder_out;
-  bool pin_meta = false, overload = false;
+  bool pin_meta = false, overload = false, chaos = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -893,6 +1199,8 @@ int cmd_soak(int argc, char** argv) {
       pin_meta = true;
     } else if (arg == "--overload") {
       overload = true;
+    } else if (arg == "--chaos") {
+      chaos = true;
     } else if (arg == "--offered-x") {
       offered_x = parse_double_flag("--offered-x", next());
     } else if (arg == "--help" || arg == "-h") {
@@ -980,6 +1288,14 @@ int cmd_soak(int argc, char** argv) {
     s.mh = {&s.mh_cfg, &s.mh_params, &s.mh_x};
   }
 
+  if (chaos && overload) {
+    std::fprintf(stderr, "--chaos and --overload are mutually exclusive\n");
+    return 2;
+  }
+  if (chaos) {
+    return run_chaos(scale, breaker_threshold, plan, common, journal_out, prom_out, pin_meta,
+                     sets, spec);
+  }
   if (overload) {
     return run_overload(jobs, wave, scale, offered_x, deadline_ms, max_attempts,
                         breaker_threshold, plan, common, journal_out, prom_out, pin_meta, sets,
@@ -1132,6 +1448,8 @@ int main(int argc, char** argv) {
     return cmd_compare(argv[2], argv[3]);
   } else if (argc > 1 && std::strcmp(argv[1], "soak") == 0) {
     return cmd_soak(argc, argv);
+  } else if (argc > 1 && std::strcmp(argv[1], "faults") == 0) {
+    return cmd_faults();
   } else if (argc > 1 && std::strcmp(argv[1], "stats") == 0) {
     return cmd_stats(argc, argv);
   } else if (argc > 1 && std::strcmp(argv[1], "triage") == 0) {

@@ -39,4 +39,15 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=0}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
 
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)" "$@"
+
+# Shard-recovery seams under the sanitizer (DESIGN.md §17): one sharded
+# run that re-executes a failed shard in place and one that redoes the
+# ghost exchange, at 8 host threads so the recovery paths see the same
+# cross-thread traffic the tests do.
+for plan in shard_compute=1 shard_exchange=1; do
+  GNNBRIDGE_FAULT_PLAN="$plan" \
+    "$BUILD_DIR/tools/gnnbridge_cli" --model gcn --backend ours \
+    --dataset collab --scale 0.05 --full --shards 4 --threads 8
+done
+
 echo "sanitized suite passed (${SANITIZE})"

@@ -30,13 +30,27 @@ all of the dropped load must land on the out-of-quota burst tenant.
 --check-determinism applies to the overload phase too (metrics AND
 journal byte-compared across 1/2/8 threads).
 
+With --chaos, the fault matrix is replaced by the chaos phase: one
+`soak --chaos` run (the DESIGN.md SS17 recovery-contract sweep over every
+fault seam, shard seams at K=4), asserting the CLI's contract verdict
+(exit 0 and the "chaos contract: held" line). --check-determinism
+re-runs the sweep at 1, 2 and 8 host threads and byte-compares the
+metrics, journal AND flight-recorder postmortem (the persistent shard
+arms trigger a shard_fallback dump) across thread counts.
+
+With --shards K, every fault-matrix soak run executes its GCN/GAT jobs
+on the K-way sharded pipelines, so the matrix exercises shard-level
+recovery seams too (pass shard_compute/shard_exchange plans).
+
     tools/soak_runner.py --cli build/tools/gnnbridge_cli --jobs 8
     tools/soak_runner.py --cli ... --check-determinism --work-dir /tmp/soak
     tools/soak_runner.py --cli ... --overload --check-determinism
+    tools/soak_runner.py --cli ... --chaos --check-determinism
+    tools/soak_runner.py --cli ... --shards 4 --plans "shard_compute=1"
 
 Exits 0 when every cell of the matrix survives (and, if requested, is
-deterministic), 1 otherwise. Wired as the `soak_smoke` and
-`soak_overload_smoke` ctest entries.
+deterministic), 1 otherwise. Wired as the `soak_smoke`,
+`soak_overload_smoke` and `chaos_soak_smoke` ctest entries.
 """
 
 import argparse
@@ -76,6 +90,8 @@ def run_soak(args, plan, threads=None, metrics=None, journal=None,
         "--deadline-ms", str(args.deadline_ms),
         "--max-attempts", str(args.max_attempts),
     ]
+    if args.shards > 0:
+        cmd += ["--shards", str(args.shards)]
     if args.slo_ms > 0:
         cmd += ["--slo-ms", str(args.slo_ms)]
     if threads is not None:
@@ -133,6 +149,79 @@ def run_overload(args, threads=None, metrics=None, journal=None,
     except subprocess.TimeoutExpired:
         return None, "TIMEOUT (overload stream hung)"
     return proc.returncode, proc.stdout + proc.stderr
+
+
+def run_chaos(args, threads=None, metrics=None, journal=None,
+              postmortem=None):
+    """One `soak --chaos` run; returns (exit_code, stdout+stderr)."""
+    cmd = [args.cli, "soak", "--chaos", "--scale", str(args.scale)]
+    if threads is not None:
+        cmd += ["--threads", str(threads)]
+    if metrics is not None:
+        cmd += ["--metrics", metrics, "--pin-meta"]
+    if journal is not None:
+        cmd += ["--journal", journal]
+    if postmortem is not None:
+        cmd += ["--flight-recorder", postmortem]
+    # The chaos schedule arms its own per-cell plans; an inherited
+    # environment plan would only produce a warning line in stdout.
+    env = dict(os.environ)
+    env.pop("GNNBRIDGE_FAULT_PLAN", None)
+    try:
+        proc = subprocess.run(cmd, env=env, capture_output=True, text=True,
+                              timeout=args.timeout)
+    except subprocess.TimeoutExpired:
+        return None, "TIMEOUT (chaos sweep hung)"
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def check_chaos_output(code, out):
+    """Asserts one chaos run's contract lines; returns a list of errors."""
+    errors = []
+    if code != 0:
+        errors.append(f"exit code {code} (5 = chaos contract violation)")
+    if "chaos contract: held" not in out:
+        errors.append("CLI did not report the chaos contract as held")
+    return errors
+
+
+def chaos_phase(args):
+    """The --chaos mode: one full-seam sweep plus optional determinism."""
+    print(f"chaos phase: full-seam recovery sweep at scale {args.scale}")
+    code, out = run_chaos(args)
+    errors = check_chaos_output(code, out)
+    for err in errors:
+        print(f"  chaos FAIL: {err}")
+    if errors:
+        sys.stdout.write(out)
+        return False
+    for line in out.splitlines():
+        if line.startswith(("recovery:", "chaos contract:")):
+            print(f"  {line}")
+    if not args.check_determinism:
+        return True
+    metrics_paths, journal_paths, postmortem_paths = [], [], []
+    for t in (1, 2, 8):
+        stem = os.path.join(args.work_dir, f"chaos_t{t}")
+        code, out = run_chaos(args, threads=t, metrics=stem + ".json",
+                              journal=stem + ".jsonl",
+                              postmortem=stem + ".postmortem.json")
+        errors = check_chaos_output(code, out)
+        if errors:
+            print(f"  chaos FAIL at {t} thread(s): {'; '.join(errors)}")
+            return False
+        metrics_paths.append(stem + ".json")
+        journal_paths.append(stem + ".jsonl")
+        postmortem_paths.append(stem + ".postmortem.json")
+    # The persistent shard arms (shard_compute=*, shard_exchange=*) fall
+    # back to unsharded, so the flight recorder must have dumped a
+    # shard_fallback postmortem at every thread count.
+    if not all(os.path.exists(p) for p in postmortem_paths):
+        print("  chaos FAIL: the shard_fallback trigger left no postmortem")
+        return False
+    return compare_artifacts("chaos", [("metrics", metrics_paths),
+                                       ("journal", journal_paths),
+                                       ("postmortem", postmortem_paths)])
 
 
 def run_triage(args, metrics, journal, out_path):
@@ -268,6 +357,12 @@ def main():
     ap.add_argument("--overload", action="store_true",
                     help="run the overload-contract phase instead of the "
                     "fault matrix")
+    ap.add_argument("--chaos", action="store_true",
+                    help="run the chaos-contract phase (full-seam recovery "
+                    "sweep) instead of the fault matrix")
+    ap.add_argument("--shards", type=int, default=0,
+                    help="shard count passed to every fault-matrix soak run "
+                    "(0 = the CLI default, unsharded)")
     ap.add_argument("--offered-x", type=float, default=4.0,
                     help="burst tenant's offered load as a multiple of "
                     "capacity (overload phase)")
@@ -289,6 +384,10 @@ def main():
         ap.error(f"--deadline-ms must be >= 0, got {args.deadline_ms}")
     if args.max_attempts < 1:
         ap.error(f"--max-attempts must be >= 1, got {args.max_attempts}")
+    if args.shards < 0:
+        ap.error(f"--shards must be >= 0, got {args.shards}")
+    if args.overload and args.chaos:
+        ap.error("--overload and --chaos are mutually exclusive")
 
     plans = DEFAULT_PLANS if args.plans is None else args.plans.split(",")
     os.makedirs(args.work_dir, exist_ok=True)
@@ -296,6 +395,11 @@ def main():
     if args.overload:
         ok = overload_phase(args)
         print("overload phase: OK" if ok else "overload phase: FAIL")
+        return 0 if ok else 1
+
+    if args.chaos:
+        ok = chaos_phase(args)
+        print("chaos phase: OK" if ok else "chaos phase: FAIL")
         return 0 if ok else 1
 
     failed = False
